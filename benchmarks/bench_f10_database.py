@@ -1,0 +1,13 @@
+"""Benchmark F10: tuning-database deployment."""
+
+from repro.experiments import exp_f10_database
+
+
+def test_f10_database(record):
+    result = record(
+        exp_f10_database.run,
+        keys=("deployed_vs_oracle", "deployed_vs_naive"),
+    )
+    # The looked-up choice must be close to the oracle and beat naive.
+    assert result["deployed_vs_oracle"] < 1.15
+    assert result["deployed_vs_naive"] > 1.1

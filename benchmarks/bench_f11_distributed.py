@@ -1,0 +1,12 @@
+"""Benchmark F11: distributed weak/strong scaling shapes."""
+
+from repro.experiments import exp_f11_distributed
+
+
+def test_f11_distributed(record):
+    result = record(
+        exp_f11_distributed.run,
+        keys=("weak_efficiency_min", "strong_efficiency_last"),
+    )
+    assert result["weak_efficiency_min"] > 0.85
+    assert result["strong_monotone_decay"]

@@ -1,0 +1,11 @@
+"""Benchmark F1: ECM prediction vs simulated measurement."""
+
+from repro.experiments import exp_f1_ecm_validation
+
+
+def test_f1_ecm_validation(record):
+    result = record(
+        exp_f1_ecm_validation.run,
+        keys=("mean_abs_err_pct", "max_abs_err_pct"),
+    )
+    assert result["mean_abs_err_pct"] < 25.0

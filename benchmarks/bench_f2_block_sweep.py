@@ -1,0 +1,8 @@
+"""Benchmark F2: block-size sweep, analytic vs empirical optimum."""
+
+from repro.experiments import exp_f2_block_sweep
+
+
+def test_f2_block_sweep(record):
+    result = record(exp_f2_block_sweep.run, keys=("max_gap_pct",))
+    assert result["max_gap_pct"] < 10.0

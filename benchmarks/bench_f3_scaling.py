@@ -1,0 +1,8 @@
+"""Benchmark F3: multicore scaling and saturation."""
+
+from repro.experiments import exp_f3_scaling
+
+
+def test_f3_scaling(record):
+    result = record(exp_f3_scaling.run, keys=())
+    assert result["rows"]

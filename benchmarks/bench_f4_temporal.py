@@ -1,0 +1,8 @@
+"""Benchmark F4: wavefront temporal blocking gains."""
+
+from repro.experiments import exp_f4_temporal
+
+
+def test_f4_temporal(record):
+    result = record(exp_f4_temporal.run, keys=("best_speedup",))
+    assert result["best_speedup"]["3d7pt"] > 1.1

@@ -1,0 +1,11 @@
+"""Benchmark F5: Offsite variant-ranking reliability."""
+
+from repro.experiments import exp_f5_offsite_ranking
+
+
+def test_f5_offsite_ranking(record):
+    result = record(
+        exp_f5_offsite_ranking.run,
+        keys=("kendall_taus", "top1_hits", "mean_abs_err_pct"),
+    )
+    assert all(t >= 0.3 for t in result["kendall_taus"])

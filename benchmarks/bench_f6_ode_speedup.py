@@ -1,0 +1,8 @@
+"""Benchmark F6: end-to-end ODE speedup of tuned kernels."""
+
+from repro.experiments import exp_f6_ode_speedup
+
+
+def test_f6_ode_speedup(record):
+    result = record(exp_f6_ode_speedup.run, keys=("geomean_speedup",))
+    assert result["geomean_speedup"] > 1.1

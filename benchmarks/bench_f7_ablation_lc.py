@@ -1,0 +1,11 @@
+"""Benchmark F7: layer-condition ablation."""
+
+from repro.experiments import exp_f7_ablation_lc
+
+
+def test_f7_ablation_lc(record):
+    result = record(
+        exp_f7_ablation_lc.run,
+        keys=("mean_abs_err_full_pct", "mean_abs_err_nolc_pct"),
+    )
+    assert result["mean_abs_err_nolc_pct"] > result["mean_abs_err_full_pct"]

@@ -1,0 +1,13 @@
+"""Benchmark F8: in-core model detail-level ablation."""
+
+from repro.experiments import exp_f8_incore_detail
+
+
+def test_f8_incore_detail(record):
+    result = record(
+        exp_f8_incore_detail.run,
+        keys=("mean_abs_err_simple_pct", "mean_abs_err_detailed_pct"),
+    )
+    # Both in-core models must stay in the accurate regime.
+    assert result["mean_abs_err_simple_pct"] < 30.0
+    assert result["mean_abs_err_detailed_pct"] < 30.0

@@ -1,0 +1,15 @@
+"""Benchmark F9: overlap-hypothesis ablation."""
+
+from repro.experiments import exp_f9_overlap
+
+
+def test_f9_overlap(record):
+    result = record(
+        exp_f9_overlap.run,
+        keys=("mean_abs_err_serial_pct", "mean_abs_err_overlap_pct"),
+    )
+    # The serial hypothesis matches this substrate's transfer semantics.
+    assert (
+        result["mean_abs_err_serial_pct"]
+        <= result["mean_abs_err_overlap_pct"] + 1.0
+    )

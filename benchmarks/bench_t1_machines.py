@@ -1,0 +1,8 @@
+"""Benchmark T1: regenerate the machine-testbed table."""
+
+from repro.experiments import exp_t1_machines
+
+
+def test_t1_machines(record):
+    result = record(exp_t1_machines.run, keys=("machines",))
+    assert len(result["rows"]) >= 8

@@ -1,0 +1,8 @@
+"""Benchmark T2: regenerate the stencil-suite table."""
+
+from repro.experiments import exp_t2_stencils
+
+
+def test_t2_stencils(record):
+    result = record(exp_t2_stencils.run)
+    assert len(result["rows"]) >= 8

@@ -1,0 +1,8 @@
+"""Benchmark T3: autotuning cost ledger."""
+
+from repro.experiments import exp_t3_tuning_cost
+
+
+def test_t3_tuning_cost(record):
+    result = record(exp_t3_tuning_cost.run, keys=("quality_vs_exhaustive",))
+    assert result["rows"]

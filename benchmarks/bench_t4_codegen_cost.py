@@ -1,0 +1,8 @@
+"""Benchmark T4: code-generation and tuning time budget."""
+
+from repro.experiments import exp_t4_codegen_cost
+
+
+def test_t4_codegen_cost(record):
+    result = record(exp_t4_codegen_cost.run)
+    assert result["rows"]

@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` file regenerates one table/figure of the paper (see
+DESIGN.md for the experiment index).  The benchmark value is the wall
+time of producing the experiment's data; the experiment's own result is
+attached as ``extra_info`` so the numbers behind EXPERIMENTS.md are in
+the benchmark JSON.
+"""
+
+import json
+
+import pytest
+
+
+def attach_rows(benchmark, result: dict, keys: tuple[str, ...] = ()) -> None:
+    """Record experiment summary metrics on the benchmark record."""
+    for key in keys:
+        value = result.get(key)
+        try:
+            json.dumps(value)
+        except TypeError:
+            value = str(value)
+        benchmark.extra_info[key] = value
+    benchmark.extra_info["n_rows"] = len(result.get("rows", []))
+
+
+@pytest.fixture
+def record(benchmark):
+    """Run an experiment under the benchmark and attach its summary."""
+
+    def _run(run_func, keys: tuple[str, ...] = (), quick: bool = True):
+        result = benchmark(run_func, quick)
+        attach_rows(benchmark, result, keys)
+        return result
+
+    return _run

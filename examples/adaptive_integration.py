@@ -1,0 +1,51 @@
+"""Adaptive explicit integration on the Offsite problem mix.
+
+Extension beyond the paper's fixed-step setting: embedded RK pairs with
+PI step control on the nonlinear IVPs (Brusselator, Cusp), plus the
+classic accuracy/steps trade-off on the wave equation.
+
+Run with::
+
+    python examples/adaptive_integration.py
+"""
+
+from repro.ode import AdaptiveRK, Brusselator2D, Cusp, Wave1D, bs32, dp54
+from repro.util import format_table
+
+rows = []
+for pair_factory in (bs32, dp54):
+    for ivp in (Wave1D(48, t_end=0.3), Brusselator2D(12, t_end=0.2),
+                Cusp(24, t_end=5e-4)):
+        solver = AdaptiveRK(pair_factory(), rtol=1e-6, atol=1e-9)
+        res = solver.integrate(ivp)
+        row = {
+            "pair": pair_factory().name,
+            "IVP": ivp.name,
+            "accepted": res.steps_accepted,
+            "rejected": res.steps_rejected,
+            "rhs evals": res.rhs_evals,
+        }
+        if ivp.exact is not None:
+            row["final error"] = f"{ivp.error(res.t, res.y):.2e}"
+        rows.append(row)
+
+print(format_table(rows, title="Adaptive integration (rtol=1e-6)"))
+print(
+    "\nThe 5th-order pair needs far fewer steps on smooth problems; the\n"
+    "stiff CUSP ring forces both pairs to tiny stability-limited steps."
+)
+
+# Accuracy vs work on the wave equation.
+print("\nTolerance sweep, DP5(4) on Wave1D:")
+sweep = []
+for rtol in (1e-4, 1e-6, 1e-8, 1e-10):
+    ivp = Wave1D(48, t_end=0.3)
+    res = AdaptiveRK(dp54(), rtol=rtol, atol=rtol * 1e-3).integrate(ivp)
+    sweep.append(
+        {
+            "rtol": f"{rtol:.0e}",
+            "steps": res.steps_total,
+            "error": f"{ivp.error(res.t, res.y):.2e}",
+        }
+    )
+print(format_table(sweep))

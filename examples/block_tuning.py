@@ -1,0 +1,45 @@
+"""Block-size tuning: analytic ECM selection vs empirical autotuning.
+
+Reproduces the workflow behind experiments F2/T3: sweep the spatial
+block space of a long-range stencil, compare the model's choice against
+the empirical optimum, and print the cost each tuner paid.
+
+Run with::
+
+    python examples/block_tuning.py
+"""
+
+from repro import YaskSite, get_stencil
+from repro.blocking import block_sweep_table
+from repro.util import format_table
+
+ys = YaskSite("clx", cache_scale=1 / 32)
+spec = get_stencil("3dlong_r4")  # radius-4 star: blocking matters
+shape = (48, 48, 64)
+
+print(f"stencil: {spec.name}  grid: {shape}  machine: {ys.machine.name}\n")
+
+# The model's view of the whole candidate space (no execution).
+rows = block_sweep_table(spec, shape, ys.machine)
+print(format_table(rows, title="ECM prediction per candidate block"))
+
+# Three tuners, one ledger.
+print("\nTuner comparison (exhaustive / greedy / ecm):")
+ledger = []
+for tuner_name in ("exhaustive", "greedy", "ecm"):
+    res = ys.tune(spec, shape, tuner=tuner_name)
+    ledger.append(
+        {
+            "tuner": res.tuner,
+            "variants examined": res.variants_examined,
+            "variants RUN": res.variants_run,
+            "simulated run cost (ms)": round(res.simulated_run_seconds * 1e3, 1),
+            "best block": "x".join(map(str, res.best_plan.block)),
+            "best MLUP/s": round(res.best_mlups, 1),
+        }
+    )
+print(format_table(ledger))
+print(
+    "\nThe ECM tuner examined the same space analytically and ran at most "
+    "one kernel;\nthe exhaustive tuner had to execute every variant."
+)

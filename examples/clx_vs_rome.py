@@ -1,0 +1,44 @@
+"""Cross-architecture study: Cascade Lake vs Rome for the stencil suite.
+
+Shows the machine-model abstraction at work: the same stencils, two
+very different cache hierarchies (inclusive monolithic L3 vs per-CCX
+victim L3), and per-machine block choices plus predicted scaling.
+
+Run with::
+
+    python examples/clx_vs_rome.py
+"""
+
+from repro import YaskSite, get_stencil
+from repro.ecm import scaling_curve
+from repro.util import format_table
+
+SHAPE = (32, 32, 48)
+STENCILS = ("3d7pt", "3d25pt", "3d27pt", "3dvarcoef")
+
+rows = []
+for machine_name in ("clx", "rome"):
+    ys = YaskSite(machine_name, cache_scale=1 / 32)
+    for name in STENCILS:
+        spec = get_stencil(name)
+        choice = ys.select_block(spec, SHAPE)
+        pred = choice.prediction
+        curve = scaling_curve(pred, ys.machine.mem_bw_gbs, ys.machine.cores)
+        sat = next((p.cores for p in curve if p.saturated), None)
+        rows.append(
+            {
+                "machine": ys.machine.name,
+                "stencil": name,
+                "block": "x".join(map(str, choice.plan.block)),
+                "1-core MLUP/s": round(pred.mlups, 0),
+                "socket MLUP/s": round(curve[-1].mlups, 0),
+                "saturates at": sat or f">{ys.machine.cores}",
+                "mem B/LUP": round(pred.memory_bytes_per_lup(), 1),
+            }
+        )
+
+print(format_table(rows, title="CLX vs Rome (scaled machine models)"))
+print(
+    "\nNote the per-machine block choices and the different saturation\n"
+    "points: Rome's higher aggregate bandwidth saturates much later."
+)

@@ -1,0 +1,57 @@
+"""Define a custom CPU model from JSON and tune for it.
+
+Shows the machine abstraction end to end: serialize a preset, edit it
+into a hypothetical CPU (bigger L2, half the memory bandwidth), and
+watch the model change its block choice and saturation prediction —
+all without touching library code.
+
+Run with::
+
+    python examples/custom_machine.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import YaskSite, get_stencil
+from repro.ecm import scaling_curve
+from repro.machine import cascade_lake_sp, load_machine, machine_to_dict
+
+spec = get_stencil("3dlong_r4")
+shape = (48, 48, 64)
+
+# Start from Cascade Lake, shrink the caches for simulation scale.
+base = cascade_lake_sp().scaled_caches(1 / 32)
+
+# Hypothetical variant: a much larger outer cache hierarchy, but only
+# half the memory bandwidth (levels must stay ordered small -> large).
+data = machine_to_dict(base)
+data["name"] = "HypotheticalCPU"
+for cache in data["caches"]:
+    if cache["name"] == "L2":
+        cache["size_bytes"] *= 2
+    if cache["name"] == "L3":
+        cache["size_bytes"] *= 4
+data["mem_bw_gbs"] /= 2
+data["mem_bw_core_gbs"] /= 2
+
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "hypothetical.json"
+    path.write_text(json.dumps(data, indent=2))
+    custom = load_machine(path)
+
+for machine in (base, custom):
+    ys = YaskSite(machine)
+    choice = ys.select_block(spec, shape)
+    pred = choice.prediction
+    curve = scaling_curve(pred, machine.mem_bw_gbs, machine.cores)
+    sat = next((p.cores for p in curve if p.saturated), None)
+    print(f"{machine.name:>18s}: block={choice.plan.describe():14s} "
+          f"single-core={pred.mlups:6.1f} MLUP/s  "
+          f"saturates at {sat} cores")
+
+print(
+    "\nThe bigger L2 relaxes the layer condition (larger blocks allowed);\n"
+    "the halved bandwidth pulls the saturation point in."
+)

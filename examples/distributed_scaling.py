@@ -1,0 +1,79 @@
+"""Distributed (multi-node) scaling with the YASK-style MPI layer model.
+
+Weak and strong scaling of the 7-point stencil across Cascade Lake
+nodes connected by a 100 Gb/s-class network, including the effect of
+the rank decomposition choice.
+
+Run with::
+
+    python examples/distributed_scaling.py
+"""
+
+from repro.dist import (
+    NetworkModel,
+    RankDecomposition,
+    best_decomposition,
+    predict_distributed,
+)
+from repro.machine import cascade_lake_sp
+from repro.stencil import get_stencil
+from repro.util import format_table
+
+spec = get_stencil("3d7pt")
+machine = cascade_lake_sp()
+
+# --- Strong scaling on a fixed 256^3 grid ------------------------------
+rows = []
+for n in (1, 2, 4, 8, 16, 32, 64):
+    pred = predict_distributed(spec, (256, 256, 256), n, machine)
+    rows.append(
+        {
+            "ranks": n,
+            "decomp": "x".join(map(str, pred.decomposition.ranks)),
+            "local": "x".join(map(str, pred.decomposition.local_shape)),
+            "GLUP/s": round(pred.total_mlups / 1e3, 2),
+            "efficiency": round(pred.parallel_efficiency, 3),
+        }
+    )
+print(format_table(rows, title="Strong scaling, 3d7pt on 256^3"))
+
+# --- Why the decomposition matters --------------------------------------
+print("\nDecomposition choice at 8 ranks:")
+rows = []
+for ranks in ((8, 1, 1), (2, 2, 2), (1, 2, 4)):
+    decomp = RankDecomposition((256, 256, 256), ranks)
+    pred = predict_distributed(
+        spec, (256, 256, 256), 8, machine, decomposition=decomp
+    )
+    rows.append(
+        {
+            "ranks": "x".join(map(str, ranks)),
+            "halo KiB/step": round(
+                decomp.exchange_bytes_per_step(spec.radius) / 1024, 1
+            ),
+            "messages": decomp.neighbor_count(),
+            "efficiency": round(pred.parallel_efficiency, 3),
+        }
+    )
+best = best_decomposition((256, 256, 256), 8, spec.radius)
+rows.append(
+    {
+        "ranks": "x".join(map(str, best.ranks)) + "  <- auto",
+        "halo KiB/step": round(
+            best.exchange_bytes_per_step(spec.radius) / 1024, 1
+        ),
+        "messages": best.neighbor_count(),
+        "efficiency": "",
+    }
+)
+print(format_table(rows))
+
+# --- Network sensitivity -------------------------------------------------
+print("\nSlow network (10x latency, 1/4 bandwidth), strong scaling at 64 ranks:")
+slow = NetworkModel(latency_us=15.0, bandwidth_gbs=3.0, injection_gbs=6.0)
+fast = predict_distributed(spec, (256, 256, 256), 64, machine)
+degraded = predict_distributed(
+    spec, (256, 256, 256), 64, machine, network=slow
+)
+print(f"  fast network: {fast.parallel_efficiency:.2%} efficient")
+print(f"  slow network: {degraded.parallel_efficiency:.2%} efficient")

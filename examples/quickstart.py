@@ -1,0 +1,48 @@
+"""Quickstart: compile, predict and "measure" a stencil with YaskSite.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import YaskSite, get_stencil
+from repro.grid import GridSet
+
+# Bind the tool to a target machine.  cache_scale shrinks the caches so
+# the exact cache simulator is fast on laptop-sized grids (see
+# DESIGN.md); drop the argument to model the full-size chip.
+ys = YaskSite("clx", cache_scale=1 / 32)
+
+# Pick a stencil from the evaluation suite: the 7-point Jacobi star.
+spec = get_stencil("3d7pt")
+shape = (32, 32, 48)
+
+# 1. Analytic tuning: the ECM model selects the block size without
+#    running anything.
+choice = ys.select_block(spec, shape)
+print(f"analytic block choice : {choice.plan.describe()}")
+print(f"candidates examined   : {choice.candidates_examined}")
+print(f"predicted performance : {choice.mlups:.0f} MLUP/s")
+print(f"ECM notation          : {choice.prediction.notation()}")
+
+# 2. Compile the kernel (generated Python is executed; matching C
+#    source is emitted for inspection).
+kernel = ys.compile(spec, shape)
+print(f"\ncode generation took  : {kernel.codegen_seconds * 1e3:.1f} ms")
+print("first lines of the generated C kernel:")
+print("\n".join(kernel.c_source.splitlines()[:6]))
+
+# 3. Run it on real data and check against the reference sweep.
+grids = GridSet(spec, shape)
+grids.randomize(seed=42)
+reference = kernel.reference_sweep(grids)
+kernel.run(grids)
+max_diff = abs(grids.output.interior - reference).max()
+print(f"\nmax |kernel - reference| = {max_diff:.2e}")
+
+# 4. "Measure" it: the exact cache simulator replays the kernel's true
+#    access stream and charges cycles for the observed traffic.
+meas = ys.measure(spec, shape, kernel.plan)
+print(f"simulated measurement  : {meas.mlups:.0f} MLUP/s")
+err = 100.0 * (choice.mlups - meas.mlups) / meas.mlups
+print(f"model vs measurement   : {err:+.1f}%")

@@ -1,0 +1,67 @@
+"""Wavefront temporal blocking: correctness and traffic reduction.
+
+Fuses several Jacobi time steps with the 1-d time-skewing scheme and
+shows (a) the result is bit-for-bit within floating-point tolerance of
+plain time stepping and (b) the simulated memory traffic drops by
+nearly the wavefront depth when slabs fit the cache.
+
+Run with::
+
+    python examples/temporal_blocking.py
+"""
+
+import numpy as np
+
+from repro.blocking import WavefrontPlan, measure_wavefront, run_wavefront
+from repro.cachesim import measure_sweep
+from repro.codegen import KernelPlan, compile_kernel
+from repro.experiments.common import clx
+from repro.grid import GridSet
+from repro.stencil import get_stencil
+from repro.util import format_table
+
+spec = get_stencil("3d7pt")
+shape = (96, 8, 32)  # narrow planes so slabs fit the scaled caches
+machine = clx()
+wt = 4
+slab = 3
+
+# --- Correctness -------------------------------------------------------
+ref = GridSet(spec, shape)
+ref.randomize(1)
+kernel = compile_kernel(spec, shape, KernelPlan(block=shape))
+kernel.run_timesteps(ref, wt)
+expected = ref["u"].interior.copy()
+
+wf = GridSet(spec, shape)
+wf.randomize(1)
+plan = WavefrontPlan(spatial=KernelPlan(block=shape), wt=wt, slab=slab)
+final = run_wavefront(spec, wf, plan)
+diff = np.abs(wf[final].interior - expected).max()
+print(f"wavefront (wt={wt}, slab={slab}) vs {wt} plain sweeps: "
+      f"max diff = {diff:.2e}")
+
+# --- Traffic -----------------------------------------------------------
+grids = GridSet(spec, shape)
+base = measure_sweep(spec, grids, KernelPlan(block=shape), machine)
+last = len(base.loads) - 1
+rows = [
+    {
+        "config": "spatial only",
+        "mem B/LUP": round(base.bytes_per_lup(last), 1),
+        "reduction": "1.00x",
+    }
+]
+for depth in (2, 4, 8):
+    p = WavefrontPlan(spatial=KernelPlan(block=shape), wt=depth, slab=slab)
+    t = measure_wavefront(spec, grids, p, machine)
+    b = t.bytes_per_lup(last)
+    rows.append(
+        {
+            "config": f"wavefront wt={depth}",
+            "mem B/LUP": round(b, 1),
+            "reduction": f"{base.bytes_per_lup(last) / b:.2f}x",
+        }
+    )
+print()
+print(format_table(rows, title=f"Memory traffic, {spec.name} on {machine.name}"))

@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work on toolchains without the
+``wheel`` package (no-network environment) via the legacy code path."""
+
+from setuptools import setup
+
+setup()

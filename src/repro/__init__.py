@@ -1,0 +1,35 @@
+"""repro — reproduction of *YaskSite: Stencil Optimization Techniques
+Applied to Explicit ODE Methods on Modern Architectures* (CGO 2021).
+
+Public API highlights:
+
+* :class:`repro.YaskSite` — the tool facade (compile, predict, tune).
+* :mod:`repro.stencil` — stencil DSL and the evaluation suite.
+* :mod:`repro.ecm` — the Execution-Cache-Memory analytic model.
+* :mod:`repro.cachesim` / :mod:`repro.perf` — the exact simulation
+  substrate standing in for the paper's hardware testbed.
+* :mod:`repro.ode` / :mod:`repro.offsite` — explicit ODE methods and
+  the Offsite offline tuner integration.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import YaskSite
+from repro.codegen import KernelPlan, compile_kernel
+from repro.machine import Machine, get_machine
+from repro.stencil import StencilSpec, get_stencil, STENCIL_SUITE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "YaskSite",
+    "KernelPlan",
+    "compile_kernel",
+    "Machine",
+    "get_machine",
+    "StencilSpec",
+    "get_stencil",
+    "STENCIL_SUITE",
+    "__version__",
+]

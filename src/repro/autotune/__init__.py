@@ -1,0 +1,21 @@
+"""Autotuning: empirical search baselines vs. analytic ECM selection.
+
+The paper's pitch is that the ECM model finds optimal parameters
+*analytically*, where classic autotuners must compile and run many
+variants.  This package provides both paths plus cost accounting so the
+trade-off can be reproduced as a table (experiment T3).
+"""
+
+from repro.autotune.search import (
+    EcmGuidedTuner,
+    ExhaustiveTuner,
+    GreedyLineSearchTuner,
+    TunerResult,
+)
+
+__all__ = [
+    "TunerResult",
+    "ExhaustiveTuner",
+    "GreedyLineSearchTuner",
+    "EcmGuidedTuner",
+]

@@ -1,0 +1,199 @@
+"""Tuner implementations and their cost accounting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.blocking.spatial import analytic_block_selection
+from repro.codegen.plan import KernelPlan, candidate_plans
+from repro.grid.grid import GridSet
+from repro.machine.machine import Machine
+from repro.perf.simulate import Measurement, simulate_kernel
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass
+class TunerResult:
+    """Outcome of one tuning run, with its cost ledger.
+
+    ``variants_run`` counts kernels that had to be *executed* (the
+    expensive part the paper eliminates); ``simulated_run_seconds`` sums
+    the simulated wall time those runs would have cost on the target
+    machine; ``tuner_seconds`` is the actual time the tuner logic took.
+    """
+
+    tuner: str
+    best_plan: KernelPlan
+    best_mlups: float
+    variants_examined: int
+    variants_run: int
+    simulated_run_seconds: float
+    tuner_seconds: float
+    trace: list[tuple[str, float]] = field(default_factory=list)
+
+
+def _run_variant(
+    spec: StencilSpec,
+    grids: GridSet,
+    plan: KernelPlan,
+    machine: Machine,
+    seed: int,
+) -> Measurement:
+    return simulate_kernel(spec, grids, plan, machine, seed=seed)
+
+
+class ExhaustiveTuner:
+    """Run every candidate plan and keep the fastest (YASK-style search)."""
+
+    name = "exhaustive"
+
+    def tune(
+        self,
+        spec: StencilSpec,
+        grids: GridSet,
+        machine: Machine,
+        seed: int = 0,
+    ) -> TunerResult:
+        """Search the full spatial-block space empirically."""
+        start = time.perf_counter()
+        shape = grids.interior_shape
+        best: tuple[float, KernelPlan] | None = None
+        trace: list[tuple[str, float]] = []
+        n_run = 0
+        sim_seconds = 0.0
+        lups = 1
+        for s in shape:
+            lups *= s
+        for i, plan in enumerate(candidate_plans(spec, shape, machine)):
+            meas = _run_variant(spec, grids, plan, machine, seed + i)
+            n_run += 1
+            sim_seconds += meas.runtime_seconds(lups) * 2  # warm-up + timed
+            trace.append((plan.describe(), meas.mlups))
+            if best is None or meas.mlups > best[0]:
+                best = (meas.mlups, plan)
+        assert best is not None
+        return TunerResult(
+            tuner=self.name,
+            best_plan=best[1],
+            best_mlups=best[0],
+            variants_examined=n_run,
+            variants_run=n_run,
+            simulated_run_seconds=sim_seconds,
+            tuner_seconds=time.perf_counter() - start,
+            trace=trace,
+        )
+
+
+class GreedyLineSearchTuner:
+    """Tune one axis at a time, keeping other axes fixed (common heuristic).
+
+    Cheaper than exhaustive but can land in a local optimum — included
+    as the middle ground in the tuning-cost table.
+    """
+
+    name = "greedy"
+
+    def tune(
+        self,
+        spec: StencilSpec,
+        grids: GridSet,
+        machine: Machine,
+        seed: int = 0,
+    ) -> TunerResult:
+        """Axis-by-axis line search over block sizes."""
+        start = time.perf_counter()
+        shape = grids.interior_shape
+        dim = spec.dim
+        lups = 1
+        for s in shape:
+            lups *= s
+        current = list(shape)
+        trace: list[tuple[str, float]] = []
+        n_run = 0
+        sim_seconds = 0.0
+        best_mlups = -1.0
+        run_seed = seed
+        for axis in range(dim - 1):
+            sizes = []
+            b = 4
+            while b < shape[axis]:
+                sizes.append(b)
+                b *= 2
+            sizes.append(shape[axis])
+            axis_best = None
+            for size in sizes:
+                cand = list(current)
+                cand[axis] = size
+                plan = KernelPlan(block=tuple(cand))
+                meas = _run_variant(spec, grids, plan, machine, run_seed)
+                run_seed += 1
+                n_run += 1
+                sim_seconds += meas.runtime_seconds(lups) * 2
+                trace.append((plan.describe(), meas.mlups))
+                if axis_best is None or meas.mlups > axis_best[0]:
+                    axis_best = (meas.mlups, size)
+            assert axis_best is not None
+            current[axis] = axis_best[1]
+            best_mlups = axis_best[0]
+        return TunerResult(
+            tuner=self.name,
+            best_plan=KernelPlan(block=tuple(current)),
+            best_mlups=best_mlups,
+            variants_examined=n_run,
+            variants_run=n_run,
+            simulated_run_seconds=sim_seconds,
+            tuner_seconds=time.perf_counter() - start,
+            trace=trace,
+        )
+
+
+class EcmGuidedTuner:
+    """YaskSite's analytic path: model every candidate, run only the winner.
+
+    The single validation run is optional (``validate=False`` gives the
+    paper's pure offline mode with zero executions).
+    """
+
+    name = "ecm"
+
+    def __init__(self, validate: bool = True, capacity_factor: float = 1.0):
+        self.validate = validate
+        self.capacity_factor = capacity_factor
+
+    def tune(
+        self,
+        spec: StencilSpec,
+        grids: GridSet,
+        machine: Machine,
+        seed: int = 0,
+    ) -> TunerResult:
+        """Analytic selection over the same candidate space."""
+        start = time.perf_counter()
+        shape = grids.interior_shape
+        choice = analytic_block_selection(
+            spec, shape, machine, capacity_factor=self.capacity_factor
+        )
+        n_run = 0
+        sim_seconds = 0.0
+        mlups = choice.prediction.mlups
+        trace = [(choice.plan.describe(), mlups)]
+        if self.validate:
+            lups = 1
+            for s in shape:
+                lups *= s
+            meas = _run_variant(spec, grids, choice.plan, machine, seed)
+            n_run = 1
+            sim_seconds = meas.runtime_seconds(lups) * 2
+            mlups = meas.mlups
+            trace.append((choice.plan.describe(), mlups))
+        return TunerResult(
+            tuner=self.name,
+            best_plan=choice.plan,
+            best_mlups=mlups,
+            variants_examined=choice.candidates_examined,
+            variants_run=n_run,
+            simulated_run_seconds=sim_seconds,
+            tuner_seconds=time.perf_counter() - start,
+            trace=trace,
+        )

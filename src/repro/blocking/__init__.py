@@ -1,0 +1,23 @@
+"""Blocking engine: spatial block selection and temporal (wavefront) blocking."""
+
+from repro.blocking.spatial import (
+    BlockChoice,
+    analytic_block_selection,
+    block_sweep_table,
+)
+from repro.blocking.temporal import (
+    WavefrontPlan,
+    run_wavefront,
+    wavefront_stream,
+    measure_wavefront,
+)
+
+__all__ = [
+    "BlockChoice",
+    "analytic_block_selection",
+    "block_sweep_table",
+    "WavefrontPlan",
+    "run_wavefront",
+    "wavefront_stream",
+    "measure_wavefront",
+]

@@ -1,0 +1,83 @@
+"""Analytic spatial block-size selection via the ECM model.
+
+This is YaskSite's headline feature: the best block size is found by
+*evaluating the model* over the candidate space — no kernel is ever
+run.  The empirical counterpart lives in :mod:`repro.autotune`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.plan import KernelPlan, candidate_plans
+from repro.ecm.model import EcmPrediction, predict
+from repro.machine.machine import Machine
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class BlockChoice:
+    """Result of an analytic block search."""
+
+    plan: KernelPlan
+    prediction: EcmPrediction
+    candidates_examined: int
+
+    @property
+    def mlups(self) -> float:
+        """Predicted performance of the chosen block."""
+        return self.prediction.mlups
+
+
+def analytic_block_selection(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    machine: Machine,
+    threads: int = 1,
+    capacity_factor: float = 1.0,
+) -> BlockChoice:
+    """Pick the block size with the best ECM prediction.
+
+    Ties (common in the plane-condition plateau) are broken toward the
+    *largest* block volume, which minimises loop overhead in practice.
+    """
+    best: tuple[float, int, KernelPlan, EcmPrediction] | None = None
+    examined = 0
+    for plan in candidate_plans(spec, interior_shape, machine, threads=threads):
+        examined += 1
+        pred = predict(
+            spec, interior_shape, plan, machine, capacity_factor=capacity_factor
+        )
+        key = (pred.t_ecm, -plan.block_volume())
+        if best is None or key < (best[0], best[1]):
+            best = (pred.t_ecm, -plan.block_volume(), plan, pred)
+    if best is None:
+        raise ValueError("empty candidate space")
+    return BlockChoice(
+        plan=best[2], prediction=best[3], candidates_examined=examined
+    )
+
+
+def block_sweep_table(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    machine: Machine,
+    capacity_factor: float = 1.0,
+) -> list[dict[str, object]]:
+    """ECM prediction for every candidate block (experiment F2 raw data)."""
+    rows = []
+    for plan in candidate_plans(spec, interior_shape, machine):
+        pred = predict(
+            spec, interior_shape, plan, machine, capacity_factor=capacity_factor
+        )
+        rows.append(
+            {
+                "plan": plan.describe(),
+                "block": plan.block,
+                "t_ecm (cy/CL)": round(pred.t_ecm, 2),
+                "pred MLUP/s": round(pred.mlups, 1),
+                "mem B/LUP": round(pred.memory_bytes_per_lup(), 2),
+                "regimes": "/".join(pred.traffic.regimes),
+            }
+        )
+    return rows

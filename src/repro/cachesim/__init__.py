@@ -1,0 +1,25 @@
+"""Exact set-associative cache-hierarchy simulation.
+
+This package is the reproduction's measurement substrate: it replays
+the true line-granular access stream of a compiled kernel through an
+LRU hierarchy (write-back/write-allocate; optional exclusive victim L3
+for AMD Rome) and reports per-boundary line traffic.  The analytic ECM
+model in :mod:`repro.ecm` derives the same quantities from layer
+conditions *without* running anything — comparing the two is how the
+reproduction validates the paper's "no need to run the code" claim.
+"""
+
+from repro.cachesim.lru import SetAssocCache
+from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
+from repro.cachesim.stream import sweep_stream, stream_stats
+from repro.cachesim.driver import measure_sweep, measure_stream
+
+__all__ = [
+    "SetAssocCache",
+    "CacheHierarchy",
+    "TrafficReport",
+    "sweep_stream",
+    "stream_stats",
+    "measure_sweep",
+    "measure_stream",
+]

@@ -1,0 +1,192 @@
+"""Multi-level cache hierarchy with per-boundary traffic accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cachesim.lru import SetAssocCache
+from repro.machine.machine import Machine
+
+
+@dataclass
+class TrafficReport:
+    """Line traffic observed at every hierarchy boundary.
+
+    ``loads[i]`` / ``writebacks[i]`` count lines crossing boundary *i*,
+    where boundary 0 sits between L1 and L2 and the last boundary sits
+    between the last cache level and memory.  ``lups`` is filled in by
+    the driver so per-update byte volumes can be derived.
+    """
+
+    level_names: tuple[str, ...]
+    line_bytes: int
+    loads: list[int]
+    writebacks: list[int]
+    accesses: int = 0
+    lups: int = 0
+
+    @property
+    def boundaries(self) -> tuple[str, ...]:
+        """Boundary labels, e.g. ``("L1-L2", "L2-L3", "L3-Mem")``."""
+        names = list(self.level_names) + ["Mem"]
+        return tuple(f"{a}-{b}" for a, b in zip(names, names[1:]))
+
+    def total_lines(self, boundary: int) -> int:
+        """Lines moved in both directions across one boundary."""
+        return self.loads[boundary] + self.writebacks[boundary]
+
+    def bytes_per_lup(self, boundary: int) -> float:
+        """Bytes per lattice update across one boundary."""
+        if self.lups <= 0:
+            raise ValueError("lups not set on this report")
+        return self.total_lines(boundary) * self.line_bytes / self.lups
+
+    def memory_bytes(self) -> int:
+        """Total bytes exchanged with main memory."""
+        return self.total_lines(len(self.loads) - 1) * self.line_bytes
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary used by experiment tables."""
+        out: dict[str, float] = {"accesses": self.accesses, "lups": self.lups}
+        for i, name in enumerate(self.boundaries):
+            out[f"{name} lines"] = self.total_lines(i)
+            if self.lups:
+                out[f"{name} B/LUP"] = round(self.bytes_per_lup(i), 3)
+        return out
+
+
+class CacheHierarchy:
+    """Single-core view of a machine's cache hierarchy.
+
+    Non-victim levels fill on miss at every level the request passed
+    through (a standard inclusive-ish model).  A ``victim=True`` last
+    level (AMD Rome's L3) is exclusive: it is filled only by evictions
+    from the level above, and hits move the line out of it.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.levels = [SetAssocCache(c) for c in machine.caches]
+        n = len(self.levels)
+        self.loads = [0] * n
+        self.writebacks = [0] * n
+        self.accesses = 0
+        self._victim_last = machine.caches[-1].victim if n > 0 else False
+        if any(c.victim for c in machine.caches[:-1]):
+            raise ValueError("only the last level may be a victim cache")
+
+    # ------------------------------------------------------------------
+    def access(self, line: int, write: bool) -> None:
+        """One load or store (write-allocate) of a cache line."""
+        self.accesses += 1
+        levels = self.levels
+        if levels[0].lookup(line):
+            if write:
+                levels[0].mark_dirty(line)
+            return
+        self._miss(line, write)
+
+    def access_many(self, lines: np.ndarray, writes: np.ndarray) -> None:
+        """Replay a batch of accesses (hot path: minimal indirection)."""
+        l0 = self.levels[0]
+        l0_sets = l0._sets
+        n_sets = l0.n_sets
+        self.accesses += len(lines)
+        hits = 0
+        for line, write in zip(lines.tolist(), writes.tolist()):
+            s = l0_sets[line % n_sets]
+            if line in s:
+                hits += 1
+                s.move_to_end(line)
+                if write:
+                    s[line] = True
+            else:
+                l0.misses += 1
+                self._miss(line, write)
+        l0.hits += hits
+
+    # ------------------------------------------------------------------
+    def _miss(self, line: int, write: bool) -> None:
+        """Handle an L1 miss: locate the line, fill, account traffic."""
+        levels = self.levels
+        n = len(levels)
+        last = n - 1
+        hit_level = n  # memory by default
+        for i in range(1, n):
+            lvl = levels[i]
+            if i == last and self._victim_last:
+                if lvl.contains(line):
+                    lvl.hits += 1
+                    lvl.remove(line)  # exclusive: hit moves the line out
+                    hit_level = i
+                else:
+                    lvl.misses += 1
+                continue
+            if lvl.lookup(line):
+                hit_level = i
+                break
+        # Lines cross every boundary between the hit level and the core.
+        for i in range(min(hit_level, n)):
+            self.loads[i] += 1
+        # Fill the levels the request passed through (deepest first).
+        fill_top = hit_level - 1 if hit_level <= last and not (
+            hit_level == last and self._victim_last
+        ) else last
+        if self._victim_last:
+            fill_top = min(fill_top, last - 1)
+        for i in range(fill_top, -1, -1):
+            victim = levels[i].insert(line, dirty=False)
+            if victim is not None:
+                self._evict(i, victim[0], victim[1])
+        if write:
+            levels[0].mark_dirty(line)
+
+    def _evict(self, level_idx: int, line: int, dirty: bool) -> None:
+        """Dispose of a line evicted from ``level_idx``."""
+        levels = self.levels
+        last = len(levels) - 1
+        if level_idx == last:
+            if dirty:
+                self.writebacks[last] += 1
+            return
+        below = levels[level_idx + 1]
+        if level_idx + 1 == last and self._victim_last:
+            # Every L2 eviction is installed in the victim L3.
+            self.writebacks[level_idx] += 1
+            victim = below.insert(line, dirty=dirty)
+            if victim is not None:
+                self._evict(last, victim[0], victim[1])
+            return
+        if dirty:
+            self.writebacks[level_idx] += 1
+            if below.contains(line):
+                below.mark_dirty(line)
+            else:
+                victim = below.insert(line, dirty=True)
+                if victim is not None:
+                    self._evict(level_idx + 1, victim[0], victim[1])
+        # Clean evictions from inner levels are dropped silently (the
+        # copy below stays valid in the fill-through model).
+
+    # ------------------------------------------------------------------
+    def report(self, lups: int = 0) -> TrafficReport:
+        """Snapshot the traffic counters."""
+        return TrafficReport(
+            level_names=tuple(c.level.name for c in self.levels),
+            line_bytes=self.machine.line_bytes,
+            loads=list(self.loads),
+            writebacks=list(self.writebacks),
+            accesses=self.accesses,
+            lups=lups,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero traffic counters but keep cache contents (warm state)."""
+        self.loads = [0] * len(self.levels)
+        self.writebacks = [0] * len(self.levels)
+        self.accesses = 0
+        for lvl in self.levels:
+            lvl.hits = 0
+            lvl.misses = 0

@@ -1,0 +1,85 @@
+"""A single set-associative, write-back LRU cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.machine.cache import CacheLevel
+
+
+class SetAssocCache:
+    """Set-associative LRU cache over line numbers.
+
+    Lines are identified by their global line number
+    (``byte_address // line_bytes``).  Each set is an ``OrderedDict``
+    mapping line number to a dirty flag, most recently used last.
+    """
+
+    def __init__(self, level: CacheLevel) -> None:
+        self.level = level
+        self.n_sets = level.n_sets
+        self.assoc = level.assoc
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, line: int) -> OrderedDict[int, bool]:
+        return self._sets[line % self.n_sets]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for ``line``; update LRU order and hit/miss counters."""
+        s = self._set_for(line)
+        if line in s:
+            s.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-destructive membership test (no LRU or counter update)."""
+        return line in self._set_for(line)
+
+    def mark_dirty(self, line: int) -> None:
+        """Set the dirty flag of a resident line."""
+        s = self._set_for(line)
+        if line not in s:
+            raise KeyError(f"line {line} not resident")
+        s[line] = True
+        s.move_to_end(line)
+
+    def insert(self, line: int, dirty: bool = False) -> tuple[int, bool] | None:
+        """Install ``line``; return ``(victim_line, victim_dirty)`` if one
+        was evicted, else ``None``.
+
+        Inserting a resident line refreshes it (dirty flags OR together).
+        """
+        s = self._set_for(line)
+        if line in s:
+            s[line] = s[line] or dirty
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            victim = s.popitem(last=False)
+        s[line] = dirty
+        return victim
+
+    def remove(self, line: int) -> bool | None:
+        """Invalidate ``line``; return its dirty flag, or ``None`` if absent."""
+        s = self._set_for(line)
+        return s.pop(line, None)
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> int:
+        """Drop all contents; return the number of dirty lines discarded."""
+        dirty = 0
+        for s in self._sets:
+            dirty += sum(1 for d in s.values() if d)
+            s.clear()
+        return dirty

@@ -1,0 +1,131 @@
+"""Line-granular access streams for blocked stencil sweeps.
+
+The stream generator walks the *same* iteration space as the generated
+kernel (block loops in plan order, full unit-stride rows inside) and
+yields the cache-line accesses in execution order, interleaved at
+x-chunk granularity.  It is intentionally independent of the analytic
+layer-condition machinery in :mod:`repro.ecm`: addresses come straight
+from the grid layouts.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+from repro.codegen.plan import KernelPlan
+from repro.grid.grid import GridSet
+from repro.stencil.spec import StencilSpec
+
+
+def _block_ranges(extent: int, block: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + block, extent)) for lo in range(0, extent, block)]
+
+
+def sweep_stream(
+    spec: StencilSpec,
+    grids: GridSet,
+    plan: KernelPlan,
+    z_range: tuple[int, int] | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(line_numbers, is_write)`` batches for one sweep.
+
+    Each batch covers one grid row (fixed outer indices, full x range of
+    the current block).  Within a row, accesses are interleaved per
+    64-byte x-chunk: all distinct read lines of the chunk, then the
+    store line — the order an in-order traversal of the generated loop
+    body produces at line granularity.
+
+    ``z_range`` optionally restricts the outermost axis (used by the
+    wavefront/temporal driver to stream skewed slabs).
+    """
+    dim = spec.dim
+    shape = grids.interior_shape
+    plan = plan.clipped(shape)
+    halo = grids[spec.output].halo
+    line_bytes = 64
+    dtype = spec.dtype_bytes
+
+    read_offsets = [
+        (g, off) for g in spec.reads for off in sorted(spec.offsets[g])
+    ]
+    out_grid = grids[spec.output]
+    out_layout = out_grid.layout
+
+    order = plan.order()
+    ranges_per_axis = [_block_ranges(shape[a], plan.block[a]) for a in range(dim)]
+    if z_range is not None:
+        lo, hi = z_range
+        ranges_per_axis[0] = [
+            (max(r0, lo), min(r1, hi))
+            for r0, r1 in ranges_per_axis[0]
+            if r1 > lo and r0 < hi
+        ]
+
+    # Iterate blocks in the plan's loop order.
+    ordered_ranges = [ranges_per_axis[a] for a in order]
+    for combo in product(*ordered_ranges):
+        bounds = [None] * dim
+        for axis, rng in zip(order, combo):
+            bounds[axis] = rng
+        x0, x1 = bounds[dim - 1]
+        if x1 <= x0:
+            continue
+        inner_extents = [range(b[0], b[1]) for b in bounds[:-1]]
+        for outer in product(*inner_extents):
+            yield _row_batch(
+                outer, x0, x1, halo, dtype, line_bytes,
+                read_offsets, grids, out_layout, spec,
+            )
+
+
+def _row_batch(
+    outer: tuple[int, ...],
+    x0: int,
+    x1: int,
+    halo: int,
+    dtype: int,
+    line_bytes: int,
+    read_offsets,
+    grids: GridSet,
+    out_layout,
+    spec: StencilSpec,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the interleaved line stream of one row."""
+    n = x1 - x0
+    first_lines = []
+    for g, off in read_offsets:
+        layout = grids[g].layout
+        idx = tuple(o + halo + d for o, d in zip(off[:-1], outer)) + (
+            off[-1] + halo + x0,
+        )
+        addr = layout.element_addr(idx)
+        first_lines.append(addr // line_bytes)
+    out_idx = tuple(halo + d for d in outer) + (halo + x0,)
+    out_addr = out_layout.element_addr(out_idx)
+    out_first = out_addr // line_bytes
+
+    # Chunk count: number of distinct lines the store stream touches.
+    last_out = (out_addr + (n - 1) * dtype) // line_bytes
+    n_chunks = int(last_out - out_first + 1)
+
+    uniq = sorted(set(first_lines))
+    cols = np.array(uniq + [out_first], dtype=np.int64)
+    lines = (cols[None, :] + np.arange(n_chunks, dtype=np.int64)[:, None]).ravel()
+    writes = np.zeros((n_chunks, len(cols)), dtype=bool)
+    writes[:, -1] = True
+    return lines, writes.ravel()
+
+
+def stream_stats(
+    spec: StencilSpec, grids: GridSet, plan: KernelPlan
+) -> dict[str, int]:
+    """Count batches/accesses of a sweep without touching a cache."""
+    batches = 0
+    accesses = 0
+    for lines, _ in sweep_stream(spec, grids, plan):
+        batches += 1
+        accesses += len(lines)
+    return {"batches": batches, "accesses": accesses}

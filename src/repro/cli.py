@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``suite``
+    Print the stencil-suite characteristics table (T2).
+``machines``
+    Print the evaluation-platform table (T1).
+``predict``
+    ECM prediction for one stencil/grid/machine configuration.
+``tune``
+    Run a tuner (ecm / exhaustive / greedy) and print the ledger.
+``experiment``
+    Run one of the reconstructed experiments by id (t1, f2, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.codegen.plan import KernelPlan
+from repro.core.yasksite import YaskSite
+from repro.stencil.library import STENCIL_SUITE, get_stencil, suite_table
+from repro.util.tables import format_table
+
+EXPERIMENTS = {
+    "t1": "exp_t1_machines",
+    "t2": "exp_t2_stencils",
+    "t3": "exp_t3_tuning_cost",
+    "t4": "exp_t4_codegen_cost",
+    "f1": "exp_f1_ecm_validation",
+    "f2": "exp_f2_block_sweep",
+    "f3": "exp_f3_scaling",
+    "f4": "exp_f4_temporal",
+    "f5": "exp_f5_offsite_ranking",
+    "f6": "exp_f6_ode_speedup",
+    "f7": "exp_f7_ablation_lc",
+    "f8": "exp_f8_incore_detail",
+    "f9": "exp_f9_overlap",
+    "f10": "exp_f10_database",
+    "f11": "exp_f11_distributed",
+}
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        shape = tuple(int(p) for p in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad grid {text!r}; expected e.g. 48x48x64"
+        ) from None
+    if not shape or any(s <= 0 for s in shape):
+        raise argparse.ArgumentTypeError(f"bad grid {text!r}")
+    return shape
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="YaskSite reproduction (CGO 2021) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="print the stencil suite table")
+    sub.add_parser("machines", help="print the platform table")
+
+    pred = sub.add_parser("predict", help="ECM prediction for one config")
+    pred.add_argument("stencil", choices=sorted(STENCIL_SUITE))
+    pred.add_argument("--grid", type=_parse_shape, default=(48, 48, 64))
+    pred.add_argument("--machine", default="clx")
+    pred.add_argument("--block", type=_parse_shape, default=None)
+    pred.add_argument("--cache-scale", type=float, default=None)
+
+    tune = sub.add_parser("tune", help="tune a stencil on a machine")
+    tune.add_argument("stencil", choices=sorted(STENCIL_SUITE))
+    tune.add_argument("--grid", type=_parse_shape, default=(48, 48, 64))
+    tune.add_argument("--machine", default="clx")
+    tune.add_argument(
+        "--tuner", choices=("ecm", "exhaustive", "greedy"), default="ecm"
+    )
+    tune.add_argument("--cache-scale", type=float, default=1 / 32)
+
+    exp = sub.add_parser("experiment", help="run a reconstructed experiment")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+def cmd_suite() -> int:
+    print(format_table(suite_table(), title="Stencil suite"))
+    return 0
+
+
+def cmd_machines() -> int:
+    from repro.experiments.exp_t1_machines import run
+
+    print(format_table(run()["rows"], title="Evaluation platforms"))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    ys = YaskSite(args.machine, cache_scale=args.cache_scale)
+    spec = get_stencil(args.stencil)
+    plan = (
+        KernelPlan(block=args.block)
+        if args.block
+        else ys.select_block(spec, args.grid).plan
+    )
+    pred = ys.predict(spec, args.grid, plan)
+    print(f"stencil : {spec.name}")
+    print(f"machine : {ys.machine.name}")
+    print(f"plan    : {plan.describe()}")
+    print(f"ECM     : {pred.notation()}")
+    print(f"regimes : {'/'.join(pred.traffic.regimes)}")
+    print(f"perf    : {pred.mlups:.1f} MLUP/s (single core)")
+    print(f"mem     : {pred.memory_bytes_per_lup():.1f} B/LUP")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    ys = YaskSite(args.machine, cache_scale=args.cache_scale)
+    spec = get_stencil(args.stencil)
+    res = ys.tune(spec, args.grid, tuner=args.tuner)
+    print(f"tuner            : {res.tuner}")
+    print(f"variants examined: {res.variants_examined}")
+    print(f"variants run     : {res.variants_run}")
+    print(f"best plan        : {res.best_plan.describe()}")
+    print(f"best performance : {res.best_mlups:.1f} MLUP/s")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENTS[args.id]}"
+    )
+    module.main()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "suite":
+        return cmd_suite()
+    if args.command == "machines":
+        return cmd_machines()
+    if args.command == "predict":
+        return cmd_predict(args)
+    if args.command == "tune":
+        return cmd_tune(args)
+    return cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

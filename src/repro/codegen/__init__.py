@@ -1,0 +1,30 @@
+"""Kernel compiler: lowers a stencil spec + tuning plan to runnable code.
+
+This is the YASK substitute.  A :class:`~repro.codegen.KernelPlan`
+carries the tuning parameters the paper searches over (spatial block
+sizes, block loop order, vector fold, thread count, wavefront depth);
+:func:`~repro.codegen.compile_kernel` lowers spec+plan into a
+:class:`~repro.codegen.CompiledKernel` holding an executable NumPy
+kernel (generated Python source, compiled with ``exec``) and the
+corresponding C source text.
+"""
+
+from repro.codegen.plan import KernelPlan, candidate_folds, candidate_plans
+from repro.codegen.compiler import CompiledKernel, compile_kernel
+from repro.codegen.optimize import optimize
+from repro.codegen.solution_compiler import CompiledSolution, compile_solution
+from repro.codegen.python_backend import emit_python
+from repro.codegen.c_backend import emit_c
+
+__all__ = [
+    "KernelPlan",
+    "candidate_plans",
+    "candidate_folds",
+    "optimize",
+    "CompiledSolution",
+    "compile_solution",
+    "CompiledKernel",
+    "compile_kernel",
+    "emit_python",
+    "emit_c",
+]

@@ -1,0 +1,129 @@
+"""Front door of the kernel compiler: spec + plan -> CompiledKernel."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.codegen.c_backend import check_wellformed, emit_c
+from repro.codegen.plan import KernelPlan
+from repro.codegen.python_backend import build_callable, emit_python
+from repro.grid.folding import default_fold
+from repro.grid.grid import GridSet
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass
+class CompiledKernel:
+    """A lowered, runnable stencil kernel plus its source artifacts."""
+
+    spec: StencilSpec
+    interior_shape: tuple[int, ...]
+    plan: KernelPlan
+    halo: int
+    py_source: str
+    c_source: str
+    codegen_seconds: float
+    _func: Callable = field(repr=False)
+
+    def run(self, grids: GridSet, params: dict[str, float] | None = None) -> None:
+        """Execute one sweep, writing the output grid's interior."""
+        arrays = {g.name: g.data for g in grids}
+        merged = dict(self.spec.params)
+        if params:
+            merged.update(params)
+        self._func(arrays, merged)
+
+    def run_timesteps(
+        self,
+        grids: GridSet,
+        steps: int,
+        params: dict[str, float] | None = None,
+    ) -> None:
+        """Jacobi time loop: sweep then swap in/out buffers, ``steps`` times."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        for _ in range(steps):
+            self.run(grids, params)
+            grids.swap_in_out()
+
+    def reference_sweep(
+        self, grids: GridSet, params: dict[str, float] | None = None
+    ) -> np.ndarray:
+        """Unblocked NumPy evaluation of the stencil, for validation.
+
+        Returns the interior result without writing the grid set.
+        """
+        from repro.stencil import expr as E
+
+        merged = dict(self.spec.params)
+        if params:
+            merged.update(params)
+
+        def ev(node: E.Expr) -> np.ndarray | float:
+            if isinstance(node, E.Const):
+                return node.value
+            if isinstance(node, E.Param):
+                return merged[node.name]
+            if isinstance(node, E.GridAccess):
+                return grids[node.grid].shifted(node.offsets)
+            if isinstance(node, E.BinOp):
+                lhs, rhs = ev(node.lhs), ev(node.rhs)
+                if node.op == "+":
+                    return lhs + rhs
+                if node.op == "-":
+                    return lhs - rhs
+                if node.op == "*":
+                    return lhs * rhs
+                return lhs / rhs
+            raise TypeError(type(node).__name__)
+
+        result = ev(self.spec.expr)
+        if not isinstance(result, np.ndarray):
+            result = np.full(self.interior_shape, float(result))
+        return result
+
+
+def compile_kernel(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    plan: KernelPlan,
+    machine=None,
+    extra_halo: int = 0,
+) -> CompiledKernel:
+    """Lower ``spec`` under ``plan`` for a grid of ``interior_shape``.
+
+    ``machine`` (optional) supplies the default SIMD fold; the fold only
+    affects the analytic in-core model, never numerical results.
+    """
+    if len(interior_shape) != spec.dim:
+        raise ValueError("grid rank does not match stencil rank")
+    plan = plan.clipped(interior_shape)
+    if plan.fold is None and machine is not None:
+        plan = KernelPlan(
+            block=plan.block,
+            loop_order=plan.loop_order,
+            fold=default_fold(machine.core, spec.dtype_bytes, spec.dim),
+            threads=plan.threads,
+            wavefront=plan.wavefront,
+        )
+    halo = spec.radius + extra_halo
+    start = time.perf_counter()
+    py_source = emit_python(spec, interior_shape, plan, halo)
+    func = build_callable(py_source)
+    c_source = emit_c(spec, interior_shape, plan, halo)
+    check_wellformed(c_source)
+    elapsed = time.perf_counter() - start
+    return CompiledKernel(
+        spec=spec,
+        interior_shape=tuple(interior_shape),
+        plan=plan,
+        halo=halo,
+        py_source=py_source,
+        c_source=c_source,
+        codegen_seconds=elapsed,
+        _func=func,
+    )

@@ -1,0 +1,198 @@
+"""Expression-level optimizer for stencil update rules.
+
+YASK's code generator canonicalises and optimises the stencil AST
+before emitting kernels; this module reproduces the passes that matter
+for the in-core model:
+
+* **constant folding** — collapse arithmetic on literals;
+* **algebraic identities** — ``x*1``, ``x*0``, ``x+0`` and friends;
+* **common-subexpression elimination** — hash-cons the AST into a DAG
+  and emit let-bindings for shared subtrees;
+* **flop recounting** — the ECM in-core term uses post-CSE counts.
+
+All passes are semantics-preserving; the test suite checks evaluation
+equivalence on random expression trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stencil import expr as E
+
+
+# ----------------------------------------------------------------------
+# Constant folding and algebraic simplification
+# ----------------------------------------------------------------------
+def fold_constants(expr: E.Expr) -> E.Expr:
+    """Recursively fold literal arithmetic and trivial identities."""
+    if not isinstance(expr, E.BinOp):
+        return expr
+    lhs = fold_constants(expr.lhs)
+    rhs = fold_constants(expr.rhs)
+    op = expr.op
+    if isinstance(lhs, E.Const) and isinstance(rhs, E.Const):
+        return E.Const(_apply(op, lhs.value, rhs.value))
+    # x + 0, 0 + x, x - 0
+    if op in ("+", "-") and isinstance(rhs, E.Const) and rhs.value == 0.0:
+        return lhs
+    if op == "+" and isinstance(lhs, E.Const) and lhs.value == 0.0:
+        return rhs
+    # x * 1, 1 * x, x / 1
+    if op in ("*", "/") and isinstance(rhs, E.Const) and rhs.value == 1.0:
+        return lhs
+    if op == "*" and isinstance(lhs, E.Const) and lhs.value == 1.0:
+        return rhs
+    # x * 0, 0 * x  (grid reads are pure, so dropping them is sound)
+    if op == "*" and (
+        (isinstance(lhs, E.Const) and lhs.value == 0.0)
+        or (isinstance(rhs, E.Const) and rhs.value == 0.0)
+    ):
+        return E.Const(0.0)
+    # 0 / x
+    if op == "/" and isinstance(lhs, E.Const) and lhs.value == 0.0:
+        return E.Const(0.0)
+    return E.BinOp(op, lhs, rhs)
+
+
+def _apply(op: str, a: float, b: float) -> float:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if b == 0.0:
+        raise ZeroDivisionError("constant division by zero in stencil")
+    return a / b
+
+
+# ----------------------------------------------------------------------
+# Common-subexpression elimination
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LetBound:
+    """Result of CSE: a root expression over numbered temporaries.
+
+    ``bindings[i]`` is the expression for temporary ``i``; temporaries
+    may reference earlier temporaries through :class:`TempRef` leaves.
+    """
+
+    root: E.Expr
+    bindings: tuple[E.Expr, ...]
+
+    @property
+    def n_temps(self) -> int:
+        """Number of shared subexpressions extracted."""
+        return len(self.bindings)
+
+    def flops(self) -> int:
+        """Arithmetic ops after sharing (each binding counted once)."""
+        total = E.total_flops(self.root)
+        for b in self.bindings:
+            total += E.total_flops(b)
+        return total
+
+
+@dataclass(frozen=True)
+class TempRef(E.Expr):
+    """Reference to a CSE temporary."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"t{self.index}"
+
+
+def eliminate_common_subexpressions(expr: E.Expr) -> LetBound:
+    """Share repeated non-leaf subtrees via let-bindings.
+
+    A subtree becomes a temporary when it occurs more than once and is
+    not a leaf (grid access, constant, parameter).
+    """
+    counts: dict[E.Expr, int] = {}
+
+    def count(node: E.Expr) -> None:
+        if isinstance(node, E.BinOp):
+            counts[node] = counts.get(node, 0) + 1
+            if counts[node] == 1:
+                for child in node.children():
+                    count(child)
+
+    count(expr)
+    shared = {node for node, n in counts.items() if n > 1}
+
+    bindings: list[E.Expr] = []
+    temp_of: dict[E.Expr, int] = {}
+
+    def rewrite(node: E.Expr) -> E.Expr:
+        if isinstance(node, E.BinOp):
+            if node in temp_of:
+                return TempRef(temp_of[node])
+            new = E.BinOp(node.op, rewrite(node.lhs), rewrite(node.rhs))
+            if node in shared:
+                temp_of[node] = len(bindings)
+                bindings.append(new)
+                return TempRef(temp_of[node])
+            return new
+        return node
+
+    root = rewrite(expr)
+    return LetBound(root=root, bindings=tuple(bindings))
+
+
+# ----------------------------------------------------------------------
+# Whole-pipeline entry points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OptimizationReport:
+    """Before/after statistics of the optimisation pipeline."""
+
+    flops_before: int
+    flops_after: int
+    temps: int
+
+    @property
+    def flops_saved(self) -> int:
+        """Arithmetic operations removed."""
+        return self.flops_before - self.flops_after
+
+
+def optimize(expr: E.Expr) -> tuple[E.Expr, LetBound, OptimizationReport]:
+    """Run folding then CSE; return (folded expr, let form, report)."""
+    before = E.total_flops(expr)
+    folded = fold_constants(expr)
+    let = eliminate_common_subexpressions(folded)
+    report = OptimizationReport(
+        flops_before=before,
+        flops_after=let.flops(),
+        temps=let.n_temps,
+    )
+    return folded, let, report
+
+
+def evaluate(expr: E.Expr, env: dict[str, float], temps: list[float] | None = None) -> float:
+    """Scalar evaluator (for tests): grids map ``"g@off"`` keys in env."""
+    if isinstance(expr, E.Const):
+        return expr.value
+    if isinstance(expr, E.Param):
+        return env[expr.name]
+    if isinstance(expr, TempRef):
+        if temps is None:
+            raise ValueError("TempRef outside a let context")
+        return temps[expr.index]
+    if isinstance(expr, E.GridAccess):
+        return env[f"{expr.grid}@{expr.offsets}"]
+    if isinstance(expr, E.BinOp):
+        return _apply(
+            expr.op, evaluate(expr.lhs, env, temps), evaluate(expr.rhs, env, temps)
+        )
+    raise TypeError(type(expr).__name__)
+
+
+def evaluate_let(let: LetBound, env: dict[str, float]) -> float:
+    """Evaluate a CSE'd expression with its bindings."""
+    temps: list[float] = []
+    for binding in let.bindings:
+        temps.append(evaluate(binding, env, temps))
+    return evaluate(let.root, env, temps)

@@ -1,0 +1,193 @@
+"""Kernel tuning plans: the parameter space YaskSite searches.
+
+A plan fixes every knob the paper's tuner chooses: per-axis spatial
+block sizes, the traversal order of block loops, the SIMD fold, the
+OpenMP-style thread count and the wavefront (temporal blocking) depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from math import prod
+from typing import Iterator
+
+from repro.grid.folding import Fold
+from repro.machine.machine import Machine
+from repro.stencil.spec import StencilSpec
+
+__all__ = [
+    "KernelPlan",
+    "candidate_plans",
+    "candidate_folds",
+    "unblocked_plan",
+]
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """Tuning-parameter assignment for one stencil kernel.
+
+    Parameters
+    ----------
+    block:
+        Spatial block size per axis (slowest first).  The unit-stride
+        axis is conventionally left unblocked (block = grid extent) as
+        in YASK; smaller x-blocks are allowed but rarely useful.
+    loop_order:
+        Permutation of axis indices for the *block* loops, outermost
+        first.  Within a block the canonical z-y-x nesting is used.
+    fold:
+        SIMD fold (see :mod:`repro.grid.folding`); ``None`` means the
+        machine default is picked at compile time.
+    threads:
+        Cores used; blocks are distributed over threads along the
+        outermost block loop.
+    wavefront:
+        Temporal blocking depth (1 = pure spatial blocking).
+    """
+
+    block: tuple[int, ...]
+    loop_order: tuple[int, ...] | None = None
+    fold: Fold | None = None
+    threads: int = 1
+    wavefront: int = 1
+
+    def __post_init__(self) -> None:
+        if any(b <= 0 for b in self.block):
+            raise ValueError(f"block sizes must be positive: {self.block}")
+        if self.threads <= 0:
+            raise ValueError("threads must be positive")
+        if self.wavefront <= 0:
+            raise ValueError("wavefront must be positive")
+        if self.loop_order is not None and sorted(self.loop_order) != list(
+            range(len(self.block))
+        ):
+            raise ValueError(
+                f"loop_order {self.loop_order} is not a permutation of axes"
+            )
+
+    @property
+    def dim(self) -> int:
+        """Number of spatial axes."""
+        return len(self.block)
+
+    def order(self) -> tuple[int, ...]:
+        """Effective block loop order (default: natural z..x)."""
+        return self.loop_order or tuple(range(self.dim))
+
+    def clipped(self, interior_shape: tuple[int, ...]) -> "KernelPlan":
+        """Clamp block sizes to the grid extents."""
+        if len(interior_shape) != self.dim:
+            raise ValueError("plan rank does not match grid rank")
+        block = tuple(
+            min(b, n) for b, n in zip(self.block, interior_shape)
+        )
+        return replace(self, block=block)
+
+    def block_volume(self) -> int:
+        """Lattice points per spatial block."""
+        return prod(self.block)
+
+    def describe(self) -> str:
+        """Short human-readable label for tables."""
+        axes = "zyx"[-self.dim:] if self.dim <= 3 else None
+        if axes:
+            blk = "x".join(str(b) for b in self.block)
+        else:
+            blk = str(self.block)
+        parts = [f"b={blk}"]
+        if self.loop_order is not None:
+            parts.append(f"ord={''.join(str(a) for a in self.loop_order)}")
+        if self.threads > 1:
+            parts.append(f"t={self.threads}")
+        if self.wavefront > 1:
+            parts.append(f"wf={self.wavefront}")
+        return ",".join(parts)
+
+
+def unblocked_plan(interior_shape: tuple[int, ...], threads: int = 1) -> KernelPlan:
+    """The naive baseline: one block spanning the whole grid."""
+    return KernelPlan(block=tuple(interior_shape), threads=threads)
+
+
+def candidate_folds(
+    spec: StencilSpec, machine: Machine
+) -> list[Fold]:
+    """SIMD folds admissible for the stencil on this machine.
+
+    The inline fold always qualifies; for 3D kernels with 8 lanes the
+    YASK-style 2x2x2 brick fold is added (4-lane machines get 1x2x2).
+    """
+    from repro.grid.folding import default_fold
+
+    lanes = machine.core.simd_lanes(spec.dtype_bytes)
+    folds = [Fold(tuple([1] * (spec.dim - 1) + [lanes]))]
+    if spec.dim >= 3:
+        if lanes == 8:
+            folds.append(Fold(tuple([1] * (spec.dim - 3) + [2, 2, 2])))
+        elif lanes == 4:
+            folds.append(Fold(tuple([1] * (spec.dim - 2) + [2, 2])))
+    default = default_fold(machine.core, spec.dtype_bytes, spec.dim)
+    if default not in folds:
+        folds.append(default)
+    return folds
+
+
+def candidate_plans(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    machine: Machine,
+    threads: int = 1,
+    include_orders: bool = False,
+    include_folds: bool = False,
+) -> Iterator[KernelPlan]:
+    """Enumerate the spatial-block search space for a grid.
+
+    Mirrors YASK's tuner: power-of-two candidates for the middle axes,
+    the unit-stride axis kept at full extent, optional block-loop
+    orders and SIMD folds.  The x axis extent is always the innermost
+    full row so the streaming pattern the ECM model assumes holds for
+    every candidate.  With ``threads > 1`` candidates that cannot keep
+    every thread busy (fewer outer blocks than threads) are dropped.
+    """
+    dim = spec.dim
+    if len(interior_shape) != dim:
+        raise ValueError("grid rank does not match stencil rank")
+    full = tuple(interior_shape)
+    # Candidate block edge lengths per blocked axis: powers of two up to
+    # the axis extent, plus the extent itself.
+    per_axis: list[list[int]] = []
+    for axis in range(dim):
+        if axis == dim - 1:
+            per_axis.append([full[axis]])
+            continue
+        sizes = []
+        b = 4
+        while b < full[axis]:
+            sizes.append(b)
+            b *= 2
+        sizes.append(full[axis])
+        per_axis.append(sizes)
+    orders: list[tuple[int, ...] | None] = [None]
+    if include_orders and dim == 3:
+        orders = [None, (1, 0, 2)]
+    folds: list[Fold | None] = [None]
+    if include_folds:
+        folds = list(candidate_folds(spec, machine))
+    seen: set[tuple] = set()
+    for combo in product(*per_axis):
+        if threads > 1:
+            # Enough outer-axis blocks to feed every thread.
+            n_outer_blocks = -(-full[0] // combo[0])
+            if n_outer_blocks < threads:
+                continue
+        for order in orders:
+            for fold in folds:
+                key = (combo, order, fold)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield KernelPlan(
+                    block=combo, loop_order=order, fold=fold, threads=threads
+                )

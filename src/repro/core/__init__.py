@@ -1,0 +1,5 @@
+"""Public facade: the :class:`YaskSite` tool object."""
+
+from repro.core.yasksite import YaskSite
+
+__all__ = ["YaskSite"]

@@ -1,0 +1,179 @@
+"""The YaskSite facade: one object tying the whole pipeline together.
+
+Typical use::
+
+    ys = YaskSite("clx")
+    spec = get_stencil("3d7pt")
+    kernel = ys.compile(spec, (64, 64, 64))       # analytically tuned
+    pred = ys.predict(spec, (64, 64, 64), kernel.plan)
+    meas = ys.measure(spec, (64, 64, 64), kernel.plan)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotune.search import (
+    EcmGuidedTuner,
+    ExhaustiveTuner,
+    GreedyLineSearchTuner,
+    TunerResult,
+)
+from repro.blocking.spatial import BlockChoice, analytic_block_selection
+from repro.codegen.compiler import CompiledKernel, compile_kernel
+from repro.codegen.plan import KernelPlan
+from repro.ecm.model import EcmPrediction, predict
+from repro.ecm.multicore import ScalingPoint, scaling_curve
+from repro.grid.grid import GridSet
+from repro.machine.machine import Machine
+from repro.machine.presets import get_machine
+from repro.perf.multicore import simulate_scaling
+from repro.perf.simulate import Measurement, simulate_kernel
+from repro.stencil.spec import StencilSpec
+
+_TUNERS = {
+    "ecm": EcmGuidedTuner,
+    "exhaustive": ExhaustiveTuner,
+    "greedy": GreedyLineSearchTuner,
+}
+
+
+class YaskSite:
+    """Stencil optimisation front end bound to one target machine.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`~repro.machine.Machine` or a preset short name
+        (``"clx"``, ``"rome"``, ``"generic"``).
+    capacity_factor:
+        Cache-capacity derating used by the analytic model.
+    cache_scale:
+        Optional factor shrinking every cache (grids in the exact
+        simulator are shrunk in proportion by the experiments; see
+        DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        machine: Machine | str,
+        capacity_factor: float = 1.0,
+        cache_scale: float | None = None,
+    ) -> None:
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        if cache_scale is not None:
+            machine = machine.scaled_caches(cache_scale)
+        self.machine = machine
+        self.capacity_factor = capacity_factor
+
+    # ------------------------------------------------------------------
+    def compile_text(
+        self,
+        definition: str,
+        shape: tuple[int, ...],
+        name: str = "parsed",
+        params: dict[str, float] | None = None,
+        plan: KernelPlan | None = None,
+    ) -> CompiledKernel:
+        """Parse a textual stencil definition and compile it.
+
+        >>> ys = YaskSite("generic")
+        >>> k = ys.compile_text("out[0,0] = 0.5*u[0,0] + 0.25*(u[0,1]"
+        ...                     " + u[0,-1])", shape=(8, 16))
+        """
+        from repro.stencil.parser import parse_stencil
+
+        spec = parse_stencil(definition, name=name, params=params)
+        return self.compile(spec, shape, plan=plan)
+
+    def select_block(
+        self, spec: StencilSpec, shape: tuple[int, ...], threads: int = 1
+    ) -> BlockChoice:
+        """Analytic (model-only) block-size selection."""
+        return analytic_block_selection(
+            spec,
+            shape,
+            self.machine,
+            threads=threads,
+            capacity_factor=self.capacity_factor,
+        )
+
+    def compile(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        plan: KernelPlan | None = None,
+    ) -> CompiledKernel:
+        """Compile ``spec``; without a plan the analytic choice is used."""
+        if plan is None:
+            plan = self.select_block(spec, shape).plan
+        return compile_kernel(spec, shape, plan, machine=self.machine)
+
+    def predict(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        plan: KernelPlan,
+    ) -> EcmPrediction:
+        """Single-core ECM prediction for one configuration."""
+        return predict(
+            spec, shape, plan, self.machine,
+            capacity_factor=self.capacity_factor,
+        )
+
+    def measure(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        plan: KernelPlan,
+        seed: int = 0,
+        grids: GridSet | None = None,
+    ) -> Measurement:
+        """Simulated measurement (exact cache replay) of one config."""
+        if grids is None:
+            grids = GridSet(spec, shape)
+        return simulate_kernel(spec, grids, plan, self.machine, seed=seed)
+
+    def tune(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        tuner: str = "ecm",
+        seed: int = 0,
+    ) -> TunerResult:
+        """Run one of the tuners ("ecm", "exhaustive", "greedy")."""
+        try:
+            tuner_cls = _TUNERS[tuner]
+        except KeyError:
+            raise KeyError(
+                f"unknown tuner {tuner!r}; choose from {sorted(_TUNERS)}"
+            ) from None
+        grids = GridSet(spec, shape)
+        return tuner_cls().tune(spec, grids, self.machine, seed=seed)
+
+    def predicted_scaling(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        plan: KernelPlan,
+        max_cores: int | None = None,
+    ) -> list[ScalingPoint]:
+        """ECM multicore scaling prediction."""
+        pred = self.predict(spec, shape, plan)
+        cores = max_cores or self.machine.cores
+        return scaling_curve(pred, self.machine.mem_bw_gbs, cores)
+
+    def measured_scaling(
+        self,
+        spec: StencilSpec,
+        shape: tuple[int, ...],
+        plan: KernelPlan,
+        core_counts: list[int],
+        seed: int = 0,
+    ) -> list[Measurement]:
+        """Simulated multicore scaling measurements."""
+        grids = GridSet(spec, shape)
+        return simulate_scaling(
+            spec, grids, plan, self.machine, core_counts, seed=seed
+        )

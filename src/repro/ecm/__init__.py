@@ -1,0 +1,35 @@
+"""Execution-Cache-Memory (ECM) performance model.
+
+The analytic heart of YaskSite: predicts stencil kernel performance
+from machine and kernel properties alone — no execution required.
+
+* :mod:`repro.ecm.incore` — port-based in-core model (T_OL, T_nOL).
+* :mod:`repro.ecm.layer_conditions` — cache traffic from layer conditions.
+* :mod:`repro.ecm.model` — single-core ECM composition.
+* :mod:`repro.ecm.multicore` — bandwidth-saturation scaling model.
+* :mod:`repro.ecm.roofline` — classic roofline, used as a contrast model.
+"""
+
+from repro.ecm.incore import InCoreSummary, incore_model
+from repro.ecm.layer_conditions import (
+    LayerConditionReport,
+    boundary_traffic,
+    effective_capacity,
+)
+from repro.ecm.model import EcmComposition, EcmPrediction, predict
+from repro.ecm.multicore import saturation_point, scaling_curve
+from repro.ecm.roofline import roofline_predict
+
+__all__ = [
+    "InCoreSummary",
+    "incore_model",
+    "LayerConditionReport",
+    "boundary_traffic",
+    "effective_capacity",
+    "EcmComposition",
+    "EcmPrediction",
+    "predict",
+    "scaling_curve",
+    "saturation_point",
+    "roofline_predict",
+]

@@ -1,0 +1,88 @@
+"""In-core part of the ECM model: T_OL and T_nOL per cache line of work.
+
+Follows the standard ECM convention: the unit of work is one cache line
+of output elements (8 doubles for 64-byte lines).  ``T_OL`` is the time
+spent in instructions that can overlap with data transfers (arithmetic),
+``T_nOL`` the non-overlapping part (loads/stores occupying the L1
+ports).  Counts are derived from the stencil expression the way a
+competent SIMD compiler would lower it: one SIMD load per distinct grid
+read, one store, and maximal FMA contraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grid.folding import Fold, default_fold
+from repro.machine.machine import Machine
+from repro.stencil import expr as E
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class InCoreSummary:
+    """Instruction counts and port times for one cache line of updates."""
+
+    vectors_per_line: float
+    loads: int
+    stores: int
+    fma_ops: int
+    add_ops: int
+    mul_ops: int
+    div_ops: int
+    t_ol: float
+    t_nol: float
+
+    @property
+    def t_core(self) -> float:
+        """Pure in-core runtime (data in L1): max of the two paths."""
+        return max(self.t_ol, self.t_nol)
+
+
+def incore_model(
+    spec: StencilSpec,
+    machine: Machine,
+    fold: Fold | None = None,
+) -> InCoreSummary:
+    """Analytic in-core cycles per cache line of output for ``spec``."""
+    core = machine.core
+    lanes = core.simd_lanes(spec.dtype_bytes)
+    if fold is None:
+        fold = default_fold(core, spec.dtype_bytes, spec.dim)
+    fold.validate(core, spec.dtype_bytes, spec.dim)
+    elems_per_line = machine.line_bytes // spec.dtype_bytes
+    vectors_per_line = elems_per_line / lanes
+
+    flops = E.count_flops(spec.expr)
+    adds = flops["+"] + flops["-"]
+    muls = flops["*"]
+    divs = flops["/"]
+    if core.has_fma:
+        fused = min(adds, muls)
+    else:
+        fused = 0
+    rem_add = adds - fused
+    rem_mul = muls - fused
+
+    loads = spec.n_accesses  # one SIMD load per distinct read offset
+    stores = 1
+
+    # Arithmetic micro-ops all issue to the FP ports; divides are slow.
+    arith_uops = fused + rem_add + rem_mul
+    div_penalty = 8.0  # cycles per SIMD divide (throughput-limited)
+    t_ol_vec = arith_uops / core.fma_ports + divs * div_penalty
+    t_ol_vec *= fold.shuffle_factor(spec.radius)
+
+    t_nol_vec = loads / core.load_ports + stores / core.store_ports
+
+    return InCoreSummary(
+        vectors_per_line=vectors_per_line,
+        loads=loads,
+        stores=stores,
+        fma_ops=fused,
+        add_ops=rem_add,
+        mul_ops=rem_mul,
+        div_ops=divs,
+        t_ol=t_ol_vec * vectors_per_line,
+        t_nol=t_nol_vec * vectors_per_line,
+    )

@@ -1,0 +1,162 @@
+"""Layer-condition analysis: cache traffic without running anything.
+
+For a blocked stencil sweep the data volume crossing each cache
+boundary is governed by which *layer condition* the cache level
+satisfies:
+
+* **LC_plane** — the level holds all planes of the block the stencil
+  keeps in flight: every input element crosses the boundary once per
+  block (plus block-halo overhead), the classic ``(1 + 2r/b)`` factors.
+* **LC_row** — the level holds the rows in flight for one row sweep:
+  one new row per distinct leading-axis offset group crosses per
+  iteration.
+* **none** — every distinct row projection of the stencil misses.
+
+The store stream always contributes a write-allocate read plus a
+write-back (two elements per update) at every boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.plan import KernelPlan
+from repro.machine.machine import Machine
+from repro.stencil.spec import StencilSpec
+
+
+def effective_capacity(machine: Machine, boundary: int) -> int:
+    """Cache bytes that must hold a working set to silence ``boundary``.
+
+    For the fill-through (inclusive-ish) levels this is the capacity of
+    level ``boundary`` itself; an exclusive victim last level adds the
+    capacity of the level above it.
+    """
+    caches = machine.caches
+    level = caches[boundary]
+    if level.victim:
+        return level.size_bytes + caches[boundary - 1].size_bytes
+    return level.size_bytes
+
+
+@dataclass(frozen=True)
+class _GridPattern:
+    """Offset geometry of one read grid, projected for LC analysis."""
+
+    name: str
+    ext: tuple[int, ...]  # per-axis offset span (max - min)
+    n_rows: int  # distinct row projections (all axes but x)
+    n_groups: int  # distinct leading-axis offsets
+
+
+def _patterns(spec: StencilSpec) -> list[_GridPattern]:
+    pats = []
+    for grid in spec.reads:
+        offs = spec.offsets[grid]
+        dim = spec.dim
+        ext = tuple(
+            max(o[a] for o in offs) - min(o[a] for o in offs) for a in range(dim)
+        )
+        rows = {o[:-1] for o in offs}
+        groups = {o[0] for o in offs} if dim >= 3 else {0}
+        pats.append(_GridPattern(grid, ext, len(rows), len(groups)))
+    return pats
+
+
+@dataclass
+class LayerConditionReport:
+    """Per-boundary traffic prediction in elements per lattice update."""
+
+    boundaries: tuple[str, ...]
+    regimes: tuple[str, ...]
+    elements_per_lup: tuple[float, ...]
+    working_set_row: float
+    working_set_plane: float
+
+    def bytes_per_lup(self, dtype_bytes: int) -> tuple[float, ...]:
+        """Convert element volumes to bytes."""
+        return tuple(e * dtype_bytes for e in self.elements_per_lup)
+
+
+def boundary_traffic(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    plan: KernelPlan,
+    machine: Machine,
+    capacity_factor: float = 1.0,
+    assume_no_reuse: bool = False,
+) -> LayerConditionReport:
+    """Predict per-boundary traffic for one blocked sweep.
+
+    ``capacity_factor`` derates cache capacities (LRU/conflict safety
+    margin).  ``assume_no_reuse`` disables layer conditions entirely —
+    the naive traffic model used by the F7 ablation.
+    """
+    dim = spec.dim
+    plan = plan.clipped(interior_shape)
+    pats = _patterns(spec)
+    dtype = spec.dtype_bytes
+    nx = plan.block[dim - 1]
+    by = plan.block[dim - 2] if dim >= 2 else 1
+    bz = plan.block[0] if dim >= 3 else 1
+
+    # Working sets (bytes) that must fit to satisfy each condition.
+    ws_row = 0.0
+    ws_plane = 0.0
+    for pat in pats:
+        ws_row += (pat.n_rows + 1) * nx * dtype
+        ext_y = pat.ext[dim - 2] if dim >= 2 else 0
+        ext_z = pat.ext[0] if dim >= 3 else 0
+        # Rows in flight for full reuse: every in-flight plane keeps its
+        # already-visited `by` rows, plus the y-window of the centre
+        # plane.  (Charging `by + ext_y` rows for *every* plane would
+        # overstate the set and miss reuse the LRU simulator achieves.)
+        ws_plane += ((ext_z + 1) * by + ext_y) * nx * dtype
+    # Output stream keeps one row / one block-plane in flight.
+    ws_row += 2 * nx * dtype
+    ws_plane += by * nx * dtype
+
+    store_elems = 2.0  # write-allocate read + write-back
+
+    regimes: list[str] = []
+    elements: list[float] = []
+    names: list[str] = []
+    n_boundaries = machine.n_levels
+    for k in range(n_boundaries):
+        cap = effective_capacity(machine, k) * capacity_factor
+        if assume_no_reuse:
+            regime = "none"
+        elif cap >= ws_plane:
+            regime = "plane"
+        elif cap >= ws_row:
+            regime = "row"
+        else:
+            regime = "none"
+        t_in = 0.0
+        for pat in pats:
+            if regime == "plane":
+                ext_y = pat.ext[dim - 2] if dim >= 2 else 0
+                ext_z = pat.ext[0] if dim >= 3 else 0
+                vol = 1.0
+                if dim >= 3 and bz < interior_shape[0]:
+                    vol *= 1.0 + ext_z / bz
+                if dim >= 2 and by < interior_shape[dim - 2]:
+                    vol *= 1.0 + ext_y / by
+                t_in += vol
+            elif regime == "row":
+                t_in += pat.n_groups
+            else:
+                t_in += pat.n_rows
+        regimes.append(regime)
+        elements.append(t_in + store_elems)
+        next_name = (
+            machine.caches[k + 1].name if k + 1 < machine.n_levels else "Mem"
+        )
+        names.append(f"{machine.caches[k].name}-{next_name}")
+    return LayerConditionReport(
+        boundaries=tuple(names),
+        regimes=tuple(regimes),
+        elements_per_lup=tuple(elements),
+        working_set_row=ws_row,
+        working_set_plane=ws_plane,
+    )

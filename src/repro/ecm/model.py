@@ -1,0 +1,143 @@
+"""Single-core ECM composition: T_ECM = max(T_OL, T_nOL + sum T_data).
+
+Two overlap hypotheses are supported (the two poles the ECM literature
+uses for Intel vs. AMD microarchitectures):
+
+* ``SERIAL`` (default, Intel-like): cache transfers on different levels
+  serialise — ``T_ECM = max(T_OL, T_nOL + sum_k T_data_k)``.
+* ``OVERLAP`` (AMD-like): transfers on different levels proceed
+  concurrently — ``T_ECM = max(T_OL, T_nOL, max_k T_data_k)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.codegen.plan import KernelPlan
+from repro.ecm.incore import InCoreSummary, incore_model
+from repro.ecm.layer_conditions import LayerConditionReport, boundary_traffic
+from repro.machine.machine import Machine
+from repro.stencil.spec import StencilSpec
+
+
+class EcmComposition(enum.Enum):
+    """Overlap hypothesis for composing per-level transfer times."""
+
+    SERIAL = "serial"
+    OVERLAP = "overlap"
+
+
+@dataclass(frozen=True)
+class EcmPrediction:
+    """Full analytic prediction for one kernel configuration.
+
+    All times are core cycles per cache line of updates (8 doubles for
+    64-byte lines), the canonical ECM unit.
+    """
+
+    spec_name: str
+    machine_name: str
+    plan_label: str
+    incore: InCoreSummary
+    traffic: LayerConditionReport
+    t_data: tuple[float, ...]
+    lups_per_line: int
+    freq_ghz: float
+    composition: EcmComposition = EcmComposition.SERIAL
+
+    @property
+    def t_ol(self) -> float:
+        """Overlapping (arithmetic) cycles per cache line."""
+        return self.incore.t_ol
+
+    @property
+    def t_nol(self) -> float:
+        """Non-overlapping (L1 port) cycles per cache line."""
+        return self.incore.t_nol
+
+    @property
+    def t_ecm(self) -> float:
+        """Predicted cycles per cache line of updates."""
+        if self.composition is EcmComposition.OVERLAP:
+            return max(self.t_ol, self.t_nol, max(self.t_data, default=0.0))
+        return max(self.t_ol, self.t_nol + sum(self.t_data))
+
+    @property
+    def cycles_per_lup(self) -> float:
+        """Cycles per lattice update."""
+        return self.t_ecm / self.lups_per_line
+
+    @property
+    def mlups(self) -> float:
+        """Predicted single-core performance in MLUP/s."""
+        return self.freq_ghz * 1e3 / self.cycles_per_lup
+
+    @property
+    def runtime_per_lup_ns(self) -> float:
+        """Nanoseconds per lattice update."""
+        return self.cycles_per_lup / self.freq_ghz
+
+    def memory_bytes_per_lup(self) -> float:
+        """Predicted main-memory volume per update (saturation input)."""
+        return self.traffic.elements_per_lup[-1] * 8.0
+
+    def notation(self) -> str:
+        """The conventional `{T_OL || T_nOL | T_L1L2 | ...}` string."""
+        parts = " | ".join(f"{t:.1f}" for t in self.t_data)
+        return f"{{{self.t_ol:.1f} ∥ {self.t_nol:.1f} | {parts}}} cy/CL"
+
+
+def predict(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    plan: KernelPlan,
+    machine: Machine,
+    capacity_factor: float = 1.0,
+    assume_no_reuse: bool = False,
+    composition: EcmComposition = EcmComposition.SERIAL,
+    detailed: bool = False,
+) -> EcmPrediction:
+    """Run the full single-core ECM analysis for one configuration.
+
+    ``detailed=True`` replaces the throughput-count in-core model with
+    the port-level scheduler (:mod:`repro.ecm.portsim`), the
+    OSACA/IACA-style path the paper's workflow uses.
+    """
+    plan = plan.clipped(interior_shape)
+    incore = incore_model(spec, machine, plan.fold)
+    if detailed:
+        from dataclasses import replace as _replace
+
+        from repro.ecm.portsim import detailed_incore
+
+        port = detailed_incore(spec, machine)
+        incore = _replace(incore, t_ol=port.t_ol, t_nol=port.t_nol)
+    traffic = boundary_traffic(
+        spec,
+        interior_shape,
+        plan,
+        machine,
+        capacity_factor=capacity_factor,
+        assume_no_reuse=assume_no_reuse,
+    )
+    elems_per_line = machine.line_bytes // spec.dtype_bytes
+    t_data = []
+    for k, elems in enumerate(traffic.elements_per_lup):
+        bytes_per_cl = elems * spec.dtype_bytes * elems_per_line
+        if k == machine.n_levels - 1:
+            cycles = bytes_per_cl * machine.mem_cycles_per_line(1) / machine.line_bytes
+        else:
+            cycles = bytes_per_cl / machine.caches[k].bytes_per_cycle
+        t_data.append(cycles)
+    return EcmPrediction(
+        spec_name=spec.name,
+        machine_name=machine.name,
+        plan_label=plan.describe(),
+        incore=incore,
+        traffic=traffic,
+        t_data=tuple(t_data),
+        lups_per_line=elems_per_line,
+        freq_ghz=machine.freq_ghz,
+        composition=composition,
+    )

@@ -1,0 +1,59 @@
+"""Multicore ECM: linear scaling until memory-bandwidth saturation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecm.model import EcmPrediction
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Predicted performance at one core count."""
+
+    cores: int
+    mlups: float
+    saturated: bool
+
+
+def saturation_mlups(pred: EcmPrediction, mem_bw_gbs: float) -> float:
+    """Bandwidth-bound performance ceiling in MLUP/s."""
+    bytes_per_lup = pred.memory_bytes_per_lup()
+    if bytes_per_lup <= 0:
+        return float("inf")
+    return mem_bw_gbs * 1e9 / bytes_per_lup / 1e6
+
+
+def scaling_curve(
+    pred: EcmPrediction,
+    mem_bw_gbs: float,
+    max_cores: int,
+) -> list[ScalingPoint]:
+    """ECM scaling prediction: ``P(n) = min(n * P_1, P_sat)``.
+
+    ``pred`` must be a single-core prediction; ``mem_bw_gbs`` is the
+    saturated bandwidth of the scaling domain (socket or CCX).
+    """
+    if max_cores <= 0:
+        raise ValueError("max_cores must be positive")
+    p1 = pred.mlups
+    p_sat = saturation_mlups(pred, mem_bw_gbs)
+    points = []
+    for n in range(1, max_cores + 1):
+        linear = n * p1
+        points.append(
+            ScalingPoint(
+                cores=n,
+                mlups=min(linear, p_sat),
+                saturated=linear >= p_sat,
+            )
+        )
+    return points
+
+
+def saturation_point(pred: EcmPrediction, mem_bw_gbs: float) -> float:
+    """Predicted number of cores at which memory bandwidth saturates."""
+    p1 = pred.mlups
+    if p1 <= 0:
+        raise ValueError("single-core prediction must be positive")
+    return saturation_mlups(pred, mem_bw_gbs) / p1

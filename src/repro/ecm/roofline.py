@@ -1,0 +1,60 @@
+"""Classic roofline model, used as a contrast to ECM in the ablations.
+
+Roofline only knows peak flops and memory bandwidth; it has no notion
+of cache-level transfer times, so it systematically over-predicts
+cache-resident stencils and cannot rank block sizes.  Including it
+makes the "why ECM" argument of the paper concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.machine import Machine
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class RooflinePrediction:
+    """Roofline estimate for one stencil on one machine."""
+
+    spec_name: str
+    machine_name: str
+    peak_mflops: float
+    bandwidth_mlups: float
+    compute_mlups: float
+
+    @property
+    def mlups(self) -> float:
+        """min(compute roof, bandwidth roof) in MLUP/s."""
+        return min(self.compute_mlups, self.bandwidth_mlups)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the bandwidth roof is the binding constraint."""
+        return self.bandwidth_mlups <= self.compute_mlups
+
+
+def roofline_predict(
+    spec: StencilSpec,
+    machine: Machine,
+    cores: int = 1,
+) -> RooflinePrediction:
+    """Roofline performance estimate at ``cores`` active cores."""
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+    core = machine.core
+    lanes = core.simd_lanes(spec.dtype_bytes)
+    flops_per_cycle = core.fma_ports * 2 * lanes  # FMA = 2 flops
+    peak_mflops = flops_per_cycle * machine.freq_ghz * 1e3 * cores
+    compute_mlups = peak_mflops / spec.flops
+
+    bw = min(machine.mem_bw_gbs, cores * machine.mem_bw_core_gbs)
+    bandwidth_mlups = bw * 1e9 / spec.code_balance_bytes() / 1e6
+    return RooflinePrediction(
+        spec_name=spec.name,
+        machine_name=machine.name,
+        peak_mflops=peak_mflops,
+        bandwidth_mlups=bandwidth_mlups,
+        compute_mlups=compute_mlups,
+    )

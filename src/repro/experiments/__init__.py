@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per reconstructed table/figure.
+
+Each module exposes ``run(quick=True) -> dict`` returning ``rows`` (the
+table/series the paper reports) plus summary metrics the benchmark
+suite asserts on, and a ``main()`` that prints the table.  See
+DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+results.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,52 @@
+"""Shared configuration for the experiment suite.
+
+The exact cache simulator is line-granular and pure Python, so the
+experiments shrink grids *and* caches by :data:`CACHE_SCALE` together
+(documented in DESIGN.md): layer-condition cliffs, block-size optima
+and saturation behaviour all depend on the ratio of working set to
+cache size, which this transformation preserves.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.machine.presets import cascade_lake_sp, rome
+
+#: Factor by which every cache level (and the grids) are scaled down.
+CACHE_SCALE = 1.0 / 32.0
+
+#: Standard seeds so every run of the suite is reproducible.
+SEED = 20260707
+
+
+def clx() -> Machine:
+    """Scaled Cascade Lake SP evaluation machine."""
+    return cascade_lake_sp().scaled_caches(CACHE_SCALE)
+
+
+def rome_m() -> Machine:
+    """Scaled AMD Rome evaluation machine."""
+    return rome().scaled_caches(CACHE_SCALE)
+
+
+def machines() -> list[Machine]:
+    """Both evaluation platforms."""
+    return [clx(), rome_m()]
+
+
+#: Grid sizes (scaled counterparts of the paper's 256^3..512^3 range).
+GRID_SMALL = (16, 16, 32)
+GRID_MEDIUM = (32, 32, 48)
+GRID_LARGE = (48, 48, 64)
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (positive inputs)."""
+    if not values:
+        raise ValueError("geomean of empty list")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geomean needs positive values")
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,86 @@
+"""Experiment F10: offline tuning database deployment.
+
+Offsite's operating model: tune ahead of time for a set of grids,
+persist the results, and at run time *look up* instead of tuning.  The
+experiment populates the database for a few grid sizes, then deploys at
+an intermediate, never-tuned grid via nearest-grid lookup and checks
+the deployed choice against (a) the oracle (tuning at that exact grid)
+and (b) the naive implementation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.ode.pirk import PIRK
+from repro.ode.tableau import radau_iia
+from repro.offsite.database import TuningDatabase, TuningKey
+from repro.offsite.tuner import OffsiteTuner
+from repro.util.tables import format_table
+
+TUNED_GRIDS = ((12, 12, 16), (32, 32, 48))
+DEPLOY_GRID = (20, 20, 32)
+
+
+def run(quick: bool = True) -> dict:
+    """Populate, deploy, and validate the tuning database."""
+    machine = common.clx()
+    method = PIRK(radau_iia(4), 3)
+    tuner = OffsiteTuner(machine, block="auto")
+    db = TuningDatabase()
+    rows = []
+    for grid in TUNED_GRIDS:
+        report = tuner.tune(
+            method, grid, validate=False, seed=common.SEED,
+            ivp_name="heat3d",
+        )
+        record = db.record_report(report, grid, block=grid)
+        rows.append(
+            {
+                "phase": "tune",
+                "grid": "x".join(map(str, grid)),
+                "variant": record.best_variant,
+                "pred ms/step": round(record.predicted_s_per_step * 1e3, 3),
+                "note": "stored",
+            }
+        )
+
+    # Deployment: look the never-tuned grid up.
+    key = TuningKey(method.name, "heat3d", machine.name, DEPLOY_GRID)
+    hit = db.lookup(key)
+    assert hit is not None
+
+    # Oracle: measure every variant at the deployment grid.
+    oracle = tuner.tune(method, DEPLOY_GRID, validate=True, seed=common.SEED + 1)
+    measured = {t.variant: t.measured_s for t in oracle.timings}
+    deployed_time = measured[hit.best_variant]
+    best_time = min(measured.values())
+    naive_time = measured["split"]
+    rows.append(
+        {
+            "phase": "deploy",
+            "grid": "x".join(map(str, DEPLOY_GRID)),
+            "variant": hit.best_variant,
+            "pred ms/step": round(deployed_time * 1e3, 3),
+            "note": f"from {'x'.join(map(str, hit.key.grid))} record",
+        }
+    )
+    return {
+        "rows": rows,
+        "deployed_vs_oracle": deployed_time / best_time,
+        "deployed_vs_naive": naive_time / deployed_time,
+        "db_size": len(db),
+    }
+
+
+def main() -> None:
+    """Print the deployment table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F10: Tuning-database deployment"))
+    print(
+        f"deployed/oracle time ratio : {result['deployed_vs_oracle']:.3f}\n"
+        f"naive/deployed speedup     : {result['deployed_vs_naive']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

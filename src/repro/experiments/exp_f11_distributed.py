@@ -1,0 +1,82 @@
+"""Experiment F11: distributed (multi-rank) scaling shapes.
+
+YASK's MPI layer is part of the substrate the paper builds on; the
+model reproduces its canonical behaviour: near-perfect weak scaling
+(halo surface amortised by constant local volume) and strong-scaling
+efficiency decay as local grids shrink and exchanges dominate.
+"""
+
+from __future__ import annotations
+
+from repro.dist.scaling import predict_distributed
+from repro.experiments import common
+from repro.machine.presets import cascade_lake_sp
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+RANKS = (1, 2, 4, 8, 16, 64)
+LOCAL = (64, 64, 64)  # per-rank volume for weak scaling
+STRONG_GLOBAL = (128, 128, 128)
+
+
+def run(quick: bool = True) -> dict:
+    """Weak and strong distributed scaling of 3d7pt on CLX nodes."""
+    machine = cascade_lake_sp()  # full-size nodes: analytic only
+    spec = get_stencil("3d7pt")
+    ranks = RANKS[:4] if quick else RANKS
+    rows = []
+    weak_eff = []
+    strong_eff = []
+    for n in ranks:
+        # Weak: global grid grows with ranks along z.
+        global_shape = (LOCAL[0] * n, LOCAL[1], LOCAL[2])
+        weak = predict_distributed(spec, global_shape, n, machine)
+        weak_eff.append(weak.parallel_efficiency)
+        rows.append(
+            {
+                "mode": "weak",
+                "ranks": n,
+                "local grid": "x".join(map(str, weak.decomposition.local_shape)),
+                "GLUP/s": round(weak.total_mlups / 1e3, 2),
+                "efficiency": round(weak.parallel_efficiency, 3),
+                "comm %": round(100 * weak.comm_fraction, 1),
+            }
+        )
+        # Strong: fixed global grid.
+        try:
+            strong = predict_distributed(spec, STRONG_GLOBAL, n, machine)
+        except ValueError:
+            continue
+        strong_eff.append(strong.parallel_efficiency)
+        rows.append(
+            {
+                "mode": "strong",
+                "ranks": n,
+                "local grid": "x".join(
+                    map(str, strong.decomposition.local_shape)
+                ),
+                "GLUP/s": round(strong.total_mlups / 1e3, 2),
+                "efficiency": round(strong.parallel_efficiency, 3),
+                "comm %": round(100 * strong.comm_fraction, 1),
+            }
+        )
+    return {
+        "rows": rows,
+        "weak_efficiency_min": min(weak_eff),
+        "strong_efficiency_last": strong_eff[-1],
+        "strong_monotone_decay": strong_eff == sorted(strong_eff, reverse=True),
+    }
+
+
+def main() -> None:
+    """Print the distributed scaling table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F11: Distributed scaling"))
+    print(
+        f"weak-scaling efficiency ≥ {result['weak_efficiency_min']:.3f}; "
+        f"strong efficiency at max ranks {result['strong_efficiency_last']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

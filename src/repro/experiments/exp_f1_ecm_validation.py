@@ -1,0 +1,78 @@
+"""Experiment F1: single-core ECM prediction vs simulated measurement.
+
+The paper's core claim — the analytic model is accurate enough to tune
+with — is validated by sweeping stencils and grid sizes on both
+machines and comparing predicted MLUP/s against the exact-cache
+performance simulation.  Expected shape: errors mostly within ~20%.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import KernelPlan
+from repro.ecm.model import predict
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.perf.simulate import simulate_kernel
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+STENCILS_QUICK = ("3d7pt", "3d27pt")
+STENCILS_FULL = ("3d7pt", "3d13pt", "3d27pt", "3dvarcoef")
+SIZES_QUICK = (common.GRID_SMALL, common.GRID_MEDIUM)
+SIZES_FULL = (common.GRID_SMALL, common.GRID_MEDIUM, common.GRID_LARGE)
+
+
+def run(quick: bool = True) -> dict:
+    """Sweep stencils x sizes x machines; compare model vs simulation."""
+    stencils = STENCILS_QUICK if quick else STENCILS_FULL
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    rows = []
+    errors = []
+    for machine in common.machines():
+        for name in stencils:
+            spec = get_stencil(name)
+            for shape in sizes:
+                plan = KernelPlan(block=shape)  # unblocked full sweep
+                pred = predict(spec, shape, plan, machine)
+                grids = GridSet(spec, shape)
+                meas = simulate_kernel(
+                    spec, grids, plan, machine, seed=common.SEED
+                )
+                err = 100.0 * (pred.mlups - meas.mlups) / meas.mlups
+                errors.append(abs(err))
+                rows.append(
+                    {
+                        "machine": machine.name,
+                        "stencil": name,
+                        "grid": "x".join(map(str, shape)),
+                        "pred MLUP/s": round(pred.mlups, 1),
+                        "meas MLUP/s": round(meas.mlups, 1),
+                        "err %": round(err, 1),
+                        "pred mem B/LUP": round(pred.memory_bytes_per_lup(), 1),
+                        "meas mem B/LUP": round(
+                            meas.traffic.bytes_per_lup(
+                                len(meas.traffic.loads) - 1
+                            ),
+                            1,
+                        ),
+                    }
+                )
+    return {
+        "rows": rows,
+        "max_abs_err_pct": max(errors),
+        "mean_abs_err_pct": sum(errors) / len(errors),
+    }
+
+
+def main() -> None:
+    """Print the validation table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F1: ECM model validation"))
+    print(
+        f"mean |err| = {result['mean_abs_err_pct']:.1f}%  "
+        f"max |err| = {result['max_abs_err_pct']:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Experiment F3: multicore scaling and bandwidth saturation.
+
+ECM predicts ``P(n) = min(n * P_1, P_sat)``; the simulator measures a
+per-slab replay under contended memory bandwidth.  Expected shape:
+near-linear scaling to a knee, then a plateau; the model tracks the
+knee position.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import KernelPlan
+from repro.ecm.model import predict
+from repro.ecm.multicore import saturation_point, scaling_curve
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.perf.multicore import simulate_scaling
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+CORE_COUNTS_QUICK = (1, 2, 4, 8)
+CORE_COUNTS_FULL = (1, 2, 4, 8, 12, 16, 20, 28, 40)
+
+
+def run(quick: bool = True) -> dict:
+    """Scale 3d7pt (and 3d27pt in full mode) over cores on both machines."""
+    stencils = ("3d7pt",) if quick else ("3d7pt", "3d27pt")
+    shape = common.GRID_MEDIUM if quick else common.GRID_LARGE
+    rows = []
+    knees = {}
+    for machine in common.machines():
+        counts = [c for c in (CORE_COUNTS_QUICK if quick else CORE_COUNTS_FULL)
+                  if c <= machine.cores]
+        for name in stencils:
+            spec = get_stencil(name)
+            plan = KernelPlan(block=shape)
+            pred1 = predict(spec, shape, plan, machine)
+            curve = scaling_curve(pred1, machine.mem_bw_gbs, max(counts))
+            pred_by_n = {p.cores: p for p in curve}
+            grids = GridSet(spec, shape)
+            meas = simulate_scaling(
+                spec, grids, plan, machine, list(counts), seed=common.SEED
+            )
+            for point in meas:
+                p = pred_by_n[point.cores]
+                rows.append(
+                    {
+                        "machine": machine.name,
+                        "stencil": name,
+                        "cores": point.cores,
+                        "pred MLUP/s": round(p.mlups, 1),
+                        "meas MLUP/s": round(point.mlups, 1),
+                        "pred saturated": p.saturated,
+                    }
+                )
+            knees[(machine.name, name)] = saturation_point(
+                pred1, machine.mem_bw_gbs
+            )
+    return {"rows": rows, "saturation_cores": knees}
+
+
+def main() -> None:
+    """Print the scaling table and an ASCII rendering of the figure."""
+    from repro.util.asciiplot import line_plot
+
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F3: Multicore scaling"))
+    for key, n_sat in result["saturation_cores"].items():
+        print(f"predicted saturation of {key}: {n_sat:.1f} cores")
+    machines = sorted({r["machine"] for r in result["rows"]})
+    for machine in machines:
+        rows = [
+            r
+            for r in result["rows"]
+            if r["machine"] == machine and r["stencil"] == "3d7pt"
+        ]
+        if not rows:
+            continue
+        cores = [r["cores"] for r in rows]
+        print()
+        print(
+            line_plot(
+                {
+                    "pred": (cores, [r["pred MLUP/s"] for r in rows]),
+                    "meas": (cores, [r["meas MLUP/s"] for r in rows]),
+                },
+                title=f"3d7pt scaling on {machine}",
+                xlabel="cores",
+                ylabel="MLUP/s",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

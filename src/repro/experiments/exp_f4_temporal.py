@@ -1,0 +1,113 @@
+"""Experiment F4: wavefront temporal blocking gains.
+
+Temporal blocking trades redundant skew work for memory-traffic
+reduction; it pays off only for memory-bound stencils.  The experiment
+sweeps the wavefront depth and reports simulated memory traffic and
+performance versus pure spatial blocking.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.temporal import (
+    WavefrontPlan,
+    measure_wavefront,
+    predict_wavefront_memtraffic,
+)
+from repro.cachesim.driver import measure_sweep
+from repro.codegen.plan import KernelPlan
+from repro.ecm.layer_conditions import effective_capacity
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.machine.machine import Machine
+from repro.perf.simulate import simulate_traffic_time, _exec_cycles_per_lup, _port_cycles_per_lup
+from repro.stencil.library import get_stencil
+from repro.stencil.spec import StencilSpec
+from repro.util.tables import format_table
+
+#: Narrow grid so slabs fit the (scaled) caches; see DESIGN.md.
+SHAPE = (96, 8, 32)
+DEPTHS = (1, 2, 4, 8)
+
+
+def pick_slab(spec: StencilSpec, machine: Machine, shape: tuple[int, ...]) -> int:
+    """Largest slab whose two-buffer working set fits the outer cache."""
+    plane_bytes = shape[1] * shape[2] * spec.dtype_bytes
+    cap = effective_capacity(machine, machine.n_levels - 1)
+    # Two Jacobi buffers plus skew halo must stay resident across fused
+    # steps; the /6 margin absorbs LRU and conflict inefficiency (picked
+    # to match the exact simulator's reuse cliff, see DESIGN.md).
+    slab = max(2, int(cap / (6.0 * plane_bytes)))
+    return min(slab, shape[0])
+
+
+def _perf_mlups(spec, machine, traffic) -> float:
+    t_exec = _exec_cycles_per_lup(spec, machine)
+    t_ports = _port_cycles_per_lup(spec, machine)
+    t_traffic = simulate_traffic_time(traffic, machine)
+    cycles = max(t_exec, t_ports + t_traffic)
+    return machine.freq_ghz * 1e3 / cycles
+
+
+def run(quick: bool = True) -> dict:
+    """Sweep wavefront depths for a low-AI and a high-AI stencil."""
+    stencils = ("3d7pt",) if quick else ("3d7pt", "3d25pt")
+    depths = DEPTHS[:3] if quick else DEPTHS
+    machine = common.clx()
+    rows = []
+    best_speedup = {}
+    for name in stencils:
+        spec = get_stencil(name)
+        grids = GridSet(spec, SHAPE)
+        spatial_plan = KernelPlan(block=SHAPE)
+        base = measure_sweep(spec, grids, spatial_plan, machine)
+        base_mem = base.bytes_per_lup(len(base.loads) - 1)
+        base_mlups = _perf_mlups(spec, machine, base)
+        slab = pick_slab(spec, machine, SHAPE)
+        speedups = [1.0]
+        rows.append(
+            {
+                "stencil": name,
+                "wt": 1,
+                "slab": "-",
+                "mem B/LUP": round(base_mem, 1),
+                "pred mem B/LUP": round(base_mem, 1),
+                "MLUP/s": round(base_mlups, 1),
+                "speedup": 1.0,
+            }
+        )
+        for wt in depths:
+            if wt == 1:
+                continue
+            plan = WavefrontPlan(spatial=spatial_plan, wt=wt, slab=slab)
+            traffic = measure_wavefront(spec, grids, plan, machine)
+            mem = traffic.bytes_per_lup(len(traffic.loads) - 1)
+            mlups = _perf_mlups(spec, machine, traffic)
+            speedup = mlups / base_mlups
+            speedups.append(speedup)
+            rows.append(
+                {
+                    "stencil": name,
+                    "wt": wt,
+                    "slab": slab,
+                    "mem B/LUP": round(mem, 1),
+                    "pred mem B/LUP": round(
+                        predict_wavefront_memtraffic(spec, plan, base_mem), 1
+                    ),
+                    "MLUP/s": round(mlups, 1),
+                    "speedup": round(speedup, 2),
+                }
+            )
+        best_speedup[name] = max(speedups)
+    return {"rows": rows, "best_speedup": best_speedup}
+
+
+def main() -> None:
+    """Print the wavefront table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F4: Temporal (wavefront) blocking"))
+    for name, s in result["best_speedup"].items():
+        print(f"best wavefront speedup for {name}: {s:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Experiment F5: Offsite+YaskSite variant ranking reliability.
+
+For PIRK methods on heat-type grids, the tuner predicts the runtime of
+every implementation variant analytically and ranks them; the exact
+simulator provides "measurements".  The paper's claim maps to: high
+rank correlation and a top-1 (or near-top) hit, without running the
+variants during tuning.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.ode.pirk import PIRK
+from repro.ode.tableau import lobatto_iiic, radau_iia
+from repro.offsite.tuner import OffsiteTuner
+from repro.util.tables import format_table
+
+GRID_QUICK = (16, 16, 32)
+GRID_FULL = (24, 24, 48)
+
+
+def run(quick: bool = True) -> dict:
+    """Rank variants for two PIRK methods on both machines."""
+    methods = [PIRK(radau_iia(4), 3)]
+    if not quick:
+        methods.append(PIRK(lobatto_iiic(5), 4))
+    shape = GRID_QUICK if quick else GRID_FULL
+    rows = []
+    taus = []
+    top1 = []
+    errors = []
+    for machine in common.machines():
+        tuner = OffsiteTuner(machine)
+        for method in methods:
+            report = tuner.tune(method, shape, validate=True, seed=common.SEED)
+            taus.append(report.kendall_tau)
+            top1.append(report.top1_hit)
+            for vt in sorted(report.timings, key=lambda v: v.predicted_s):
+                errors.append(abs(vt.error_pct))
+                rows.append(
+                    {
+                        "machine": machine.name,
+                        "method": method.name,
+                        "variant": vt.variant,
+                        "pred ms/step": round(vt.predicted_s * 1e3, 3),
+                        "meas ms/step": round(vt.measured_s * 1e3, 3),
+                        "err %": round(vt.error_pct, 1),
+                        "sweeps/step": vt.sweeps_per_step,
+                    }
+                )
+    return {
+        "rows": rows,
+        "kendall_taus": taus,
+        "top1_hits": top1,
+        "mean_abs_err_pct": sum(errors) / len(errors),
+    }
+
+
+def main() -> None:
+    """Print the ranking table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F5: Offsite variant ranking"))
+    print("Kendall taus:", [round(t, 2) for t in result["kendall_taus"]])
+    print("top-1 hits:", result["top1_hits"])
+    print(f"mean |err| = {result['mean_abs_err_pct']:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

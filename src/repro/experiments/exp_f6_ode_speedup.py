@@ -1,0 +1,80 @@
+"""Experiment F6: end-to-end ODE speedup of tuned kernels over naive.
+
+The deployment payoff: the Offsite+YaskSite choice (best variant, with
+YaskSite's analytic block size for the stencil sweeps) versus a naive
+implementation (split variant, unblocked).  Expected shape: a clear
+factor > 1 on both machines, larger where cache per core is scarcer.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.spatial import analytic_block_selection
+from repro.codegen.plan import KernelPlan
+from repro.experiments import common
+from repro.ode.pirk import PIRK
+from repro.ode.tableau import radau_iia
+from repro.offsite.tuner import OffsiteTuner
+from repro.stencil.builders import heat
+from repro.util.tables import format_table
+
+GRIDS_QUICK = ((16, 16, 32),)
+GRIDS_FULL = ((16, 16, 32), (24, 24, 48), (32, 32, 64))
+
+
+def run(quick: bool = True) -> dict:
+    """Measure naive vs tuned PIRK step time on both machines."""
+    method = PIRK(radau_iia(4), 3)
+    shapes = GRIDS_QUICK if quick else GRIDS_FULL
+    rows = []
+    speedups = []
+    for machine in common.machines():
+        for shape in shapes:
+            # Naive: split variant, whole-grid blocks.
+            naive = OffsiteTuner(machine, block=shape).tune(
+                method, shape, validate=True, seed=common.SEED
+            )
+            naive_time = next(
+                v.measured_s for v in naive.timings if v.variant == "split"
+            )
+            # Tuned: per-kernel analytic block choice + best predicted
+            # variant (pure offline decisions).
+            spec = heat(3)
+            choice = analytic_block_selection(spec, shape, machine)
+            tuned_report = OffsiteTuner(machine, block="auto").tune(
+                method, shape, validate=True, seed=common.SEED + 1
+            )
+            best_name = tuned_report.best_predicted().variant
+            tuned_time = next(
+                v.measured_s
+                for v in tuned_report.timings
+                if v.variant == best_name
+            )
+            speedup = naive_time / tuned_time
+            speedups.append(speedup)
+            rows.append(
+                {
+                    "machine": machine.name,
+                    "grid": "x".join(map(str, shape)),
+                    "naive ms/step": round(naive_time * 1e3, 3),
+                    "tuned ms/step": round(tuned_time * 1e3, 3),
+                    "tuned variant": best_name,
+                    "block": "x".join(map(str, choice.plan.block)),
+                    "speedup": round(speedup, 2),
+                }
+            )
+    return {
+        "rows": rows,
+        "speedups": speedups,
+        "geomean_speedup": common.geomean(speedups),
+    }
+
+
+def main() -> None:
+    """Print the speedup table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F6: End-to-end ODE speedup"))
+    print(f"geomean speedup: {result['geomean_speedup']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Experiment F7 (ablation): ECM with vs. without layer conditions.
+
+Dropping layer conditions (every boundary charged the no-reuse traffic)
+is the naive traffic model.  The ablation shows (a) its predictions are
+far off for cache-fitting blocks and (b) it can steer block selection
+wrong — i.e. the LC machinery is a load-bearing ingredient, not
+decoration.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import KernelPlan, candidate_plans
+from repro.ecm.model import predict
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.perf.simulate import simulate_kernel
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+STENCILS_QUICK = ("3d7pt",)
+STENCILS_FULL = ("3d7pt", "3d13pt", "3d27pt")
+
+
+def run(quick: bool = True) -> dict:
+    """Compare full-ECM and no-LC predictions against simulation."""
+    stencils = STENCILS_QUICK if quick else STENCILS_FULL
+    shape = common.GRID_MEDIUM
+    machine = common.clx()
+    rows = []
+    err_full = []
+    err_nolc = []
+    for name in stencils:
+        spec = get_stencil(name)
+        grids = GridSet(spec, shape)
+        # A cache-friendly blocked plan, where reuse matters most.
+        block = (8, 8, shape[2])
+        plan = KernelPlan(block=block)
+        full = predict(spec, shape, plan, machine)
+        nolc = predict(spec, shape, plan, machine, assume_no_reuse=True)
+        meas = simulate_kernel(spec, grids, plan, machine, seed=common.SEED)
+        e_full = 100.0 * (full.mlups - meas.mlups) / meas.mlups
+        e_nolc = 100.0 * (nolc.mlups - meas.mlups) / meas.mlups
+        err_full.append(abs(e_full))
+        err_nolc.append(abs(e_nolc))
+        rows.append(
+            {
+                "stencil": name,
+                "block": "x".join(map(str, block)),
+                "meas MLUP/s": round(meas.mlups, 1),
+                "ECM MLUP/s": round(full.mlups, 1),
+                "ECM err %": round(e_full, 1),
+                "no-LC MLUP/s": round(nolc.mlups, 1),
+                "no-LC err %": round(e_nolc, 1),
+            }
+        )
+    # Block selection disagreement under the naive model.
+    spec = get_stencil(stencils[0])
+    best_full = min(
+        candidate_plans(spec, shape, machine),
+        key=lambda p: predict(spec, shape, p, machine).t_ecm,
+    )
+    best_nolc = min(
+        candidate_plans(spec, shape, machine),
+        key=lambda p: predict(
+            spec, shape, p, machine, assume_no_reuse=True
+        ).t_ecm,
+    )
+    return {
+        "rows": rows,
+        "mean_abs_err_full_pct": sum(err_full) / len(err_full),
+        "mean_abs_err_nolc_pct": sum(err_nolc) / len(err_nolc),
+        "block_full": best_full.block,
+        "block_nolc": best_nolc.block,
+    }
+
+
+def main() -> None:
+    """Print the ablation table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F7: Layer-condition ablation"))
+    print(
+        f"mean |err| full ECM: {result['mean_abs_err_full_pct']:.1f}%  "
+        f"no-LC: {result['mean_abs_err_nolc_pct']:.1f}%"
+    )
+    print(
+        f"block choice full={result['block_full']} no-LC={result['block_nolc']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

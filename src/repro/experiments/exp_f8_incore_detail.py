@@ -1,0 +1,73 @@
+"""Experiment F8 (ablation): in-core model detail level.
+
+Compares the simple throughput-count in-core model against the
+port-level scheduler (the OSACA/IACA substitute) in terms of ECM
+prediction accuracy against the simulator.  Expected shape: the two
+agree closely for streaming stencils (both are port-pressure bound),
+diverging only where FMA contraction / CSE changes instruction counts.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import KernelPlan
+from repro.ecm.model import predict
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.perf.simulate import simulate_kernel
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+STENCILS_QUICK = ("3d7pt", "3d27pt")
+STENCILS_FULL = ("3d7pt", "3d13pt", "3d25pt", "3d27pt", "3dvarcoef")
+
+
+def run(quick: bool = True) -> dict:
+    """Predict with both in-core models; compare against simulation."""
+    stencils = STENCILS_QUICK if quick else STENCILS_FULL
+    shape = common.GRID_MEDIUM
+    machine = common.clx()
+    rows = []
+    err_simple = []
+    err_detailed = []
+    for name in stencils:
+        spec = get_stencil(name)
+        grids = GridSet(spec, shape)
+        plan = KernelPlan(block=shape)
+        simple = predict(spec, shape, plan, machine, detailed=False)
+        detailed = predict(spec, shape, plan, machine, detailed=True)
+        meas = simulate_kernel(spec, grids, plan, machine, seed=common.SEED)
+        e_s = 100.0 * (simple.mlups - meas.mlups) / meas.mlups
+        e_d = 100.0 * (detailed.mlups - meas.mlups) / meas.mlups
+        err_simple.append(abs(e_s))
+        err_detailed.append(abs(e_d))
+        rows.append(
+            {
+                "stencil": name,
+                "meas MLUP/s": round(meas.mlups, 1),
+                "simple MLUP/s": round(simple.mlups, 1),
+                "simple err %": round(e_s, 1),
+                "portsim MLUP/s": round(detailed.mlups, 1),
+                "portsim err %": round(e_d, 1),
+                "t_nol simple": round(simple.t_nol, 2),
+                "t_nol portsim": round(detailed.t_nol, 2),
+            }
+        )
+    return {
+        "rows": rows,
+        "mean_abs_err_simple_pct": sum(err_simple) / len(err_simple),
+        "mean_abs_err_detailed_pct": sum(err_detailed) / len(err_detailed),
+    }
+
+
+def main() -> None:
+    """Print the ablation table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="F8: In-core model detail"))
+    print(
+        f"mean |err| simple: {result['mean_abs_err_simple_pct']:.1f}%  "
+        f"port-scheduled: {result['mean_abs_err_detailed_pct']:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Experiment T1: the testbed table (Cascade Lake SP vs AMD Rome)."""
+
+from __future__ import annotations
+
+from repro.machine.presets import cascade_lake_sp, rome
+from repro.util.tables import format_table
+
+
+def run(quick: bool = True) -> dict:
+    """Build the machine-characteristics table (unscaled presets)."""
+    machines = [cascade_lake_sp(), rome()]
+    keys: list[str] = []
+    per_machine: list[dict[str, str]] = []
+    for m in machines:
+        rows = dict(m.summary_rows())
+        per_machine.append(rows)
+        for key in rows:
+            if key not in keys:
+                keys.append(key)
+    table = [
+        {"characteristic": key, **{m.name: pm.get(key, "-") for m, pm in zip(machines, per_machine)}}
+        for key in keys
+    ]
+    return {"rows": table, "machines": [m.name for m in machines]}
+
+
+def main() -> None:
+    """Print the table."""
+    result = run()
+    print(format_table(result["rows"], title="T1: Evaluation platforms"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Experiment T2: characteristics of the stencil evaluation suite."""
+
+from __future__ import annotations
+
+from repro.stencil.library import suite_table
+from repro.util.tables import format_table
+
+
+def run(quick: bool = True) -> dict:
+    """Build the stencil-suite table."""
+    return {"rows": suite_table()}
+
+
+def main() -> None:
+    """Print the table."""
+    print(format_table(run()["rows"], title="T2: Stencil suite"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Experiment T3: autotuning cost — analytic ECM vs empirical search.
+
+The table the abstract's "minimal ... autotuning costs" claim reduces
+to: how many variants had to *run*, how much (simulated) machine time
+that cost, and how good the final choice is relative to the exhaustive
+optimum.
+"""
+
+from __future__ import annotations
+
+from repro.autotune.search import (
+    EcmGuidedTuner,
+    ExhaustiveTuner,
+    GreedyLineSearchTuner,
+)
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+STENCILS_QUICK = ("3d7pt",)
+STENCILS_FULL = ("3d7pt", "3d27pt", "3dvarcoef")
+
+
+def run(quick: bool = True) -> dict:
+    """Run all three tuners over the suite; collect the cost ledger."""
+    stencils = STENCILS_QUICK if quick else STENCILS_FULL
+    shape = common.GRID_MEDIUM if quick else common.GRID_LARGE
+    machine = common.clx()
+    tuners = [
+        ExhaustiveTuner(),
+        GreedyLineSearchTuner(),
+        EcmGuidedTuner(validate=True),
+    ]
+    rows = []
+    quality = {}
+    for name in stencils:
+        spec = get_stencil(name)
+        grids = GridSet(spec, shape)
+        results = {}
+        for tuner in tuners:
+            res = tuner.tune(spec, grids, machine, seed=common.SEED)
+            results[res.tuner] = res
+            rows.append(
+                {
+                    "stencil": name,
+                    "tuner": res.tuner,
+                    "examined": res.variants_examined,
+                    "run": res.variants_run,
+                    "sim run cost (ms)": round(res.simulated_run_seconds * 1e3, 2),
+                    "best block": "x".join(map(str, res.best_plan.block)),
+                    "best MLUP/s": round(res.best_mlups, 1),
+                }
+            )
+        exhaustive_best = results["exhaustive"].best_mlups
+        quality[name] = {
+            t: results[t].best_mlups / exhaustive_best for t in results
+        }
+    return {"rows": rows, "quality_vs_exhaustive": quality}
+
+
+def main() -> None:
+    """Print the tuning-cost table."""
+    result = run(quick=False)
+    print(format_table(result["rows"], title="T3: Autotuning cost"))
+    for name, q in result["quality_vs_exhaustive"].items():
+        print(name, {k: round(v, 3) for k, v in q.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Experiment T4: code-generation and tuning time budget.
+
+"Minimal code generation time and autotuning costs": the whole offline
+pipeline — generating every kernel variant's code plus the analytic
+tuning pass — is timed and set against the simulated machine time an
+empirical tuner would burn running variants.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.autotune.search import EcmGuidedTuner, ExhaustiveTuner
+from repro.codegen.compiler import compile_kernel
+from repro.codegen.plan import candidate_plans
+from repro.experiments import common
+from repro.grid.grid import GridSet
+from repro.stencil.library import get_stencil
+from repro.util.tables import format_table
+
+STENCILS_QUICK = ("3d7pt",)
+STENCILS_FULL = ("3d7pt", "3d27pt")
+
+
+def run(quick: bool = True) -> dict:
+    """Time codegen + analytic tuning vs empirical tuning cost."""
+    stencils = STENCILS_QUICK if quick else STENCILS_FULL
+    shape = common.GRID_MEDIUM
+    machine = common.clx()
+    rows = []
+    for name in stencils:
+        spec = get_stencil(name)
+        grids = GridSet(spec, shape)
+
+        t0 = time.perf_counter()
+        n_variants = 0
+        for plan in candidate_plans(spec, shape, machine):
+            compile_kernel(spec, shape, plan, machine=machine)
+            n_variants += 1
+        codegen_all = time.perf_counter() - t0
+
+        ecm = EcmGuidedTuner(validate=False).tune(
+            spec, grids, machine, seed=common.SEED
+        )
+        exhaustive = ExhaustiveTuner().tune(
+            spec, grids, machine, seed=common.SEED
+        )
+        rows.append(
+            {
+                "stencil": name,
+                "variants": n_variants,
+                "codegen all (s)": round(codegen_all, 3),
+                "ECM tuning (s)": round(ecm.tuner_seconds, 3),
+                "ECM runs": ecm.variants_run,
+                "empirical runs": exhaustive.variants_run,
+                "empirical sim cost (ms)": round(
+                    exhaustive.simulated_run_seconds * 1e3, 2
+                ),
+            }
+        )
+    return {"rows": rows}
+
+
+def main() -> None:
+    """Print the cost table."""
+    print(format_table(run(quick=False)["rows"], title="T4: Codegen & tuning budget"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Grid substrate: halo'd N-d arrays, memory layout and vector folding."""
+
+from repro.grid.layout import Layout
+from repro.grid.grid import Grid, GridSet
+from repro.grid.folding import Fold, default_fold
+from repro.grid.fields import FieldSet
+from repro.grid.boundary import (
+    BoundaryCondition,
+    Dirichlet,
+    Neumann,
+    Periodic,
+    time_loop_with_bc,
+)
+
+__all__ = [
+    "Layout",
+    "Grid",
+    "GridSet",
+    "FieldSet",
+    "Fold",
+    "default_fold",
+    "BoundaryCondition",
+    "Dirichlet",
+    "Neumann",
+    "Periodic",
+    "time_loop_with_bc",
+]

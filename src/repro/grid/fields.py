@@ -1,0 +1,77 @@
+"""Generic named-field container in one simulated address space.
+
+Generalises :class:`~repro.grid.GridSet` (which is bound to a single
+stencil spec) to arbitrary field-name collections — used by multi-
+equation solutions and by the Offsite variant kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.grid import Grid
+
+
+class FieldSet:
+    """Named halo'd fields placed back to back, page aligned."""
+
+    PAGE = 4096
+
+    def __init__(
+        self,
+        names: tuple[str, ...] | list[str],
+        interior_shape: tuple[int, ...],
+        halo: int,
+        dtype_bytes: int = 8,
+    ) -> None:
+        if not names:
+            raise ValueError("FieldSet needs at least one field")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in {names}")
+        self.interior_shape = tuple(interior_shape)
+        self.halo = halo
+        self._grids: dict[str, Grid] = {}
+        addr = 0
+        for name in names:
+            grid = Grid(
+                name=name,
+                interior_shape=self.interior_shape,
+                halo=halo,
+                dtype_bytes=dtype_bytes,
+                base_addr=addr,
+            )
+            self._grids[name] = grid
+            addr += grid.footprint_bytes
+            addr += (-addr) % self.PAGE
+
+    def __getitem__(self, name: str) -> Grid:
+        return self._grids[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._grids
+
+    def __iter__(self):
+        return iter(self._grids.values())
+
+    def __len__(self) -> int:
+        return len(self._grids)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Field names in address order."""
+        return tuple(self._grids)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Name -> padded ndarray mapping (for kernel invocation)."""
+        return {g.name: g.data for g in self}
+
+    def randomize(self, seed: int = 0) -> None:
+        """Deterministically fill every field."""
+        rng = np.random.default_rng(seed)
+        for grid in self:
+            grid.fill_random(rng)
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate padded footprint."""
+        return sum(g.footprint_bytes for g in self)

@@ -1,0 +1,161 @@
+"""Halo'd grids backed by NumPy arrays plus a shared address space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.layout import Layout
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass
+class Grid:
+    """An N-d field with a symmetric halo.
+
+    ``data`` holds the padded array; ``interior`` is the writable view
+    excluding halos.  Addresses for the cache simulator come from the
+    attached :class:`~repro.grid.layout.Layout`.
+    """
+
+    name: str
+    interior_shape: tuple[int, ...]
+    halo: int
+    dtype_bytes: int = 8
+    base_addr: int = 0
+    data: np.ndarray = field(init=False, repr=False)
+    layout: Layout = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"grid name {self.name!r} is not an identifier")
+        if self.halo < 0:
+            raise ValueError("halo must be non-negative")
+        if any(s <= 0 for s in self.interior_shape):
+            raise ValueError(f"invalid interior shape {self.interior_shape}")
+        padded = tuple(s + 2 * self.halo for s in self.interior_shape)
+        dtype = np.float64 if self.dtype_bytes == 8 else np.float32
+        self.data = np.zeros(padded, dtype=dtype)
+        self.layout = Layout(padded, self.dtype_bytes, self.base_addr)
+
+    @property
+    def dim(self) -> int:
+        """Number of spatial axes."""
+        return len(self.interior_shape)
+
+    @property
+    def padded_shape(self) -> tuple[int, ...]:
+        """Shape including halos."""
+        return self.data.shape
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Writable view of the interior (no halos)."""
+        sl = tuple(slice(self.halo, self.halo + s) for s in self.interior_shape)
+        return self.data[sl]
+
+    def shifted(self, offsets: tuple[int, ...]) -> np.ndarray:
+        """Interior-shaped view shifted by ``offsets`` (reads into halo)."""
+        if len(offsets) != self.dim:
+            raise ValueError(f"offset rank {len(offsets)} != grid rank {self.dim}")
+        sl = []
+        for axis, off in enumerate(offsets):
+            lo = self.halo + off
+            hi = lo + self.interior_shape[axis]
+            if lo < 0 or hi > self.padded_shape[axis]:
+                raise ValueError(
+                    f"offset {offsets} exceeds halo {self.halo} on axis {axis}"
+                )
+            sl.append(slice(lo, hi))
+        return self.data[tuple(sl)]
+
+    def fill_random(self, rng: np.random.Generator) -> None:
+        """Fill interior *and* halo with reproducible random values."""
+        self.data[...] = rng.standard_normal(self.padded_shape)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Padded footprint in bytes."""
+        return self.layout.size_bytes
+
+
+class GridSet:
+    """All grids a stencil kernel touches, in one simulated address space.
+
+    Grids are placed back to back, each aligned to a 4 KiB page, so that
+    cache-set conflicts between arrays are represented realistically.
+    """
+
+    PAGE = 4096
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        interior_shape: tuple[int, ...],
+        extra_halo: int = 0,
+    ) -> None:
+        if len(interior_shape) != spec.dim:
+            raise ValueError(
+                f"grid rank {len(interior_shape)} != stencil rank {spec.dim}"
+            )
+        self.spec = spec
+        self.interior_shape = tuple(interior_shape)
+        halo = spec.radius + extra_halo
+        self._grids: dict[str, Grid] = {}
+        addr = 0
+        for name in spec.grids:
+            grid = Grid(
+                name=name,
+                interior_shape=self.interior_shape,
+                halo=halo,
+                dtype_bytes=spec.dtype_bytes,
+                base_addr=addr,
+            )
+            self._grids[name] = grid
+            addr += grid.footprint_bytes
+            addr += (-addr) % self.PAGE
+
+    def __getitem__(self, name: str) -> Grid:
+        return self._grids[name]
+
+    def __iter__(self):
+        return iter(self._grids.values())
+
+    def __len__(self) -> int:
+        return len(self._grids)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Grid names in address order."""
+        return tuple(self._grids)
+
+    @property
+    def output(self) -> Grid:
+        """The written grid."""
+        return self._grids[self.spec.output]
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate padded footprint."""
+        return sum(g.footprint_bytes for g in self)
+
+    def randomize(self, seed: int = 0) -> None:
+        """Deterministically fill every grid with random data."""
+        rng = np.random.default_rng(seed)
+        for grid in self:
+            grid.fill_random(rng)
+
+    def swap_in_out(self) -> None:
+        """Exchange the buffers of the output grid and the main input.
+
+        Implements the double-buffered Jacobi time loop without copies;
+        only the NumPy buffers swap, addresses stay with the names so
+        simulated streams stay meaningful.
+        """
+        main_in = max(
+            self.spec.offsets, key=lambda g: (len(self.spec.offsets[g]), g)
+        )
+        out = self._grids[self.spec.output]
+        src = self._grids[main_in]
+        out.data, src.data = src.data, out.data

@@ -1,0 +1,86 @@
+"""Row-major memory layout with explicit strides and byte addressing.
+
+The cache simulator needs real (byte-granular) addresses for every grid
+access; :class:`Layout` supplies them.  The last axis is the unit-stride
+("x") axis throughout the project, matching YASK's default layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Row-major layout of a padded N-d array.
+
+    Parameters
+    ----------
+    shape:
+        Padded shape (interior + halos), slowest axis first.
+    dtype_bytes:
+        Element width in bytes.
+    base_addr:
+        Byte address of element (0, ..., 0); lets several grids live in
+        one simulated address space without aliasing.
+    """
+
+    shape: tuple[int, ...]
+    dtype_bytes: int = 8
+    base_addr: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise ValueError(f"invalid shape {self.shape}")
+        if self.dtype_bytes not in (4, 8):
+            raise ValueError("dtype_bytes must be 4 or 8")
+        if self.base_addr < 0:
+            raise ValueError("base_addr must be non-negative")
+
+    @property
+    def dim(self) -> int:
+        """Number of axes."""
+        return len(self.shape)
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Element strides, slowest axis first (last axis stride 1)."""
+        strides = [1] * self.dim
+        for axis in range(self.dim - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * self.shape[axis + 1]
+        return tuple(strides)
+
+    @property
+    def n_elements(self) -> int:
+        """Total padded element count."""
+        return int(np.prod(self.shape))
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint in bytes."""
+        return self.n_elements * self.dtype_bytes
+
+    def element_addr(self, index: tuple[int, ...]) -> int:
+        """Byte address of one element."""
+        if len(index) != self.dim:
+            raise ValueError(f"index {index} has wrong rank for {self.shape}")
+        linear = sum(i * s for i, s in zip(index, self.strides))
+        return self.base_addr + linear * self.dtype_bytes
+
+    def row_addresses(
+        self, index_prefix: tuple[int, ...], x_start: int, x_stop: int
+    ) -> np.ndarray:
+        """Byte addresses of the contiguous run ``[x_start, x_stop)``.
+
+        ``index_prefix`` fixes every axis except the unit-stride one.
+        Returned as an int64 array, one entry per element.
+        """
+        if len(index_prefix) != self.dim - 1:
+            raise ValueError("index_prefix must fix all but the last axis")
+        start = self.element_addr(index_prefix + (x_start,))
+        n = x_stop - x_start
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        return start + np.arange(n, dtype=np.int64) * self.dtype_bytes

@@ -1,0 +1,40 @@
+"""Machine models: cache hierarchies and core execution resources.
+
+This subpackage is the substitute for the real Cascade Lake / Rome
+testbed used in the paper.  A :class:`~repro.machine.Machine` carries
+everything both the analytic ECM model (`repro.ecm`) and the discrete
+performance simulator (`repro.perf`) need: cache geometry, per-level
+bandwidths, port counts, SIMD width and clock frequency.
+"""
+
+from repro.machine.cache import CacheLevel, WritePolicy
+from repro.machine.machine import CoreModel, Machine
+from repro.machine.presets import (
+    PRESETS,
+    cascade_lake_sp,
+    generic_avx2,
+    get_machine,
+    rome,
+)
+from repro.machine.serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+__all__ = [
+    "CacheLevel",
+    "WritePolicy",
+    "CoreModel",
+    "Machine",
+    "PRESETS",
+    "cascade_lake_sp",
+    "rome",
+    "generic_avx2",
+    "get_machine",
+    "machine_to_dict",
+    "machine_from_dict",
+    "save_machine",
+    "load_machine",
+]

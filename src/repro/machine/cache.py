@@ -1,0 +1,111 @@
+"""Cache level description used by both the ECM model and the simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WritePolicy(enum.Enum):
+    """Write handling of a cache level."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of a cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name, e.g. ``"L1"``.
+    size_bytes:
+        Capacity of the level as seen by a single core.  For shared
+        levels this is the per-core share actually available during a
+        saturated run (the convention the ECM model uses).
+    line_bytes:
+        Cache line size in bytes.
+    assoc:
+        Set associativity.  ``assoc == size_bytes // line_bytes`` makes
+        the level fully associative.
+    bytes_per_cycle:
+        Sustained transfer bandwidth *from the next-lower level into
+        this level* in bytes per core cycle (e.g. 64 B/cy for the
+        CLX L1<-L2 path).  Used to convert line counts into cycles.
+    write_policy:
+        Write-back (default, allocates on write miss) or write-through.
+    victim:
+        ``True`` for an exclusive/victim cache (AMD Rome L3): lines are
+        installed on eviction from the level above, not on fill.
+    shared_by:
+        Number of cores sharing the physical structure (1 = private).
+    load_to_use_latency:
+        Latency in cycles of a hit in this level; only used for
+        reporting, the throughput model is bandwidth-based.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+    bytes_per_cycle: float
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    victim: bool = False
+    shared_by: int = 1
+    load_to_use_latency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size_bytes must be positive")
+        if self.line_bytes <= 0 or self.size_bytes % self.line_bytes:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not a multiple of "
+                f"line size {self.line_bytes}"
+            )
+        n_lines = self.size_bytes // self.line_bytes
+        if self.assoc <= 0 or n_lines % self.assoc:
+            raise ValueError(
+                f"{self.name}: associativity {self.assoc} does not divide "
+                f"line count {n_lines}"
+            )
+        if self.bytes_per_cycle <= 0:
+            raise ValueError(f"{self.name}: bytes_per_cycle must be positive")
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines in the level."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.n_lines // self.assoc
+
+    def cycles_per_line(self) -> float:
+        """Cycles needed to move one cache line across this level's link."""
+        return self.line_bytes / self.bytes_per_cycle
+
+    def scaled(self, factor: float) -> "CacheLevel":
+        """Return a copy whose capacity is scaled by ``factor``.
+
+        Used by experiments that shrink grids and caches in proportion so
+        the exact (but slow) cache simulator stays affordable.  The
+        associativity is preserved; the set count shrinks.
+        """
+        new_lines = max(self.assoc, int(round(self.n_lines * factor)))
+        # Round to a multiple of the associativity so sets stay integral.
+        new_lines -= new_lines % self.assoc
+        new_lines = max(self.assoc, new_lines)
+        return CacheLevel(
+            name=self.name,
+            size_bytes=new_lines * self.line_bytes,
+            line_bytes=self.line_bytes,
+            assoc=self.assoc,
+            bytes_per_cycle=self.bytes_per_cycle,
+            write_policy=self.write_policy,
+            victim=self.victim,
+            shared_by=self.shared_by,
+            load_to_use_latency=self.load_to_use_latency,
+        )

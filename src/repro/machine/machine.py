@@ -1,0 +1,158 @@
+"""Whole-machine model: core resources + cache hierarchy + memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.machine.cache import CacheLevel
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Execution resources of one core, as the ECM in-core model sees them.
+
+    All throughputs are *per cycle* and refer to full-width SIMD
+    operations.  ``simd_bytes`` is the native vector register width.
+    """
+
+    simd_bytes: int
+    fma_ports: int
+    add_ports: int
+    mul_ports: int
+    load_ports: int
+    store_ports: int
+    has_fma: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("simd_bytes", "fma_ports", "load_ports", "store_ports"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"CoreModel.{name} must be positive")
+
+    def simd_lanes(self, dtype_bytes: int) -> int:
+        """Number of elements of ``dtype_bytes`` per SIMD register."""
+        return max(1, self.simd_bytes // dtype_bytes)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A CPU description sufficient for ECM modelling and simulation.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"CascadeLakeSP"``.
+    isa:
+        Vector ISA label (``"AVX-512"``, ``"AVX2"``); informational.
+    freq_ghz:
+        Sustained core clock under full load.
+    cores:
+        Cores per socket / NUMA domain considered by scaling runs.
+    cores_per_llc:
+        Cores sharing one last-level-cache domain (CLX: whole socket;
+        Rome: 4 per CCX).
+    core:
+        The :class:`CoreModel`.
+    caches:
+        Ordered list of levels, innermost (L1) first.
+    mem_bw_gbs:
+        Saturated main-memory bandwidth of the full socket in GB/s.
+    mem_bw_core_gbs:
+        Bandwidth a single core can draw from memory in GB/s (limits the
+        single-core memory term; typically well below ``mem_bw_gbs``).
+    """
+
+    name: str
+    isa: str
+    freq_ghz: float
+    cores: int
+    cores_per_llc: int
+    core: CoreModel
+    caches: tuple[CacheLevel, ...] = field(default_factory=tuple)
+    mem_bw_gbs: float = 100.0
+    mem_bw_core_gbs: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        if self.cores <= 0 or self.cores_per_llc <= 0:
+            raise ValueError("core counts must be positive")
+        if not self.caches:
+            raise ValueError("a machine needs at least one cache level")
+        line = self.caches[0].line_bytes
+        if any(c.line_bytes != line for c in self.caches):
+            raise ValueError("all cache levels must share one line size")
+        sizes = [c.size_bytes for c in self.caches]
+        if sizes != sorted(sizes):
+            raise ValueError("cache levels must be ordered small to large")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size (uniform across levels)."""
+        return self.caches[0].line_bytes
+
+    @property
+    def n_levels(self) -> int:
+        """Number of cache levels."""
+        return len(self.caches)
+
+    def level(self, name: str) -> CacheLevel:
+        """Look a cache level up by name (``"L1"`` ...)."""
+        for cache in self.caches:
+            if cache.name == name:
+                return cache
+        raise KeyError(f"{self.name} has no cache level {name!r}")
+
+    def mem_cycles_per_line(self, n_cores: int = 1) -> float:
+        """Core cycles to move one line from memory, at ``n_cores`` active.
+
+        A single core is limited by ``mem_bw_core_gbs``; multiple cores
+        share ``mem_bw_gbs``.
+        """
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        per_core_bw = min(self.mem_bw_core_gbs, self.mem_bw_gbs / n_cores)
+        bytes_per_cycle = per_core_bw / self.freq_ghz
+        return self.line_bytes / bytes_per_cycle
+
+    def mem_bandwidth_bytes_per_cycle(self) -> float:
+        """Saturated socket memory bandwidth in bytes per core cycle."""
+        return self.mem_bw_gbs / self.freq_ghz
+
+    def scaled_caches(self, factor: float) -> "Machine":
+        """Machine copy with every cache capacity scaled by ``factor``.
+
+        Bandwidths, ports and frequencies are untouched; see DESIGN.md
+        (experiments shrink grid and caches together to keep the exact
+        cache simulator affordable).
+        """
+        return replace(
+            self,
+            name=f"{self.name}(x{factor:g})",
+            caches=tuple(c.scaled(factor) for c in self.caches),
+        )
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """(key, value) rows for the testbed table (experiment T1)."""
+        rows = [
+            ("Microarchitecture", self.name),
+            ("ISA", self.isa),
+            ("Clock (GHz)", f"{self.freq_ghz:.2f}"),
+            ("Cores", str(self.cores)),
+            ("Cores per LLC domain", str(self.cores_per_llc)),
+            ("SIMD width (bytes)", str(self.core.simd_bytes)),
+        ]
+        for cache in self.caches:
+            kind = "victim" if cache.victim else cache.write_policy.value
+            rows.append(
+                (
+                    f"{cache.name} (per core share)",
+                    f"{cache.size_bytes // 1024} KiB, {cache.assoc}-way, "
+                    f"{cache.bytes_per_cycle:g} B/cy, {kind}",
+                )
+            )
+        rows.append(("Memory BW (GB/s)", f"{self.mem_bw_gbs:.0f}"))
+        rows.append(("Single-core mem BW (GB/s)", f"{self.mem_bw_core_gbs:.0f}"))
+        return rows

@@ -1,0 +1,97 @@
+"""Machine model (de)serialization.
+
+YASK ships per-architecture description files; the equivalent here is a
+JSON round-trip for :class:`~repro.machine.Machine`, so users can
+describe new CPUs without touching code::
+
+    machine = load_machine("my_cpu.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.machine.cache import CacheLevel, WritePolicy
+from repro.machine.machine import CoreModel, Machine
+
+
+def machine_to_dict(machine: Machine) -> dict:
+    """Serialise a machine to plain JSON-compatible data."""
+    return {
+        "name": machine.name,
+        "isa": machine.isa,
+        "freq_ghz": machine.freq_ghz,
+        "cores": machine.cores,
+        "cores_per_llc": machine.cores_per_llc,
+        "mem_bw_gbs": machine.mem_bw_gbs,
+        "mem_bw_core_gbs": machine.mem_bw_core_gbs,
+        "core": {
+            "simd_bytes": machine.core.simd_bytes,
+            "fma_ports": machine.core.fma_ports,
+            "add_ports": machine.core.add_ports,
+            "mul_ports": machine.core.mul_ports,
+            "load_ports": machine.core.load_ports,
+            "store_ports": machine.core.store_ports,
+            "has_fma": machine.core.has_fma,
+        },
+        "caches": [
+            {
+                "name": c.name,
+                "size_bytes": c.size_bytes,
+                "line_bytes": c.line_bytes,
+                "assoc": c.assoc,
+                "bytes_per_cycle": c.bytes_per_cycle,
+                "write_policy": c.write_policy.value,
+                "victim": c.victim,
+                "shared_by": c.shared_by,
+                "load_to_use_latency": c.load_to_use_latency,
+            }
+            for c in machine.caches
+        ],
+    }
+
+
+def machine_from_dict(data: dict) -> Machine:
+    """Rebuild a machine from :func:`machine_to_dict` output."""
+    try:
+        core = CoreModel(**data["core"])
+        caches = tuple(
+            CacheLevel(
+                name=c["name"],
+                size_bytes=c["size_bytes"],
+                line_bytes=c["line_bytes"],
+                assoc=c["assoc"],
+                bytes_per_cycle=c["bytes_per_cycle"],
+                write_policy=WritePolicy(c.get("write_policy", "write-back")),
+                victim=c.get("victim", False),
+                shared_by=c.get("shared_by", 1),
+                load_to_use_latency=c.get("load_to_use_latency", 4),
+            )
+            for c in data["caches"]
+        )
+        return Machine(
+            name=data["name"],
+            isa=data["isa"],
+            freq_ghz=data["freq_ghz"],
+            cores=data["cores"],
+            cores_per_llc=data["cores_per_llc"],
+            core=core,
+            caches=caches,
+            mem_bw_gbs=data["mem_bw_gbs"],
+            mem_bw_core_gbs=data["mem_bw_core_gbs"],
+        )
+    except KeyError as exc:
+        raise ValueError(f"machine description missing field {exc}") from exc
+
+
+def save_machine(machine: Machine, path: str | Path) -> None:
+    """Write a machine description as JSON."""
+    Path(path).write_text(
+        json.dumps(machine_to_dict(machine), indent=2) + "\n"
+    )
+
+
+def load_machine(path: str | Path) -> Machine:
+    """Load a machine description from JSON."""
+    return machine_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,71 @@
+"""Explicit ODE methods and initial value problems.
+
+The application side of the paper: Offsite tunes *parallel iterated
+Runge-Kutta* (PIRK) methods, whose stage computations on stencil-coupled
+IVPs (heat-type problems) are exactly the kernels YaskSite optimises.
+
+* :mod:`repro.ode.tableau` — Butcher tableaux; collocation tableaux
+  (Radau IIA, Lobatto IIIC) are derived numerically from their nodes.
+* :mod:`repro.ode.rk` — classic explicit RK steppers.
+* :mod:`repro.ode.pirk` — the PIRK predictor/corrector scheme.
+* :mod:`repro.ode.ivp` — IVP library (Heat1D/2D/3D, Wave1D, Cusp,
+  InverterChain).
+* :mod:`repro.ode.solver` — fixed-step integration and convergence
+  measurement.
+"""
+
+from repro.ode.tableau import (
+    Tableau,
+    bogacki_shampine,
+    euler,
+    gauss_legendre,
+    heun,
+    lobatto_iiia,
+    lobatto_iiic,
+    radau_ia,
+    radau_iia,
+    rk4,
+)
+from repro.ode.rk import ExplicitRK
+from repro.ode.pirk import PIRK
+from repro.ode.ivp import (
+    IVP,
+    Brusselator2D,
+    Cusp,
+    HeatND,
+    InverterChain,
+    Wave1D,
+    get_ivp,
+)
+from repro.ode.adaptive import AdaptiveRK, EmbeddedPair, bs32, dp54
+from repro.ode.solver import convergence_order, integrate
+from repro.ode.gridsolver import GridPirkSolver
+
+__all__ = [
+    "Tableau",
+    "euler",
+    "heun",
+    "rk4",
+    "bogacki_shampine",
+    "radau_iia",
+    "radau_ia",
+    "gauss_legendre",
+    "lobatto_iiia",
+    "lobatto_iiic",
+    "ExplicitRK",
+    "PIRK",
+    "IVP",
+    "HeatND",
+    "Wave1D",
+    "Cusp",
+    "InverterChain",
+    "Brusselator2D",
+    "get_ivp",
+    "AdaptiveRK",
+    "EmbeddedPair",
+    "bs32",
+    "dp54",
+    "integrate",
+    "convergence_order",
+    "GridPirkSolver",
+]

@@ -1,0 +1,180 @@
+"""Adaptive step-size control with embedded Runge-Kutta pairs.
+
+Offsite tunes fixed-step kernels, but production explicit ODE solving
+uses embedded pairs; this module adds that layer (a natural extension
+of the paper's scope): Bogacki-Shampine 3(2) and Dormand-Prince 5(4)
+pairs with a standard PI step-size controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.ode.ivp import IVP
+
+RhsFunc = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class EmbeddedPair:
+    """An embedded RK pair ``(A, b_high, b_low, c)``."""
+
+    name: str
+    a: np.ndarray
+    b_high: np.ndarray
+    b_low: np.ndarray
+    c: np.ndarray
+    order: int  # of the propagating (high) solution
+    fsal: bool = False  # first-same-as-last stage reuse
+
+    @property
+    def stages(self) -> int:
+        """Number of stages."""
+        return len(self.c)
+
+
+def bs32() -> EmbeddedPair:
+    """Bogacki-Shampine 3(2) pair (the `ode23` pair)."""
+    a = np.zeros((4, 4))
+    a[1, 0] = 0.5
+    a[2, 1] = 0.75
+    a[3, :3] = [2 / 9, 1 / 3, 4 / 9]
+    return EmbeddedPair(
+        name="BS3(2)",
+        a=a,
+        b_high=np.array([2 / 9, 1 / 3, 4 / 9, 0.0]),
+        b_low=np.array([7 / 24, 1 / 4, 1 / 3, 1 / 8]),
+        c=np.array([0.0, 0.5, 0.75, 1.0]),
+        order=3,
+        fsal=True,
+    )
+
+
+def dp54() -> EmbeddedPair:
+    """Dormand-Prince 5(4) pair (the `ode45` pair)."""
+    a = np.zeros((7, 7))
+    a[1, 0] = 1 / 5
+    a[2, :2] = [3 / 40, 9 / 40]
+    a[3, :3] = [44 / 45, -56 / 15, 32 / 9]
+    a[4, :4] = [19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729]
+    a[5, :5] = [9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656]
+    a[6, :6] = [35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84]
+    b_high = np.array(
+        [35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0]
+    )
+    b_low = np.array(
+        [
+            5179 / 57600, 0.0, 7571 / 16695, 393 / 640,
+            -92097 / 339200, 187 / 2100, 1 / 40,
+        ]
+    )
+    c = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+    return EmbeddedPair(
+        name="DP5(4)", a=a, b_high=b_high, b_low=b_low, c=c, order=5,
+        fsal=True,
+    )
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive integration."""
+
+    t: float
+    y: np.ndarray
+    steps_accepted: int
+    steps_rejected: int
+    rhs_evals: int
+
+    @property
+    def steps_total(self) -> int:
+        """Attempted steps."""
+        return self.steps_accepted + self.steps_rejected
+
+
+class AdaptiveRK:
+    """Embedded-pair integrator with a PI step-size controller."""
+
+    def __init__(
+        self,
+        pair: EmbeddedPair,
+        rtol: float = 1e-6,
+        atol: float = 1e-9,
+        safety: float = 0.9,
+        max_factor: float = 5.0,
+        min_factor: float = 0.2,
+    ) -> None:
+        if rtol <= 0 or atol <= 0:
+            raise ValueError("tolerances must be positive")
+        self.pair = pair
+        self.rtol = rtol
+        self.atol = atol
+        self.safety = safety
+        self.max_factor = max_factor
+        self.min_factor = min_factor
+
+    @property
+    def name(self) -> str:
+        """Integrator name."""
+        return f"Adaptive[{self.pair.name}]"
+
+    def _attempt(
+        self, f: RhsFunc, t: float, y: np.ndarray, h: float
+    ) -> tuple[np.ndarray, float, int]:
+        """One trial step; returns (y_high, error_norm, rhs_evals)."""
+        pair = self.pair
+        s = pair.stages
+        k = np.empty((s,) + y.shape)
+        for i in range(s):
+            yi = y.copy()
+            for j in range(i):
+                if pair.a[i, j] != 0.0:
+                    yi += h * pair.a[i, j] * k[j]
+            k[i] = f(t + pair.c[i] * h, yi)
+        y_high = y + h * np.tensordot(pair.b_high, k, axes=(0, 0))
+        y_low = y + h * np.tensordot(pair.b_low, k, axes=(0, 0))
+        scale = self.atol + self.rtol * np.maximum(np.abs(y), np.abs(y_high))
+        err = np.sqrt(np.mean(((y_high - y_low) / scale) ** 2))
+        return y_high, float(err), s
+
+    def integrate(
+        self,
+        ivp: IVP,
+        h0: float | None = None,
+        max_steps: int = 100_000,
+    ) -> AdaptiveResult:
+        """Integrate ``ivp`` from ``t0`` to ``t_end`` adaptively."""
+        t = ivp.t0
+        y = ivp.y0.copy()
+        h = h0 if h0 is not None else (ivp.t_end - ivp.t0) / 100.0
+        accepted = 0
+        rejected = 0
+        evals = 0
+        order = self.pair.order
+        while t < ivp.t_end:
+            h = min(h, ivp.t_end - t)
+            if h <= 0:
+                break
+            y_new, err, n_evals = self._attempt(ivp.rhs, t, y, h)
+            evals += n_evals
+            if err <= 1.0:
+                t += h
+                y = y_new
+                accepted += 1
+                factor = self.safety * err ** (-1.0 / (order + 1)) if err > 0 \
+                    else self.max_factor
+            else:
+                rejected += 1
+                factor = self.safety * err ** (-1.0 / (order + 1))
+            factor = min(self.max_factor, max(self.min_factor, factor))
+            h *= factor
+            if accepted + rejected > max_steps:
+                raise RuntimeError(
+                    f"{self.name}: exceeded {max_steps} attempted steps"
+                )
+        return AdaptiveResult(
+            t=t, y=y, steps_accepted=accepted, steps_rejected=rejected,
+            rhs_evals=evals,
+        )

@@ -1,0 +1,285 @@
+"""Initial value problem library.
+
+The stencil-coupled problems (Heat) are the ones Offsite hands to
+YaskSite; the others (Wave1D, Cusp, InverterChain) exercise the ODE
+machinery on the broader Offsite problem mix, including a deliberately
+non-stencil case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Callable
+
+import numpy as np
+
+from repro.stencil.builders import heat
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class IVP:
+    """An initial value problem ``y' = f(t, y)``, ``y(t0) = y0``.
+
+    ``stencil`` is set when the right-hand side is a stencil sweep over
+    a structured grid (the YaskSite-tunable case); ``grid_shape`` then
+    gives the interior extents and ``y`` is the flattened field.
+    """
+
+    name: str
+    y0: np.ndarray
+    rhs: Callable[[float, np.ndarray], np.ndarray]
+    t0: float = 0.0
+    t_end: float = 1.0
+    exact: Callable[[float], np.ndarray] | None = None
+    stencil: StencilSpec | None = None
+    grid_shape: tuple[int, ...] | None = None
+
+    @property
+    def size(self) -> int:
+        """System dimension."""
+        return self.y0.size
+
+    def error(self, t: float, y: np.ndarray) -> float:
+        """Max-norm error against the exact solution (if known)."""
+        if self.exact is None:
+            raise ValueError(f"{self.name} has no exact solution")
+        return float(np.max(np.abs(y - self.exact(t))))
+
+
+# ----------------------------------------------------------------------
+# Heat equation (stencil-coupled; the Offsite+YaskSite flagship case)
+# ----------------------------------------------------------------------
+def HeatND(
+    dim: int,
+    n: int,
+    alpha: float = 1.0,
+    t_end: float = 0.05,
+) -> IVP:
+    """Heat equation on the unit cube with homogeneous Dirichlet walls.
+
+    Method of lines on an ``n^dim`` interior grid; the initial condition
+    is the first sine eigenmode, so the exact solution is a pure
+    exponential decay — ideal for convergence tests.
+    """
+    if dim < 1 or n < 2:
+        raise ValueError("need dim >= 1 and n >= 2")
+    dx = 1.0 / (n + 1)
+    coords = [np.arange(1, n + 1) * dx for _ in range(dim)]
+    mesh = np.meshgrid(*coords, indexing="ij")
+    mode = np.ones((n,) * dim)
+    for axis_coord in mesh:
+        mode = mode * np.sin(np.pi * axis_coord)
+    # Decay rate of the *semi-discrete* system: the sine mode is an
+    # eigenvector of the discrete Laplacian with eigenvalue
+    # -(4/dx^2) sin^2(pi dx / 2) per axis, so convergence tests measure
+    # the time integrator, not the spatial discretisation error.
+    lam_axis = -4.0 / dx**2 * np.sin(np.pi * dx / 2.0) ** 2
+    decay = alpha * dim * lam_axis
+    y0 = mode.ravel().copy()
+    shape = (n,) * dim
+    factor = alpha / dx**2
+
+    def rhs(t: float, y: np.ndarray) -> np.ndarray:
+        u = y.reshape(shape)
+        lap = -2.0 * dim * u
+        for axis in range(dim):
+            up = np.zeros_like(u)
+            down = np.zeros_like(u)
+            sl_src_hi = [slice(None)] * dim
+            sl_dst_hi = [slice(None)] * dim
+            sl_src_hi[axis] = slice(1, None)
+            sl_dst_hi[axis] = slice(0, -1)
+            up[tuple(sl_dst_hi)] = u[tuple(sl_src_hi)]
+            down[tuple(sl_src_hi)] = u[tuple(sl_dst_hi)]
+            lap = lap + up + down
+        return (factor * lap).ravel()
+
+    def exact(t: float) -> np.ndarray:
+        return (np.exp(decay * t) * mode).ravel()
+
+    # The per-RHS stencil spec: u_new = u + a * laplacian, with the time
+    # step folded into `a` later by the kernel generator; for RHS-only
+    # sweeps the multiplier is alpha/dx^2.
+    spec = heat(dim, name=f"heat{dim}d_rhs")
+    return IVP(
+        name=f"Heat{dim}D(n={n})",
+        y0=y0,
+        rhs=rhs,
+        t_end=t_end,
+        exact=exact,
+        stencil=spec,
+        grid_shape=shape,
+    )
+
+
+# ----------------------------------------------------------------------
+# Wave equation as a first-order system
+# ----------------------------------------------------------------------
+def Wave1D(n: int, c: float = 1.0, t_end: float = 0.25) -> IVP:
+    """1D wave equation, first-order form, Dirichlet walls.
+
+    State is ``[u, v]`` stacked; the exact solution of the first sine
+    mode is a cosine oscillation.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    dx = 1.0 / (n + 1)
+    x = np.arange(1, n + 1) * dx
+    mode = np.sin(np.pi * x)
+    # Eigenfrequency of the semi-discrete string (see HeatND).
+    omega = 2.0 * c / dx * np.sin(np.pi * dx / 2.0)
+    y0 = np.concatenate([mode, np.zeros(n)])
+    factor = (c / dx) ** 2
+
+    def rhs(t: float, y: np.ndarray) -> np.ndarray:
+        u, v = y[:n], y[n:]
+        lap = -2.0 * u
+        lap[:-1] += u[1:]
+        lap[1:] += u[:-1]
+        return np.concatenate([v, factor * lap])
+
+    def exact(t: float) -> np.ndarray:
+        return np.concatenate(
+            [np.cos(omega * t) * mode, -omega * np.sin(omega * t) * mode]
+        )
+
+    return IVP(name=f"Wave1D(n={n})", y0=y0, rhs=rhs, t_end=t_end, exact=exact)
+
+
+# ----------------------------------------------------------------------
+# Cusp: nonlinear reaction-diffusion ring (Hairer/Wanner; Offsite suite)
+# ----------------------------------------------------------------------
+def Cusp(n: int, sigma: float = 1.0 / 144.0, t_end: float = 0.01) -> IVP:
+    """CUSP problem: three coupled fields on a diffusion ring.
+
+    Nonlinear, stiff-ish, stencil-coupled with periodic topology — the
+    structured-but-not-separable member of the Offsite problem mix.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    eps = 1e-4
+    d = sigma * n * n
+    rng = np.random.default_rng(42)
+    y0 = np.concatenate(
+        [
+            2.0 * np.sin(2 * np.pi * np.arange(n) / n),
+            np.cos(2 * np.pi * np.arange(n) / n),
+            0.1 * rng.standard_normal(n),
+        ]
+    )
+
+    def rhs(t: float, state: np.ndarray) -> np.ndarray:
+        y, a, b = state[:n], state[n : 2 * n], state[2 * n :]
+
+        def ring_lap(u: np.ndarray) -> np.ndarray:
+            return np.roll(u, 1) - 2.0 * u + np.roll(u, -1)
+
+        u_term = (y - 0.7) * (y - 1.3)
+        v = u_term / (u_term + 0.1)
+        dy = -(y**3 + a * y + b) / eps + d * ring_lap(y)
+        da = b + 0.07 * v + d * ring_lap(a)
+        db = (1.0 - a * a) * b - a - 0.4 * y + 0.035 * v + d * ring_lap(b)
+        return np.concatenate([dy, da, db])
+
+    return IVP(name=f"Cusp(n={n})", y0=y0, rhs=rhs, t_end=t_end)
+
+
+# ----------------------------------------------------------------------
+# InverterChain: sequentially coupled, intentionally NOT a stencil
+# ----------------------------------------------------------------------
+def InverterChain(n: int, t_end: float = 1.0) -> IVP:
+    """Chain of MOSFET inverters driven by a pulse (Offsite suite).
+
+    Each node depends only on itself and its predecessor, so the
+    coupling is a lower bidiagonal band — the contrast case where
+    stencil machinery buys nothing.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    u_op = 5.0
+    u_t = 1.0
+    gamma = 100.0
+    y0 = np.zeros(n)
+    y0[::2] = u_op
+
+    def g(u: np.ndarray) -> np.ndarray:
+        return np.maximum(u - u_t, 0.0) ** 2
+
+    def u_in(t: float) -> float:
+        # Trapezoidal input pulse.
+        if t < 5.0:
+            return t / 5.0 * u_op
+        if t < 10.0:
+            return u_op
+        if t < 15.0:
+            return (15.0 - t) / 5.0 * u_op
+        return 0.0
+
+    def rhs(t: float, y: np.ndarray) -> np.ndarray:
+        prev = np.empty_like(y)
+        prev[0] = u_in(t)
+        prev[1:] = y[:-1]
+        return u_op - y - gamma * g(prev)
+
+    return IVP(name=f"InverterChain(n={n})", y0=y0, rhs=rhs, t_end=t_end)
+
+
+def Brusselator2D(
+    n: int, a: float = 1.0, b: float = 3.0, alpha: float = 0.02,
+    t_end: float = 0.5,
+) -> IVP:
+    """2D Brusselator reaction-diffusion system (Hairer's BRUS2D).
+
+    Two coupled fields on an n x n periodic grid; reaction plus
+    diffusion, the classic nonlinear many-field member of the explicit
+    ODE benchmark mix.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    dx = 1.0 / n
+    factor = alpha / dx**2
+    xs = (np.arange(n) + 0.5) * dx
+    xx, yy = np.meshgrid(xs, xs, indexing="ij")
+    u0 = 22.0 * yy * (1.0 - yy) ** 1.5
+    v0 = 27.0 * xx * (1.0 - xx) ** 1.5
+    y0 = np.concatenate([u0.ravel(), v0.ravel()])
+
+    def lap(f: np.ndarray) -> np.ndarray:
+        return (
+            np.roll(f, 1, 0) + np.roll(f, -1, 0)
+            + np.roll(f, 1, 1) + np.roll(f, -1, 1) - 4.0 * f
+        )
+
+    def rhs(t: float, state: np.ndarray) -> np.ndarray:
+        u = state[: n * n].reshape(n, n)
+        v = state[n * n :].reshape(n, n)
+        uv2 = u * u * v
+        du = a + uv2 - (b + 1.0) * u + factor * lap(u)
+        dv = b * u - uv2 + factor * lap(v)
+        return np.concatenate([du.ravel(), dv.ravel()])
+
+    return IVP(name=f"Brusselator2D(n={n})", y0=y0, rhs=rhs, t_end=t_end)
+
+
+_IVPS: dict[str, Callable[..., IVP]] = {
+    "heat1d": lambda n=64: HeatND(1, n),
+    "heat2d": lambda n=32: HeatND(2, n),
+    "heat3d": lambda n=16: HeatND(3, n),
+    "wave1d": lambda n=64: Wave1D(n),
+    "cusp": lambda n=32: Cusp(n),
+    "inverterchain": lambda n=32: InverterChain(n),
+    "brusselator2d": lambda n=16: Brusselator2D(n),
+}
+
+
+def get_ivp(name: str, **kwargs) -> IVP:
+    """Instantiate a suite IVP by short name."""
+    try:
+        factory = _IVPS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown IVP {name!r}; choose from {sorted(_IVPS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,51 @@
+"""Classic explicit Runge-Kutta stepping."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ode.tableau import Tableau
+
+RhsFunc = Callable[[float, np.ndarray], np.ndarray]
+
+
+class ExplicitRK:
+    """Fixed-step explicit RK integrator for a strictly lower-triangular
+    tableau."""
+
+    def __init__(self, tableau: Tableau) -> None:
+        if not tableau.explicit:
+            raise ValueError(
+                f"{tableau.name} is implicit; use PIRK to iterate it"
+            )
+        self.tableau = tableau
+
+    @property
+    def name(self) -> str:
+        """Method name."""
+        return self.tableau.name
+
+    @property
+    def order(self) -> int:
+        """Classical convergence order."""
+        return self.tableau.order
+
+    def step(self, f: RhsFunc, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        """Advance ``y`` from ``t`` to ``t + h``."""
+        tab = self.tableau
+        s = tab.stages
+        k = np.empty((s,) + y.shape, dtype=y.dtype)
+        for i in range(s):
+            yi = y.copy()
+            for j in range(i):
+                aij = tab.a[i, j]
+                if aij != 0.0:
+                    yi += h * aij * k[j]
+            k[i] = f(t + tab.c[i] * h, yi)
+        out = y.copy()
+        for j in range(s):
+            if tab.b[j] != 0.0:
+                out += h * tab.b[j] * k[j]
+        return out

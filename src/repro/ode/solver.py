@@ -1,0 +1,70 @@
+"""Fixed-step integration driver and convergence-order measurement."""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.ode.ivp import IVP
+
+
+class Stepper(Protocol):
+    """Anything with a ``step(f, t, y, h) -> y_next`` method."""
+
+    name: str
+
+    def step(self, f, t: float, y: np.ndarray, h: float) -> np.ndarray:
+        """Advance one step."""
+        ...
+
+
+def integrate(
+    stepper: Stepper,
+    ivp: IVP,
+    n_steps: int,
+    t_end: float | None = None,
+) -> np.ndarray:
+    """Integrate ``ivp`` from ``t0`` to ``t_end`` in ``n_steps`` steps."""
+    if n_steps <= 0:
+        raise ValueError("n_steps must be positive")
+    t_end = ivp.t_end if t_end is None else t_end
+    h = (t_end - ivp.t0) / n_steps
+    t = ivp.t0
+    y = ivp.y0.copy()
+    for _ in range(n_steps):
+        y = stepper.step(ivp.rhs, t, y, h)
+        t += h
+    return y
+
+
+def convergence_order(
+    stepper: Stepper,
+    ivp: IVP,
+    base_steps: int = 16,
+    levels: int = 3,
+) -> float:
+    """Estimate the convergence order by Richardson-style refinement.
+
+    Integrates with ``base_steps * 2^k`` steps for ``k = 0..levels`` and
+    fits the slope of ``log(error)`` vs ``log(h)``.
+    """
+    if ivp.exact is None:
+        raise ValueError("convergence_order needs an exact solution")
+    errors = []
+    hs = []
+    for k in range(levels + 1):
+        n = base_steps * 2**k
+        y = integrate(stepper, ivp, n)
+        err = ivp.error(ivp.t_end, y)
+        if err <= 0:
+            err = 1e-300
+        errors.append(err)
+        hs.append((ivp.t_end - ivp.t0) / n)
+    log_e = np.log(errors)
+    log_h = np.log(hs)
+    slope = np.polyfit(log_h, log_e, 1)[0]
+    if not math.isfinite(slope):
+        raise RuntimeError("order fit failed (non-finite errors)")
+    return float(slope)

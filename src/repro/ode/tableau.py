@@ -1,0 +1,236 @@
+"""Butcher tableaux, including numerically derived collocation methods.
+
+Classic explicit tableaux are given literally.  The implicit tableaux
+that PIRK methods iterate — Radau IIA and Lobatto IIIC — are computed
+from their quadrature nodes: nodes come from derivative roots of the
+defining polynomials, the ``A`` matrices from moment conditions.  This
+keeps high-order coefficients exact to machine precision without
+transcribing tables, and the order conditions are unit-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Tableau:
+    """A Butcher tableau ``(A, b, c)`` with metadata."""
+
+    name: str
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    order: int
+    explicit: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        s = self.stages
+        if self.a.shape != (s, s) or self.b.shape != (s,) or self.c.shape != (s,):
+            raise ValueError(f"{self.name}: inconsistent tableau shapes")
+        if self.explicit and np.any(np.triu(self.a) != 0.0):
+            raise ValueError(f"{self.name}: explicit tableau has upper entries")
+
+    @property
+    def stages(self) -> int:
+        """Number of stages ``s``."""
+        return len(self.b)
+
+    def row_sums_consistent(self, tol: float = 1e-10) -> bool:
+        """Check the standard consistency condition ``sum_j a_ij == c_i``."""
+        return bool(np.allclose(self.a.sum(axis=1), self.c, atol=tol))
+
+    def quadrature_order(self, max_k: int = 12) -> int:
+        """Largest ``p`` with ``sum b_j c_j^(k-1) == 1/k`` for k = 1..p."""
+        p = 0
+        for k in range(1, max_k + 1):
+            lhs = float(np.sum(self.b * self.c ** (k - 1)))
+            if abs(lhs - 1.0 / k) > 1e-8:
+                break
+            p = k
+        return p
+
+
+# ----------------------------------------------------------------------
+# Explicit methods (literal coefficients)
+# ----------------------------------------------------------------------
+def euler() -> Tableau:
+    """Forward Euler (order 1)."""
+    return Tableau(
+        "Euler",
+        np.zeros((1, 1)),
+        np.array([1.0]),
+        np.array([0.0]),
+        order=1,
+        explicit=True,
+    )
+
+
+def heun() -> Tableau:
+    """Heun's method (order 2)."""
+    a = np.array([[0.0, 0.0], [1.0, 0.0]])
+    return Tableau(
+        "Heun", a, np.array([0.5, 0.5]), np.array([0.0, 1.0]), order=2,
+        explicit=True,
+    )
+
+
+def rk4() -> Tableau:
+    """The classical 4th-order Runge-Kutta method."""
+    a = np.zeros((4, 4))
+    a[1, 0] = 0.5
+    a[2, 1] = 0.5
+    a[3, 2] = 1.0
+    b = np.array([1.0, 2.0, 2.0, 1.0]) / 6.0
+    c = np.array([0.0, 0.5, 0.5, 1.0])
+    return Tableau("RK4", a, b, c, order=4, explicit=True)
+
+
+def bogacki_shampine() -> Tableau:
+    """Bogacki-Shampine 3(2) method's 3rd-order tableau."""
+    a = np.zeros((4, 4))
+    a[1, 0] = 0.5
+    a[2, 1] = 0.75
+    a[3, 0], a[3, 1], a[3, 2] = 2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0
+    b = np.array([2.0 / 9.0, 1.0 / 3.0, 4.0 / 9.0, 0.0])
+    c = np.array([0.0, 0.5, 0.75, 1.0])
+    return Tableau("BS3", a, b, c, order=3, explicit=True)
+
+
+# ----------------------------------------------------------------------
+# Collocation / quadrature tableaux (derived numerically)
+# ----------------------------------------------------------------------
+def _poly_derivative_roots(zero_mult: int, one_mult: int, order: int) -> np.ndarray:
+    """Sorted real roots of ``d^order/dx^order [x^zero_mult (x-1)^one_mult]``."""
+    poly = np.polynomial.Polynomial.fromroots(
+        [0.0] * zero_mult + [1.0] * one_mult
+    )
+    deriv = poly.deriv(order)
+    roots = deriv.roots()
+    real = np.sort(roots.real)
+    # Clean tiny imaginary noise and clamp to [0, 1].
+    return np.clip(real, 0.0, 1.0)
+
+
+def _collocation_a(c: np.ndarray) -> np.ndarray:
+    """Collocation matrix: ``sum_j a_ij c_j^k = c_i^(k+1)/(k+1)``."""
+    s = len(c)
+    # (A @ M)[i, k] = sum_j a_ij c_j^k with M[j, k] = c_j^k, so A = R M^-1.
+    m = np.vander(c, s, increasing=True)
+    rhs = np.array(
+        [[ci ** (k + 1) / (k + 1) for k in range(s)] for ci in c]
+    )
+    return rhs @ np.linalg.inv(m)
+
+
+def _quadrature_weights(c: np.ndarray) -> np.ndarray:
+    """Weights with ``sum_j b_j c_j^k = 1/(k+1)`` for k = 0..s-1."""
+    s = len(c)
+    v = np.vander(c, s, increasing=True).T
+    moments = np.array([1.0 / (k + 1) for k in range(s)])
+    return np.linalg.solve(v, moments)
+
+
+def radau_iia(s: int) -> Tableau:
+    """Radau IIA with ``s`` stages (order ``2s - 1``), via collocation.
+
+    Nodes are the roots of ``d^(s-1)/dx^(s-1) [x^(s-1) (x-1)^s]``,
+    which include the right endpoint ``c_s = 1``.
+    """
+    if s < 1:
+        raise ValueError("need at least one stage")
+    if s == 1:
+        return Tableau(
+            "RadauIIA(1)",
+            np.array([[1.0]]),
+            np.array([1.0]),
+            np.array([1.0]),
+            order=1,
+        )
+    c = _poly_derivative_roots(s - 1, s, s - 1)
+    a = _collocation_a(c)
+    b = a[-1].copy()  # stiffly accurate: b == last row of A
+    return Tableau(f"RadauIIA({2 * s - 1})", a, b, c, order=2 * s - 1)
+
+
+def gauss_legendre(s: int) -> Tableau:
+    """Gauss-Legendre collocation with ``s`` stages (order ``2s``).
+
+    Nodes are the roots of the shifted Legendre polynomial — i.e. of
+    ``d^s/dx^s [x^s (x-1)^s]``.
+    """
+    if s < 1:
+        raise ValueError("need at least one stage")
+    c = _poly_derivative_roots(s, s, s)
+    a = _collocation_a(c)
+    b = _quadrature_weights(c)
+    return Tableau(f"Gauss({2 * s})", a, b, c, order=2 * s)
+
+
+def radau_ia(s: int) -> Tableau:
+    """Radau IA with ``s`` stages (order ``2s - 1``).
+
+    Nodes include the *left* endpoint (roots of
+    ``d^(s-1)/dx^(s-1) [x^s (x-1)^(s-1)]``); the matrix satisfies the
+    ``D(s)`` simplifying conditions — the defining property of the IA
+    family (it is not a collocation method).
+    """
+    if s < 1:
+        raise ValueError("need at least one stage")
+    if s == 1:
+        return Tableau(
+            "RadauIA(1)", np.array([[1.0]]), np.array([1.0]),
+            np.array([0.0]), order=1,
+        )
+    c = _poly_derivative_roots(s, s - 1, s - 1)
+    b = _quadrature_weights(c)
+    # D(s): sum_i b_i c_i^(k-1) a_ij = (b_j / k) (1 - c_j^k), k = 1..s,
+    # solved column by column.
+    m = np.array([[b[i] * c[i] ** (k - 1) for i in range(s)]
+                  for k in range(1, s + 1)])
+    a = np.zeros((s, s))
+    for j in range(s):
+        rhs = np.array(
+            [b[j] / k * (1.0 - c[j] ** k) for k in range(1, s + 1)]
+        )
+        a[:, j] = np.linalg.solve(m, rhs)
+    return Tableau(f"RadauIA({2 * s - 1})", a, b, c, order=2 * s - 1)
+
+
+def lobatto_iiia(s: int) -> Tableau:
+    """Lobatto IIIA collocation with ``s`` stages (order ``2s - 2``)."""
+    if s < 2:
+        raise ValueError("Lobatto IIIA needs at least two stages")
+    c = _poly_derivative_roots(s - 1, s - 1, s - 2)
+    a = _collocation_a(c)
+    b = _quadrature_weights(c)
+    return Tableau(f"LobattoIIIA({2 * s - 2})", a, b, c, order=2 * s - 2)
+
+
+def lobatto_iiic(s: int) -> Tableau:
+    """Lobatto IIIC with ``s`` stages (order ``2s - 2``).
+
+    Nodes are the Lobatto quadrature points (including both endpoints);
+    the matrix satisfies ``a_i1 = b_1`` plus the ``C(s-1)`` moment
+    conditions — the defining property of the IIIC family.
+    """
+    if s < 2:
+        raise ValueError("Lobatto IIIC needs at least two stages")
+    c = _poly_derivative_roots(s - 1, s - 1, s - 2)
+    b = _quadrature_weights(c)
+    a = np.zeros((s, s))
+    for i in range(s):
+        # Unknowns a_i1..a_is: first equation pins a_i1 = b_1, the rest
+        # are moment conditions sum_j a_ij c_j^k = c_i^(k+1)/(k+1),
+        # k = 0..s-2.
+        m = np.zeros((s, s))
+        rhs = np.zeros(s)
+        m[0, 0] = 1.0
+        rhs[0] = b[0]
+        for k in range(s - 1):
+            m[k + 1, :] = c**k
+            rhs[k + 1] = c[i] ** (k + 1) / (k + 1)
+        a[i] = np.linalg.solve(m, rhs)
+    return Tableau(f"LobattoIIIC({2 * s - 2})", a, b, c, order=2 * s - 2)

@@ -1,0 +1,45 @@
+"""Offsite substitute: offline tuning of explicit ODE method kernels.
+
+Offsite decomposes a PIRK time step into grid kernels (stage RHS
+sweeps, linear combinations, fused forms), asks YaskSite's ECM model
+for the runtime of each, and ranks whole implementation variants
+without running them.  This package reproduces that pipeline:
+
+* :mod:`repro.offsite.kernels` — composite kernel descriptions
+  (multi-stream reads/writes, stencil radii, flops).
+* :mod:`repro.offsite.variants` — the PIRK implementation-variant zoo.
+* :mod:`repro.offsite.composite` — ECM prediction and exact-cache
+  simulation for composite kernels.
+* :mod:`repro.offsite.execute` — NumPy executors proving all variants
+  compute the same step as :class:`repro.ode.PIRK`.
+* :mod:`repro.offsite.tuner` — ranking, validation, cost ledger.
+"""
+
+from repro.offsite.kernels import CompositeKernel, ReadStream, WriteStream
+from repro.offsite.variants import Variant, pirk_variants
+from repro.offsite.composite import (
+    VariantGrids,
+    measure_kernel,
+    predict_kernel,
+)
+from repro.offsite.execute import execute_variant_step
+from repro.offsite.tuner import OffsiteTuner, RankingReport, VariantTiming
+from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
+
+__all__ = [
+    "CompositeKernel",
+    "ReadStream",
+    "WriteStream",
+    "Variant",
+    "pirk_variants",
+    "VariantGrids",
+    "predict_kernel",
+    "measure_kernel",
+    "execute_variant_step",
+    "OffsiteTuner",
+    "RankingReport",
+    "VariantTiming",
+    "TuningDatabase",
+    "TuningKey",
+    "TuningRecord",
+]

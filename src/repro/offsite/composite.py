@@ -1,0 +1,333 @@
+"""ECM prediction and exact-cache measurement for composite kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import prod
+from typing import Iterator
+
+import numpy as np
+
+from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
+from repro.codegen.plan import KernelPlan
+from repro.ecm.layer_conditions import effective_capacity
+from repro.grid.grid import Grid
+from repro.machine.machine import Machine
+from repro.offsite.kernels import CompositeKernel
+from repro.perf.simulate import NOISE_SIGMA, PIPELINE_FACTOR
+
+
+class VariantGrids:
+    """Named arrays of one ODE variant in a shared address space."""
+
+    PAGE = 4096
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        interior_shape: tuple[int, ...],
+        halo: int,
+        dtype_bytes: int = 8,
+    ) -> None:
+        self.interior_shape = tuple(interior_shape)
+        self._grids: dict[str, Grid] = {}
+        addr = 0
+        for name in names:
+            grid = Grid(
+                name=name,
+                interior_shape=self.interior_shape,
+                halo=halo,
+                dtype_bytes=dtype_bytes,
+                base_addr=addr,
+            )
+            self._grids[name] = grid
+            addr += grid.footprint_bytes
+            addr += (-addr) % self.PAGE
+
+    def __getitem__(self, name: str) -> Grid:
+        return self._grids[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._grids
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Array names in address order."""
+        return tuple(self._grids)
+
+
+def _star_offsets(dim: int, radius: int) -> list[tuple[int, ...]]:
+    offs = [tuple([0] * dim)]
+    for axis in range(dim):
+        for k in range(1, radius + 1):
+            for sign in (-1, 1):
+                off = [0] * dim
+                off[axis] = sign * k
+                offs.append(tuple(off))
+    return offs
+
+
+# ----------------------------------------------------------------------
+# Analytic prediction (the Offsite-side use of the ECM model)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompositePrediction:
+    """ECM-style prediction for one composite kernel."""
+
+    kernel_name: str
+    machine_name: str
+    cycles_per_lup: float
+    t_data_per_lup: tuple[float, ...]
+    regimes: tuple[str, ...]
+    mem_bytes_per_lup: float
+
+    def seconds_per_lup(self, freq_ghz: float) -> float:
+        """Wall seconds per lattice update."""
+        return self.cycles_per_lup / (freq_ghz * 1e9)
+
+
+def predict_kernel(
+    kernel: CompositeKernel,
+    interior_shape: tuple[int, ...],
+    plan: KernelPlan,
+    machine: Machine,
+    dim: int = 3,
+    dtype_bytes: int = 8,
+    capacity_factor: float = 1.0,
+) -> CompositePrediction:
+    """Analytic cycles/LUP of a composite kernel (no execution)."""
+    plan = plan.clipped(interior_shape)
+    core = machine.core
+    lanes = core.simd_lanes(dtype_bytes)
+    nx = plan.block[dim - 1]
+    by = plan.block[dim - 2] if dim >= 2 else 1
+    bz = plan.block[0] if dim >= 3 else 1
+
+    # In-core terms per lattice update.
+    uops = kernel.flops_per_lup / 2.0  # ideal FMA contraction
+    t_ol = uops / core.fma_ports / lanes
+    t_nol = (
+        kernel.loads_per_lup() / core.load_ports
+        + kernel.n_store_streams / core.store_ports
+    ) / lanes
+
+    # Working sets for the layer conditions.
+    ws_row = 0.0
+    ws_plane = 0.0
+    for r in kernel.reads:
+        ws_row += (r.n_rows() + 1) * nx * dtype_bytes
+        ext = 2 * r.radius
+        ext_z = ext if dim >= 3 else 0
+        ext_y = ext if dim >= 2 else 0
+        # See repro.ecm.layer_conditions: in-flight planes keep `by`
+        # rows each; only the centre plane adds the full y-window.
+        ws_plane += ((ext_z + 1) * by + ext_y) * nx * dtype_bytes
+    for w in kernel.writes:
+        if not w.also_read:
+            ws_row += 2 * nx * dtype_bytes
+            ws_plane += by * nx * dtype_bytes
+
+    regimes = []
+    t_data = []
+    mem_bytes = 0.0
+    for k in range(machine.n_levels):
+        cap = effective_capacity(machine, k) * capacity_factor
+        if cap >= ws_plane:
+            regime = "plane"
+        elif cap >= ws_row:
+            regime = "row"
+        else:
+            regime = "none"
+        elems = 0.0
+        for r in kernel.reads:
+            if regime == "plane":
+                vol = 1.0
+                ext = 2 * r.radius
+                if dim >= 3 and bz < interior_shape[0]:
+                    vol *= 1.0 + ext / bz
+                if dim >= 2 and by < interior_shape[dim - 2]:
+                    vol *= 1.0 + ext / by
+                elems += vol
+            elif regime == "row":
+                elems += r.n_groups()
+            else:
+                elems += r.n_rows()
+        for w in kernel.writes:
+            elems += 1.0 if w.also_read else 2.0
+        bytes_per_lup = elems * dtype_bytes
+        if k == machine.n_levels - 1:
+            cycles = (
+                bytes_per_lup * machine.mem_cycles_per_line(1) / machine.line_bytes
+            )
+            mem_bytes = bytes_per_lup
+        else:
+            cycles = bytes_per_lup / machine.caches[k].bytes_per_cycle
+        regimes.append(regime)
+        t_data.append(cycles)
+
+    cycles_per_lup = max(t_ol, t_nol + sum(t_data))
+    return CompositePrediction(
+        kernel_name=kernel.name,
+        machine_name=machine.name,
+        cycles_per_lup=cycles_per_lup,
+        t_data_per_lup=tuple(t_data),
+        regimes=tuple(regimes),
+        mem_bytes_per_lup=mem_bytes,
+    )
+
+
+def select_kernel_block(
+    kernel: CompositeKernel,
+    interior_shape: tuple[int, ...],
+    machine: Machine,
+    dim: int = 3,
+    capacity_factor: float = 1.0,
+) -> KernelPlan:
+    """Analytic per-kernel block choice (YaskSite service to Offsite).
+
+    Same candidate structure as the stencil tuner: power-of-two blocks
+    on the non-unit-stride axes, x kept full, best predicted cycles
+    wins (ties toward the largest block).
+    """
+    from itertools import product as _product
+
+    per_axis: list[list[int]] = []
+    for axis in range(dim):
+        if axis == dim - 1:
+            per_axis.append([interior_shape[axis]])
+            continue
+        sizes = []
+        b = 4
+        while b < interior_shape[axis]:
+            sizes.append(b)
+            b *= 2
+        sizes.append(interior_shape[axis])
+        per_axis.append(sizes)
+    best: tuple[float, int, KernelPlan] | None = None
+    for combo in _product(*per_axis):
+        plan = KernelPlan(block=combo)
+        pred = predict_kernel(
+            kernel, interior_shape, plan, machine,
+            dim=dim, capacity_factor=capacity_factor,
+        )
+        key = (pred.cycles_per_lup, -plan.block_volume())
+        if best is None or key < (best[0], best[1]):
+            best = (pred.cycles_per_lup, -plan.block_volume(), plan)
+    assert best is not None
+    return best[2]
+
+
+# ----------------------------------------------------------------------
+# Exact-cache "measurement"
+# ----------------------------------------------------------------------
+def kernel_stream(
+    kernel: CompositeKernel,
+    grids: VariantGrids,
+    plan: KernelPlan,
+    dim: int,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Line-access stream of one composite-kernel sweep."""
+    shape = grids.interior_shape
+    plan = plan.clipped(shape)
+    line_bytes = 64
+    halo = grids[kernel.grids[0]].halo
+    dtype = 8
+
+    # Precompute (grid, offset, is_write) columns.
+    read_cols: list[tuple[str, tuple[int, ...]]] = []
+    for r in kernel.reads:
+        for off in _star_offsets(dim, r.radius):
+            read_cols.append((r.grid, off))
+    write_cols = [w.grid for w in kernel.writes]
+
+    order = plan.order()
+    ranges = [
+        [(lo, min(lo + plan.block[a], shape[a]))
+         for lo in range(0, shape[a], plan.block[a])]
+        for a in range(dim)
+    ]
+    ordered = [ranges[a] for a in order]
+    zero_tail = (0,) * 1
+    for combo in product(*ordered):
+        bounds: list[tuple[int, int]] = [None] * dim  # type: ignore[list-item]
+        for axis, rng in zip(order, combo):
+            bounds[axis] = rng
+        x0, x1 = bounds[dim - 1]
+        n = x1 - x0
+        if n <= 0:
+            continue
+        outer_iters = [range(b[0], b[1]) for b in bounds[:-1]]
+        for outer in product(*outer_iters):
+            firsts = []
+            flags = []
+            seen: dict[int, int] = {}
+            for g, off in read_cols:
+                layout = grids[g].layout
+                idx = tuple(
+                    o + halo + d for o, d in zip(off[:-1], outer)
+                ) + (off[-1] + halo + x0,)
+                line = layout.element_addr(idx) // line_bytes
+                if line in seen:
+                    continue
+                seen[line] = 1
+                firsts.append(line)
+                flags.append(False)
+            for g in write_cols:
+                layout = grids[g].layout
+                idx = tuple(halo + d for d in outer) + (halo + x0,)
+                line = layout.element_addr(idx) // line_bytes
+                firsts.append(line)
+                flags.append(True)
+            first_addr = grids[write_cols[0]].layout.element_addr(
+                tuple(halo + d for d in outer) + (halo + x0,)
+            )
+            last_addr = first_addr + (n - 1) * dtype
+            n_chunks = int(last_addr // line_bytes - first_addr // line_bytes + 1)
+            cols = np.array(firsts, dtype=np.int64)
+            lines = (
+                cols[None, :] + np.arange(n_chunks, dtype=np.int64)[:, None]
+            ).ravel()
+            writes = np.tile(np.array(flags, dtype=bool), n_chunks)
+            yield lines, writes
+
+
+def measure_kernel(
+    kernel: CompositeKernel,
+    grids: VariantGrids,
+    plan: KernelPlan,
+    machine: Machine,
+    dim: int = 3,
+    seed: int = 0,
+    warmup: bool = True,
+) -> tuple[float, TrafficReport]:
+    """Simulated (cycles/LUP, traffic) of one composite-kernel sweep."""
+    hier = CacheHierarchy(machine)
+    if warmup:
+        for lines, writes in kernel_stream(kernel, grids, plan, dim):
+            hier.access_many(lines, writes)
+        hier.reset_counters()
+    for lines, writes in kernel_stream(kernel, grids, plan, dim):
+        hier.access_many(lines, writes)
+    lups = prod(grids.interior_shape)
+    traffic = hier.report(lups=lups)
+
+    core = machine.core
+    lanes = core.simd_lanes(8)
+    t_exec = kernel.flops_per_lup / 2.0 / core.fma_ports / lanes * PIPELINE_FACTOR
+    t_ports = (
+        kernel.loads_per_lup() / core.load_ports
+        + kernel.n_store_streams / core.store_ports
+    ) / lanes
+    t_traffic = 0.0
+    for k in range(len(traffic.loads)):
+        lines_per_lup = traffic.total_lines(k) / lups
+        if k == len(traffic.loads) - 1:
+            cy = machine.mem_cycles_per_line(1)
+        else:
+            cy = machine.caches[k].cycles_per_line()
+        t_traffic += lines_per_lup * cy
+    cycles = max(t_exec, t_ports + t_traffic)
+    rng = np.random.default_rng(seed)
+    cycles *= 1.0 + rng.normal(0.0, NOISE_SIGMA)
+    return float(cycles), traffic

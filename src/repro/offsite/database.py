@@ -1,0 +1,141 @@
+"""Offline tuning database.
+
+Offsite's whole point is tuning *ahead of time*: rankings are computed
+once per (method, problem, machine, grid) and stored, then the runtime
+just looks the best variant up.  This module provides that store as a
+JSON-backed database with nearest-grid lookup.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from math import prod
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class TuningKey:
+    """Identity of one tuning record."""
+
+    method: str
+    ivp: str
+    machine: str
+    grid: tuple[int, ...]
+
+    def to_str(self) -> str:
+        """Stable string form used as the JSON key."""
+        return f"{self.method}|{self.ivp}|{self.machine}|" + "x".join(
+            map(str, self.grid)
+        )
+
+    @staticmethod
+    def from_str(text: str) -> "TuningKey":
+        """Inverse of :meth:`to_str`."""
+        try:
+            method, ivp, machine, grid = text.split("|")
+            return TuningKey(
+                method, ivp, machine, tuple(int(g) for g in grid.split("x"))
+            )
+        except ValueError:
+            raise ValueError(f"malformed tuning key {text!r}") from None
+
+
+@dataclass
+class TuningRecord:
+    """Stored outcome of one offline tuning run."""
+
+    key: TuningKey
+    best_variant: str
+    block: tuple[int, ...]
+    predicted_s_per_step: float
+    ranking: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        """JSON-compatible form."""
+        data = asdict(self)
+        data["key"] = self.key.to_str()
+        data["block"] = list(self.block)
+        return data
+
+    @staticmethod
+    def from_json(data: dict) -> "TuningRecord":
+        """Inverse of :meth:`to_json`."""
+        return TuningRecord(
+            key=TuningKey.from_str(data["key"]),
+            best_variant=data["best_variant"],
+            block=tuple(data["block"]),
+            predicted_s_per_step=data["predicted_s_per_step"],
+            ranking=list(data.get("ranking", [])),
+        )
+
+
+class TuningDatabase:
+    """In-memory tuning store with optional JSON persistence."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, TuningRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def put(self, record: TuningRecord) -> None:
+        """Insert or replace a record."""
+        self._records[record.key.to_str()] = record
+
+    def get(self, key: TuningKey) -> TuningRecord | None:
+        """Exact lookup."""
+        return self._records.get(key.to_str())
+
+    def lookup(self, key: TuningKey) -> TuningRecord | None:
+        """Exact match, else the record with the closest grid volume
+        for the same (method, ivp, machine) — Offsite's fallback when a
+        runtime grid was not tuned explicitly."""
+        exact = self.get(key)
+        if exact is not None:
+            return exact
+        candidates = [
+            r
+            for r in self._records.values()
+            if (r.key.method, r.key.ivp, r.key.machine)
+            == (key.method, key.ivp, key.machine)
+        ]
+        if not candidates:
+            return None
+        target = prod(key.grid)
+        return min(
+            candidates, key=lambda r: abs(prod(r.key.grid) - target)
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist all records as JSON."""
+        data = [r.to_json() for r in self._records.values()]
+        Path(path).write_text(json.dumps(data, indent=2) + "\n")
+
+    @staticmethod
+    def load(path: str | Path) -> "TuningDatabase":
+        """Load a database previously written by :meth:`save`."""
+        db = TuningDatabase()
+        for item in json.loads(Path(path).read_text()):
+            db.put(TuningRecord.from_json(item))
+        return db
+
+    # ------------------------------------------------------------------
+    def record_report(self, report, grid: tuple[int, ...],
+                      block: tuple[int, ...]) -> TuningRecord:
+        """Store the outcome of an ``OffsiteTuner`` run."""
+        best = report.best_predicted()
+        ranking = [
+            t.variant
+            for t in sorted(report.timings, key=lambda t: t.predicted_s)
+        ]
+        record = TuningRecord(
+            key=TuningKey(report.method, report.ivp, report.machine, grid),
+            best_variant=best.variant,
+            block=block,
+            predicted_s_per_step=best.predicted_s,
+            ranking=ranking,
+        )
+        self.put(record)
+        return record

@@ -1,0 +1,112 @@
+"""Numerical executors for the PIRK implementation variants.
+
+Every variant reorganises the same arithmetic; these reference
+executors prove it, so that ranking variants by *performance* is known
+not to change the *numerics* (validated in the test suite against
+:class:`repro.ode.PIRK`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ode.tableau import Tableau
+
+RhsFunc = Callable[[float, np.ndarray], np.ndarray]
+
+
+def _final_combination(
+    tab: Tableau, rhs: RhsFunc, t: float, y: np.ndarray, h: float,
+    stage_y: np.ndarray,
+) -> np.ndarray:
+    out = y.copy()
+    for l in range(tab.stages):
+        out += h * tab.b[l] * rhs(t + tab.c[l] * h, stage_y[l])
+    return out
+
+
+def _step_split(tab, m, rhs, t, y, h):
+    """Materialise all F_l, then build each Y_i in its own pass."""
+    s = tab.stages
+    stage_y = np.broadcast_to(y, (s,) + y.shape).copy()
+    for _ in range(m):
+        f = np.stack([rhs(t + tab.c[l] * h, stage_y[l]) for l in range(s)])
+        new = np.empty_like(stage_y)
+        for i in range(s):
+            acc = y.copy()
+            for l in range(s):
+                acc += h * tab.a[i, l] * f[l]
+            new[i] = acc
+        stage_y = new
+    return _final_combination(tab, rhs, t, y, h, stage_y)
+
+
+def _step_fused_lc(tab, m, rhs, t, y, h):
+    """Materialise all F_l, build all Y_i in one fused pass."""
+    s = tab.stages
+    stage_y = np.broadcast_to(y, (s,) + y.shape).copy()
+    for _ in range(m):
+        f = np.stack([rhs(t + tab.c[l] * h, stage_y[l]) for l in range(s)])
+        # One sweep producing every stage: identical arithmetic, one pass.
+        stage_y = y[None, :] + h * np.einsum("il,l...->i...", tab.a, f)
+    return _final_combination(tab, rhs, t, y, h, stage_y)
+
+
+def _step_scatter(tab, m, rhs, t, y, h):
+    """Compute f(Y_l) once and scatter it into all accumulators."""
+    s = tab.stages
+    stage_y = np.broadcast_to(y, (s,) + y.shape).copy()
+    for _ in range(m):
+        acc = np.broadcast_to(y, (s,) + y.shape).copy()
+        for l in range(s):
+            f_l = rhs(t + tab.c[l] * h, stage_y[l])
+            for i in range(s):
+                acc[i] += h * tab.a[i, l] * f_l
+        stage_y = acc
+    return _final_combination(tab, rhs, t, y, h, stage_y)
+
+
+def _step_gather(tab, m, rhs, t, y, h):
+    """Recompute every f(Y_l) per target stage (no F storage)."""
+    s = tab.stages
+    stage_y = np.broadcast_to(y, (s,) + y.shape).copy()
+    for _ in range(m):
+        new = np.empty_like(stage_y)
+        for i in range(s):
+            acc = y.copy()
+            for l in range(s):
+                acc += h * tab.a[i, l] * rhs(t + tab.c[l] * h, stage_y[l])
+            new[i] = acc
+        stage_y = new
+    return _final_combination(tab, rhs, t, y, h, stage_y)
+
+
+_EXECUTORS = {
+    "split": _step_split,
+    "fused_lc": _step_fused_lc,
+    "scatter": _step_scatter,
+    "gather": _step_gather,
+}
+
+
+def execute_variant_step(
+    variant_name: str,
+    tableau: Tableau,
+    corrector_steps: int,
+    rhs: RhsFunc,
+    t: float,
+    y: np.ndarray,
+    h: float,
+) -> np.ndarray:
+    """Advance one PIRK step using the named variant's schedule."""
+    try:
+        executor = _EXECUTORS[variant_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {variant_name!r}; choose from {sorted(_EXECUTORS)}"
+        ) from None
+    if corrector_steps < 1:
+        raise ValueError("need at least one corrector step")
+    return executor(tableau, corrector_steps, rhs, t, y, h)

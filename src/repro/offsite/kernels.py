@@ -1,0 +1,121 @@
+"""Composite kernel descriptions for ODE-method building blocks.
+
+A PIRK step is built from grid kernels that are more general than the
+single-output :class:`~repro.stencil.StencilSpec`: a fused linear
+combination writes several stage grids in one sweep, a scatter kernel
+reads *and* writes its accumulators.  :class:`CompositeKernel` captures
+exactly what the performance machinery needs: the read streams (with
+their stencil radius), the write streams (with an also-read flag), and
+the arithmetic per lattice update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReadStream:
+    """One input array of a composite kernel.
+
+    ``radius``/``dim`` describe the access pattern: radius 0 is a pure
+    unit-stride stream, radius >= 1 a star stencil of that radius.
+    """
+
+    grid: str
+    radius: int = 0
+    dim: int = 3
+
+    def n_accesses(self) -> int:
+        """Distinct read offsets per lattice update (star pattern)."""
+        return 2 * self.radius * self.dim + 1
+
+    def n_rows(self) -> int:
+        """Distinct row projections (all axes but x)."""
+        if self.radius == 0:
+            return 1
+        return 4 * self.radius + 1 if self.dim >= 3 else 2 * self.radius + 1
+
+    def n_groups(self) -> int:
+        """Distinct outermost-axis offsets."""
+        if self.radius == 0 or self.dim < 3:
+            return 1
+        return 2 * self.radius + 1
+
+
+@dataclass(frozen=True)
+class WriteStream:
+    """One output array; ``also_read`` marks read-modify-write streams."""
+
+    grid: str
+    also_read: bool = False
+
+
+@dataclass(frozen=True)
+class CompositeKernel:
+    """A single fused sweep over the grid.
+
+    ``flops_per_lup`` counts floating-point operations per lattice
+    update of the sweep (not per written element).
+    """
+
+    name: str
+    reads: tuple[ReadStream, ...]
+    writes: tuple[WriteStream, ...]
+    flops_per_lup: float
+
+    def __post_init__(self) -> None:
+        if not self.writes:
+            raise ValueError(f"{self.name}: a kernel must write something")
+        read_names = [r.grid for r in self.reads]
+        if len(set(read_names)) != len(read_names):
+            raise ValueError(f"{self.name}: duplicate read streams")
+        write_names = [w.grid for w in self.writes]
+        if len(set(write_names)) != len(write_names):
+            raise ValueError(f"{self.name}: duplicate write streams")
+        for w in self.writes:
+            if w.also_read and w.grid not in read_names:
+                raise ValueError(
+                    f"{self.name}: {w.grid} marked also_read but not read"
+                )
+            if not w.also_read and w.grid in read_names:
+                raise ValueError(
+                    f"{self.name}: {w.grid} is read but not marked also_read"
+                )
+
+    @property
+    def grids(self) -> tuple[str, ...]:
+        """All arrays touched, reads first, write-only outputs last."""
+        names = [r.grid for r in self.reads]
+        names += [w.grid for w in self.writes if not w.also_read]
+        return tuple(names)
+
+    @property
+    def max_radius(self) -> int:
+        """Largest read radius (halo requirement)."""
+        return max((r.radius for r in self.reads), default=0)
+
+    @property
+    def n_load_streams(self) -> int:
+        """Distinct input arrays."""
+        return len(self.reads)
+
+    @property
+    def n_store_streams(self) -> int:
+        """Distinct output arrays."""
+        return len(self.writes)
+
+    def loads_per_lup(self) -> int:
+        """SIMD loads per lattice update (one per distinct offset)."""
+        return sum(r.n_accesses() for r in self.reads)
+
+    def min_memory_bytes_per_lup(self, dtype_bytes: int = 8) -> float:
+        """Perfect-cache main-memory traffic per update.
+
+        Reads stream once; write-only streams add write-allocate +
+        write-back, read-modify-write streams only the write-back.
+        """
+        elems = float(len(self.reads))
+        for w in self.writes:
+            elems += 1.0 if w.also_read else 2.0
+        return elems * dtype_bytes

@@ -1,0 +1,236 @@
+"""The offline tuner: predict, rank, validate, account costs."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import prod
+
+from repro.codegen.plan import KernelPlan
+from repro.machine.machine import Machine
+from repro.offsite.composite import (
+    VariantGrids,
+    measure_kernel,
+    predict_kernel,
+    select_kernel_block,
+)
+from repro.offsite.variants import Variant, pirk_variants
+from repro.ode.pirk import PIRK
+
+
+@dataclass(frozen=True)
+class VariantTiming:
+    """Predicted and (optionally) measured step time of one variant."""
+
+    variant: str
+    predicted_s: float
+    measured_s: float | None
+    sweeps_per_step: int
+    mem_bytes_per_lup: float
+
+    @property
+    def error_pct(self) -> float | None:
+        """Signed prediction error in percent of the measurement."""
+        if self.measured_s is None or self.measured_s == 0:
+            return None
+        return 100.0 * (self.predicted_s - self.measured_s) / self.measured_s
+
+
+@dataclass
+class RankingReport:
+    """Outcome of one Offsite tuning run (experiment F5 rows)."""
+
+    method: str
+    ivp: str
+    machine: str
+    timings: list[VariantTiming]
+    kendall_tau: float | None
+    top1_hit: bool | None
+    predict_seconds: float
+    measure_seconds: float
+
+    def best_predicted(self) -> VariantTiming:
+        """The variant the tuner would deploy."""
+        return min(self.timings, key=lambda v: v.predicted_s)
+
+    def best_measured(self) -> VariantTiming:
+        """The variant an oracle with measurements would deploy."""
+        measured = [v for v in self.timings if v.measured_s is not None]
+        if not measured:
+            raise ValueError("no measurements available")
+        return min(measured, key=lambda v: v.measured_s)
+
+
+def kendall_tau(order_a: list[str], order_b: list[str]) -> float:
+    """Kendall rank correlation between two orderings of the same items."""
+    if sorted(order_a) != sorted(order_b):
+        raise ValueError("orderings must contain the same items")
+    n = len(order_a)
+    if n < 2:
+        return 1.0
+    pos_b = {item: i for i, item in enumerate(order_b)}
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if pos_b[order_a[i]] < pos_b[order_a[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+class OffsiteTuner:
+    """Rank PIRK implementation variants for a grid IVP on a machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        block: tuple[int, ...] | str | None = None,
+        capacity_factor: float = 1.0,
+    ) -> None:
+        """``block`` may be an explicit tuple, ``None`` (whole grid),
+        or ``"auto"`` for per-kernel analytic selection."""
+        self.machine = machine
+        self.block = block
+        self.capacity_factor = capacity_factor
+
+    def _plan_for(self, kernel, grid_shape: tuple[int, ...], dim: int) -> KernelPlan:
+        if self.block == "auto":
+            return select_kernel_block(
+                kernel, grid_shape, self.machine,
+                dim=dim, capacity_factor=self.capacity_factor,
+            )
+        if isinstance(self.block, str):
+            raise ValueError(f"unknown block policy {self.block!r}")
+        return KernelPlan(block=self.block or tuple(grid_shape))
+
+    def _grid_names(self, variant: Variant) -> tuple[str, ...]:
+        names = set()
+        for kernel, _ in variant.kernels:
+            names.update(kernel.grids)
+        return tuple(sorted(names))
+
+    def tune(
+        self,
+        method: PIRK,
+        grid_shape: tuple[int, ...],
+        validate: bool = True,
+        dim: int | None = None,
+        radius: int = 1,
+        seed: int = 0,
+        ivp_name: str | None = None,
+    ) -> RankingReport:
+        """Predict (and optionally measure) every variant; rank them.
+
+        The step time of a variant is ``m`` corrector iterations plus
+        the final b-combination sweep, all scaled by the grid size.
+        """
+        dim = dim if dim is not None else len(grid_shape)
+        s = method.stages
+        m = method.m
+        lups = prod(grid_shape)
+        variants = pirk_variants(s, dim=dim, radius=radius)
+
+        t0 = time.perf_counter()
+        predicted: dict[str, tuple[float, float]] = {}
+        final_kernel = _final_lc_kernel(s, dim, radius)
+        final_plan = self._plan_for(final_kernel, grid_shape, dim)
+        for var in variants:
+            cycles = 0.0
+            mem_bytes = 0.0
+            for kernel, count in var.kernels:
+                pred = predict_kernel(
+                    kernel,
+                    grid_shape,
+                    self._plan_for(kernel, grid_shape, dim),
+                    self.machine,
+                    dim=dim,
+                    capacity_factor=self.capacity_factor,
+                )
+                cycles += pred.cycles_per_lup * count
+                mem_bytes += pred.mem_bytes_per_lup * count
+            # m corrector iterations + the final b-combination sweep.
+            final_lc = predict_kernel(
+                final_kernel,
+                grid_shape,
+                final_plan,
+                self.machine,
+                dim=dim,
+                capacity_factor=self.capacity_factor,
+            )
+            total_cycles = cycles * m + final_lc.cycles_per_lup
+            predicted[var.name] = (
+                total_cycles * lups / (self.machine.freq_ghz * 1e9),
+                mem_bytes,
+            )
+        predict_seconds = time.perf_counter() - t0
+
+        measured: dict[str, float] = {}
+        t0 = time.perf_counter()
+        if validate:
+            for i, var in enumerate(variants):
+                cycles = 0.0
+                names = self._grid_names(var)
+                grids = VariantGrids(names, grid_shape, halo=radius)
+                for kernel, count in var.kernels:
+                    cy, _ = measure_kernel(
+                        kernel, grids,
+                        self._plan_for(kernel, grid_shape, dim),
+                        self.machine, dim=dim, seed=seed + i,
+                    )
+                    cycles += cy * count
+                fg = VariantGrids(
+                    tuple(sorted(set(final_kernel.grids))), grid_shape,
+                    halo=radius,
+                )
+                cy, _ = measure_kernel(
+                    final_kernel, fg, final_plan, self.machine,
+                    dim=dim, seed=seed + 100 + i,
+                )
+                total = cycles * m + cy
+                measured[var.name] = total * lups / (self.machine.freq_ghz * 1e9)
+        measure_seconds = time.perf_counter() - t0
+
+        timings = [
+            VariantTiming(
+                variant=var.name,
+                predicted_s=predicted[var.name][0],
+                measured_s=measured.get(var.name),
+                sweeps_per_step=var.sweeps_per_iteration() * m + 1,
+                mem_bytes_per_lup=predicted[var.name][1],
+            )
+            for var in variants
+        ]
+        tau = None
+        top1 = None
+        if validate:
+            pred_order = sorted(predicted, key=lambda v: predicted[v][0])
+            meas_order = sorted(measured, key=lambda v: measured[v])
+            tau = kendall_tau(pred_order, meas_order)
+            top1 = pred_order[0] == meas_order[0]
+        return RankingReport(
+            method=method.name,
+            ivp=ivp_name or f"grid{grid_shape}",
+            machine=self.machine.name,
+            timings=timings,
+            kendall_tau=tau,
+            top1_hit=top1,
+            predict_seconds=predict_seconds,
+            measure_seconds=measure_seconds,
+        )
+
+
+def _final_lc_kernel(s: int, dim: int, radius: int):
+    """The b-combination sweep shared by all variants."""
+    from repro.offsite.kernels import CompositeKernel, ReadStream, WriteStream
+
+    return CompositeKernel(
+        name="final_lc",
+        reads=tuple(
+            [ReadStream("y")]
+            + [ReadStream(f"Fi{l}", radius, dim) for l in range(s)]
+        ),
+        writes=(WriteStream("ynext"),),
+        flops_per_lup=2.0 * s + s * (2 * radius * dim + 1) * 2.0,
+    )

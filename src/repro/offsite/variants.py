@@ -1,0 +1,137 @@
+"""Implementation variants of one PIRK corrector iteration.
+
+Following Offsite's kernel taxonomy, one fixed-point iteration
+
+    Y_i <- y + h * sum_l a_il f(Y_l),      i = 1..s
+
+can be scheduled over the grid in several ways with identical numerics
+but very different stream counts and reuse:
+
+* ``split``    — s RHS sweeps materialise F_l, then s LC sweeps build
+  each Y_i from (y, F_1..F_s).
+* ``fused_lc`` — s RHS sweeps, then ONE sweep building all Y_i
+  (reads y, F_1..F_s; writes s arrays).
+* ``scatter``  — per stage l one fused sweep computes f(Y_l) on the
+  fly and accumulates ``acc_i += a_il * f`` into all s accumulators
+  (read-modify-write), no F storage.
+* ``gather``   — per stage i one sweep reads all Y_l (stencil reads!)
+  and recomputes every f(Y_l) to form Y_i directly: minimal storage,
+  s-fold arithmetic redundancy.
+
+The final b-combination after the last iteration is one more LC-type
+sweep, identical across variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.offsite.kernels import CompositeKernel, ReadStream, WriteStream
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One scheduling of a PIRK corrector iteration.
+
+    ``kernels`` lists ``(kernel, invocations per corrector iteration)``.
+    ``extra_arrays`` counts stage-storage arrays beyond ``y`` and the
+    stage vectors themselves (memory footprint bookkeeping).
+    """
+
+    name: str
+    stages: int
+    kernels: tuple[tuple[CompositeKernel, int], ...]
+    extra_arrays: int
+
+    def sweeps_per_iteration(self) -> int:
+        """Grid sweeps one corrector iteration performs."""
+        return sum(count for _, count in self.kernels)
+
+    def flops_per_lup_iteration(self) -> float:
+        """Arithmetic per lattice update and corrector iteration."""
+        return sum(k.flops_per_lup * c for k, c in self.kernels)
+
+    def min_memory_bytes_per_iteration(self, dtype_bytes: int = 8) -> float:
+        """Perfect-cache memory bytes per update and iteration."""
+        return sum(
+            k.min_memory_bytes_per_lup(dtype_bytes) * c for k, c in self.kernels
+        )
+
+
+def _stencil_flops(dim: int, radius: int) -> float:
+    """Flops of the heat-type RHS stencil (star, given radius)."""
+    points = 2 * radius * dim + 1
+    return 2.0 * points  # one multiply-add per point, roughly
+
+
+def pirk_variants(stages: int, dim: int = 3, radius: int = 1) -> list[Variant]:
+    """Build the four canonical variants for an ``stages``-stage PIRK."""
+    if stages < 1:
+        raise ValueError("stages must be positive")
+    s = stages
+    f_stencil = _stencil_flops(dim, radius)
+
+    rhs = CompositeKernel(
+        name="rhs",
+        reads=(ReadStream("Y", radius, dim),),
+        writes=(WriteStream("F"),),
+        flops_per_lup=f_stencil,
+    )
+    lc_single = CompositeKernel(
+        name="lc_single",
+        reads=tuple(
+            [ReadStream("y")] + [ReadStream(f"F{l}") for l in range(s)]
+        ),
+        writes=(WriteStream("Ynext"),),
+        flops_per_lup=2.0 * s,
+    )
+    lc_fused = CompositeKernel(
+        name="lc_fused",
+        reads=tuple(
+            [ReadStream("y")] + [ReadStream(f"F{l}") for l in range(s)]
+        ),
+        writes=tuple(WriteStream(f"Y{i}") for i in range(s)),
+        flops_per_lup=2.0 * s * s,
+    )
+    scatter = CompositeKernel(
+        name="scatter",
+        reads=tuple(
+            [ReadStream("Yl", radius, dim)]
+            + [ReadStream(f"acc{i}") for i in range(s)]
+        ),
+        writes=tuple(WriteStream(f"acc{i}", also_read=True) for i in range(s)),
+        flops_per_lup=f_stencil + 2.0 * s,
+    )
+    gather = CompositeKernel(
+        name="gather",
+        reads=tuple(ReadStream(f"Y{l}", radius, dim) for l in range(s)),
+        writes=(WriteStream("Ynext"),),
+        flops_per_lup=s * f_stencil + 2.0 * s,
+    )
+
+    return [
+        Variant(
+            name="split",
+            stages=s,
+            kernels=((rhs, s), (lc_single, s)),
+            extra_arrays=s,  # the F_l
+        ),
+        Variant(
+            name="fused_lc",
+            stages=s,
+            kernels=((rhs, s), (lc_fused, 1)),
+            extra_arrays=s,
+        ),
+        Variant(
+            name="scatter",
+            stages=s,
+            kernels=((scatter, s),),
+            extra_arrays=s,  # the accumulators double as next iterates
+        ),
+        Variant(
+            name="gather",
+            stages=s,
+            kernels=((gather, s),),
+            extra_arrays=0,
+        ),
+    ]

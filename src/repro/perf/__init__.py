@@ -1,0 +1,19 @@
+"""Discrete performance simulator — the reproduction's "hardware".
+
+Where :mod:`repro.ecm` *predicts* from analytic layer conditions, this
+package *measures*: it replays the kernel's true access stream through
+the exact cache simulator, charges cycles for the observed per-boundary
+traffic and for the in-core instruction mix (with pipeline inefficiency
+and seeded noise), and reports a runtime.  Experiments compare ECM
+predictions against these simulated measurements.
+"""
+
+from repro.perf.simulate import Measurement, simulate_kernel, simulate_traffic_time
+from repro.perf.multicore import simulate_scaling
+
+__all__ = [
+    "Measurement",
+    "simulate_kernel",
+    "simulate_traffic_time",
+    "simulate_scaling",
+]

@@ -1,0 +1,59 @@
+"""Stencil DSL: expression AST, stencil specifications and a suite library.
+
+The DSL plays the role of YASK's stencil description language.  A
+:class:`~repro.stencil.StencilSpec` binds a named output grid to an
+expression over neighbouring grid points; everything downstream
+(code generation, ECM analysis, cache simulation) consumes the spec.
+"""
+
+from repro.stencil.expr import (
+    BinOp,
+    Const,
+    Expr,
+    GridAccess,
+    Param,
+    access,
+    count_flops,
+    grid_offsets,
+    grids_read,
+)
+from repro.stencil.spec import StencilKind, StencilSpec
+from repro.stencil.builders import (
+    box,
+    heat,
+    long_range,
+    star,
+    variable_coefficient_star,
+)
+from repro.stencil.library import STENCIL_SUITE, get_stencil, suite_table
+from repro.stencil.rename import rename_expr, rename_grids
+from repro.stencil.solution import Solution
+from repro.stencil.parser import StencilParseError, parse_expr, parse_stencil
+
+__all__ = [
+    "Expr",
+    "GridAccess",
+    "Const",
+    "Param",
+    "BinOp",
+    "access",
+    "count_flops",
+    "grid_offsets",
+    "grids_read",
+    "StencilSpec",
+    "StencilKind",
+    "star",
+    "box",
+    "heat",
+    "long_range",
+    "variable_coefficient_star",
+    "STENCIL_SUITE",
+    "get_stencil",
+    "suite_table",
+    "rename_expr",
+    "rename_grids",
+    "Solution",
+    "parse_expr",
+    "parse_stencil",
+    "StencilParseError",
+]

@@ -1,0 +1,141 @@
+"""Builders for the standard stencil families the paper evaluates."""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.stencil.expr import Const, Expr, GridAccess, Param
+from repro.stencil.spec import StencilSpec
+
+
+def _axis_offset(dim: int, axis: int, k: int) -> tuple[int, ...]:
+    off = [0] * dim
+    off[axis] = k
+    return tuple(off)
+
+
+def star(
+    dim: int,
+    radius: int,
+    name: str | None = None,
+    symmetric_coeffs: bool = True,
+) -> StencilSpec:
+    """Jacobi star stencil of the given dimension and radius.
+
+    ``u_new = c0*u[0] + sum_axis sum_k c_k (u[-k] + u[+k])`` with
+    distinct constant coefficients per distance (and per axis when
+    ``symmetric_coeffs`` is false), matching the constant-coefficient
+    star family YASK ships.
+    """
+    if dim < 1 or radius < 1:
+        raise ValueError("star stencil needs dim >= 1 and radius >= 1")
+    center = GridAccess("u", tuple([0] * dim))
+    expr: Expr = Const(0.25) * center
+    coeff_index = 0
+    for axis in range(dim):
+        for k in range(1, radius + 1):
+            if symmetric_coeffs:
+                coeff = Const(round(0.5 / (2 * dim * radius) * (1 + 0.1 * k), 12))
+            else:
+                coeff_index += 1
+                coeff = Const(round(0.01 * coeff_index + 0.1, 12))
+            plus = GridAccess("u", _axis_offset(dim, axis, k))
+            minus = GridAccess("u", _axis_offset(dim, axis, -k))
+            expr = expr + coeff * (plus + minus)
+    return StencilSpec(
+        name=name or f"star{dim}d_r{radius}",
+        output="u_new",
+        expr=expr,
+    )
+
+
+def box(dim: int, radius: int, name: str | None = None) -> StencilSpec:
+    """Dense box stencil (``(2r+1)^dim`` points, constant coefficients)."""
+    if dim < 1 or radius < 1:
+        raise ValueError("box stencil needs dim >= 1 and radius >= 1")
+    n_points = (2 * radius + 1) ** dim
+    coeff = Const(round(1.0 / n_points, 12))
+    expr: Expr | None = None
+    for off in product(range(-radius, radius + 1), repeat=dim):
+        term = coeff * GridAccess("u", off)
+        expr = term if expr is None else expr + term
+    assert expr is not None
+    return StencilSpec(
+        name=name or f"box{dim}d_r{radius}",
+        output="u_new",
+        expr=expr,
+    )
+
+
+def heat(dim: int, name: str | None = None) -> StencilSpec:
+    """Heat-equation Jacobi update ``u + a*(laplacian)`` (radius-1 star).
+
+    This is the RHS shape of the Heat IVPs used with Offsite; ``a``
+    is the combined ``alpha*dt/dx^2`` parameter.
+    """
+    if dim < 1:
+        raise ValueError("heat stencil needs dim >= 1")
+    center = GridAccess("u", tuple([0] * dim))
+    alpha = Param("a")
+    lap: Expr = Const(-2.0 * dim) * center
+    for axis in range(dim):
+        lap = lap + GridAccess("u", _axis_offset(dim, axis, 1))
+        lap = lap + GridAccess("u", _axis_offset(dim, axis, -1))
+    return StencilSpec(
+        name=name or f"heat{dim}d",
+        output="u_new",
+        expr=center + alpha * lap,
+        params={"a": 0.1},
+    )
+
+
+def long_range(dim: int, radius: int, name: str | None = None) -> StencilSpec:
+    """Axis-aligned long-range star with per-distance decaying weights.
+
+    Radius-4 instances of this family are the classic "hard" case for
+    spatial blocking (many in-flight planes), which is why the block
+    sweep experiment F2 uses it.
+    """
+    if radius < 2:
+        raise ValueError("long_range is meant for radius >= 2")
+    center = GridAccess("u", tuple([0] * dim))
+    expr: Expr = Const(0.5) * center
+    for axis in range(dim):
+        for k in range(1, radius + 1):
+            weight = Const(round(0.5 / (2 * dim) / (k * (k + 1)), 12))
+            expr = expr + weight * (
+                GridAccess("u", _axis_offset(dim, axis, k))
+                + GridAccess("u", _axis_offset(dim, axis, -k))
+            )
+    return StencilSpec(
+        name=name or f"longrange{dim}d_r{radius}",
+        output="u_new",
+        expr=expr,
+    )
+
+
+def variable_coefficient_star(
+    dim: int, radius: int = 1, name: str | None = None
+) -> StencilSpec:
+    """Star stencil with a per-point coefficient grid per axis.
+
+    Adds ``dim`` extra read-only streams, lowering arithmetic intensity —
+    the case where memory-traffic modelling matters most.
+    """
+    if dim < 1 or radius < 1:
+        raise ValueError("needs dim >= 1 and radius >= 1")
+    center = GridAccess("u", tuple([0] * dim))
+    expr: Expr = Const(0.25) * center
+    zero = tuple([0] * dim)
+    for axis in range(dim):
+        coeff = GridAccess(f"c{axis}", zero)
+        for k in range(1, radius + 1):
+            expr = expr + coeff * (
+                GridAccess("u", _axis_offset(dim, axis, k))
+                + GridAccess("u", _axis_offset(dim, axis, -k))
+            )
+    return StencilSpec(
+        name=name or f"varcoef{dim}d_r{radius}",
+        output="u_new",
+        expr=expr,
+    )

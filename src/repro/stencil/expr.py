@@ -1,0 +1,211 @@
+"""Expression AST for stencil update rules.
+
+The AST is deliberately small: grid accesses at constant offsets,
+floating-point constants, named scalar parameters, and binary
+arithmetic.  This covers the whole YASK-style constant- and
+variable-coefficient stencil space the paper tunes, while keeping every
+analysis (flop counting, offset extraction, NumPy evaluation, C
+emission) a short structural recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+Number = Union[int, float]
+
+_BINOPS = {"+", "-", "*", "/"}
+
+
+class Expr:
+    """Base class for stencil expressions; supports operator overloading."""
+
+    def __add__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other: Number) -> "BinOp":
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other: Number) -> "BinOp":
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other: Number) -> "BinOp":
+        return BinOp("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: Number) -> "BinOp":
+        return BinOp("/", _wrap(other), self)
+
+    def __neg__(self) -> "BinOp":
+        return BinOp("*", Const(-1.0), self)
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal over the whole expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def _wrap(value: "Expr | Number") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot use {type(value).__name__} in a stencil expression")
+
+
+@dataclass(frozen=True)
+class GridAccess(Expr):
+    """Read of grid ``grid`` at a constant offset from the update point."""
+
+    grid: str
+    offsets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("grid name must be non-empty")
+        if not all(isinstance(o, int) for o in self.offsets):
+            raise TypeError("offsets must be integers")
+
+    def __str__(self) -> str:
+        idx = ",".join(f"{o:+d}" for o in self.offsets)
+        return f"{self.grid}[{idx}]"
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Floating-point literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """Named scalar runtime parameter (e.g. a diffusion coefficient)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"parameter name {self.name!r} is not an identifier")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic node."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+class _AccessBuilder:
+    """Helper so users can write ``access("u")(0, 1, -1)``."""
+
+    def __init__(self, grid: str) -> None:
+        self._grid = grid
+
+    def __call__(self, *offsets: int) -> GridAccess:
+        return GridAccess(self._grid, tuple(offsets))
+
+
+def access(grid: str) -> _AccessBuilder:
+    """Return a builder producing accesses into ``grid``.
+
+    >>> u = access("u")
+    >>> str(u(0, 1))
+    'u[+0,+1]'
+    """
+    return _AccessBuilder(grid)
+
+
+# ----------------------------------------------------------------------
+# Structural analyses
+# ----------------------------------------------------------------------
+def count_flops(expr: Expr) -> dict[str, int]:
+    """Count arithmetic operations by kind.
+
+    Multiplications by literal ``-1`` (from unary negation) are counted
+    like any other multiply, matching what straightforward codegen emits.
+    """
+    counts = {"+": 0, "-": 0, "*": 0, "/": 0}
+    for node in expr.walk():
+        if isinstance(node, BinOp):
+            counts[node.op] += 1
+    return counts
+
+
+def total_flops(expr: Expr) -> int:
+    """Total floating-point operations per lattice update."""
+    return sum(count_flops(expr).values())
+
+
+def grid_offsets(expr: Expr) -> dict[str, set[tuple[int, ...]]]:
+    """Map each grid read by ``expr`` to the set of offsets accessed."""
+    result: dict[str, set[tuple[int, ...]]] = {}
+    for node in expr.walk():
+        if isinstance(node, GridAccess):
+            result.setdefault(node.grid, set()).add(node.offsets)
+    return result
+
+
+def grids_read(expr: Expr) -> tuple[str, ...]:
+    """Sorted names of grids read by ``expr``."""
+    return tuple(sorted(grid_offsets(expr)))
+
+
+def params_used(expr: Expr) -> tuple[str, ...]:
+    """Sorted names of scalar parameters referenced by ``expr``."""
+    names = {node.name for node in expr.walk() if isinstance(node, Param)}
+    return tuple(sorted(names))
+
+
+def radius(expr: Expr) -> int:
+    """Largest absolute offset component over all grid accesses."""
+    r = 0
+    for node in expr.walk():
+        if isinstance(node, GridAccess):
+            for off in node.offsets:
+                r = max(r, abs(off))
+    return r
+
+
+def dimensionality(expr: Expr) -> int:
+    """Number of spatial dimensions of the accesses (must be uniform)."""
+    dims = {
+        len(node.offsets) for node in expr.walk() if isinstance(node, GridAccess)
+    }
+    if not dims:
+        raise ValueError("expression reads no grid, dimensionality undefined")
+    if len(dims) != 1:
+        raise ValueError(f"inconsistent access dimensionalities: {sorted(dims)}")
+    return dims.pop()

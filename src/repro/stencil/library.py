@@ -1,0 +1,50 @@
+"""The stencil suite used across the reconstructed experiments.
+
+Mirrors the canonical YASK/YaskSite workload mix: short- and long-range
+3D stars, the dense 27-point box, a variable-coefficient star, and the
+radius-1 heat kernels that back the ODE experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.stencil.builders import (
+    box,
+    heat,
+    long_range,
+    star,
+    variable_coefficient_star,
+)
+from repro.stencil.spec import StencilSpec
+
+_FACTORIES: dict[str, Callable[[], StencilSpec]] = {
+    "3d7pt": lambda: star(3, 1, name="s3d7pt"),
+    "3d13pt": lambda: star(3, 2, name="s3d13pt"),
+    "3d25pt": lambda: star(3, 4, name="s3d25pt"),
+    "3d27pt": lambda: box(3, 1, name="s3d27pt"),
+    "3dlong_r4": lambda: long_range(3, 4, name="s3dlong_r4"),
+    "3dvarcoef": lambda: variable_coefficient_star(3, 1, name="s3dvarcoef"),
+    "heat2d": lambda: heat(2),
+    "heat3d": lambda: heat(3),
+    "2d5pt": lambda: star(2, 1, name="s2d5pt"),
+    "2d9pt_box": lambda: box(2, 1, name="s2d9pt_box"),
+}
+
+#: Names of the full evaluation suite, in table order.
+STENCIL_SUITE: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def get_stencil(name: str) -> StencilSpec:
+    """Instantiate a suite stencil by short name (see ``STENCIL_SUITE``)."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown stencil {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+
+
+def suite_table() -> list[dict[str, object]]:
+    """Characteristics of every suite stencil (experiment T2 rows)."""
+    return [get_stencil(name).describe() for name in STENCIL_SUITE]

@@ -1,0 +1,208 @@
+"""Text front end for stencil definitions.
+
+YASK consumes stencils written in its DSL; the equivalent here is a
+small expression language parsed into :class:`~repro.stencil.expr`
+trees.  Grammar (standard precedence, left-associative):
+
+.. code-block:: text
+
+    stencil  := target '=' expr
+    target   := NAME '[' offsets ']'
+    expr     := term (('+' | '-') term)*
+    term     := unary (('*' | '/') unary)*
+    unary    := '-' unary | atom
+    atom     := NUMBER | NAME | NAME '[' offsets ']' | '(' expr ')'
+    offsets  := INT (',' INT)*
+
+A bare ``NAME`` is a scalar parameter; ``NAME[...]`` is a grid access.
+
+>>> parse_stencil("u_new[0,0] = 0.25*u[0,0] + a*(u[0,1] + u[0,-1])",
+...               params={"a": 0.1}).flops
+4
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.stencil import expr as E
+from repro.stencil.spec import StencilSpec
+
+
+class StencilParseError(ValueError):
+    """Raised for syntax errors, with position information."""
+
+    def __init__(self, message: str, pos: int, text: str) -> None:
+        pointer = " " * pos + "^"
+        super().__init__(f"{message} at column {pos}\n  {text}\n  {pointer}")
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # NUMBER / NAME / OP / LBRACKET / RBRACKET / LPAREN / RPAREN / COMMA / EQUALS / END
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<NUMBER>\d+\.\d*([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?|\d+([eE][+-]?\d+)?)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<OP>[+\-*/])
+  | (?P<LBRACKET>\[)
+  | (?P<RBRACKET>\])
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<EQUALS>=)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise StencilParseError(
+                f"unexpected character {text[pos]!r}", pos, text
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(_Token("END", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.i]
+
+    def _advance(self) -> _Token:
+        token = self.current
+        self.i += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> _Token:
+        if self.current.kind != kind:
+            raise StencilParseError(
+                f"expected {what}, found {self.current.text or 'end'!r}",
+                self.current.pos,
+                self.text,
+            )
+        return self._advance()
+
+    # -- grammar -------------------------------------------------------
+    def parse_assignment(self) -> tuple[str, tuple[int, ...], E.Expr]:
+        name = self._expect("NAME", "output grid name").text
+        offsets = self._parse_offsets()
+        if any(o != 0 for o in offsets):
+            raise StencilParseError(
+                "output must be written at offset 0",
+                self.tokens[self.i - 1].pos,
+                self.text,
+            )
+        self._expect("EQUALS", "'='")
+        expr = self.parse_expr()
+        self._expect("END", "end of input")
+        return name, offsets, expr
+
+    def parse_expr(self) -> E.Expr:
+        node = self.parse_term()
+        while self.current.kind == "OP" and self.current.text in "+-":
+            op = self._advance().text
+            node = E.BinOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> E.Expr:
+        node = self.parse_unary()
+        while self.current.kind == "OP" and self.current.text in "*/":
+            op = self._advance().text
+            node = E.BinOp(op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> E.Expr:
+        if self.current.kind == "OP" and self.current.text == "-":
+            self._advance()
+            return E.BinOp("*", E.Const(-1.0), self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> E.Expr:
+        token = self.current
+        if token.kind == "NUMBER":
+            self._advance()
+            return E.Const(float(token.text))
+        if token.kind == "NAME":
+            self._advance()
+            if self.current.kind == "LBRACKET":
+                offsets = self._parse_offsets()
+                return E.GridAccess(token.text, offsets)
+            return E.Param(token.text)
+        if token.kind == "LPAREN":
+            self._advance()
+            node = self.parse_expr()
+            self._expect("RPAREN", "')'")
+            return node
+        raise StencilParseError(
+            f"expected a value, found {token.text or 'end'!r}",
+            token.pos,
+            self.text,
+        )
+
+    def _parse_offsets(self) -> tuple[int, ...]:
+        self._expect("LBRACKET", "'['")
+        offsets = [self._parse_int()]
+        while self.current.kind == "COMMA":
+            self._advance()
+            offsets.append(self._parse_int())
+        self._expect("RBRACKET", "']'")
+        return tuple(offsets)
+
+    def _parse_int(self) -> int:
+        sign = 1
+        if self.current.kind == "OP" and self.current.text in "+-":
+            sign = -1 if self._advance().text == "-" else 1
+        token = self._expect("NUMBER", "an integer offset")
+        if "." in token.text or "e" in token.text or "E" in token.text:
+            raise StencilParseError(
+                "offsets must be integers", token.pos, self.text
+            )
+        return sign * int(token.text)
+
+
+def parse_expr(text: str) -> E.Expr:
+    """Parse an expression (no assignment)."""
+    parser = _Parser(text)
+    node = parser.parse_expr()
+    parser._expect("END", "end of input")
+    return node
+
+
+def parse_stencil(
+    text: str,
+    name: str = "parsed",
+    params: dict[str, float] | None = None,
+    dtype_bytes: int = 8,
+) -> StencilSpec:
+    """Parse ``"out[0,...] = expr"`` into a :class:`StencilSpec`."""
+    output, _, expr = _Parser(text).parse_assignment()
+    return StencilSpec(
+        name=name,
+        output=output,
+        expr=expr,
+        params=params or {},
+        dtype_bytes=dtype_bytes,
+    )

@@ -1,0 +1,46 @@
+"""Grid renaming: rewire a stencil spec onto different field names.
+
+Needed to compose library stencils into multi-equation solutions
+(``u_new`` of one equation becomes the input of the next) and to map
+Offsite stage kernels onto their stage buffers.
+"""
+
+from __future__ import annotations
+
+from repro.stencil import expr as E
+from repro.stencil.spec import StencilSpec
+
+
+def rename_expr(expr: E.Expr, mapping: dict[str, str]) -> E.Expr:
+    """Rewrite grid names in an expression tree."""
+    if isinstance(expr, E.GridAccess):
+        return E.GridAccess(mapping.get(expr.grid, expr.grid), expr.offsets)
+    if isinstance(expr, E.BinOp):
+        return E.BinOp(
+            expr.op,
+            rename_expr(expr.lhs, mapping),
+            rename_expr(expr.rhs, mapping),
+        )
+    return expr
+
+
+def rename_grids(
+    spec: StencilSpec,
+    mapping: dict[str, str],
+    name: str | None = None,
+) -> StencilSpec:
+    """Return a copy of ``spec`` with grids renamed via ``mapping``.
+
+    The mapping may cover any subset of the spec's grids (including the
+    output); collisions between distinct renamed grids are rejected.
+    """
+    targets = [mapping.get(g, g) for g in spec.grids]
+    if len(set(targets)) != len(targets):
+        raise ValueError(f"renaming collides: {mapping}")
+    return StencilSpec(
+        name=name or spec.name,
+        output=mapping.get(spec.output, spec.output),
+        expr=rename_expr(spec.expr, mapping),
+        params=dict(spec.params),
+        dtype_bytes=spec.dtype_bytes,
+    )

@@ -1,0 +1,117 @@
+"""Multi-equation stencil solutions (YASK's "stencil bundles").
+
+A :class:`Solution` is an ordered set of stencil equations evaluated
+once per time step; equations may read each other's outputs, so the
+executable order is the topological order of the def-use graph.  This
+is the YASK abstraction Offsite targets when an ODE stage update is
+split across several grid equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.stencil.spec import StencilSpec
+
+
+@dataclass
+class Solution:
+    """A named bundle of stencil equations over shared fields."""
+
+    name: str
+    equations: list[StencilSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        outputs = [eq.output for eq in self.equations]
+        if len(set(outputs)) != len(outputs):
+            raise ValueError(
+                f"{self.name}: two equations write the same grid"
+            )
+        dims = {eq.dim for eq in self.equations}
+        if len(dims) > 1:
+            raise ValueError(f"{self.name}: mixed dimensionalities {dims}")
+
+    def add(self, spec: StencilSpec) -> "Solution":
+        """Append an equation (returns self for chaining)."""
+        self.equations.append(spec)
+        self.__post_init__()
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """All grids touched by any equation, sorted."""
+        names: set[str] = set()
+        for eq in self.equations:
+            names.update(eq.grids)
+        return tuple(sorted(names))
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        """Fields read but never written (external state)."""
+        written = {eq.output for eq in self.equations}
+        read: set[str] = set()
+        for eq in self.equations:
+            read.update(eq.reads)
+        return tuple(sorted(read - written))
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        """Fields written by some equation."""
+        return tuple(sorted(eq.output for eq in self.equations))
+
+    def max_radius(self) -> int:
+        """Largest stencil radius over the bundle (halo requirement)."""
+        return max(eq.radius for eq in self.equations)
+
+    # ------------------------------------------------------------------
+    def dependency_graph(self) -> nx.DiGraph:
+        """Def-use graph: edge A -> B when B reads A's output."""
+        graph = nx.DiGraph()
+        by_output = {eq.output: eq for eq in self.equations}
+        for eq in self.equations:
+            graph.add_node(eq.name)
+        for eq in self.equations:
+            for read in eq.reads:
+                producer = by_output.get(read)
+                if producer is not None and producer is not eq:
+                    graph.add_edge(producer.name, eq.name)
+        return graph
+
+    def schedule(self) -> list[StencilSpec]:
+        """Equations in a valid execution order (topological).
+
+        Raises ``ValueError`` for cyclic bundles (an equation chain
+        that feeds back within one step is not a valid explicit update).
+        """
+        graph = self.dependency_graph()
+        try:
+            order = list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible:
+            cycle = nx.find_cycle(graph)
+            raise ValueError(
+                f"{self.name}: cyclic dependency {cycle}"
+            ) from None
+        by_name = {eq.name: eq for eq in self.equations}
+        return [by_name[n] for n in order]
+
+    def critical_path_length(self) -> int:
+        """Longest dependency chain (lower bound on sweep phases)."""
+        graph = self.dependency_graph()
+        if graph.number_of_nodes() == 0:
+            return 0
+        return nx.dag_longest_path_length(graph) + 1
+
+    def describe(self) -> dict[str, object]:
+        """Summary row for reports."""
+        return {
+            "solution": self.name,
+            "equations": len(self.equations),
+            "fields": len(self.fields),
+            "inputs": len(self.inputs),
+            "max radius": self.max_radius(),
+            "critical path": self.critical_path_length(),
+            "flops/LUP": sum(eq.flops for eq in self.equations),
+        }

@@ -1,0 +1,170 @@
+"""Stencil specification: output grid + update expression + derived facts."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.stencil import expr as E
+
+
+class StencilKind(enum.Enum):
+    """Geometric classification of the access pattern."""
+
+    STAR = "star"
+    BOX = "box"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """A single-statement stencil ``output[i...] = expr``.
+
+    The spec is the unit everything else consumes: the code generator
+    lowers it to loops, the ECM model derives traffic from its offsets,
+    and the cache simulator replays its access stream.
+
+    Parameters
+    ----------
+    name:
+        Identifier for tables and generated code.
+    output:
+        Name of the written grid.
+    expr:
+        Update expression; must read at least one grid.
+    params:
+        Default values for scalar :class:`~repro.stencil.expr.Param`
+        leaves in the expression.
+    dtype_bytes:
+        Element width (8 = double precision, the paper's setting).
+    """
+
+    name: str
+    output: str
+    expr: E.Expr
+    params: dict[str, float] = field(default_factory=dict)
+    dtype_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"stencil name {self.name!r} is not an identifier")
+        missing = set(E.params_used(self.expr)) - set(self.params)
+        if missing:
+            raise ValueError(f"no default value for parameters {sorted(missing)}")
+        # Trigger the uniform-dimensionality check early.
+        E.dimensionality(self.expr)
+        if self.dtype_bytes not in (4, 8):
+            raise ValueError("dtype_bytes must be 4 or 8")
+
+    # ------------------------------------------------------------------
+    # Derived geometric / arithmetic facts
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Spatial dimensionality."""
+        return E.dimensionality(self.expr)
+
+    @property
+    def radius(self) -> int:
+        """Maximum absolute offset component."""
+        return E.radius(self.expr)
+
+    @property
+    def reads(self) -> tuple[str, ...]:
+        """Names of grids read."""
+        return E.grids_read(self.expr)
+
+    @property
+    def grids(self) -> tuple[str, ...]:
+        """All grids involved (reads plus the output), sorted."""
+        return tuple(sorted(set(self.reads) | {self.output}))
+
+    @property
+    def in_place(self) -> bool:
+        """True if the output grid is also read (Gauss-Seidel style)."""
+        return self.output in self.reads
+
+    @property
+    def offsets(self) -> dict[str, set[tuple[int, ...]]]:
+        """Per-grid access offsets."""
+        return E.grid_offsets(self.expr)
+
+    @property
+    def n_accesses(self) -> int:
+        """Distinct grid reads per lattice update (plus one store)."""
+        return sum(len(offs) for offs in self.offsets.values())
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations per lattice update."""
+        return E.total_flops(self.expr)
+
+    @property
+    def kind(self) -> StencilKind:
+        """Star, box or other, judged from the main input grid's offsets."""
+        main = self._main_input()
+        offs = self.offsets[main]
+        r = max((max(abs(o) for o in off) if off else 0) for off in offs)
+        star = _star_offsets(self.dim, r)
+        box = _box_offsets(self.dim, r)
+        if offs == star:
+            return StencilKind.STAR
+        if offs == box:
+            return StencilKind.BOX
+        return StencilKind.OTHER
+
+    def _main_input(self) -> str:
+        """The read grid with the most accesses (the 'stencil' grid)."""
+        return max(self.offsets, key=lambda g: (len(self.offsets[g]), g))
+
+    # ------------------------------------------------------------------
+    # Traffic / intensity bookkeeping used by models and tables
+    # ------------------------------------------------------------------
+    def code_balance_bytes(self, write_allocate: bool = True) -> float:
+        """Minimum main-memory bytes per lattice update (perfect cache).
+
+        One streaming read per distinct input grid, one write for the
+        output, plus the write-allocate read of the output line.
+        """
+        n_streams = len(self.reads)
+        writes = 1
+        wa = 1 if write_allocate and not self.in_place else 0
+        return (n_streams + writes + wa) * self.dtype_bytes
+
+    def arithmetic_intensity(self, write_allocate: bool = True) -> float:
+        """Flops per main-memory byte, assuming perfect in-cache reuse."""
+        return self.flops / self.code_balance_bytes(write_allocate)
+
+    def describe(self) -> dict[str, object]:
+        """Characteristics row for the suite table (experiment T2)."""
+        return {
+            "name": self.name,
+            "dim": self.dim,
+            "kind": self.kind.value,
+            "radius": self.radius,
+            "grids": len(self.grids),
+            "reads/LUP": self.n_accesses,
+            "flops/LUP": self.flops,
+            "bytes/LUP": self.code_balance_bytes(),
+            "AI (F/B)": round(self.arithmetic_intensity(), 3),
+        }
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.output}[0] = {self.expr}"
+
+
+def _star_offsets(dim: int, r: int) -> set[tuple[int, ...]]:
+    offs = {tuple([0] * dim)}
+    for axis in range(dim):
+        for k in range(1, r + 1):
+            for sign in (-1, 1):
+                off = [0] * dim
+                off[axis] = sign * k
+                offs.add(tuple(off))
+    return offs
+
+
+def _box_offsets(dim: int, r: int) -> set[tuple[int, ...]]:
+    from itertools import product
+
+    return set(product(range(-r, r + 1), repeat=dim))

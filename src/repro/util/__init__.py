@@ -1,0 +1,6 @@
+"""Small shared utilities (table formatting, ASCII plots)."""
+
+from repro.util.tables import format_table
+from repro.util.asciiplot import line_plot
+
+__all__ = ["format_table", "line_plot"]

@@ -1,0 +1,72 @@
+"""Minimal ASCII line plots for figure-style experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MARKS = "ox+*#@"
+
+
+def line_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line plot.
+
+    Each series gets its own marker; axes are linearly scaled to the
+    union of the data ranges.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    xs_all: list[float] = []
+    ys_all: list[float] = []
+    for xs, ys in series.values():
+        if len(xs) != len(ys):
+            raise ValueError("series x/y lengths differ")
+        xs_all.extend(float(x) for x in xs)
+        ys_all.extend(float(y) for y in ys)
+    if not xs_all:
+        raise ValueError("series are empty")
+    x_min, x_max = min(xs_all), max(xs_all)
+    y_min, y_max = min(ys_all), max(ys_all)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_min) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_min) / y_span * (height - 1))
+            canvas[row][col] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    y_hi = f"{y_max:.4g}"
+    y_lo = f"{y_min:.4g}"
+    label_w = max(len(y_hi), len(y_lo), len(ylabel))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = y_hi.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_lo.rjust(label_w)
+        elif i == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_min:.4g}".ljust(width - 8) + f"{x_max:.4g}".rjust(8)
+    lines.append(" " * (label_w + 2) + x_axis)
+    if xlabel:
+        lines.append(" " * (label_w + 2) + xlabel.center(width))
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order follows the first row; missing cells render empty.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(row: Mapping[str, object], col: str) -> str:
+        value = row.get(col, "")
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(cell(r, col)) for r in rows)) for col in columns
+    }
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    body = [
+        " | ".join(cell(r, c).ljust(widths[c]) for c in columns) for r in rows
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.extend([header, sep, *body])
+    return "\n".join(out)

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.machine.presets import cascade_lake_sp, generic_avx2, rome
+
+
+@pytest.fixture
+def generic():
+    """Small fast machine for exact-simulation tests."""
+    return generic_avx2()
+
+
+@pytest.fixture
+def clx():
+    """Cascade Lake preset (full size)."""
+    return cascade_lake_sp()
+
+
+@pytest.fixture
+def rome_machine():
+    """Rome preset (full size)."""
+    return rome()

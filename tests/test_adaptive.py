@@ -1,0 +1,74 @@
+"""Adaptive embedded-RK integrator tests."""
+
+import numpy as np
+import pytest
+
+from repro.ode import AdaptiveRK, Brusselator2D, HeatND, Wave1D, bs32, dp54
+
+
+class TestPairs:
+    @pytest.mark.parametrize("factory", [bs32, dp54])
+    def test_pair_consistency(self, factory):
+        pair = factory()
+        # Both weight vectors are quadrature rules: sum to 1.
+        assert np.sum(pair.b_high) == pytest.approx(1.0, abs=1e-12)
+        assert np.sum(pair.b_low) == pytest.approx(1.0, abs=1e-12)
+        # Row sums equal c (consistency).
+        np.testing.assert_allclose(pair.a.sum(axis=1), pair.c, atol=1e-12)
+
+    def test_fsal_structure(self):
+        pair = dp54()
+        # FSAL: last row of A equals b_high (minus last entry).
+        np.testing.assert_allclose(pair.a[-1, :-1], pair.b_high[:-1], atol=1e-12)
+
+
+class TestIntegration:
+    def test_meets_tolerance_on_wave(self):
+        ivp = Wave1D(32, t_end=0.3)
+        solver = AdaptiveRK(dp54(), rtol=1e-8, atol=1e-10)
+        res = solver.integrate(ivp)
+        assert res.t == pytest.approx(ivp.t_end)
+        assert ivp.error(res.t, res.y) < 1e-5
+        assert res.steps_accepted > 0
+
+    def test_tighter_tolerance_means_more_steps(self):
+        ivp = Wave1D(32, t_end=0.3)
+        loose = AdaptiveRK(dp54(), rtol=1e-4, atol=1e-6).integrate(ivp)
+        tight = AdaptiveRK(dp54(), rtol=1e-9, atol=1e-11).integrate(ivp)
+        assert tight.steps_accepted > loose.steps_accepted
+
+    def test_bs32_on_heat(self):
+        ivp = HeatND(2, 10, t_end=0.005)
+        res = AdaptiveRK(bs32(), rtol=1e-7, atol=1e-10).integrate(ivp)
+        assert ivp.error(res.t, res.y) < 1e-5
+
+    def test_stiff_problem_forces_small_steps(self):
+        # Heat with fine grid is stiff: the controller must reject /
+        # shrink rather than blow up.
+        ivp = HeatND(1, 128, t_end=0.002)
+        res = AdaptiveRK(dp54(), rtol=1e-5, atol=1e-8).integrate(ivp)
+        assert np.all(np.isfinite(res.y))
+        # The stability limit (h ~ 2.8/lambda_max ~ 4e-5) forces many
+        # more steps than the accuracy of the smooth decay would need.
+        assert res.steps_total > 15
+        assert res.steps_rejected >= 1
+
+    def test_brusselator_runs(self):
+        ivp = Brusselator2D(12, t_end=0.05)
+        res = AdaptiveRK(dp54(), rtol=1e-5, atol=1e-8).integrate(ivp)
+        assert np.all(np.isfinite(res.y))
+
+    def test_rhs_eval_accounting(self):
+        ivp = Wave1D(16, t_end=0.1)
+        res = AdaptiveRK(bs32()).integrate(ivp)
+        assert res.rhs_evals == res.steps_total * bs32().stages
+
+    def test_max_steps_guard(self):
+        ivp = HeatND(1, 256, t_end=1.0)  # very stiff, long horizon
+        solver = AdaptiveRK(bs32(), rtol=1e-10, atol=1e-13)
+        with pytest.raises(RuntimeError):
+            solver.integrate(ivp, max_steps=50)
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRK(bs32(), rtol=0.0)

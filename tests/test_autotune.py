@@ -1,0 +1,62 @@
+"""Autotuner tests: correctness of search and the cost ledger."""
+
+import pytest
+
+from repro.autotune import EcmGuidedTuner, ExhaustiveTuner, GreedyLineSearchTuner
+from repro.grid import GridSet
+from repro.machine import cascade_lake_sp
+from repro.stencil import get_stencil
+
+SHAPE = (24, 24, 32)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    machine = cascade_lake_sp().scaled_caches(1 / 32)
+    spec = get_stencil("3d7pt")
+    grids = GridSet(spec, SHAPE)
+    return spec, grids, machine
+
+
+class TestExhaustive:
+    def test_runs_every_candidate(self, setting):
+        spec, grids, machine = setting
+        res = ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+        assert res.variants_run == res.variants_examined
+        assert res.variants_run >= 9
+        assert res.simulated_run_seconds > 0
+        assert len(res.trace) == res.variants_run
+
+    def test_best_is_max_of_trace(self, setting):
+        spec, grids, machine = setting
+        res = ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+        assert res.best_mlups == pytest.approx(max(m for _, m in res.trace))
+
+
+class TestGreedy:
+    def test_cheaper_than_exhaustive(self, setting):
+        spec, grids, machine = setting
+        greedy = GreedyLineSearchTuner().tune(spec, grids, machine, seed=1)
+        exhaustive = ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+        assert greedy.variants_run <= exhaustive.variants_run
+
+
+class TestEcmGuided:
+    def test_zero_runs_without_validation(self, setting):
+        spec, grids, machine = setting
+        res = EcmGuidedTuner(validate=False).tune(spec, grids, machine)
+        assert res.variants_run == 0
+        assert res.simulated_run_seconds == 0.0
+        assert res.variants_examined >= 9
+
+    def test_single_run_with_validation(self, setting):
+        spec, grids, machine = setting
+        res = EcmGuidedTuner(validate=True).tune(spec, grids, machine)
+        assert res.variants_run == 1
+
+    def test_quality_close_to_exhaustive(self, setting):
+        spec, grids, machine = setting
+        ecm = EcmGuidedTuner(validate=True).tune(spec, grids, machine, seed=2)
+        exhaustive = ExhaustiveTuner().tune(spec, grids, machine, seed=2)
+        # The analytic pick must be within 15% of the empirical best.
+        assert ecm.best_mlups >= 0.85 * exhaustive.best_mlups

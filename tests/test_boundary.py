@@ -1,0 +1,105 @@
+"""Boundary-condition tests."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import KernelPlan, compile_kernel
+from repro.grid import Grid, GridSet
+from repro.grid.boundary import Dirichlet, Neumann, Periodic, time_loop_with_bc
+from repro.stencil import get_stencil
+
+
+def make_grid(halo=2, shape=(4, 5)) -> Grid:
+    g = Grid("u", shape, halo)
+    g.fill_random(np.random.default_rng(1))
+    return g
+
+
+class TestDirichlet:
+    def test_halo_set_to_value(self):
+        g = make_grid()
+        interior_before = g.interior.copy()
+        Dirichlet(3.5).apply(g)
+        assert np.all(g.data[0, :] == 3.5)
+        assert np.all(g.data[:, -1] == 3.5)
+        np.testing.assert_array_equal(g.interior, interior_before)
+
+    def test_zero_halo_noop(self):
+        g = Grid("u", (4, 4), halo=0)
+        Dirichlet().apply(g)  # must not raise
+
+
+class TestNeumann:
+    def test_mirror_property(self):
+        g = make_grid(halo=2, shape=(6, 6))
+        Neumann().apply(g)
+        data = g.data
+        h = 2
+        # Halo plane k mirrors interior plane (2h-1-k) on the low side.
+        np.testing.assert_array_equal(data[1, :], data[2, :])
+        np.testing.assert_array_equal(data[0, :], data[3, :])
+        np.testing.assert_array_equal(data[-1, :], data[-4, :])
+
+    def test_constant_field_fixed_point(self):
+        g = Grid("u", (5, 5), halo=1)
+        g.data[...] = 7.0
+        Neumann().apply(g)
+        assert np.all(g.data == 7.0)
+
+
+class TestPeriodic:
+    def test_wraparound(self):
+        g = make_grid(halo=1, shape=(4, 4))
+        Periodic().apply(g)
+        data = g.data
+        np.testing.assert_array_equal(data[0, 1:-1], data[-2, 1:-1])
+        np.testing.assert_array_equal(data[-1, 1:-1], data[1, 1:-1])
+        np.testing.assert_array_equal(data[1:-1, 0], data[1:-1, -2])
+
+    def test_periodic_sweep_matches_roll_reference(self):
+        # A radius-1 star sweep with periodic BC equals the np.roll form.
+        spec = get_stencil("2d5pt")
+        shape = (8, 12)
+        gs = GridSet(spec, shape)
+        gs.randomize(5)
+        kernel = compile_kernel(spec, shape, KernelPlan(block=shape))
+        Periodic().apply(gs["u"])
+        kernel.run(gs)
+        u = gs["u"].interior
+        expected = (
+            0.25 * u
+            + 0.1375 * (np.roll(u, -1, 0) + np.roll(u, 1, 0))
+            + 0.1375 * (np.roll(u, -1, 1) + np.roll(u, 1, 1))
+        )
+        np.testing.assert_allclose(gs.output.interior, expected, rtol=1e-12)
+
+
+class TestTimeLoop:
+    def test_dirichlet_heat_decays(self):
+        spec = get_stencil("heat2d")
+        shape = (16, 16)
+        gs = GridSet(spec, shape)
+        gs["u"].interior[...] = 1.0
+        kernel = compile_kernel(spec, shape, KernelPlan(block=shape))
+        time_loop_with_bc(kernel, gs, Dirichlet(0.0), steps=50)
+        # Heat leaks out through the cold walls: mean drops, stays positive.
+        mean = gs["u"].interior.mean()
+        assert 0.0 < mean < 1.0
+
+    def test_periodic_heat_conserves_mass(self):
+        spec = get_stencil("heat2d")
+        shape = (12, 12)
+        gs = GridSet(spec, shape)
+        gs.randomize(3)
+        total_before = gs["u"].interior.sum()
+        kernel = compile_kernel(spec, shape, KernelPlan(block=shape))
+        time_loop_with_bc(kernel, gs, Periodic(), steps=20)
+        total_after = gs["u"].interior.sum()
+        assert total_after == pytest.approx(total_before, rel=1e-10)
+
+    def test_negative_steps_rejected(self):
+        spec = get_stencil("heat2d")
+        gs = GridSet(spec, (8, 8))
+        kernel = compile_kernel(spec, (8, 8), KernelPlan(block=(8, 8)))
+        with pytest.raises(ValueError):
+            time_loop_with_bc(kernel, gs, Dirichlet(), steps=-1)

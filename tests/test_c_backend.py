@@ -1,0 +1,57 @@
+"""C backend: structural checks on the emitted translation units."""
+
+import re
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.codegen.c_backend import check_wellformed, emit_c
+from repro.stencil import get_stencil
+
+
+class TestEmittedC:
+    def _emit(self, name="3d7pt", block=(8, 8, 16), shape=(16, 16, 16)):
+        spec = get_stencil(name)
+        return spec, emit_c(spec, shape, KernelPlan(block=block), halo=spec.radius)
+
+    def test_wellformed(self):
+        _, src = self._emit()
+        check_wellformed(src)
+
+    def test_idx_macro_strides(self):
+        spec, src = self._emit(shape=(16, 16, 16))
+        # Padded shape 18^3 -> strides 324, 18, 1.
+        assert "* 324L" in src and "* 18L" in src and "* 1L" in src
+
+    def test_block_loop_bounds(self):
+        _, src = self._emit(block=(8, 8, 16))
+        assert "bb0 += 8" in src
+        assert re.search(r"for \(long i2 = bb2; i2 < e2; \+\+i2\)", src)
+
+    def test_unit_stride_comment(self):
+        _, src = self._emit()
+        assert "/* unit stride */" in src
+
+    def test_params_in_signature(self):
+        spec = get_stencil("heat3d")
+        src = emit_c(spec, (8, 8, 8), KernelPlan(block=(8, 8, 8)), halo=1)
+        assert "double a" in src
+
+    def test_2d_emission(self):
+        spec = get_stencil("2d5pt")
+        src = emit_c(spec, (8, 16), KernelPlan(block=(4, 16)), halo=1)
+        check_wellformed(src)
+        assert "IDX(_i0, _i1)" in src
+
+    def test_loop_order_respected(self):
+        spec = get_stencil("3d7pt")
+        src = emit_c(
+            spec, (16, 16, 16),
+            KernelPlan(block=(8, 8, 16), loop_order=(2, 1, 0)),
+            halo=1,
+        )
+        assert src.index("for (long bb2") < src.index("for (long bb0")
+
+    def test_braces_balance_detector(self):
+        with pytest.raises(ValueError):
+            check_wellformed("int f( { )")

@@ -1,0 +1,74 @@
+"""CLI tests (argument parsing and command output)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _parse_shape, build_parser, main
+
+
+class TestParsing:
+    def test_parse_shape(self):
+        assert _parse_shape("48x48x64") == (48, 48, 64)
+        assert _parse_shape("8X8") == (8, 8)
+
+    def test_parse_shape_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_shape("forty")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_shape("0x8")
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_stencil_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "5dmagic"])
+
+    def test_experiment_ids_complete(self):
+        assert set(EXPERIMENTS) == {
+            "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+            "f8", "f9", "f10", "f11",
+        }
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "s3d7pt" in out
+
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "CascadeLakeSP" in out and "Rome" in out
+
+    def test_predict(self, capsys):
+        code = main(
+            ["predict", "3d7pt", "--grid", "16x16x32",
+             "--cache-scale", "0.03125"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MLUP/s" in out and "cy/CL" in out
+
+    def test_predict_explicit_block(self, capsys):
+        code = main(
+            ["predict", "3d7pt", "--grid", "16x16x32",
+             "--block", "8x8x32", "--machine", "rome"]
+        )
+        assert code == 0
+        assert "Rome" in capsys.readouterr().out
+
+    def test_tune_ecm(self, capsys):
+        code = main(
+            ["tune", "3d7pt", "--grid", "16x16x32", "--tuner", "ecm"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "variants run     : 1" in out
+
+    def test_experiment_t2(self, capsys):
+        assert main(["experiment", "t2"]) == 0
+        assert "Stencil suite" in capsys.readouterr().out

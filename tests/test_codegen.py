@@ -1,0 +1,138 @@
+"""Codegen correctness: every plan must compute the reference result."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import KernelPlan, compile_kernel
+from repro.codegen.c_backend import check_wellformed
+from repro.codegen.plan import candidate_plans, unblocked_plan
+from repro.grid import GridSet
+from repro.machine import generic_avx2
+from repro.stencil import get_stencil
+
+SHAPE = (12, 10, 16)
+
+
+def _check_plan(spec_name: str, plan: KernelPlan, shape=SHAPE) -> None:
+    spec = get_stencil(spec_name)
+    gs = GridSet(spec, shape)
+    gs.randomize(11)
+    kernel = compile_kernel(spec, shape, plan)
+    ref = kernel.reference_sweep(gs)
+    kernel.run(gs)
+    np.testing.assert_allclose(gs.output.interior, ref, rtol=1e-13)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["3d7pt", "3d27pt", "3d25pt", "heat3d", "3dvarcoef"])
+    def test_unblocked(self, name):
+        _check_plan(name, unblocked_plan(SHAPE))
+
+    @pytest.mark.parametrize("block", [(4, 4, 16), (8, 8, 16), (5, 3, 16), (12, 10, 7)])
+    def test_blocked(self, block):
+        _check_plan("3d7pt", KernelPlan(block=block))
+
+    @pytest.mark.parametrize("order", [(0, 1, 2), (1, 0, 2), (2, 1, 0)])
+    def test_loop_orders(self, order):
+        _check_plan("3d27pt", KernelPlan(block=(4, 4, 8), loop_order=order))
+
+    def test_2d(self):
+        spec = get_stencil("2d5pt")
+        shape = (20, 24)
+        gs = GridSet(spec, shape)
+        gs.randomize(2)
+        kernel = compile_kernel(spec, shape, KernelPlan(block=(8, 24)))
+        ref = kernel.reference_sweep(gs)
+        kernel.run(gs)
+        np.testing.assert_allclose(gs.output.interior, ref, rtol=1e-13)
+
+    def test_param_override(self):
+        spec = get_stencil("heat3d")
+        gs = GridSet(spec, SHAPE)
+        gs.randomize(5)
+        kernel = compile_kernel(spec, SHAPE, unblocked_plan(SHAPE))
+        ref = kernel.reference_sweep(gs, params={"a": 0.33})
+        kernel.run(gs, params={"a": 0.33})
+        np.testing.assert_allclose(gs.output.interior, ref, rtol=1e-13)
+
+    def test_timestep_swapping(self):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, SHAPE)
+        gs.randomize(7)
+        kernel = compile_kernel(spec, SHAPE, unblocked_plan(SHAPE))
+        before = gs["u"].interior.copy()
+        kernel.run_timesteps(gs, 2)
+        # Two sweeps + two swaps: result lives in "u" and must differ.
+        assert not np.allclose(gs["u"].interior, before)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bz=st.integers(1, 12),
+        by=st.integers(1, 10),
+        bx=st.integers(1, 16),
+    )
+    def test_random_blocks_property(self, bz, by, bx):
+        _check_plan("3d7pt", KernelPlan(block=(bz, by, bx)))
+
+
+class TestPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelPlan(block=(0, 4, 4))
+        with pytest.raises(ValueError):
+            KernelPlan(block=(4, 4), loop_order=(0, 0))
+        with pytest.raises(ValueError):
+            KernelPlan(block=(4,), threads=0)
+        with pytest.raises(ValueError):
+            KernelPlan(block=(4,), wavefront=0)
+
+    def test_clipped(self):
+        plan = KernelPlan(block=(64, 64, 64)).clipped((16, 16, 16))
+        assert plan.block == (16, 16, 16)
+
+    def test_candidates_cover_full_grid(self):
+        spec = get_stencil("3d7pt")
+        m = generic_avx2()
+        plans = list(candidate_plans(spec, (32, 32, 64), m))
+        assert any(p.block == (32, 32, 64) for p in plans)
+        # x axis never blocked.
+        assert all(p.block[-1] == 64 for p in plans)
+
+    def test_describe(self):
+        label = KernelPlan(block=(8, 8, 64), wavefront=4).describe()
+        assert "8x8x64" in label and "wf=4" in label
+
+
+class TestArtifacts:
+    def test_c_source_wellformed(self):
+        spec = get_stencil("3d27pt")
+        kernel = compile_kernel(spec, SHAPE, KernelPlan(block=(4, 4, 16)))
+        check_wellformed(kernel.c_source)
+        assert f"void {spec.name}_sweep" in kernel.c_source
+        assert "restrict" in kernel.c_source
+
+    def test_c_source_mentions_all_grids(self):
+        spec = get_stencil("3dvarcoef")
+        kernel = compile_kernel(spec, SHAPE, KernelPlan(block=SHAPE))
+        for grid in spec.grids:
+            assert f"double *restrict {grid}_data" in kernel.c_source
+
+    def test_py_source_attached(self):
+        spec = get_stencil("3d7pt")
+        kernel = compile_kernel(spec, SHAPE, KernelPlan(block=SHAPE))
+        assert "def kernel" in kernel.py_source
+
+    def test_check_wellformed_catches_imbalance(self):
+        with pytest.raises(ValueError):
+            check_wellformed("void f() { if (x) { }")
+
+    def test_wavefront_plan_rejected_by_sweep_backend(self):
+        spec = get_stencil("3d7pt")
+        with pytest.raises(ValueError):
+            compile_kernel(spec, SHAPE, KernelPlan(block=SHAPE, wavefront=2))
+
+    def test_rank_mismatch_rejected(self):
+        spec = get_stencil("3d7pt")
+        with pytest.raises(ValueError):
+            compile_kernel(spec, (8, 8), KernelPlan(block=(8, 8)))

@@ -1,0 +1,84 @@
+"""End-to-end tests of the YaskSite facade."""
+
+import numpy as np
+import pytest
+
+from repro import KernelPlan, YaskSite, get_stencil
+from repro.grid import GridSet
+
+SHAPE = (24, 24, 32)
+
+
+@pytest.fixture(scope="module")
+def ys():
+    return YaskSite("clx", cache_scale=1 / 32)
+
+
+class TestFacade:
+    def test_construct_from_name_or_object(self):
+        from repro.machine import rome
+
+        assert YaskSite("rome").machine.name == "Rome"
+        assert YaskSite(rome()).machine.name == "Rome"
+        with pytest.raises(KeyError):
+            YaskSite("z80")
+
+    def test_compile_uses_analytic_plan(self, ys):
+        spec = get_stencil("3d7pt")
+        kernel = ys.compile(spec, SHAPE)
+        choice = ys.select_block(spec, SHAPE)
+        assert kernel.plan.block == choice.plan.block
+
+    def test_compiled_kernel_correct(self, ys):
+        spec = get_stencil("3d7pt")
+        kernel = ys.compile(spec, SHAPE)
+        grids = GridSet(spec, SHAPE)
+        grids.randomize(1)
+        ref = kernel.reference_sweep(grids)
+        kernel.run(grids)
+        np.testing.assert_allclose(grids.output.interior, ref, rtol=1e-13)
+
+    def test_predict_measure_agree(self, ys):
+        spec = get_stencil("3d7pt")
+        plan = KernelPlan(block=SHAPE)
+        pred = ys.predict(spec, SHAPE, plan)
+        meas = ys.measure(spec, SHAPE, plan)
+        assert pred.mlups == pytest.approx(meas.mlups, rel=0.35)
+
+    def test_tune_dispatch(self, ys):
+        spec = get_stencil("3d7pt")
+        res = ys.tune(spec, (16, 16, 32), tuner="ecm")
+        assert res.tuner == "ecm"
+        with pytest.raises(KeyError):
+            ys.tune(spec, SHAPE, tuner="annealing")
+
+    def test_scaling_paths(self, ys):
+        spec = get_stencil("3d7pt")
+        plan = KernelPlan(block=SHAPE)
+        pred = ys.predicted_scaling(spec, SHAPE, plan, max_cores=4)
+        meas = ys.measured_scaling(spec, SHAPE, plan, [1, 2])
+        assert len(pred) == 4
+        assert len(meas) == 2
+        assert meas[1].mlups > meas[0].mlups
+
+
+class TestCompileText:
+    def test_text_definition_compiles_and_runs(self, ys):
+        import numpy as np
+
+        kernel = ys.compile_text(
+            "out[0,0,0] = 0.5*u[0,0,0] + k*(u[0,0,1] + u[0,0,-1])",
+            shape=(8, 8, 16),
+            params={"k": 0.25},
+        )
+        grids = GridSet(kernel.spec, (8, 8, 16))
+        grids.randomize(3)
+        ref = kernel.reference_sweep(grids)
+        kernel.run(grids)
+        np.testing.assert_allclose(grids.output.interior, ref, rtol=1e-13)
+
+    def test_bad_text_raises(self, ys):
+        from repro.stencil.parser import StencilParseError
+
+        with pytest.raises(StencilParseError):
+            ys.compile_text("out[0] = ", shape=(8,))

@@ -1,0 +1,83 @@
+"""Tuning-database tests."""
+
+import pytest
+
+from repro.machine import cascade_lake_sp
+from repro.ode import PIRK, radau_iia
+from repro.offsite import OffsiteTuner, TuningDatabase, TuningKey, TuningRecord
+
+
+def make_record(grid=(16, 16, 32), machine="CLX") -> TuningRecord:
+    return TuningRecord(
+        key=TuningKey("PIRK[RadauIIA(7), m=3]", "heat3d", machine, grid),
+        best_variant="fused_lc",
+        block=(16, 8, 32),
+        predicted_s_per_step=1.5e-3,
+        ranking=["fused_lc", "scatter", "split", "gather"],
+    )
+
+
+class TestKey:
+    def test_round_trip(self):
+        key = TuningKey("m", "p", "clx", (16, 16, 32))
+        assert TuningKey.from_str(key.to_str()) == key
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            TuningKey.from_str("just-a-string")
+
+
+class TestDatabase:
+    def test_put_get(self):
+        db = TuningDatabase()
+        rec = make_record()
+        db.put(rec)
+        assert db.get(rec.key) == rec
+        assert len(db) == 1
+
+    def test_put_replaces(self):
+        db = TuningDatabase()
+        rec = make_record()
+        db.put(rec)
+        rec2 = make_record()
+        db.put(rec2)
+        assert len(db) == 1
+
+    def test_lookup_falls_back_to_closest_grid(self):
+        db = TuningDatabase()
+        db.put(make_record(grid=(16, 16, 32)))
+        db.put(make_record(grid=(64, 64, 64)))
+        hit = db.lookup(
+            TuningKey("PIRK[RadauIIA(7), m=3]", "heat3d", "CLX", (20, 20, 32))
+        )
+        assert hit is not None
+        assert hit.key.grid == (16, 16, 32)
+
+    def test_lookup_respects_machine(self):
+        db = TuningDatabase()
+        db.put(make_record(machine="CLX"))
+        miss = db.lookup(
+            TuningKey("PIRK[RadauIIA(7), m=3]", "heat3d", "Rome", (16, 16, 32))
+        )
+        assert miss is None
+
+    def test_json_round_trip(self, tmp_path):
+        db = TuningDatabase()
+        db.put(make_record())
+        db.put(make_record(grid=(64, 64, 64)))
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.get(make_record().key) == make_record()
+
+    def test_record_report_integration(self):
+        machine = cascade_lake_sp().scaled_caches(1 / 32)
+        method = PIRK(radau_iia(4), 2)
+        grid = (12, 12, 16)
+        report = OffsiteTuner(machine).tune(method, grid, validate=False)
+        db = TuningDatabase()
+        rec = db.record_report(report, grid, block=grid)
+        assert rec.best_variant in {"split", "fused_lc", "scatter", "gather"}
+        assert len(rec.ranking) == 4
+        assert db.lookup(rec.key) == rec

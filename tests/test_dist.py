@@ -1,0 +1,145 @@
+"""Distributed (multi-rank) model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist import (
+    NetworkModel,
+    RankDecomposition,
+    best_decomposition,
+    predict_distributed,
+)
+from repro.dist.decompose import factorizations
+from repro.machine import cascade_lake_sp
+from repro.stencil import get_stencil
+
+
+class TestDecomposition:
+    def test_local_shape(self):
+        d = RankDecomposition((64, 64, 64), (2, 2, 1))
+        assert d.local_shape == (32, 32, 64)
+        assert d.n_ranks == 4
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            RankDecomposition((64, 64, 64), (3, 1, 1))
+
+    def test_neighbor_count(self):
+        d = RankDecomposition((64, 64, 64), (2, 2, 1))
+        assert d.neighbor_count() == 4  # two split axes, both directions
+
+    def test_exchange_bytes(self):
+        d = RankDecomposition((64, 64, 64), (2, 1, 1))
+        # One split axis: 2 faces x radius planes of 32x64x64... local
+        # is (32,64,64); face area = 64*64; 2 * r * face * 8 bytes.
+        assert d.exchange_bytes_per_step(radius=1) == 2 * 1 * 64 * 64 * 8
+
+    def test_surface_to_volume_shrinks_with_size(self):
+        small = RankDecomposition((32, 32, 32), (2, 1, 1))
+        big = RankDecomposition((128, 128, 128), (2, 1, 1))
+        assert big.surface_to_volume(1) < small.surface_to_volume(1)
+
+    def test_factorizations_complete(self):
+        f = factorizations(8, 3)
+        assert (2, 2, 2) in f and (8, 1, 1) in f and (1, 1, 8) in f
+        assert all(a * b * c == 8 for a, b, c in f)
+
+    def test_best_decomposition_minimises_halo(self):
+        best = best_decomposition((64, 64, 64), 8, radius=1)
+        volume = best.exchange_bytes_per_step(1)
+        # No factorization does better in volume; slab splits (64k) lose.
+        for ranks in ((8, 1, 1), (1, 8, 1), (1, 1, 8)):
+            other = RankDecomposition((64, 64, 64), ranks)
+            assert volume <= other.exchange_bytes_per_step(1)
+        # Among the tied minimal-volume splits, fewest messages wins.
+        assert best.neighbor_count() == 4
+
+    def test_best_decomposition_impossible(self):
+        with pytest.raises(ValueError):
+            best_decomposition((7, 7, 7), 4, radius=1)
+
+
+class TestNetwork:
+    def test_message_time_monotone(self):
+        net = NetworkModel()
+        assert net.message_seconds(1 << 20) > net.message_seconds(1 << 10)
+
+    def test_latency_floor(self):
+        net = NetworkModel(latency_us=2.0)
+        assert net.message_seconds(0) == pytest.approx(2e-6)
+
+    def test_exchange_injection_limit(self):
+        net = NetworkModel(bandwidth_gbs=100.0, injection_gbs=10.0)
+        # Many messages: the injection limit binds.
+        t = net.exchange_seconds(10**8, n_messages=6)
+        assert t >= 10**8 / (10.0 * 1e9)
+
+    def test_zero_messages(self):
+        assert NetworkModel().exchange_seconds(0, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_gbs=0)
+        with pytest.raises(ValueError):
+            NetworkModel().message_seconds(-1)
+
+
+class TestDistributedPrediction:
+    def setup_method(self):
+        self.machine = cascade_lake_sp()
+        self.spec = get_stencil("3d7pt")
+
+    def test_weak_scaling_efficiency_high(self):
+        # Constant local size per rank: exchange stays proportionally
+        # small for big local grids.
+        pred = predict_distributed(
+            self.spec, (256, 256, 256), 8, self.machine
+        )
+        assert pred.parallel_efficiency > 0.8
+
+    def test_strong_scaling_efficiency_falls(self):
+        shape = (128, 128, 128)
+        eff = []
+        for n in (1, 8, 64):
+            pred = predict_distributed(self.spec, shape, n, self.machine)
+            eff.append(pred.parallel_efficiency)
+        assert eff[0] >= eff[1] >= eff[2]
+
+    def test_total_mlups_grows_with_ranks(self):
+        shape = (256, 256, 256)
+        p1 = predict_distributed(self.spec, shape, 1, self.machine)
+        p8 = predict_distributed(self.spec, shape, 8, self.machine)
+        assert p8.total_mlups > 3 * p1.total_mlups
+
+    def test_comm_fraction_complements_efficiency(self):
+        pred = predict_distributed(self.spec, (128, 128, 128), 8, self.machine)
+        assert pred.comm_fraction + pred.parallel_efficiency == pytest.approx(1.0)
+
+    def test_explicit_decomposition_respected(self):
+        d = RankDecomposition((128, 128, 128), (8, 1, 1))
+        pred = predict_distributed(
+            self.spec, (128, 128, 128), 8, self.machine, decomposition=d
+        )
+        assert pred.decomposition.ranks == (8, 1, 1)
+
+    def test_mismatched_rank_count_rejected(self):
+        d = RankDecomposition((128, 128, 128), (2, 1, 1))
+        with pytest.raises(ValueError):
+            predict_distributed(
+                self.spec, (128, 128, 128), 8, self.machine, decomposition=d
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_ranks=st.sampled_from([1, 2, 4, 8, 16]),
+    exp=st.integers(5, 7),
+)
+def test_slab_split_halo_invariant(n_ranks, exp):
+    """1-d slab decompositions exchange exactly 2*r plane faces."""
+    n = 2**exp
+    if n % n_ranks:
+        return
+    d = RankDecomposition((n, n, n), (n_ranks, 1, 1))
+    expected = 0 if n_ranks == 1 else 2 * n * n * 8
+    assert d.exchange_bytes_per_step(radius=1) == expected

@@ -1,0 +1,62 @@
+"""In-core ECM model tests."""
+
+import pytest
+
+from repro.ecm import incore_model
+from repro.grid.folding import Fold
+from repro.stencil import get_stencil, star
+
+
+class TestInCore:
+    def test_units_per_cacheline(self, clx):
+        spec = get_stencil("3d7pt")
+        s = incore_model(spec, clx)
+        # AVX-512 doubles: 8 lanes -> one vector per 64-byte line.
+        assert s.vectors_per_line == 1.0
+
+    def test_avx2_needs_two_vectors(self, rome_machine):
+        spec = get_stencil("3d7pt")
+        s = incore_model(spec, rome_machine)
+        assert s.vectors_per_line == 2.0
+
+    def test_load_counts_match_accesses(self, clx):
+        spec = get_stencil("3d25pt")
+        s = incore_model(spec, clx)
+        assert s.loads == 25
+        assert s.stores == 1
+
+    def test_fma_contraction(self, clx):
+        spec = get_stencil("3d7pt")
+        s = incore_model(spec, clx)
+        assert s.fma_ops > 0
+        # fused + leftovers must add back to the raw counts.
+        assert s.fma_ops + s.add_ops + s.mul_ops <= spec.flops
+
+    def test_tnol_scales_with_radius(self, clx):
+        t1 = incore_model(get_stencil("3d7pt"), clx).t_nol
+        t4 = incore_model(get_stencil("3d25pt"), clx).t_nol
+        assert t4 > t1
+
+    def test_avx2_slower_than_avx512(self, clx, rome_machine):
+        spec = get_stencil("3d7pt")
+        assert (
+            incore_model(spec, rome_machine).t_nol
+            > incore_model(spec, clx).t_nol
+        )
+
+    def test_explicit_fold_validation(self, clx):
+        spec = get_stencil("3d7pt")
+        with pytest.raises(ValueError):
+            incore_model(spec, clx, fold=Fold((1, 1, 4)))  # 4 != 8 lanes
+
+    def test_folded_vs_inline_shuffles(self, clx):
+        spec = star(3, 4)
+        inline = incore_model(spec, clx, fold=Fold((1, 1, 8)))
+        folded = incore_model(spec, clx, fold=Fold((2, 2, 2)))
+        # Multi-dim folding reduces the neighbour-gathering overhead for
+        # long-range stencils.
+        assert folded.t_ol < inline.t_ol
+
+    def test_t_core_is_max(self, clx):
+        s = incore_model(get_stencil("3d7pt"), clx)
+        assert s.t_core == max(s.t_ol, s.t_nol)

@@ -1,0 +1,100 @@
+"""ECM composition, multicore scaling and roofline tests."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.ecm import predict, roofline_predict, saturation_point, scaling_curve
+from repro.stencil import get_stencil
+
+SHAPE = (128, 128, 128)
+
+
+class TestSingleCore:
+    def test_composition_rule(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        assert pred.t_ecm == max(pred.t_ol, pred.t_nol + sum(pred.t_data))
+        assert pred.mlups > 0
+        assert len(pred.t_data) == clx.n_levels
+
+    def test_memory_bound_stencil_dominated_by_data(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        assert pred.t_nol + sum(pred.t_data) > pred.t_ol
+
+    def test_notation_string(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        s = pred.notation()
+        assert "∥" in s and "cy/CL" in s
+
+    def test_higher_radius_costs_more_cycles(self, clx):
+        p1 = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        p4 = predict(get_stencil("3d25pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        assert p4.t_ecm > p1.t_ecm
+
+    def test_blocking_helps_long_range(self, clx):
+        # Grid large enough that unblocked planes exceed even the L3
+        # share; only then does spatial blocking pay (at 128^3 the L3
+        # already holds the planes and blocking would just add halo).
+        spec = get_stencil("3dlong_r4")
+        big = (256, 256, 256)
+        full = predict(spec, big, KernelPlan(block=big), clx)
+        blocked = predict(spec, big, KernelPlan(block=(16, 16, 256)), clx)
+        assert blocked.t_ecm < full.t_ecm
+
+    def test_capacity_factor_monotone(self, clx):
+        spec = get_stencil("3d13pt")
+        generous = predict(
+            spec, SHAPE, KernelPlan(block=SHAPE), clx, capacity_factor=1.0
+        )
+        derated = predict(
+            spec, SHAPE, KernelPlan(block=SHAPE), clx, capacity_factor=0.1
+        )
+        assert derated.t_ecm >= generous.t_ecm
+
+    def test_runtime_consistency(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        ns = pred.runtime_per_lup_ns
+        assert ns == pytest.approx(1e3 / pred.mlups, rel=1e-9)
+
+
+class TestMulticore:
+    def test_scaling_saturates(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        curve = scaling_curve(pred, clx.mem_bw_gbs, clx.cores)
+        mlups = [p.mlups for p in curve]
+        assert mlups == sorted(mlups)  # monotone
+        assert curve[-1].saturated
+        assert curve[0].mlups == pytest.approx(pred.mlups)
+
+    def test_saturation_point_positive(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        n = saturation_point(pred, clx.mem_bw_gbs)
+        assert 1.0 < n < clx.cores * 2
+
+    def test_bad_core_count(self, clx):
+        pred = predict(get_stencil("3d7pt"), SHAPE, KernelPlan(block=SHAPE), clx)
+        with pytest.raises(ValueError):
+            scaling_curve(pred, clx.mem_bw_gbs, 0)
+
+
+class TestRoofline:
+    def test_memory_bound_classification(self, clx):
+        r = roofline_predict(get_stencil("3d7pt"), clx, cores=clx.cores)
+        assert r.memory_bound
+        assert r.mlups == r.bandwidth_mlups
+
+    def test_single_core_not_bandwidth_starved(self, clx):
+        r1 = roofline_predict(get_stencil("3d25pt"), clx, cores=1)
+        assert r1.mlups > 0
+
+    def test_roofline_at_least_ecm(self, clx):
+        # Roofline ignores in-cache transfer costs, so it must never be
+        # more pessimistic than ECM for a full-machine run.
+        spec = get_stencil("3d7pt")
+        pred = predict(spec, SHAPE, KernelPlan(block=SHAPE), clx)
+        curve = scaling_curve(pred, clx.mem_bw_gbs, clx.cores)
+        roof = roofline_predict(spec, clx, cores=clx.cores)
+        assert roof.mlups >= curve[-1].mlups * 0.99
+
+    def test_rejects_bad_cores(self, clx):
+        with pytest.raises(ValueError):
+            roofline_predict(get_stencil("3d7pt"), clx, cores=0)

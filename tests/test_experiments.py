@@ -1,0 +1,150 @@
+"""Integration tests: every experiment runs (quick mode) and its result
+has the shape the paper's claims require.  These are the reproduction's
+acceptance tests.
+"""
+
+import pytest
+
+from repro.experiments import (
+    exp_f1_ecm_validation,
+    exp_f2_block_sweep,
+    exp_f3_scaling,
+    exp_f4_temporal,
+    exp_f5_offsite_ranking,
+    exp_f6_ode_speedup,
+    exp_f7_ablation_lc,
+    exp_t1_machines,
+    exp_t2_stencils,
+    exp_t3_tuning_cost,
+    exp_t4_codegen_cost,
+)
+
+
+class TestTables:
+    def test_t1_machines(self):
+        result = exp_t1_machines.run()
+        assert len(result["rows"]) >= 8
+        assert result["machines"] == ["CascadeLakeSP", "Rome"]
+
+    def test_t2_stencils(self):
+        rows = exp_t2_stencils.run()["rows"]
+        assert len(rows) >= 8
+        ai = {r["name"]: r["AI (F/B)"] for r in rows}
+        assert ai["s3d25pt"] > ai["s3d7pt"]  # radius raises intensity
+
+
+class TestF1Validation:
+    def test_model_accuracy(self):
+        result = exp_f1_ecm_validation.run(quick=True)
+        # Paper claim: predictions "reliable and accurate".
+        assert result["mean_abs_err_pct"] < 25.0
+        assert result["max_abs_err_pct"] < 50.0
+
+
+class TestF2BlockSweep:
+    def test_analytic_pick_near_optimum(self):
+        result = exp_f2_block_sweep.run(quick=True)
+        assert result["max_gap_pct"] < 10.0
+
+
+class TestF3Scaling:
+    def test_scaling_shape(self):
+        result = exp_f3_scaling.run(quick=True)
+        rows = [r for r in result["rows"] if r["machine"].startswith("Cascade")]
+        # Aggregate performance must grow with cores.
+        mlups = [r["meas MLUP/s"] for r in rows]
+        assert mlups == sorted(mlups)
+        # Saturation predicted within the socket.
+        knees = result["saturation_cores"]
+        assert all(1 < v < 64 for v in knees.values())
+
+
+class TestF4Temporal:
+    def test_memory_bound_stencil_gains(self):
+        result = exp_f4_temporal.run(quick=True)
+        assert result["best_speedup"]["3d7pt"] > 1.1
+        # Traffic must shrink monotonically with wavefront depth.
+        rows = [r for r in result["rows"] if r["stencil"] == "3d7pt"]
+        traffic = [r["mem B/LUP"] for r in rows]
+        assert traffic == sorted(traffic, reverse=True)
+
+
+class TestT3TuningCost:
+    def test_cost_hierarchy(self):
+        result = exp_t3_tuning_cost.run(quick=True)
+        by_tuner = {r["tuner"]: r for r in result["rows"]}
+        assert by_tuner["ecm"]["run"] <= 1
+        assert by_tuner["exhaustive"]["run"] > 5
+        # Quality within 15% of exhaustive.
+        for q in result["quality_vs_exhaustive"].values():
+            assert q["ecm"] > 0.85
+
+
+class TestF5Ranking:
+    def test_ranking_reliability(self):
+        result = exp_f5_offsite_ranking.run(quick=True)
+        assert all(t >= 0.3 for t in result["kendall_taus"])
+        assert result["mean_abs_err_pct"] < 30.0
+
+
+class TestF6Speedup:
+    def test_tuned_beats_naive(self):
+        result = exp_f6_ode_speedup.run(quick=True)
+        assert result["geomean_speedup"] > 1.1
+        assert all(s > 0.95 for s in result["speedups"])
+
+
+class TestT4CodegenCost:
+    def test_codegen_cheap(self):
+        rows = exp_t4_codegen_cost.run(quick=True)["rows"]
+        for r in rows:
+            assert r["codegen all (s)"] < 5.0
+            assert r["ECM runs"] == 0
+
+
+class TestF7Ablation:
+    def test_layer_conditions_matter(self):
+        result = exp_f7_ablation_lc.run(quick=True)
+        assert (
+            result["mean_abs_err_nolc_pct"]
+            > 2 * result["mean_abs_err_full_pct"]
+        )
+
+
+class TestF8InCoreDetail:
+    def test_both_models_accurate(self):
+        from repro.experiments import exp_f8_incore_detail
+
+        result = exp_f8_incore_detail.run(quick=True)
+        assert result["mean_abs_err_simple_pct"] < 30.0
+        assert result["mean_abs_err_detailed_pct"] < 30.0
+
+
+class TestF9Overlap:
+    def test_serial_fits_substrate(self):
+        from repro.experiments import exp_f9_overlap
+
+        result = exp_f9_overlap.run(quick=True)
+        assert (
+            result["mean_abs_err_serial_pct"]
+            <= result["mean_abs_err_overlap_pct"]
+        )
+
+
+class TestF10Database:
+    def test_deployment_quality(self):
+        from repro.experiments import exp_f10_database
+
+        result = exp_f10_database.run(quick=True)
+        assert result["deployed_vs_oracle"] < 1.15
+        assert result["deployed_vs_naive"] > 1.1
+        assert result["db_size"] == 2
+
+
+class TestF11Distributed:
+    def test_scaling_shapes(self):
+        from repro.experiments import exp_f11_distributed
+
+        result = exp_f11_distributed.run(quick=True)
+        assert result["weak_efficiency_min"] > 0.85
+        assert result["strong_monotone_decay"]

@@ -1,0 +1,40 @@
+"""Tests for experiment-suite shared helpers."""
+
+import pytest
+
+from repro.experiments import common
+
+
+class TestCommon:
+    def test_machines_are_scaled(self):
+        for m in common.machines():
+            assert "0.03125" in m.name  # scaled by CACHE_SCALE
+
+    def test_geomean(self):
+        assert common.geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert common.geomean([3.0]) == 3.0
+
+    def test_geomean_validation(self):
+        with pytest.raises(ValueError):
+            common.geomean([])
+        with pytest.raises(ValueError):
+            common.geomean([1.0, -2.0])
+
+    def test_grids_ordered_by_size(self):
+        import math
+
+        sizes = [
+            math.prod(g)
+            for g in (common.GRID_SMALL, common.GRID_MEDIUM, common.GRID_LARGE)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_scaled_caches_preserve_ratio(self):
+        from repro.machine import cascade_lake_sp
+
+        full = cascade_lake_sp()
+        scaled = common.clx()
+        ratio = (
+            scaled.level("L2").size_bytes / full.level("L2").size_bytes
+        )
+        assert ratio == pytest.approx(common.CACHE_SCALE, rel=0.01)

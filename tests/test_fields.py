@@ -1,0 +1,45 @@
+"""FieldSet container tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid import FieldSet
+
+
+class TestFieldSet:
+    def test_construction_and_access(self):
+        fs = FieldSet(("a", "b", "c"), (4, 6), halo=1)
+        assert len(fs) == 3
+        assert fs.names == ("a", "b", "c")
+        assert "b" in fs and "z" not in fs
+        assert fs["a"].interior_shape == (4, 6)
+
+    def test_page_aligned_disjoint(self):
+        fs = FieldSet(("a", "b"), (8, 8), halo=2)
+        a, b = fs["a"], fs["b"]
+        assert b.layout.base_addr % FieldSet.PAGE == 0
+        assert b.layout.base_addr >= a.footprint_bytes
+
+    def test_arrays_mapping(self):
+        fs = FieldSet(("x", "y0"), (4, 4), halo=0)
+        arrays = fs.arrays()
+        assert set(arrays) == {"x", "y0"}
+        arrays["x"][0, 0] = 5.0
+        assert fs["x"].data[0, 0] == 5.0  # same buffer
+
+    def test_randomize_deterministic(self):
+        f1 = FieldSet(("a",), (4, 4), halo=1)
+        f2 = FieldSet(("a",), (4, 4), halo=1)
+        f1.randomize(9)
+        f2.randomize(9)
+        assert np.array_equal(f1["a"].data, f2["a"].data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FieldSet((), (4, 4), halo=0)
+        with pytest.raises(ValueError):
+            FieldSet(("a", "a"), (4, 4), halo=0)
+
+    def test_total_bytes(self):
+        fs = FieldSet(("a", "b"), (4, 4), halo=1)
+        assert fs.total_bytes == 2 * 6 * 6 * 8

@@ -1,0 +1,113 @@
+"""Tests for grids, layouts and the shared address space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid import Grid, GridSet, Layout
+from repro.stencil import get_stencil
+
+
+class TestLayout:
+    def test_strides_row_major(self):
+        lay = Layout((4, 5, 6))
+        assert lay.strides == (30, 6, 1)
+
+    def test_element_addr(self):
+        lay = Layout((4, 5, 6), dtype_bytes=8, base_addr=1000)
+        assert lay.element_addr((0, 0, 0)) == 1000
+        assert lay.element_addr((1, 2, 3)) == 1000 + (30 + 12 + 3) * 8
+
+    def test_row_addresses(self):
+        lay = Layout((2, 8))
+        addrs = lay.row_addresses((1,), 2, 5)
+        assert list(addrs) == [(8 + 2) * 8, (8 + 3) * 8, (8 + 4) * 8]
+
+    def test_row_addresses_empty(self):
+        lay = Layout((2, 8))
+        assert len(lay.row_addresses((0,), 5, 5)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Layout((0, 4))
+        with pytest.raises(ValueError):
+            Layout((4,), dtype_bytes=2)
+        with pytest.raises(ValueError):
+            Layout((4,), base_addr=-8)
+
+    @given(
+        shape=st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6)),
+        idx_frac=st.tuples(st.floats(0, 0.99), st.floats(0, 0.99), st.floats(0, 0.99)),
+    )
+    def test_addresses_unique_and_in_range(self, shape, idx_frac):
+        lay = Layout(shape)
+        idx = tuple(int(f * s) for f, s in zip(idx_frac, shape))
+        addr = lay.element_addr(idx)
+        assert 0 <= addr < lay.size_bytes
+        # Bijectivity: reconstruct the index from the address.
+        linear = addr // 8
+        rec = []
+        for stride in lay.strides:
+            rec.append(linear // stride)
+            linear %= stride
+        assert tuple(rec) == idx
+
+
+class TestGrid:
+    def test_interior_view_writes_through(self):
+        g = Grid("u", (4, 4), halo=2)
+        g.interior[...] = 7.0
+        assert g.data[2:6, 2:6].min() == 7.0
+        assert g.data[0, 0] == 0.0
+
+    def test_shifted_reads_halo(self):
+        g = Grid("u", (3, 3), halo=1)
+        g.data[...] = np.arange(25).reshape(5, 5)
+        shifted = g.shifted((-1, 0))
+        assert shifted[0, 0] == g.data[0, 1]
+
+    def test_shifted_rejects_overflow(self):
+        g = Grid("u", (3, 3), halo=1)
+        with pytest.raises(ValueError):
+            g.shifted((2, 0))
+
+    def test_name_validation(self):
+        with pytest.raises(ValueError):
+            Grid("2bad", (3,), halo=0)
+
+
+class TestGridSet:
+    def test_grids_created_for_spec(self):
+        spec = get_stencil("3dvarcoef")
+        gs = GridSet(spec, (4, 4, 8))
+        assert set(gs.names) == set(spec.grids)
+        assert gs.output.name == spec.output
+
+    def test_page_aligned_disjoint_addresses(self):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, (4, 4, 8))
+        grids = sorted(gs, key=lambda g: g.layout.base_addr)
+        for a, b in zip(grids, grids[1:]):
+            assert b.layout.base_addr % GridSet.PAGE == 0
+            assert b.layout.base_addr >= a.layout.base_addr + a.footprint_bytes
+
+    def test_randomize_deterministic(self):
+        spec = get_stencil("3d7pt")
+        g1 = GridSet(spec, (4, 4, 8))
+        g2 = GridSet(spec, (4, 4, 8))
+        g1.randomize(3)
+        g2.randomize(3)
+        assert np.array_equal(g1["u"].data, g2["u"].data)
+
+    def test_swap_in_out(self):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, (4, 4, 8))
+        gs.randomize(1)
+        before = gs["u"].data.copy()
+        gs.swap_in_out()
+        assert np.array_equal(gs["u_new"].data, before)
+
+    def test_rank_mismatch(self):
+        spec = get_stencil("3d7pt")
+        with pytest.raises(ValueError):
+            GridSet(spec, (4, 4))

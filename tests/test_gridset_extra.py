@@ -1,0 +1,63 @@
+"""Extra GridSet / Grid behaviours used by the simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid import Grid, GridSet
+from repro.stencil import get_stencil, variable_coefficient_star
+
+
+class TestGridExtra:
+    def test_extra_halo_allocates_more_padding(self):
+        spec = get_stencil("3d7pt")
+        normal = GridSet(spec, (4, 4, 8))
+        wide = GridSet(spec, (4, 4, 8), extra_halo=2)
+        assert wide["u"].halo == normal["u"].halo + 2
+        assert wide["u"].padded_shape[0] == normal["u"].padded_shape[0] + 4
+
+    def test_total_bytes_counts_all_grids(self):
+        spec = variable_coefficient_star(3, 1)
+        gs = GridSet(spec, (4, 4, 8))
+        assert gs.total_bytes == sum(g.footprint_bytes for g in gs)
+        assert len(gs) == len(spec.grids)
+
+    def test_dtype_float32(self):
+        g = Grid("u", (4, 4), halo=1, dtype_bytes=4)
+        assert g.data.dtype == np.float32
+        assert g.layout.dtype_bytes == 4
+
+    def test_halo_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Grid("u", (4, 4), halo=-1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nz=st.integers(1, 6),
+    ny=st.integers(1, 6),
+    nx=st.integers(1, 12),
+    halo=st.integers(0, 3),
+)
+def test_shifted_views_share_memory(nz, ny, nx, halo):
+    g = Grid("u", (nz, ny, nx), halo=halo)
+    g.data[...] = np.arange(g.data.size, dtype=float).reshape(g.padded_shape)
+    zero = g.shifted((0, 0, 0))
+    np.testing.assert_array_equal(zero, g.interior)
+    # Views alias the backing array: a write shows through.
+    g.interior[0, 0, 0] = -1.0
+    assert zero[0, 0, 0] == -1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    off=st.tuples(
+        st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2)
+    )
+)
+def test_shifted_offset_semantics(off):
+    g = Grid("u", (5, 5, 5), halo=2)
+    g.data[...] = np.arange(g.data.size, dtype=float).reshape(g.padded_shape)
+    view = g.shifted(off)
+    # Element (i,j,k) of the view is padded element (i+2+oz, j+2+oy, k+2+ox).
+    assert view[0, 0, 0] == g.data[2 + off[0], 2 + off[1], 2 + off[2]]

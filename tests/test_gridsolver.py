@@ -1,0 +1,71 @@
+"""Grid-native PIRK solver tests (the Offsite-YaskSite integration)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.ode import (
+    GridPirkSolver,
+    HeatND,
+    PIRK,
+    Wave1D,
+    convergence_order,
+    integrate,
+    lobatto_iiic,
+    radau_iia,
+    rk4,
+)
+
+
+class TestGridPirk:
+    def test_step_matches_vector_pirk(self):
+        ivp = HeatND(3, 10, t_end=0.001)
+        tab = radau_iia(3)
+        vec = PIRK(tab, 2)
+        grid = GridPirkSolver(ivp, tab, 2)
+        h = 1e-5
+        ref = vec.step(ivp.rhs, 0.0, ivp.y0, h)
+        got = grid.step(None, 0.0, ivp.y0, h)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-15)
+
+    def test_step_matches_with_blocked_plan(self):
+        ivp = HeatND(3, 12, t_end=0.001)
+        tab = lobatto_iiic(3)
+        vec = PIRK(tab, 3)
+        grid = GridPirkSolver(
+            ivp, tab, 3, plan=KernelPlan(block=(4, 4, 12))
+        )
+        h = 2e-5
+        ref = vec.step(ivp.rhs, 0.0, ivp.y0, h)
+        got = grid.step(None, 0.0, ivp.y0, h)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-15)
+
+    def test_2d_heat(self):
+        ivp = HeatND(2, 16, t_end=0.001)
+        tab = radau_iia(2)
+        grid = GridPirkSolver(ivp, tab, 2)
+        y = integrate(grid, ivp, 25)
+        assert ivp.error(ivp.t_end, y) < 1e-6
+
+    def test_integration_converges(self):
+        ivp = HeatND(3, 8, t_end=0.001)
+        grid = GridPirkSolver(ivp, radau_iia(3), 3)
+        y = integrate(grid, ivp, 20)
+        assert ivp.error(ivp.t_end, y) < 1e-9
+
+    def test_order_property(self):
+        solver = GridPirkSolver(HeatND(2, 8), radau_iia(4), 2)
+        assert solver.order == 3
+        assert "GridPIRK" in solver.name
+
+    def test_rejects_non_stencil_ivp(self):
+        with pytest.raises(ValueError):
+            GridPirkSolver(Wave1D(16), radau_iia(2), 2)
+
+    def test_rejects_explicit_tableau(self):
+        with pytest.raises(ValueError):
+            GridPirkSolver(HeatND(2, 8), rk4(), 2)
+
+    def test_rejects_zero_correctors(self):
+        with pytest.raises(ValueError):
+            GridPirkSolver(HeatND(2, 8), radau_iia(2), 0)

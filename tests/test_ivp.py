@@ -1,0 +1,118 @@
+"""IVP library tests: RHS consistency, exact solutions, stencil links."""
+
+import numpy as np
+import pytest
+
+from repro.ode import (
+    Cusp,
+    ExplicitRK,
+    HeatND,
+    InverterChain,
+    Wave1D,
+    get_ivp,
+    integrate,
+    rk4,
+)
+
+
+def finite_diff_derivative(ivp, t, eps=1e-7):
+    """d/dt of the exact solution via central differences."""
+    return (ivp.exact(t + eps) - ivp.exact(t - eps)) / (2 * eps)
+
+
+class TestHeat:
+    @pytest.mark.parametrize("dim,n", [(1, 32), (2, 12), (3, 6)])
+    def test_exact_solution_satisfies_ode(self, dim, n):
+        ivp = HeatND(dim, n)
+        t = 0.01
+        y = ivp.exact(t)
+        np.testing.assert_allclose(
+            ivp.rhs(t, y), finite_diff_derivative(ivp, t), rtol=1e-5, atol=1e-7
+        )
+
+    def test_integration_converges_to_exact(self):
+        ivp = HeatND(2, 12, t_end=0.002)
+        y = integrate(ExplicitRK(rk4()), ivp, 50)
+        assert ivp.error(ivp.t_end, y) < 1e-8
+
+    def test_stencil_attached(self):
+        ivp = HeatND(3, 8)
+        assert ivp.stencil is not None
+        assert ivp.stencil.radius == 1
+        assert ivp.grid_shape == (8, 8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeatND(0, 8)
+        with pytest.raises(ValueError):
+            HeatND(2, 1)
+
+
+class TestWave:
+    def test_exact_solution_satisfies_ode(self):
+        ivp = Wave1D(32)
+        t = 0.03
+        y = ivp.exact(t)
+        np.testing.assert_allclose(
+            ivp.rhs(t, y), finite_diff_derivative(ivp, t), rtol=1e-5, atol=1e-6
+        )
+
+    def test_energy_roughly_conserved(self):
+        ivp = Wave1D(32, t_end=0.5)
+        y = integrate(ExplicitRK(rk4()), ivp, 400)
+        n = 32
+        # Amplitude of u must stay bounded by the initial amplitude.
+        assert np.max(np.abs(y[:n])) <= 1.01
+
+
+class TestCusp:
+    def test_rhs_finite_and_shaped(self):
+        ivp = Cusp(24)
+        dy = ivp.rhs(0.0, ivp.y0)
+        assert dy.shape == ivp.y0.shape
+        assert np.all(np.isfinite(dy))
+
+    def test_integration_stays_finite(self):
+        ivp = Cusp(24, t_end=1e-4)
+        y = integrate(ExplicitRK(rk4()), ivp, 200)
+        assert np.all(np.isfinite(y))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cusp(2)
+
+
+class TestInverterChain:
+    def test_rhs_banded_coupling(self):
+        ivp = InverterChain(16)
+        y = ivp.y0.copy()
+        base = ivp.rhs(7.0, y)
+        # Perturbing node k changes only derivatives of k and k+1.
+        y2 = y.copy()
+        y2[4] += 0.1
+        delta = ivp.rhs(7.0, y2) - base
+        nonzero = np.nonzero(np.abs(delta) > 1e-12)[0]
+        assert set(nonzero) <= {4, 5}
+
+    def test_input_pulse_shape(self):
+        ivp = InverterChain(8)
+        # The pulse drives node 0 only through the rhs; just integrate.
+        y = integrate(ExplicitRK(rk4()), ivp, 200, t_end=1.0)
+        assert np.all(np.isfinite(y))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InverterChain(1)
+
+
+class TestRegistry:
+    def test_get_ivp(self):
+        assert get_ivp("heat2d").name.startswith("Heat2D")
+        assert get_ivp("wave1d", n=16).size == 32
+        with pytest.raises(KeyError):
+            get_ivp("unknown")
+
+    def test_error_requires_exact(self):
+        ivp = Cusp(24)
+        with pytest.raises(ValueError):
+            ivp.error(0.0, ivp.y0)

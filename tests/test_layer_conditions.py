@@ -1,0 +1,119 @@
+"""Layer-condition traffic model tests."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.ecm import boundary_traffic, effective_capacity
+from repro.machine import CacheLevel, CoreModel, Machine
+from repro.machine.presets import cascade_lake_sp, rome
+from repro.stencil import box, get_stencil, star, variable_coefficient_star
+
+
+def machine_with_l1(l1_kib: int, l2_kib: int = 1024) -> Machine:
+    return Machine(
+        name="lc-test",
+        isa="AVX2",
+        freq_ghz=2.0,
+        cores=4,
+        cores_per_llc=4,
+        core=CoreModel(32, 2, 1, 1, 2, 1),
+        caches=(
+            CacheLevel("L1", l1_kib * 1024, 64, 8, 64.0),
+            CacheLevel("L2", l2_kib * 1024, 64, 16, 32.0),
+        ),
+    )
+
+
+class TestRegimes:
+    def test_huge_cache_reaches_plane_regime(self):
+        spec = get_stencil("3d7pt")
+        shape = (64, 64, 64)
+        m = machine_with_l1(l1_kib=32 * 1024, l2_kib=64 * 1024)
+        rep = boundary_traffic(spec, shape, KernelPlan(block=shape), m)
+        assert rep.regimes == ("plane", "plane")
+        # Plane regime: 1 read + 2 store elements per update.
+        assert rep.elements_per_lup[0] == pytest.approx(3.0)
+
+    def test_tiny_cache_hits_none_regime(self):
+        spec = star(3, 4)
+        shape = (64, 64, 64)
+        m = machine_with_l1(l1_kib=4, l2_kib=16)
+        rep = boundary_traffic(spec, shape, KernelPlan(block=shape), m)
+        assert rep.regimes[0] == "none"
+        # 4r+1 = 17 rows + 2 store elements.
+        assert rep.elements_per_lup[0] == pytest.approx(19.0)
+
+    def test_row_regime_counts_groups(self):
+        spec = star(3, 2)  # 5 z-groups
+        shape = (64, 64, 64)
+        # Row working set: 12 rows x 64 x 8 = 6.1 KiB -> 16 KiB L1 is
+        # row- but not plane-sufficient for 64x64 planes.
+        m = machine_with_l1(l1_kib=16, l2_kib=16 * 1024)
+        rep = boundary_traffic(spec, shape, KernelPlan(block=shape), m)
+        assert rep.regimes[0] == "row"
+        assert rep.elements_per_lup[0] == pytest.approx(5 + 2)
+
+    def test_blocking_adds_halo_overhead_in_plane_regime(self):
+        spec = get_stencil("3d7pt")
+        shape = (64, 64, 64)
+        m = machine_with_l1(l1_kib=32 * 1024, l2_kib=64 * 1024)
+        full = boundary_traffic(spec, shape, KernelPlan(block=shape), m)
+        blocked = boundary_traffic(
+            spec, shape, KernelPlan(block=(8, 8, 64)), m
+        )
+        assert blocked.elements_per_lup[0] > full.elements_per_lup[0]
+        # (1 + 2/8)^2 halo factor on the read stream.
+        assert blocked.elements_per_lup[0] == pytest.approx(
+            1.25 * 1.25 + 2.0
+        )
+
+    def test_no_reuse_flag(self):
+        spec = get_stencil("3d7pt")
+        shape = (32, 32, 32)
+        m = machine_with_l1(l1_kib=32 * 1024, l2_kib=64 * 1024)
+        rep = boundary_traffic(
+            spec, shape, KernelPlan(block=shape), m, assume_no_reuse=True
+        )
+        assert all(r == "none" for r in rep.regimes)
+
+    def test_multigrid_streams_counted(self):
+        spec = variable_coefficient_star(3, 1)
+        shape = (32, 32, 32)
+        m = machine_with_l1(l1_kib=32 * 1024, l2_kib=64 * 1024)
+        rep = boundary_traffic(spec, shape, KernelPlan(block=shape), m)
+        # 4 read streams + 2 store elements in plane regime.
+        assert rep.elements_per_lup[0] == pytest.approx(6.0)
+
+    def test_box_rows_exceed_star_rows(self):
+        shape = (64, 64, 64)
+        m = machine_with_l1(l1_kib=4, l2_kib=16)
+        star_rep = boundary_traffic(
+            star(3, 1), shape, KernelPlan(block=shape), m
+        )
+        box_rep = boundary_traffic(
+            box(3, 1), shape, KernelPlan(block=shape), m
+        )
+        assert box_rep.elements_per_lup[0] > star_rep.elements_per_lup[0]
+
+    def test_smaller_cache_never_less_traffic(self):
+        spec = get_stencil("3d13pt")
+        shape = (64, 64, 64)
+        plan = KernelPlan(block=shape)
+        prev = None
+        for l1 in (4, 16, 64, 1024):
+            rep = boundary_traffic(spec, shape, plan, machine_with_l1(l1))
+            if prev is not None:
+                assert rep.elements_per_lup[0] <= prev
+            prev = rep.elements_per_lup[0]
+
+
+class TestEffectiveCapacity:
+    def test_plain_level(self):
+        m = cascade_lake_sp()
+        assert effective_capacity(m, 1) == m.level("L2").size_bytes
+
+    def test_victim_aggregates(self):
+        m = rome()
+        assert effective_capacity(m, 2) == (
+            m.level("L3").size_bytes + m.level("L2").size_bytes
+        )

@@ -1,0 +1,113 @@
+"""Unit tests for repro.machine."""
+
+import pytest
+
+from repro.machine import (
+    CacheLevel,
+    CoreModel,
+    Machine,
+    WritePolicy,
+    cascade_lake_sp,
+    generic_avx2,
+    get_machine,
+    rome,
+)
+
+
+class TestCacheLevel:
+    def test_basic_properties(self):
+        c = CacheLevel("L1", 32 * 1024, 64, 8, 64.0)
+        assert c.n_lines == 512
+        assert c.n_sets == 64
+        assert c.cycles_per_line() == 1.0
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 1000, 64, 8, 64.0)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 32 * 1024, 64, 7, 64.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 32 * 1024, 64, 8, 0.0)
+
+    def test_scaled_preserves_assoc_and_line(self):
+        c = CacheLevel("L2", 1024 * 1024, 64, 16, 32.0)
+        half = c.scaled(0.5)
+        assert half.assoc == 16
+        assert half.line_bytes == 64
+        assert half.size_bytes == 512 * 1024
+        assert half.n_lines % half.assoc == 0
+
+    def test_scaled_never_below_one_set(self):
+        c = CacheLevel("L1", 4 * 1024, 64, 4, 32.0)
+        tiny = c.scaled(1e-6)
+        assert tiny.n_lines >= tiny.assoc
+
+    def test_write_policy_enum(self):
+        c = CacheLevel("L1", 4096, 64, 4, 32.0,
+                       write_policy=WritePolicy.WRITE_THROUGH)
+        assert c.write_policy is WritePolicy.WRITE_THROUGH
+
+
+class TestCoreModel:
+    def test_simd_lanes(self):
+        core = CoreModel(64, 2, 2, 2, 2, 1)
+        assert core.simd_lanes(8) == 8
+        assert core.simd_lanes(4) == 16
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            CoreModel(64, 0, 2, 2, 2, 1)
+
+
+class TestMachine:
+    def test_presets_valid(self):
+        for m in (cascade_lake_sp(), rome(), generic_avx2()):
+            assert m.n_levels >= 2
+            assert m.line_bytes == 64
+            assert m.freq_ghz > 0
+
+    def test_level_lookup(self, clx):
+        assert clx.level("L2").size_bytes == 1024 * 1024
+        with pytest.raises(KeyError):
+            clx.level("L9")
+
+    def test_cache_ordering_enforced(self):
+        small = CacheLevel("L1", 32 * 1024, 64, 8, 64.0)
+        big = CacheLevel("L2", 16 * 1024, 64, 8, 32.0)
+        core = CoreModel(32, 2, 2, 2, 2, 1)
+        with pytest.raises(ValueError):
+            Machine("bad", "AVX2", 2.0, 4, 4, core, (small, big))
+
+    def test_mem_cycles_per_line_single_vs_many(self, clx):
+        one = clx.mem_cycles_per_line(1)
+        many = clx.mem_cycles_per_line(clx.cores)
+        assert many > one  # contention slows each core down
+
+    def test_mem_cycles_rejects_zero_cores(self, clx):
+        with pytest.raises(ValueError):
+            clx.mem_cycles_per_line(0)
+
+    def test_scaled_caches(self, clx):
+        half = clx.scaled_caches(0.5)
+        assert half.level("L2").size_bytes == clx.level("L2").size_bytes // 2
+        # Non-cache parameters untouched.
+        assert half.freq_ghz == clx.freq_ghz
+        assert half.mem_bw_gbs == clx.mem_bw_gbs
+
+    def test_rome_victim_l3(self, rome_machine):
+        assert rome_machine.level("L3").victim
+
+    def test_summary_rows_cover_caches(self, clx):
+        rows = dict(clx.summary_rows())
+        assert "L1 (per core share)" in rows
+        assert "Memory BW (GB/s)" in rows
+
+    def test_get_machine_presets(self):
+        assert get_machine("clx").name == "CascadeLakeSP"
+        assert get_machine("ROME").name == "Rome"
+        with pytest.raises(KeyError):
+            get_machine("m1-max")

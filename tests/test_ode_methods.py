@@ -1,0 +1,82 @@
+"""Convergence-order tests for explicit RK and PIRK steppers."""
+
+import numpy as np
+import pytest
+
+from repro.ode import (
+    ExplicitRK,
+    PIRK,
+    Wave1D,
+    bogacki_shampine,
+    convergence_order,
+    euler,
+    heun,
+    integrate,
+    lobatto_iiic,
+    radau_iia,
+    rk4,
+)
+
+IVP = Wave1D(48, t_end=0.2)
+
+
+class TestExplicitRK:
+    @pytest.mark.parametrize(
+        "factory,expected",
+        [(euler, 1), (heun, 2), (bogacki_shampine, 3), (rk4, 4)],
+    )
+    def test_convergence_order(self, factory, expected):
+        stepper = ExplicitRK(factory())
+        measured = convergence_order(stepper, IVP, base_steps=24)
+        assert measured == pytest.approx(expected, abs=0.35)
+
+    def test_rejects_implicit_tableau(self):
+        with pytest.raises(ValueError):
+            ExplicitRK(radau_iia(2))
+
+    def test_integrate_reduces_error_with_steps(self):
+        stepper = ExplicitRK(rk4())
+        coarse = IVP.error(IVP.t_end, integrate(stepper, IVP, 30))
+        fine = IVP.error(IVP.t_end, integrate(stepper, IVP, 60))
+        assert fine < coarse
+
+    def test_integrate_validates_steps(self):
+        with pytest.raises(ValueError):
+            integrate(ExplicitRK(rk4()), IVP, 0)
+
+
+class TestPIRK:
+    @pytest.mark.parametrize("m,expected", [(1, 2), (2, 3), (3, 4)])
+    def test_order_grows_with_correctors(self, m, expected):
+        stepper = PIRK(radau_iia(4), m)
+        assert stepper.order == expected
+        measured = convergence_order(stepper, IVP, base_steps=24)
+        assert measured == pytest.approx(expected, abs=0.4)
+
+    def test_order_capped_by_base_method(self):
+        stepper = PIRK(radau_iia(2), 10)  # base order 3
+        assert stepper.order == 3
+
+    def test_lobatto_base(self):
+        stepper = PIRK(lobatto_iiic(3), 2)
+        measured = convergence_order(stepper, IVP, base_steps=24)
+        assert measured == pytest.approx(3, abs=0.4)
+
+    def test_rejects_explicit_base(self):
+        with pytest.raises(ValueError):
+            PIRK(rk4(), 2)
+
+    def test_rejects_zero_correctors(self):
+        with pytest.raises(ValueError):
+            PIRK(radau_iia(2), 0)
+
+    def test_rhs_evals_accounting(self):
+        stepper = PIRK(radau_iia(4), 3)
+        assert stepper.rhs_evals_per_step() == 4 * 4
+
+    def test_step_preserves_shape(self):
+        stepper = PIRK(radau_iia(3), 2)
+        y = IVP.y0.copy()
+        out = stepper.step(IVP.rhs, 0.0, y, 1e-4)
+        assert out.shape == y.shape
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,145 @@
+"""Expression-optimizer tests, including equivalence property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.optimize import (
+    LetBound,
+    eliminate_common_subexpressions,
+    evaluate,
+    evaluate_let,
+    fold_constants,
+    optimize,
+)
+from repro.stencil import expr as E
+from repro.stencil import get_stencil
+
+
+class TestConstantFolding:
+    def test_literal_arithmetic(self):
+        e = E.Const(2.0) * E.Const(3.0) + E.Const(1.0)
+        assert fold_constants(e) == E.Const(7.0)
+
+    def test_mul_one_identity(self):
+        u = E.access("u")(0,)
+        assert fold_constants(E.Const(1.0) * u) == u
+        assert fold_constants(u * 1.0) == u
+
+    def test_add_zero_identity(self):
+        u = E.access("u")(0,)
+        assert fold_constants(u + 0.0) == u
+        assert fold_constants(0.0 + u) == u
+        assert fold_constants(u - 0.0) == u
+
+    def test_mul_zero_annihilates(self):
+        u = E.access("u")(0,)
+        assert fold_constants(u * 0.0) == E.Const(0.0)
+
+    def test_division_by_constant_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            fold_constants(E.Const(1.0) / E.Const(0.0))
+
+    def test_nested_folding(self):
+        u = E.access("u")(0,)
+        e = (E.Const(2.0) * E.Const(0.5)) * u + (E.Const(3.0) - E.Const(3.0))
+        assert fold_constants(e) == u
+
+
+class TestCSE:
+    def test_shared_subtree_extracted(self):
+        u = E.access("u")
+        common = u(0,) + u(1,)
+        e = common * common
+        let = eliminate_common_subexpressions(e)
+        assert let.n_temps == 1
+        # Post-CSE: 1 add (binding) + 1 mul (root) = 2 ops vs 3 before.
+        assert let.flops() == 2
+        assert E.total_flops(e) == 3
+
+    def test_no_sharing_no_temps(self):
+        u = E.access("u")
+        e = u(0,) + u(1,)
+        let = eliminate_common_subexpressions(e)
+        assert let.n_temps == 0
+        assert let.flops() == 1
+
+    def test_nested_sharing(self):
+        u = E.access("u")
+        inner = u(0,) * 2.0
+        mid = inner + u(1,)
+        e = mid * mid + inner
+        let = eliminate_common_subexpressions(e)
+        assert let.n_temps == 2
+
+    def test_report(self):
+        u = E.access("u")
+        common = u(0,) + u(1,)
+        _, let, report = optimize(common * common + 0.0)
+        assert report.flops_saved >= 1
+        assert report.temps == 1
+
+
+# ----------------------------------------------------------------------
+# Property: optimisation preserves evaluation semantics.
+# ----------------------------------------------------------------------
+def exprs():
+    leaf = st.one_of(
+        st.builds(
+            E.GridAccess,
+            st.sampled_from(["u", "v"]),
+            st.tuples(st.integers(-1, 1)),
+        ),
+        st.builds(E.Const, st.floats(-2, 2, allow_nan=False).map(
+            lambda x: round(x, 3)
+        )),
+    )
+    return st.recursive(
+        leaf,
+        lambda ch: st.builds(E.BinOp, st.sampled_from(["+", "-", "*"]), ch, ch),
+        max_leaves=16,
+    )
+
+
+def _env():
+    return {
+        f"{g}@{(o,)}": 0.1 + 0.7 * i
+        for i, (g, o) in enumerate(
+            (g, o) for g in ("u", "v") for o in (-1, 0, 1)
+        )
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs())
+def test_fold_preserves_value(e):
+    env = _env()
+    assert evaluate(fold_constants(e), env) == pytest.approx(
+        evaluate(e, env), rel=1e-12, abs=1e-12
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs())
+def test_cse_preserves_value(e):
+    env = _env()
+    let = eliminate_common_subexpressions(e)
+    assert evaluate_let(let, env) == pytest.approx(
+        evaluate(e, env), rel=1e-12, abs=1e-12
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(exprs())
+def test_optimize_never_increases_flops(e):
+    _, let, report = optimize(e)
+    assert report.flops_after <= report.flops_before
+    assert isinstance(let, LetBound)
+
+
+def test_suite_stencils_unchanged_semantics():
+    # Real stencils: folding must not alter flop-relevant structure
+    # unexpectedly (they are built without dead terms).
+    for name in ("3d7pt", "3d27pt", "heat3d"):
+        spec = get_stencil(name)
+        folded, let, report = optimize(spec.expr)
+        assert report.flops_after <= report.flops_before

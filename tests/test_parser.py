@@ -1,0 +1,138 @@
+"""Stencil text-DSL parser tests, including round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stencil import expr as E
+from repro.stencil.parser import StencilParseError, parse_expr, parse_stencil
+
+
+class TestExpressions:
+    def test_number_formats(self):
+        assert parse_expr("2") == E.Const(2.0)
+        assert parse_expr("2.5") == E.Const(2.5)
+        assert parse_expr(".5") == E.Const(0.5)
+        assert parse_expr("1e-3") == E.Const(1e-3)
+
+    def test_parameter(self):
+        assert parse_expr("alpha") == E.Param("alpha")
+
+    def test_grid_access(self):
+        assert parse_expr("u[0,1,-2]") == E.GridAccess("u", (0, 1, -2))
+        assert parse_expr("u[+1]") == E.GridAccess("u", (1,))
+
+    def test_precedence(self):
+        node = parse_expr("1 + 2 * 3")
+        assert isinstance(node, E.BinOp) and node.op == "+"
+        assert isinstance(node.rhs, E.BinOp) and node.rhs.op == "*"
+
+    def test_left_associativity(self):
+        node = parse_expr("1 - 2 - 3")
+        assert node.op == "-"
+        assert isinstance(node.lhs, E.BinOp) and node.lhs.op == "-"
+
+    def test_parentheses(self):
+        node = parse_expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert isinstance(node.lhs, E.BinOp) and node.lhs.op == "+"
+
+    def test_unary_minus(self):
+        node = parse_expr("-u[0]")
+        assert node.op == "*"
+        assert node.lhs == E.Const(-1.0)
+
+
+class TestStencilAssignment:
+    def test_full_stencil(self):
+        spec = parse_stencil(
+            "u_new[0,0] = 0.25*u[0,0] + a*(u[0,1] + u[0,-1])",
+            params={"a": 0.1},
+        )
+        assert spec.output == "u_new"
+        assert spec.dim == 2
+        assert spec.radius == 1
+        assert spec.reads == ("u",)
+
+    def test_parsed_equals_builder(self):
+        # The textual 2D 5-point star must behave like the built one.
+        from repro.codegen import KernelPlan, compile_kernel
+        from repro.grid import GridSet
+
+        text = (
+            "u_new[0,0] = 0.25*u[0,0]"
+            " + 0.1375*(u[1,0] + u[-1,0])"
+            " + 0.1375*(u[0,1] + u[0,-1])"
+        )
+        spec = parse_stencil(text, name="parsed5pt")
+        shape = (10, 12)
+        gs = GridSet(spec, shape)
+        gs.randomize(4)
+        kernel = compile_kernel(spec, shape, KernelPlan(block=shape))
+        ref = kernel.reference_sweep(gs)
+        kernel.run(gs)
+        np.testing.assert_allclose(gs.output.interior, ref, rtol=1e-13)
+
+        from repro.stencil import get_stencil
+
+        built = get_stencil("2d5pt")
+        assert spec.n_accesses == built.n_accesses
+        assert spec.flops == built.flops
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "u[0,0] =",  # missing rhs
+            "= u[0]",  # missing target
+            "u_new[0] = u[0",  # unterminated bracket
+            "u_new[0] = (u[0]",  # unterminated paren
+            "u_new[0] = u[0] @ 2",  # bad char
+            "u_new[1] = u[0]",  # nonzero output offset
+            "u_new[0] = u[0.5]",  # fractional offset
+            "u_new[0] = u[0] u[1]",  # trailing junk
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(StencilParseError):
+            parse_stencil(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_expr("1 + @")
+        except StencilParseError as exc:
+            assert exc.pos == 4
+        else:
+            pytest.fail("expected StencilParseError")
+
+
+# ----------------------------------------------------------------------
+# Property: printing an AST and re-parsing it round-trips.
+# ----------------------------------------------------------------------
+def exprs():
+    leaf = st.one_of(
+        st.builds(
+            E.GridAccess,
+            st.sampled_from(["u", "v"]),
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+        ),
+        st.builds(
+            E.Const,
+            st.floats(0.001, 4, allow_nan=False).map(lambda x: round(x, 4)),
+        ),
+        st.builds(E.Param, st.sampled_from(["a", "b"])),
+    )
+    return st.recursive(
+        leaf,
+        lambda ch: st.builds(
+            E.BinOp, st.sampled_from(["+", "-", "*", "/"]), ch, ch
+        ),
+        max_leaves=10,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs())
+def test_str_parse_round_trip(e):
+    assert parse_expr(str(e)) == e

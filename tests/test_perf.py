@@ -1,0 +1,80 @@
+"""Performance simulator tests (single- and multicore)."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.grid import GridSet
+from repro.perf import simulate_kernel, simulate_scaling
+from repro.stencil import get_stencil
+
+SHAPE = (16, 16, 32)
+
+
+class TestSingleCore:
+    def test_deterministic_with_seed(self, generic):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, SHAPE)
+        a = simulate_kernel(spec, gs, KernelPlan(block=SHAPE), generic, seed=1)
+        b = simulate_kernel(spec, gs, KernelPlan(block=SHAPE), generic, seed=1)
+        assert a.cycles_per_lup == b.cycles_per_lup
+
+    def test_noise_varies_with_seed(self, generic):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, SHAPE)
+        a = simulate_kernel(spec, gs, KernelPlan(block=SHAPE), generic, seed=1)
+        b = simulate_kernel(spec, gs, KernelPlan(block=SHAPE), generic, seed=2)
+        assert a.cycles_per_lup != b.cycles_per_lup
+        # ... but only slightly (2% sigma).
+        assert abs(a.cycles_per_lup - b.cycles_per_lup) / a.cycles_per_lup < 0.2
+
+    def test_mlups_and_runtime_consistent(self, generic):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, SHAPE)
+        m = simulate_kernel(spec, gs, KernelPlan(block=SHAPE), generic)
+        lups = 16 * 16 * 32
+        t = m.runtime_seconds(lups)
+        assert t == pytest.approx(
+            lups / (m.mlups * 1e6), rel=1e-9
+        )
+
+    def test_heavier_stencil_slower(self, generic):
+        gs7 = GridSet(get_stencil("3d7pt"), SHAPE)
+        gs27 = GridSet(get_stencil("3d27pt"), SHAPE)
+        m7 = simulate_kernel(get_stencil("3d7pt"), gs7, KernelPlan(block=SHAPE), generic)
+        m27 = simulate_kernel(get_stencil("3d27pt"), gs27, KernelPlan(block=SHAPE), generic)
+        assert m27.cycles_per_lup > m7.cycles_per_lup
+
+
+class TestScaling:
+    def test_aggregate_performance_increases(self, generic):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, (16, 8, 32))
+        meas = simulate_scaling(
+            spec, gs, KernelPlan(block=(16, 8, 32)), generic, [1, 2, 4]
+        )
+        mlups = [m.mlups for m in meas]
+        assert mlups[1] > mlups[0]
+        assert mlups[2] > mlups[1]
+
+    def test_scaling_sublinear_when_bandwidth_bound(self, generic):
+        # Planes must exceed the caches even per-slab, otherwise the
+        # decomposition creates a (real) superlinear cache windfall.
+        spec = get_stencil("3d7pt")
+        shape = (16, 32, 64)
+        gs = GridSet(spec, shape)
+        meas = simulate_scaling(
+            spec, gs, KernelPlan(block=shape), generic, [1, 4]
+        )
+        # generic: socket 40 GB/s vs core 12 GB/s -> 4 cores contend.
+        assert meas[1].mlups < 4.05 * meas[0].mlups
+
+    def test_invalid_core_count(self, generic):
+        spec = get_stencil("3d7pt")
+        gs = GridSet(spec, SHAPE)
+        with pytest.raises(ValueError):
+            simulate_scaling(spec, gs, KernelPlan(block=SHAPE), generic, [0])
+        with pytest.raises(ValueError):
+            simulate_scaling(
+                spec, gs, KernelPlan(block=SHAPE), generic,
+                [generic.cores + 1],
+            )

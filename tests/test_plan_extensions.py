@@ -1,0 +1,83 @@
+"""Tests for fold-aware / thread-aware plan enumeration and the ECM
+overlap-composition option."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.codegen.plan import candidate_folds, candidate_plans
+from repro.ecm import EcmComposition, predict
+from repro.machine import cascade_lake_sp, rome
+from repro.stencil import get_stencil
+
+SHAPE = (64, 64, 64)
+
+
+class TestCandidateFolds:
+    def test_clx_gets_brick_fold(self):
+        folds = candidate_folds(get_stencil("3d7pt"), cascade_lake_sp())
+        shapes = {f.shape for f in folds}
+        assert (1, 1, 8) in shapes
+        assert (2, 2, 2) in shapes
+
+    def test_rome_gets_4lane_folds(self):
+        folds = candidate_folds(get_stencil("3d7pt"), rome())
+        shapes = {f.shape for f in folds}
+        assert (1, 1, 4) in shapes
+        assert (1, 2, 2) in shapes
+
+    def test_all_folds_pack_full_register(self):
+        m = cascade_lake_sp()
+        for fold in candidate_folds(get_stencil("3d7pt"), m):
+            assert fold.points == m.core.simd_lanes(8)
+
+
+class TestEnumeration:
+    def test_include_folds_multiplies_space(self):
+        spec = get_stencil("3d7pt")
+        m = cascade_lake_sp()
+        base = list(candidate_plans(spec, SHAPE, m))
+        folded = list(candidate_plans(spec, SHAPE, m, include_folds=True))
+        assert len(folded) == 2 * len(base)
+
+    def test_thread_constraint_drops_big_blocks(self):
+        spec = get_stencil("3d7pt")
+        m = cascade_lake_sp()
+        plans = list(candidate_plans(spec, SHAPE, m, threads=8))
+        # Full-z blocks give one outer block: cannot feed 8 threads.
+        assert all(-(-SHAPE[0] // p.block[0]) >= 8 for p in plans)
+        assert plans  # space not empty
+
+    def test_single_thread_keeps_full_block(self):
+        spec = get_stencil("3d7pt")
+        m = cascade_lake_sp()
+        plans = list(candidate_plans(spec, SHAPE, m, threads=1))
+        assert any(p.block == SHAPE for p in plans)
+
+
+class TestComposition:
+    def test_overlap_never_slower(self):
+        spec = get_stencil("3d7pt")
+        m = cascade_lake_sp()
+        plan = KernelPlan(block=SHAPE)
+        serial = predict(spec, SHAPE, plan, m)
+        overlap = predict(
+            spec, SHAPE, plan, m, composition=EcmComposition.OVERLAP
+        )
+        assert overlap.t_ecm <= serial.t_ecm
+        assert overlap.mlups >= serial.mlups
+
+    def test_overlap_equals_max_of_terms(self):
+        spec = get_stencil("3d7pt")
+        m = rome()
+        plan = KernelPlan(block=SHAPE)
+        pred = predict(
+            spec, SHAPE, plan, m, composition=EcmComposition.OVERLAP
+        )
+        assert pred.t_ecm == pytest.approx(
+            max(pred.t_ol, pred.t_nol, max(pred.t_data))
+        )
+
+    def test_default_is_serial(self):
+        spec = get_stencil("3d7pt")
+        pred = predict(spec, SHAPE, KernelPlan(block=SHAPE), cascade_lake_sp())
+        assert pred.composition is EcmComposition.SERIAL

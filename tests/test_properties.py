@@ -1,0 +1,170 @@
+"""Cross-cutting property-based tests on model invariants.
+
+These tie the subsystems together: whatever hypothesis throws at the
+models, physical sanity must hold (monotonicity, conservation,
+bounds).  They complement the per-module unit tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cachesim import CacheHierarchy
+from repro.codegen import KernelPlan, compile_kernel
+from repro.ecm import boundary_traffic, predict
+from repro.grid import GridSet
+from repro.machine import CacheLevel, CoreModel, Machine, cascade_lake_sp
+from repro.stencil import get_stencil, star
+
+
+CLX = cascade_lake_sp()
+
+
+# ----------------------------------------------------------------------
+# ECM invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    bz=st.sampled_from([4, 8, 16, 32, 64]),
+    by=st.sampled_from([4, 8, 16, 32, 64]),
+    radius=st.sampled_from([1, 2, 4]),
+)
+def test_ecm_times_positive_and_composed(bz, by, radius):
+    spec = star(3, radius)
+    shape = (64, 64, 64)
+    pred = predict(spec, shape, KernelPlan(block=(bz, by, 64)), CLX)
+    assert pred.t_ol > 0 and pred.t_nol > 0
+    assert all(t >= 0 for t in pred.t_data)
+    assert pred.t_ecm >= pred.t_ol
+    assert pred.t_ecm >= pred.t_nol
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    radius=st.sampled_from([1, 2, 4]),
+    scale_exp=st.integers(0, 4),
+)
+def test_bigger_caches_never_more_traffic(radius, scale_exp):
+    spec = star(3, radius)
+    shape = (64, 64, 64)
+    plan = KernelPlan(block=(16, 16, 64))
+    small = boundary_traffic(spec, shape, plan, CLX.scaled_caches(1 / 16))
+    big = boundary_traffic(
+        spec, shape, plan, CLX.scaled_caches(2.0**scale_exp / 16)
+    )
+    for s_elems, b_elems in zip(
+        small.elements_per_lup, big.elements_per_lup
+    ):
+        assert b_elems <= s_elems + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(radius=st.sampled_from([1, 2, 3, 4]))
+def test_traffic_bounded_by_regime_extremes(radius):
+    spec = star(3, radius)
+    shape = (64, 64, 64)
+    plan = KernelPlan(block=shape)
+    rep = boundary_traffic(spec, shape, plan, CLX)
+    lower = 1.0 + 2.0  # one read stream + store WA/WB
+    upper = (4 * radius + 1) + 2.0
+    for elems in rep.elements_per_lup:
+        assert lower - 1e-9 <= elems <= upper + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    freq=st.floats(1.0, 4.0),
+    bw=st.floats(50.0, 400.0),
+)
+def test_prediction_scales_with_machine_knobs(freq, bw):
+    import dataclasses
+
+    spec = get_stencil("3d7pt")
+    shape = (128, 128, 128)
+    base = dataclasses.replace(CLX, freq_ghz=freq, mem_bw_gbs=bw)
+    faster_mem = dataclasses.replace(
+        CLX, freq_ghz=freq, mem_bw_gbs=bw, mem_bw_core_gbs=CLX.mem_bw_core_gbs * 2
+    )
+    p_base = predict(spec, shape, KernelPlan(block=shape), base)
+    p_fast = predict(spec, shape, KernelPlan(block=shape), faster_mem)
+    assert p_fast.mlups >= p_base.mlups - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Cache-hierarchy invariants
+# ----------------------------------------------------------------------
+def _tiny_machine(l1_lines: int, l2_lines: int) -> Machine:
+    return Machine(
+        name="prop",
+        isa="AVX2",
+        freq_ghz=2.0,
+        cores=2,
+        cores_per_llc=2,
+        core=CoreModel(32, 2, 1, 1, 2, 1),
+        caches=(
+            CacheLevel("L1", l1_lines * 64, 64, min(2, l1_lines), 64.0),
+            CacheLevel("L2", l2_lines * 64, 64, min(4, l2_lines), 32.0),
+        ),
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lines=st.lists(st.integers(0, 40), min_size=1, max_size=300),
+    writes_seed=st.integers(0, 2**16),
+)
+def test_hierarchy_traffic_conservation(lines, writes_seed):
+    """Outer traffic never exceeds inner traffic; misses bound loads."""
+    rng = np.random.default_rng(writes_seed)
+    writes = rng.random(len(lines)) < 0.3
+    machine = _tiny_machine(4, 16)
+    h = CacheHierarchy(machine)
+    h.access_many(np.array(lines, dtype=np.int64), writes)
+    # Loads across the outer boundary can never exceed the inner one.
+    assert h.loads[1] <= h.loads[0]
+    # L1 loads equal L1 misses; every miss came from a real access.
+    assert h.loads[0] == h.levels[0].misses
+    assert h.levels[0].hits + h.levels[0].misses == len(lines)
+    # Write-backs only happen if something was written.
+    if not writes.any():
+        assert sum(h.writebacks) == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 6), min_size=1, max_size=100))
+def test_hierarchy_small_footprint_fits(lines):
+    """A working set within L1 capacity has only compulsory misses."""
+    machine = _tiny_machine(8, 32)
+    h = CacheHierarchy(machine)
+    arr = np.array(lines, dtype=np.int64)
+    h.access_many(arr, np.zeros(len(lines), dtype=bool))
+    distinct = len(set(lines))
+    assert h.levels[0].misses == distinct
+
+
+# ----------------------------------------------------------------------
+# Codegen invariant: all plans compute identical results
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    bz=st.integers(1, 10),
+    by=st.integers(1, 9),
+    order=st.sampled_from([None, (1, 0, 2), (2, 0, 1)]),
+    seed=st.integers(0, 1000),
+)
+def test_any_plan_same_result(bz, by, order, seed):
+    spec = get_stencil("3d7pt")
+    shape = (10, 9, 12)
+    gs_a = GridSet(spec, shape)
+    gs_b = GridSet(spec, shape)
+    gs_a.randomize(seed)
+    gs_b.randomize(seed)
+    k_ref = compile_kernel(spec, shape, KernelPlan(block=shape))
+    k_blk = compile_kernel(
+        spec, shape, KernelPlan(block=(bz, by, 12), loop_order=order)
+    )
+    k_ref.run(gs_a)
+    k_blk.run(gs_b)
+    np.testing.assert_allclose(
+        gs_a.output.interior, gs_b.output.interior, rtol=1e-13
+    )

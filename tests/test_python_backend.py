@@ -1,0 +1,66 @@
+"""Generated-Python backend: source structure and compilation."""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.codegen.python_backend import build_callable, emit_python
+from repro.stencil import get_stencil
+
+
+class TestEmittedSource:
+    def test_block_loops_in_plan_order(self):
+        spec = get_stencil("3d7pt")
+        src = emit_python(
+            spec, (16, 16, 32), KernelPlan(block=(8, 4, 32), loop_order=(1, 0, 2)),
+            halo=1,
+        )
+        # Loop over axis 1 must appear before axis 0.
+        assert src.index("for bb1") < src.index("for bb0")
+
+    def test_params_bound(self):
+        spec = get_stencil("heat3d")
+        src = emit_python(spec, (8, 8, 8), KernelPlan(block=(8, 8, 8)), halo=1)
+        assert 'p_a = params["a"]' in src
+
+    def test_grids_bound(self):
+        spec = get_stencil("3dvarcoef")
+        src = emit_python(spec, (8, 8, 8), KernelPlan(block=(8, 8, 8)), halo=1)
+        for grid in spec.grids:
+            assert f'g_{grid} = arrays["{grid}"]' in src
+
+    def test_docstring_mentions_plan(self):
+        spec = get_stencil("3d7pt")
+        src = emit_python(spec, (8, 8, 8), KernelPlan(block=(4, 4, 8)), halo=1)
+        assert "b=4x4x8" in src
+
+    def test_custom_function_name(self):
+        spec = get_stencil("3d7pt")
+        src = emit_python(
+            spec, (8, 8, 8), KernelPlan(block=(8, 8, 8)), halo=1,
+            func_name="my_sweep",
+        )
+        func = build_callable(src, "my_sweep")
+        assert func.__name__ == "my_sweep"
+        assert func.__source__ == src
+
+    def test_wavefront_rejected(self):
+        spec = get_stencil("3d7pt")
+        with pytest.raises(ValueError):
+            emit_python(
+                spec, (8, 8, 8), KernelPlan(block=(8, 8, 8), wavefront=2),
+                halo=1,
+            )
+
+    def test_halo_offsets_in_slices(self):
+        spec = get_stencil("3d13pt")  # radius 2
+        src = emit_python(spec, (8, 8, 8), KernelPlan(block=(8, 8, 8)), halo=2)
+        # Offset +2 with halo 2 -> "+ 4"; offset -2 -> "+ 0".
+        assert "i20 + 4:i21 + 4" in src
+        assert "i20 + 0:i21 + 0" in src
+
+    def test_source_is_valid_python(self):
+        import ast
+
+        spec = get_stencil("3d27pt")
+        src = emit_python(spec, (8, 8, 8), KernelPlan(block=(4, 4, 8)), halo=1)
+        ast.parse(src)  # must not raise

@@ -1,0 +1,47 @@
+"""Cross-model consistency: roofline, ECM and the simulator.
+
+The three performance views must be ordered sensibly: roofline is the
+loosest upper bound, ECM refines it with cache transfer costs, and the
+simulator "measures" below or near the models.
+"""
+
+import pytest
+
+from repro.codegen import KernelPlan
+from repro.ecm import predict, roofline_predict, scaling_curve
+from repro.grid import GridSet
+from repro.machine import cascade_lake_sp
+from repro.perf import simulate_kernel
+from repro.stencil import STENCIL_SUITE, get_stencil
+
+MACHINE = cascade_lake_sp().scaled_caches(1 / 32)
+SHAPE = (24, 24, 32)
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in STENCIL_SUITE if get_stencil(n).dim == 3]
+)
+def test_roofline_bounds_ecm_at_socket_scale(name):
+    spec = get_stencil(name)
+    pred = predict(spec, SHAPE, KernelPlan(block=SHAPE), MACHINE)
+    curve = scaling_curve(pred, MACHINE.mem_bw_gbs, MACHINE.cores)
+    roof = roofline_predict(spec, MACHINE, cores=MACHINE.cores)
+    assert curve[-1].mlups <= roof.mlups * 1.01
+
+
+@pytest.mark.parametrize("name", ["3d7pt", "3d27pt", "3dvarcoef"])
+def test_simulator_within_factor_two_of_ecm(name):
+    spec = get_stencil(name)
+    grids = GridSet(spec, SHAPE)
+    pred = predict(spec, SHAPE, KernelPlan(block=SHAPE), MACHINE)
+    meas = simulate_kernel(spec, grids, KernelPlan(block=SHAPE), MACHINE, seed=1)
+    ratio = pred.mlups / meas.mlups
+    assert 0.5 < ratio < 2.0
+
+
+def test_all_suite_stencils_have_finite_predictions():
+    for name in STENCIL_SUITE:
+        spec = get_stencil(name)
+        shape = (24, 24, 32) if spec.dim == 3 else (48, 64)
+        pred = predict(spec, shape, KernelPlan(block=shape), MACHINE)
+        assert 0 < pred.mlups < 1e7

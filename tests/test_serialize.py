@@ -1,0 +1,64 @@
+"""Machine JSON serialization round-trip tests."""
+
+import pytest
+
+from repro.machine import (
+    cascade_lake_sp,
+    generic_avx2,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    rome,
+    save_machine,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [cascade_lake_sp, rome, generic_avx2]
+    )
+    def test_dict_round_trip(self, factory):
+        original = factory()
+        rebuilt = machine_from_dict(machine_to_dict(original))
+        assert rebuilt == original
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "clx.json"
+        save_machine(cascade_lake_sp(), path)
+        rebuilt = load_machine(path)
+        assert rebuilt == cascade_lake_sp()
+
+    def test_victim_flag_survives(self):
+        rebuilt = machine_from_dict(machine_to_dict(rome()))
+        assert rebuilt.level("L3").victim
+
+    def test_missing_field_rejected(self):
+        data = machine_to_dict(generic_avx2())
+        del data["freq_ghz"]
+        with pytest.raises(ValueError):
+            machine_from_dict(data)
+
+    def test_cache_defaults_filled(self):
+        data = machine_to_dict(generic_avx2())
+        for cache in data["caches"]:
+            del cache["victim"]
+            del cache["shared_by"]
+        rebuilt = machine_from_dict(data)
+        assert rebuilt.caches[0].shared_by == 1
+
+    def test_custom_machine_usable(self):
+        # A user-defined machine built from JSON drives the model.
+        from repro.codegen import KernelPlan
+        from repro.ecm import predict
+        from repro.stencil import get_stencil
+
+        data = machine_to_dict(generic_avx2())
+        data["name"] = "MyCPU"
+        data["freq_ghz"] = 3.0
+        machine = machine_from_dict(data)
+        pred = predict(
+            get_stencil("3d7pt"), (32, 32, 32),
+            KernelPlan(block=(32, 32, 32)), machine,
+        )
+        assert pred.machine_name == "MyCPU"
+        assert pred.mlups > 0

@@ -1,0 +1,132 @@
+"""Multi-equation solution (stencil bundle) tests."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import KernelPlan, compile_solution
+from repro.stencil import Solution, get_stencil, heat, rename_grids, star
+from repro.stencil import expr as E
+from repro.stencil.spec import StencilSpec
+
+
+def two_stage_heat() -> Solution:
+    """tmp = heat(u); u_out = heat(tmp) — a linear chain."""
+    s1 = rename_grids(heat(3), {"u_new": "tmp"}, name="stage1")
+    s2 = rename_grids(heat(3), {"u": "tmp", "u_new": "u_out"}, name="stage2")
+    return Solution("double_heat", [s2, s1])  # listed out of order
+
+
+class TestRename:
+    def test_rename_reads_and_output(self):
+        spec = rename_grids(heat(2), {"u": "a", "u_new": "b"})
+        assert spec.output == "b"
+        assert spec.reads == ("a",)
+
+    def test_partial_rename(self):
+        spec = rename_grids(heat(2), {"u_new": "out2"})
+        assert spec.output == "out2"
+        assert spec.reads == ("u",)
+
+    def test_collision_rejected(self):
+        with pytest.raises(ValueError):
+            rename_grids(heat(2), {"u_new": "u"})
+
+    def test_params_preserved(self):
+        spec = rename_grids(heat(2), {"u": "a"})
+        assert spec.params == {"a": 0.1}
+
+
+class TestSolutionStructure:
+    def test_schedule_orders_dependencies(self):
+        sol = two_stage_heat()
+        names = [eq.name for eq in sol.schedule()]
+        assert names == ["stage1", "stage2"]
+
+    def test_fields_inputs_outputs(self):
+        sol = two_stage_heat()
+        assert sol.inputs == ("u",)
+        assert set(sol.outputs) == {"tmp", "u_out"}
+        assert set(sol.fields) == {"u", "tmp", "u_out"}
+
+    def test_critical_path(self):
+        sol = two_stage_heat()
+        assert sol.critical_path_length() == 2
+
+    def test_independent_equations_any_order(self):
+        a = rename_grids(star(3, 1), {"u_new": "out_a"}, name="eq_a")
+        b = rename_grids(star(3, 1), {"u_new": "out_b"}, name="eq_b")
+        sol = Solution("pair", [a, b])
+        assert sol.critical_path_length() == 1
+        assert len(sol.schedule()) == 2
+
+    def test_duplicate_output_rejected(self):
+        a = rename_grids(star(3, 1), {}, name="eq_a")
+        b = rename_grids(star(3, 1), {}, name="eq_b")
+        with pytest.raises(ValueError):
+            Solution("clash", [a, b])
+
+    def test_cycle_rejected(self):
+        u, v = E.access("u"), E.access("v")
+        eq1 = StencilSpec("eq1", "v", u(0, 0, 0) * 2.0)
+        eq2 = StencilSpec("eq2", "u", v(0, 0, 0) * 2.0)
+        sol = Solution("loop", [eq1, eq2])
+        with pytest.raises(ValueError):
+            sol.schedule()
+
+    def test_describe(self):
+        row = two_stage_heat().describe()
+        assert row["equations"] == 2
+        assert row["critical path"] == 2
+
+
+class TestCompiledSolution:
+    def test_execution_matches_reference(self):
+        sol = two_stage_heat()
+        cs = compile_solution(sol, (10, 10, 12))
+        run_fields = cs.allocate(seed=5)
+        ref_fields = cs.allocate(seed=5)
+        ref = cs.reference_run(ref_fields)
+        cs.run(run_fields)
+        for name, expected in ref.items():
+            np.testing.assert_allclose(
+                run_fields[name].interior, expected, rtol=1e-13
+            )
+
+    def test_blocked_plan_matches(self):
+        sol = two_stage_heat()
+        cs = compile_solution(sol, (12, 8, 16), KernelPlan(block=(4, 4, 16)))
+        run_fields = cs.allocate(seed=2)
+        ref_fields = cs.allocate(seed=2)
+        ref = cs.reference_run(ref_fields)
+        cs.run(run_fields)
+        np.testing.assert_allclose(
+            run_fields["u_out"].interior, ref["u_out"], rtol=1e-13
+        )
+
+    def test_mixed_radius_shares_halo(self):
+        s1 = rename_grids(star(3, 2), {"u_new": "mid"}, name="wide")
+        s2 = rename_grids(
+            star(3, 1), {"u": "mid", "u_new": "out"}, name="narrow"
+        )
+        sol = Solution("mixed", [s1, s2])
+        cs = compile_solution(sol, (10, 10, 12))
+        assert cs.halo == 2
+        fields = cs.allocate(seed=1)
+        cs.run(fields)  # must not raise / read out of bounds
+
+    def test_param_override(self):
+        sol = two_stage_heat()
+        cs = compile_solution(sol, (8, 8, 8))
+        f1 = cs.allocate(seed=1)
+        f2 = cs.allocate(seed=1)
+        cs.run(f1, params={"a": 0.1})
+        cs.run(f2, params={"a": 0.4})
+        assert not np.allclose(f1["u_out"].interior, f2["u_out"].interior)
+
+    def test_c_sources_per_equation(self):
+        cs = compile_solution(two_stage_heat(), (8, 8, 8))
+        assert set(cs.c_sources) == {"stage1", "stage2"}
+
+    def test_empty_solution_rejected(self):
+        with pytest.raises(ValueError):
+            compile_solution(Solution("empty"), (8, 8, 8))

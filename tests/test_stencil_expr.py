@@ -1,0 +1,123 @@
+"""Unit and property tests for the stencil expression AST."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stencil import expr as E
+
+
+class TestConstruction:
+    def test_operator_overloading(self):
+        u = E.access("u")
+        e = 2.0 * u(0, 0) + u(1, 0) - u(0, 1) / 4
+        assert isinstance(e, E.BinOp)
+        assert E.total_flops(e) == 4
+
+    def test_neg_lowered_to_mul(self):
+        e = -E.access("u")(0,)
+        assert isinstance(e, E.BinOp)
+        assert e.op == "*"
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TypeError):
+            E.access("u")(0,) + "nope"  # type: ignore[operator]
+
+    def test_grid_access_validation(self):
+        with pytest.raises(ValueError):
+            E.GridAccess("", (0,))
+        with pytest.raises(TypeError):
+            E.GridAccess("u", (0.5,))  # type: ignore[arg-type]
+
+    def test_param_must_be_identifier(self):
+        with pytest.raises(ValueError):
+            E.Param("not valid")
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            E.BinOp("%", E.Const(1.0), E.Const(2.0))
+
+
+class TestAnalyses:
+    def test_count_flops_by_kind(self):
+        u = E.access("u")
+        e = u(0,) * 2.0 + u(1,) - u(-1,)
+        counts = E.count_flops(e)
+        assert counts == {"+": 1, "-": 1, "*": 1, "/": 0}
+
+    def test_grid_offsets(self):
+        u, c = E.access("u"), E.access("c")
+        e = c(0, 0) * (u(0, 1) + u(0, -1))
+        offs = E.grid_offsets(e)
+        assert offs["u"] == {(0, 1), (0, -1)}
+        assert offs["c"] == {(0, 0)}
+
+    def test_grids_read_sorted(self):
+        e = E.access("b")(0,) + E.access("a")(0,)
+        assert E.grids_read(e) == ("a", "b")
+
+    def test_radius(self):
+        e = E.access("u")(0, -3) + E.access("u")(2, 0)
+        assert E.radius(e) == 3
+
+    def test_dimensionality_consistent(self):
+        e = E.access("u")(0, 1) + E.access("v")(1, 0)
+        assert E.dimensionality(e) == 2
+
+    def test_dimensionality_mismatch_raises(self):
+        e = E.access("u")(0,) + E.access("v")(0, 0)
+        with pytest.raises(ValueError):
+            E.dimensionality(e)
+
+    def test_dimensionality_without_grids_raises(self):
+        with pytest.raises(ValueError):
+            E.dimensionality(E.Const(1.0))
+
+    def test_params_used(self):
+        e = E.Param("a") * E.access("u")(0,) + E.Param("b")
+        assert E.params_used(e) == ("a", "b")
+
+
+# ----------------------------------------------------------------------
+# Property-based: random expression trees
+# ----------------------------------------------------------------------
+def exprs(dim: int = 2, max_radius: int = 3):
+    leaf = st.one_of(
+        st.builds(
+            E.GridAccess,
+            st.sampled_from(["u", "v"]),
+            st.tuples(
+                *[st.integers(-max_radius, max_radius) for _ in range(dim)]
+            ),
+        ),
+        st.builds(E.Const, st.floats(-2, 2, allow_nan=False)),
+    )
+    return st.recursive(
+        leaf,
+        lambda children: st.builds(
+            E.BinOp, st.sampled_from(["+", "-", "*"]), children, children
+        ),
+        max_leaves=12,
+    )
+
+
+@given(exprs())
+def test_walk_visits_all_binops(e):
+    n_nodes = sum(1 for _ in e.walk())
+    n_binops = sum(1 for n in e.walk() if isinstance(n, E.BinOp))
+    assert E.total_flops(e) == n_binops
+    assert n_nodes == 2 * n_binops + (n_nodes - 2 * n_binops)
+
+
+@given(exprs())
+def test_radius_bounds_offsets(e):
+    r = E.radius(e)
+    for node in e.walk():
+        if isinstance(node, E.GridAccess):
+            assert all(abs(o) <= r for o in node.offsets)
+
+
+@given(exprs())
+def test_offsets_subset_of_reads(e):
+    offs = E.grid_offsets(e)
+    assert set(E.grids_read(e)) == set(offs)
+    assert all(len(v) >= 1 for v in offs.values())

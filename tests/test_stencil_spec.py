@@ -1,0 +1,107 @@
+"""Tests for StencilSpec, builders and the suite library."""
+
+import pytest
+
+from repro.stencil import (
+    STENCIL_SUITE,
+    StencilKind,
+    box,
+    get_stencil,
+    heat,
+    long_range,
+    star,
+    suite_table,
+    variable_coefficient_star,
+)
+from repro.stencil import expr as E
+from repro.stencil.spec import StencilSpec
+
+
+class TestBuilders:
+    def test_star_point_counts(self):
+        assert star(3, 1).n_accesses == 7
+        assert star(3, 2).n_accesses == 13
+        assert star(3, 4).n_accesses == 25
+        assert star(2, 1).n_accesses == 5
+
+    def test_box_point_counts(self):
+        assert box(3, 1).n_accesses == 27
+        assert box(2, 1).n_accesses == 9
+
+    def test_kind_classification(self):
+        assert star(3, 2).kind is StencilKind.STAR
+        assert box(3, 1).kind is StencilKind.BOX
+        assert heat(3).kind is StencilKind.STAR
+
+    def test_radius(self):
+        assert star(3, 4).radius == 4
+        assert box(2, 1).radius == 1
+        assert long_range(3, 4).radius == 4
+
+    def test_heat_has_parameter_default(self):
+        spec = heat(2)
+        assert "a" in spec.params
+
+    def test_varcoef_extra_grids(self):
+        spec = variable_coefficient_star(3, 1)
+        assert len(spec.reads) == 4  # u + 3 coefficient grids
+        assert spec.kind is StencilKind.STAR  # judged on the main grid
+
+    def test_builders_reject_bad_args(self):
+        with pytest.raises(ValueError):
+            star(0, 1)
+        with pytest.raises(ValueError):
+            box(3, 0)
+        with pytest.raises(ValueError):
+            long_range(3, 1)
+
+
+class TestSpecDerived:
+    def test_code_balance_jacobi(self):
+        spec = star(3, 1)
+        # 1 read stream + write + write-allocate = 24 B/LUP.
+        assert spec.code_balance_bytes() == 24.0
+        assert spec.code_balance_bytes(write_allocate=False) == 16.0
+
+    def test_arithmetic_intensity_grows_with_radius(self):
+        assert (
+            star(3, 4).arithmetic_intensity()
+            > star(3, 1).arithmetic_intensity()
+        )
+
+    def test_in_place_detection(self):
+        u = E.access("u")
+        spec = StencilSpec("gs", "u", u(0, 1) + u(0, -1))
+        assert spec.in_place
+        assert not star(2, 1).in_place
+
+    def test_missing_param_default_raises(self):
+        with pytest.raises(ValueError):
+            StencilSpec("p", "out", E.Param("k") * E.access("u")(0,))
+
+    def test_name_must_be_identifier(self):
+        with pytest.raises(ValueError):
+            StencilSpec("bad name", "out", E.access("u")(0,))
+
+    def test_describe_keys(self):
+        row = star(3, 1).describe()
+        for key in ("name", "dim", "kind", "radius", "flops/LUP", "AI (F/B)"):
+            assert key in row
+
+
+class TestLibrary:
+    def test_suite_complete(self):
+        assert len(STENCIL_SUITE) >= 8
+        for name in STENCIL_SUITE:
+            spec = get_stencil(name)
+            assert spec.flops > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_stencil("nope")
+
+    def test_suite_table_rows(self):
+        table = suite_table()
+        assert len(table) == len(STENCIL_SUITE)
+        names = [r["name"] for r in table]
+        assert len(set(names)) == len(names)

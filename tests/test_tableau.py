@@ -1,0 +1,181 @@
+"""Butcher tableau tests: known coefficients and order conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ode.tableau import (
+    Tableau,
+    bogacki_shampine,
+    euler,
+    heun,
+    lobatto_iiic,
+    radau_iia,
+    rk4,
+)
+
+
+class TestExplicit:
+    def test_euler(self):
+        t = euler()
+        assert t.stages == 1 and t.explicit
+        assert t.quadrature_order() >= 1
+
+    @pytest.mark.parametrize(
+        "factory,order", [(heun, 2), (rk4, 4), (bogacki_shampine, 3)]
+    )
+    def test_consistency(self, factory, order):
+        t = factory()
+        assert t.order == order
+        assert t.row_sums_consistent()
+        assert t.quadrature_order() >= min(order, t.stages)
+
+    def test_explicit_flag_checks_structure(self):
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError):
+            Tableau("bad", a, np.array([0.5, 0.5]), np.array([0.0, 1.0]),
+                    order=1, explicit=True)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Tableau("bad", np.zeros((2, 3)), np.zeros(2), np.zeros(2), order=1)
+
+
+class TestRadauIIA:
+    def test_two_stage_known_coefficients(self):
+        t = radau_iia(2)
+        np.testing.assert_allclose(
+            t.a, [[5 / 12, -1 / 12], [3 / 4, 1 / 4]], atol=1e-12
+        )
+        np.testing.assert_allclose(t.c, [1 / 3, 1.0], atol=1e-12)
+
+    @pytest.mark.parametrize("s", [2, 3, 4, 5])
+    def test_order_conditions(self, s):
+        t = radau_iia(s)
+        assert t.quadrature_order() >= 2 * s - 1
+        assert t.row_sums_consistent()
+        assert t.c[-1] == pytest.approx(1.0)
+
+    def test_stiffly_accurate(self):
+        t = radau_iia(4)
+        np.testing.assert_allclose(t.a[-1], t.b, atol=1e-12)
+
+    def test_one_stage_is_implicit_euler(self):
+        t = radau_iia(1)
+        assert t.a[0, 0] == 1.0
+
+
+class TestLobattoIIIC:
+    def test_two_stage_known_coefficients(self):
+        t = lobatto_iiic(2)
+        np.testing.assert_allclose(
+            t.a, [[0.5, -0.5], [0.5, 0.5]], atol=1e-12
+        )
+
+    @pytest.mark.parametrize("s", [2, 3, 4, 5])
+    def test_order_conditions(self, s):
+        t = lobatto_iiic(s)
+        assert t.quadrature_order() >= 2 * s - 2
+        assert t.row_sums_consistent()
+        assert t.c[0] == pytest.approx(0.0, abs=1e-12)
+        assert t.c[-1] == pytest.approx(1.0)
+
+    def test_first_column_constant(self):
+        t = lobatto_iiic(4)
+        np.testing.assert_allclose(t.a[:, 0], np.full(4, t.b[0]), atol=1e-12)
+
+    def test_rejects_single_stage(self):
+        with pytest.raises(ValueError):
+            lobatto_iiic(1)
+
+
+@given(s=st.integers(2, 5))
+def test_collocation_c_simplifying_condition(s):
+    """Radau IIA satisfies C(s): sum_j a_ij c_j^(k-1) = c_i^k / k."""
+    t = radau_iia(s)
+    for k in range(1, s + 1):
+        lhs = t.a @ (t.c ** (k - 1))
+        np.testing.assert_allclose(lhs, t.c**k / k, atol=1e-9)
+
+
+class TestGaussLegendre:
+    def test_one_stage_is_implicit_midpoint(self):
+        from repro.ode.tableau import gauss_legendre
+
+        t = gauss_legendre(1)
+        np.testing.assert_allclose(t.a, [[0.5]], atol=1e-12)
+        np.testing.assert_allclose(t.b, [1.0], atol=1e-12)
+
+    @pytest.mark.parametrize("s", [1, 2, 3, 4])
+    def test_order_conditions(self, s):
+        from repro.ode.tableau import gauss_legendre
+
+        t = gauss_legendre(s)
+        assert t.quadrature_order() >= 2 * s
+        assert t.row_sums_consistent()
+        # Nodes strictly interior and symmetric about 1/2.
+        assert 0 < t.c[0] and t.c[-1] < 1
+        np.testing.assert_allclose(t.c + t.c[::-1], np.ones(s), atol=1e-9)
+
+
+class TestRadauIA:
+    def test_two_stage_known_coefficients(self):
+        from repro.ode.tableau import radau_ia
+
+        t = radau_ia(2)
+        np.testing.assert_allclose(
+            t.a, [[1 / 4, -1 / 4], [1 / 4, 5 / 12]], atol=1e-10
+        )
+        np.testing.assert_allclose(t.b, [1 / 4, 3 / 4], atol=1e-10)
+
+    @pytest.mark.parametrize("s", [2, 3, 4])
+    def test_order_conditions(self, s):
+        from repro.ode.tableau import radau_ia
+
+        t = radau_ia(s)
+        assert t.quadrature_order() >= 2 * s - 1
+        assert t.c[0] == pytest.approx(0.0, abs=1e-10)
+
+    def test_d_condition_holds(self):
+        from repro.ode.tableau import radau_ia
+
+        t = radau_ia(3)
+        s = t.stages
+        for k in range(1, s + 1):
+            for j in range(s):
+                lhs = sum(
+                    t.b[i] * t.c[i] ** (k - 1) * t.a[i, j] for i in range(s)
+                )
+                rhs = t.b[j] / k * (1 - t.c[j] ** k)
+                assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+class TestLobattoIIIA:
+    @pytest.mark.parametrize("s", [2, 3, 5])
+    def test_order_and_endpoints(self, s):
+        from repro.ode.tableau import lobatto_iiia
+
+        t = lobatto_iiia(s)
+        assert t.quadrature_order() >= 2 * s - 2
+        assert t.c[0] == pytest.approx(0.0, abs=1e-10)
+        assert t.c[-1] == pytest.approx(1.0)
+        # First row of a IIIA tableau is all zeros (explicit first stage).
+        np.testing.assert_allclose(t.a[0], np.zeros(s), atol=1e-9)
+
+    def test_two_stage_is_trapezoidal(self):
+        from repro.ode.tableau import lobatto_iiia
+
+        t = lobatto_iiia(2)
+        np.testing.assert_allclose(
+            t.a, [[0.0, 0.0], [0.5, 0.5]], atol=1e-10
+        )
+
+
+class TestPirkOnOtherBases:
+    def test_gauss_base_convergence(self):
+        from repro.ode import PIRK, Wave1D, convergence_order, gauss_legendre
+
+        method = PIRK(gauss_legendre(3), 2)  # order min(6, 3) = 3
+        ivp = Wave1D(48, t_end=0.2)
+        measured = convergence_order(method, ivp, base_steps=20)
+        assert measured == pytest.approx(3, abs=0.4)

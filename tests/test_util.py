@@ -1,0 +1,79 @@
+"""Table-formatting tests."""
+import pytest
+
+
+from repro.util import format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 23, "b": "y"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_missing_cells(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = format_table(rows)
+        assert "b" in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = format_table([{"x": 3.14159265}])
+        assert "3.142" in out
+
+    def test_title(self):
+        out = format_table([{"x": 1}], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+
+class TestLinePlot:
+    def _plot(self, **kw):
+        from repro.util import line_plot
+
+        return line_plot(
+            {"a": ([1, 2, 3], [1.0, 4.0, 9.0])},
+            width=20, height=6, **kw,
+        )
+
+    def test_basic_render(self):
+        out = self._plot(title="squares")
+        assert out.splitlines()[0] == "squares"
+        assert "a=a" not in out  # legend format is mark=name
+        assert "o=a" in out
+
+    def test_axis_labels(self):
+        out = self._plot(xlabel="n", ylabel="y")
+        assert "n" in out and "y" in out
+
+    def test_bounds_on_axis(self):
+        out = self._plot()
+        assert "9" in out and "1" in out
+
+    def test_multiple_series_distinct_marks(self):
+        from repro.util import line_plot
+
+        out = line_plot(
+            {"p": ([0, 1], [0, 1]), "q": ([0, 1], [1, 0])},
+            width=10, height=5,
+        )
+        assert "o=p" in out and "x=q" in out
+
+    def test_errors(self):
+        from repro.util import line_plot
+
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"a": ([1, 2], [1])})
+
+    def test_constant_series_no_crash(self):
+        from repro.util import line_plot
+
+        out = line_plot({"c": ([1, 2, 3], [5, 5, 5])}, width=12, height=4)
+        assert "o" in out
