@@ -1,0 +1,160 @@
+"""Benchmark the measurement substrate itself.
+
+Unlike the ``bench_f*``/``bench_t*`` files (which time the paper's
+*experiments*), this one times the simulator that powers them:
+
+* scalar vs. vectorized cache-replay engine on a blocked sweep
+  (``measure_sweep`` with ``engine="scalar"`` / ``"vector"``), and
+* cold vs. memoized ``simulate_kernel`` (traffic-cache hit path).
+
+Run standalone::
+
+    python benchmarks/bench_perf_substrate.py [--quick] [--json PATH]
+
+It prints a JSON record with the speedups; the vectorized engine is
+expected to be >= 3x on the blocked 3d7pt replay and the memoized path
+>= 10x over a cold simulate_kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cachesim import TrafficCache, measure_sweep
+from repro.codegen.plan import KernelPlan
+from repro.grid.grid import GridSet
+from repro.machine.presets import cascade_lake_sp
+from repro.perf.simulate import simulate_kernel
+from repro.stencil.library import get_stencil
+
+#: (stencil, grid shape, block) cases for the engine comparison.
+CASES_FULL = [
+    ("3d7pt", (40, 40, 96), (20, 20, 96)),
+    ("3d25pt", (32, 32, 64), (16, 16, 64)),
+]
+CASES_QUICK = [
+    ("3d7pt", (32, 32, 64), (16, 16, 64)),
+]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_engines(quick: bool) -> list[dict]:
+    """Time scalar vs. vector replay on identical sweeps."""
+    machine = cascade_lake_sp()
+    repeats = 1 if quick else 2
+    rows = []
+    for name, shape, block in (CASES_QUICK if quick else CASES_FULL):
+        spec = get_stencil(name)
+        grids = GridSet(spec, shape)
+        plan = KernelPlan(block=block)
+
+        def run(engine):
+            return measure_sweep(
+                spec, grids, plan, machine,
+                engine=engine, traffic_cache=None,
+            )
+
+        r_scalar = run("scalar")
+        r_vector = run("vector")
+        if r_scalar.as_dict() != r_vector.as_dict():
+            raise AssertionError(
+                f"{name}: engine reports differ:"
+                f" {r_scalar.as_dict()} vs {r_vector.as_dict()}"
+            )
+        t_scalar = _best_of(lambda: run("scalar"), repeats)
+        t_vector = _best_of(lambda: run("vector"), repeats)
+        rows.append(
+            {
+                "case": name,
+                "grid": list(shape),
+                "block": list(block),
+                "scalar_s": round(t_scalar, 4),
+                "vector_s": round(t_vector, 4),
+                "speedup": round(t_scalar / t_vector, 2),
+            }
+        )
+    return rows
+
+
+def bench_memoization(quick: bool) -> dict:
+    """Time cold vs. memoized simulate_kernel on one configuration."""
+    machine = cascade_lake_sp()
+    name, shape, block = ("3d7pt", (32, 32, 64), (16, 16, 64))
+    spec = get_stencil(name)
+    grids = GridSet(spec, shape)
+    plan = KernelPlan(block=block)
+    cache = TrafficCache()
+
+    t0 = time.perf_counter()
+    cold = simulate_kernel(
+        spec, grids, plan, machine, seed=0, traffic_cache=cache
+    )
+    t_cold = time.perf_counter() - t0
+
+    t_warm = _best_of(
+        lambda: simulate_kernel(
+            spec, grids, plan, machine, seed=0, traffic_cache=cache
+        ),
+        3,
+    )
+    warm = simulate_kernel(
+        spec, grids, plan, machine, seed=0, traffic_cache=cache
+    )
+    if warm.cycles_per_lup != cold.cycles_per_lup:
+        raise AssertionError("memoized measurement differs from cold run")
+    return {
+        "case": name,
+        "grid": list(shape),
+        "cold_s": round(t_cold, 4),
+        "memoized_s": round(t_warm, 6),
+        "speedup": round(t_cold / t_warm, 1),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }
+
+
+def run(quick: bool = True) -> dict:
+    """Produce the substrate-performance record."""
+    engines = bench_engines(quick)
+    memo = bench_memoization(quick)
+    return {
+        "quick": quick,
+        "engine_speedups": engines,
+        "memoization": memo,
+        "rows": engines + [memo],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default=None, help="also write JSON here")
+    args = parser.parse_args(argv)
+    result = run(quick=args.quick)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+    worst = min(r["speedup"] for r in result["engine_speedups"])
+    print(
+        f"# vector engine >= {worst:.2f}x, "
+        f"memoized >= {result['memoization']['speedup']:.0f}x",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

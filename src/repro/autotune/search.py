@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.blocking.spatial import analytic_block_selection
+from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan, candidate_plans
 from repro.grid.grid import GridSet
 from repro.machine.machine import Machine
@@ -21,6 +23,8 @@ class TunerResult:
     expensive part the paper eliminates); ``simulated_run_seconds`` sums
     the simulated wall time those runs would have cost on the target
     machine; ``tuner_seconds`` is the actual time the tuner logic took.
+    ``traffic_cache_hits``/``misses`` count traffic-memoization lookups
+    during the run; ``workers`` records the degree of parallelism used.
     """
 
     tuner: str
@@ -31,6 +35,9 @@ class TunerResult:
     simulated_run_seconds: float
     tuner_seconds: float
     trace: list[tuple[str, float]] = field(default_factory=list)
+    traffic_cache_hits: int = 0
+    traffic_cache_misses: int = 0
+    workers: int = 1
 
 
 def _run_variant(
@@ -43,10 +50,84 @@ def _run_variant(
     return simulate_kernel(spec, grids, plan, machine, seed=seed)
 
 
+# --- parallel variant evaluation -------------------------------------------
+#
+# Measurements are deterministic functions of (plan, seed), so evaluating a
+# batch of variants in worker processes and reducing the results in submission
+# order yields exactly the serial tuner's outcome.  The GridSet is rebuilt in
+# each worker (its NumPy buffers are large and never read by the simulator's
+# address arithmetic) instead of being pickled per task.
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(
+    spec: StencilSpec,
+    interior_shape: tuple[int, ...],
+    extra_halo: int,
+    machine: Machine,
+) -> None:
+    _WORKER_STATE["spec"] = spec
+    _WORKER_STATE["grids"] = GridSet(spec, interior_shape, extra_halo)
+    _WORKER_STATE["machine"] = machine
+
+
+def _worker_eval(job: tuple[KernelPlan, int]) -> tuple[Measurement, int, int]:
+    plan, seed = job
+    cache = default_traffic_cache()
+    h0, m0 = cache.hits, cache.misses
+    meas = simulate_kernel(
+        _WORKER_STATE["spec"],
+        _WORKER_STATE["grids"],
+        plan,
+        _WORKER_STATE["machine"],
+        seed=seed,
+    )
+    return meas, cache.hits - h0, cache.misses - m0
+
+
+def _evaluate_variants(
+    spec: StencilSpec,
+    grids: GridSet,
+    machine: Machine,
+    jobs: list[tuple[KernelPlan, int]],
+    workers: int = 1,
+) -> list[tuple[Measurement, int, int]]:
+    """Evaluate ``(plan, seed)`` jobs, serially or in worker processes.
+
+    Returns ``(measurement, cache_hit_delta, cache_miss_delta)`` per job,
+    in submission order — the reduction over this list is independent of
+    ``workers``.
+    """
+    if workers <= 1:
+        cache = default_traffic_cache()
+        out = []
+        for plan, seed in jobs:
+            h0, m0 = cache.hits, cache.misses
+            meas = simulate_kernel(spec, grids, plan, machine, seed=seed)
+            out.append((meas, cache.hits - h0, cache.misses - m0))
+        return out
+    extra_halo = grids.output.halo - spec.radius
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(spec, grids.interior_shape, extra_halo, machine),
+    ) as ex:
+        return list(ex.map(_worker_eval, jobs))
+
+
 class ExhaustiveTuner:
-    """Run every candidate plan and keep the fastest (YASK-style search)."""
+    """Run every candidate plan and keep the fastest (YASK-style search).
+
+    ``workers > 1`` evaluates the candidates in that many processes; the
+    reduction walks results in candidate order with a strict ``>``, so
+    the chosen plan is identical to the serial run for any ``workers``.
+    """
 
     name = "exhaustive"
+
+    def __init__(self, workers: int = 1):
+        self.workers = workers
 
     def tune(
         self,
@@ -60,15 +141,22 @@ class ExhaustiveTuner:
         shape = grids.interior_shape
         best: tuple[float, KernelPlan] | None = None
         trace: list[tuple[str, float]] = []
-        n_run = 0
         sim_seconds = 0.0
+        cache_hits = cache_misses = 0
         lups = 1
         for s in shape:
             lups *= s
-        for i, plan in enumerate(candidate_plans(spec, shape, machine)):
-            meas = _run_variant(spec, grids, plan, machine, seed + i)
-            n_run += 1
+        jobs = [
+            (plan, seed + i)
+            for i, plan in enumerate(candidate_plans(spec, shape, machine))
+        ]
+        results = _evaluate_variants(
+            spec, grids, machine, jobs, workers=self.workers
+        )
+        for (plan, _), (meas, dh, dm) in zip(jobs, results):
             sim_seconds += meas.runtime_seconds(lups) * 2  # warm-up + timed
+            cache_hits += dh
+            cache_misses += dm
             trace.append((plan.describe(), meas.mlups))
             if best is None or meas.mlups > best[0]:
                 best = (meas.mlups, plan)
@@ -77,11 +165,14 @@ class ExhaustiveTuner:
             tuner=self.name,
             best_plan=best[1],
             best_mlups=best[0],
-            variants_examined=n_run,
-            variants_run=n_run,
+            variants_examined=len(jobs),
+            variants_run=len(jobs),
             simulated_run_seconds=sim_seconds,
             tuner_seconds=time.perf_counter() - start,
             trace=trace,
+            traffic_cache_hits=cache_hits,
+            traffic_cache_misses=cache_misses,
+            workers=self.workers,
         )
 
 
@@ -94,6 +185,9 @@ class GreedyLineSearchTuner:
 
     name = "greedy"
 
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+
     def tune(
         self,
         spec: StencilSpec,
@@ -101,7 +195,13 @@ class GreedyLineSearchTuner:
         machine: Machine,
         seed: int = 0,
     ) -> TunerResult:
-        """Axis-by-axis line search over block sizes."""
+        """Axis-by-axis line search over block sizes.
+
+        Candidates within one axis are independent, so each axis's batch
+        is evaluated via :func:`_evaluate_variants` (parallel when
+        ``workers > 1``); the per-candidate seed numbering matches the
+        serial loop exactly.
+        """
         start = time.perf_counter()
         shape = grids.interior_shape
         dim = spec.dim
@@ -112,6 +212,7 @@ class GreedyLineSearchTuner:
         trace: list[tuple[str, float]] = []
         n_run = 0
         sim_seconds = 0.0
+        cache_hits = cache_misses = 0
         best_mlups = -1.0
         run_seed = seed
         for axis in range(dim - 1):
@@ -121,15 +222,21 @@ class GreedyLineSearchTuner:
                 sizes.append(b)
                 b *= 2
             sizes.append(shape[axis])
-            axis_best = None
+            jobs = []
             for size in sizes:
                 cand = list(current)
                 cand[axis] = size
-                plan = KernelPlan(block=tuple(cand))
-                meas = _run_variant(spec, grids, plan, machine, run_seed)
+                jobs.append((KernelPlan(block=tuple(cand)), run_seed))
                 run_seed += 1
+            results = _evaluate_variants(
+                spec, grids, machine, jobs, workers=self.workers
+            )
+            axis_best = None
+            for size, (plan, _), (meas, dh, dm) in zip(sizes, jobs, results):
                 n_run += 1
                 sim_seconds += meas.runtime_seconds(lups) * 2
+                cache_hits += dh
+                cache_misses += dm
                 trace.append((plan.describe(), meas.mlups))
                 if axis_best is None or meas.mlups > axis_best[0]:
                     axis_best = (meas.mlups, size)
@@ -145,6 +252,9 @@ class GreedyLineSearchTuner:
             simulated_run_seconds=sim_seconds,
             tuner_seconds=time.perf_counter() - start,
             trace=trace,
+            traffic_cache_hits=cache_hits,
+            traffic_cache_misses=cache_misses,
+            workers=self.workers,
         )
 
 
@@ -176,13 +286,16 @@ class EcmGuidedTuner:
         )
         n_run = 0
         sim_seconds = 0.0
+        cache_hits = cache_misses = 0
         mlups = choice.prediction.mlups
         trace = [(choice.plan.describe(), mlups)]
         if self.validate:
             lups = 1
             for s in shape:
                 lups *= s
-            meas = _run_variant(spec, grids, choice.plan, machine, seed)
+            ((meas, cache_hits, cache_misses),) = _evaluate_variants(
+                spec, grids, machine, [(choice.plan, seed)]
+            )
             n_run = 1
             sim_seconds = meas.runtime_seconds(lups) * 2
             mlups = meas.mlups
@@ -196,4 +309,6 @@ class EcmGuidedTuner:
             simulated_run_seconds=sim_seconds,
             tuner_seconds=time.perf_counter() - start,
             trace=trace,
+            traffic_cache_hits=cache_hits,
+            traffic_cache_misses=cache_misses,
         )

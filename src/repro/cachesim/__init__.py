@@ -10,14 +10,30 @@ reproduction validates the paper's "no need to run the code" claim.
 """
 
 from repro.cachesim.lru import SetAssocCache
+from repro.cachesim.fastlru import VectorCache
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
 from repro.cachesim.stream import sweep_stream, stream_stats
+from repro.cachesim.memo import (
+    TrafficCache,
+    default_traffic_cache,
+    resolve_traffic_cache,
+    set_default_traffic_cache,
+    stream_key,
+    sweep_key,
+)
 from repro.cachesim.driver import measure_sweep, measure_stream
 
 __all__ = [
     "SetAssocCache",
+    "VectorCache",
     "CacheHierarchy",
     "TrafficReport",
+    "TrafficCache",
+    "default_traffic_cache",
+    "set_default_traffic_cache",
+    "resolve_traffic_cache",
+    "sweep_key",
+    "stream_key",
     "sweep_stream",
     "stream_stats",
     "measure_sweep",

@@ -8,6 +8,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
+from repro.cachesim.memo import TrafficCache, resolve_traffic_cache, sweep_key
 from repro.cachesim.stream import sweep_stream
 from repro.codegen.plan import KernelPlan
 from repro.grid.grid import GridSet
@@ -20,9 +21,10 @@ def measure_stream(
     stream: Iterable[tuple[np.ndarray, np.ndarray]],
     lups: int = 0,
     hierarchy: CacheHierarchy | None = None,
+    engine: str = "auto",
 ) -> TrafficReport:
     """Replay an arbitrary ``(lines, writes)`` stream; return traffic."""
-    hier = hierarchy or CacheHierarchy(machine)
+    hier = hierarchy or CacheHierarchy(machine, engine=engine)
     for lines, writes in stream:
         hier.access_many(lines, writes)
     return hier.report(lups=lups)
@@ -34,22 +36,43 @@ def measure_sweep(
     plan: KernelPlan,
     machine: Machine,
     warmup: bool = True,
+    engine: str = "auto",
+    traffic_cache: TrafficCache | str | None = "default",
 ) -> TrafficReport:
     """Simulated cache traffic of one steady-state stencil sweep.
 
     With ``warmup`` a full sweep is replayed first (without counting) so
     the measured sweep sees the warm state a time-stepping loop would —
     the regime the paper's steady-state measurements live in.
+
+    ``engine`` selects the replay implementation (see
+    :class:`~repro.cachesim.hierarchy.CacheHierarchy`).  Results are
+    memoized in ``traffic_cache`` (``"default"`` = the process-wide
+    cache, ``None`` = off): the replay is deterministic, so identical
+    configurations return the cached report without re-simulation.
     """
-    hier = CacheHierarchy(machine)
+    plan = plan.clipped(grids.interior_shape)
+    cache = resolve_traffic_cache(traffic_cache)
+    if cache is not None:
+        key = sweep_key(spec, grids, plan, machine, warmup)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    hier = CacheHierarchy(machine, engine=engine)
+    # The vector engine wants block-sized mega-batches; the scalar loop
+    # is fastest on the small per-row batches.
+    batch = "block" if hier.engine == "vector" else "row"
     if warmup:
         # Addresses are name-bound, so a warm-up replay leaves exactly the
         # footprint a steady pointer-swapping time loop would: the trailing
         # working set of every involved array.
-        for lines, writes in sweep_stream(spec, grids, plan):
+        for lines, writes in sweep_stream(spec, grids, plan, batch=batch):
             hier.access_many(lines, writes)
         hier.reset_counters()
-    for lines, writes in sweep_stream(spec, grids, plan):
+    for lines, writes in sweep_stream(spec, grids, plan, batch=batch):
         hier.access_many(lines, writes)
     lups = prod(grids.interior_shape)
-    return hier.report(lups=lups)
+    report = hier.report(lups=lups)
+    if cache is not None:
+        cache.put(key, report)
+    return report

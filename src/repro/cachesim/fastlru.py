@@ -1,0 +1,443 @@
+"""Vectorized batch replay of the cache hierarchy (the fast engine).
+
+The scalar engine in :mod:`repro.cachesim.hierarchy` walks one access
+at a time through every level.  This module replays the *same* semantics
+over whole NumPy batches and produces bit-identical traffic counters.
+It exploits two structural facts of the scalar algorithm:
+
+1.  **Level-phase decomposition.**  During one access, each level sees
+    at most three primitive operations: a *demand* probe (lookup, and on
+    a miss the fill of the same line — nothing else touches the level in
+    between, so the pair is atomic), an *install* (an eviction from the
+    level above being written back / victim-installed), and — for an
+    exclusive victim last level — a *victim demand* (probe that removes
+    the line on a hit and never fills).  The hierarchy can therefore be
+    replayed level by level: level ``j`` consumes an ordered op stream
+    and emits the ordered op stream of level ``j+1``.  Ordering is
+    preserved by position arithmetic: an op at position ``p`` emits its
+    propagated demand at ``4p`` and its eviction at ``4p+1`` (demand
+    fill) or ``4p+2`` (install), which reproduces exactly the scalar
+    engine's interleaving of probes, fills and eviction cascades.
+
+2.  **Set independence.**  Ops that map to different sets commute, so
+    after a stable sort by set index the stream is processed in
+    "rounds" — one op per set per round — with wide NumPy operations
+    over an age-matrix LRU representation.
+
+Repeated ops on the same line within a set are additionally folded into
+one when at most ``assoc - 1`` other ops on the set intervene (dirty
+flags OR together, the fold carries the first position for emissions
+and the last for recency).  The fold is exact: evicting the line in
+between would require ``assoc - 1`` younger distinct lines plus the
+evicting insert — at least ``assoc`` intervening ops — so the line is
+guaranteed resident, and at every insert the true LRU victim's age is
+unchanged by the fold while every other line's age can only move
+forward, leaving ``argmin(age)`` identical.  The fold is skipped at
+victim levels, where a hit *removes* the line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.cache import CacheLevel
+
+__all__ = ["VectorCache", "replay_batch"]
+
+#: Op kinds of the per-level streams.
+_DEMAND = 0   # lookup; on miss: count the load, fill, propagate deeper
+_INSTALL = 1  # eviction from the level above installed into this level
+_VDEMAND = 2  # demand probe of an exclusive victim level (hit removes)
+
+
+def _cat(parts: list, dtype) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+
+def _narrow(key: np.ndarray, span: int) -> np.ndarray:
+    """Cast a non-negative sort key to uint16 when its range allows.
+
+    ``np.argsort(kind="stable")`` uses radix sort only for <= 16-bit
+    integer types; the cast is order-preserving for values below 2**16.
+    """
+    if span <= 1 << 16:
+        return key.astype(np.uint16)
+    return key
+
+
+class VectorCache:
+    """Array-backed set-associative LRU level for the vector engine.
+
+    Mirrors the observable state of
+    :class:`~repro.cachesim.lru.SetAssocCache`: ``tags[s, w]`` is the
+    line resident in way ``w`` of set ``s`` (``-1`` = empty), ``dirty``
+    its write-back flag, and ``age`` the position of the line's last
+    use.  Positions increase monotonically, so the LRU victim of a full
+    set is simply ``argmin(age)``.
+    """
+
+    def __init__(self, level: CacheLevel) -> None:
+        self.level = level
+        self.n_sets = level.n_sets
+        self.assoc = level.assoc
+        self.tags = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        self.dirty = np.zeros((self.n_sets, self.assoc), dtype=bool)
+        self.age = np.zeros((self.n_sets, self.assoc), dtype=np.int64)
+        self.hits = 0
+        self.misses = 0
+
+    def contains(self, line: int) -> bool:
+        """Non-destructive membership test."""
+        return bool((self.tags[line % self.n_sets] == line).any())
+
+    def remove(self, line: int) -> bool | None:
+        """Invalidate ``line``; return its dirty flag, or ``None``."""
+        s = line % self.n_sets
+        ways = np.flatnonzero(self.tags[s] == line)
+        if ways.size == 0:
+            return None
+        w = ways[0]
+        was_dirty = bool(self.dirty[s, w])
+        self.tags[s, w] = -1
+        return was_dirty
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return int((self.tags >= 0).sum())
+
+    def flush(self) -> int:
+        """Drop all contents; return the number of dirty lines discarded."""
+        n_dirty = int((self.dirty & (self.tags >= 0)).sum())
+        self.tags[...] = -1
+        self.dirty[...] = False
+        return n_dirty
+
+    def lru_snapshot(self) -> list[list[tuple[int, bool]]]:
+        """Per-set ``(line, dirty)`` pairs in LRU-to-MRU order."""
+        snap: list[list[tuple[int, bool]]] = []
+        for s in range(self.n_sets):
+            occ = np.flatnonzero(self.tags[s] >= 0)
+            occ = occ[np.argsort(self.age[s, occ], kind="stable")]
+            snap.append(
+                [(int(self.tags[s, w]), bool(self.dirty[s, w])) for w in occ]
+            )
+        return snap
+
+
+def _replay_level(
+    cache: VectorCache,
+    lines: np.ndarray,
+    kinds: np.ndarray,
+    flags: np.ndarray,
+    pos: np.ndarray,
+    victim_level: bool,
+):
+    """Replay one level's ordered op stream.
+
+    Returns ``(demand_hits, demand_misses, dem_lines, dem_pos,
+    vic_lines, vic_dirty, vic_pos)`` where the ``dem_*`` arrays are the
+    demand misses to propagate one level deeper (positions already
+    rescaled) and the ``vic_*`` arrays the evicted lines (positions
+    rescaled and sub-ordered after their causing op).
+    """
+    assoc = cache.assoc
+    sets = lines % cache.n_sets
+    # NumPy's radix sort only kicks in for <= 16-bit keys; every sort
+    # key below is narrowed to uint16 whenever its range allows (an
+    # order-preserving cast), which is where most of the fixed per-batch
+    # cost would otherwise go.
+    order = np.argsort(_narrow(sets, cache.n_sets), kind="stable")
+    s_set = sets[order]
+    s_line = lines[order]
+    s_kind = kinds[order]
+    s_flag = flags[order]
+    s_pos = pos[order]
+    n = s_set.shape[0]
+    s_emit = s_pos  # position used for emissions (leader occurrence)
+    s_agep = s_pos  # position used for recency (last occurrence)
+
+    # Demand probes at this level (folded followers count as hits, so the
+    # total is taken before folding and misses are counted at the end).
+    n_dem_total = int((s_kind != _INSTALL).sum())
+
+    if not victim_level and n > 1:
+        # Adjacent-run collapse (the gap-0 fold): needs no extra sort
+        # and shrinks install-heavy deeper-level streams massively.
+        new_run = np.empty(n, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (s_set[1:] != s_set[:-1]) | (s_line[1:] != s_line[:-1])
+        starts = np.flatnonzero(new_run)
+        if starts.shape[0] < n:
+            run_last = np.empty(starts.shape[0], dtype=np.int64)
+            run_last[:-1] = starts[1:] - 1
+            run_last[-1] = n - 1
+            s_flag = np.logical_or.reduceat(s_flag, starts)
+            s_agep = s_pos[run_last]
+            s_set = s_set[starts]
+            s_line = s_line[starts]
+            s_kind = s_kind[starts]
+            s_emit = s_pos[starts]
+            n = starts.shape[0]
+
+    if not victim_level and n > 1 and assoc > 1:
+        # Gap-bounded fold of repeated same-line ops (see module doc).
+        # A stable sort by line brings each (set, line)'s occurrences
+        # together in time order; their index distance in the set-grouped
+        # stream counts the intervening ops on the same set.  Folding
+        # the already-collapsed stream is exact by the same argument.
+        lo_line = int(s_line.min())
+        o2 = np.argsort(
+            _narrow(s_line - lo_line, int(s_line.max()) - lo_line + 1),
+            kind="stable",
+        )
+        l2 = s_line[o2]
+        brk = np.empty(n, dtype=bool)
+        brk[0] = True
+        brk[1:] = (l2[1:] != l2[:-1]) | (o2[1:] - o2[:-1] > assoc)
+        starts = np.flatnonzero(brk)
+        if starts.shape[0] < n:
+            seg_last = np.empty(starts.shape[0], dtype=np.int64)
+            seg_last[:-1] = starts[1:] - 1
+            seg_last[-1] = n - 1
+            flag_or = np.logical_or.reduceat(s_flag[o2], starts)
+            age_pos = s_agep[o2[seg_last]]
+            leader = o2[starts]
+            lo = np.argsort(_narrow(leader, n), kind="stable")
+            leader = leader[lo]
+            s_set = s_set[leader]
+            s_line = s_line[leader]
+            s_kind = s_kind[leader]
+            s_emit = s_emit[leader]
+            s_agep = age_pos[lo]
+            s_flag = flag_or[lo]
+            n = leader.shape[0]
+
+    # Rank of each op within its set group = round it runs in.  The
+    # arrays are reordered by round once so each round is a cheap
+    # contiguous view.
+    grp_start = np.empty(n, dtype=bool)
+    grp_start[0] = True
+    grp_start[1:] = s_set[1:] != s_set[:-1]
+    gs_idx = np.flatnonzero(grp_start)
+    grp = np.cumsum(grp_start) - 1
+    rank = np.arange(n, dtype=np.int64) - gs_idx[grp]
+    rorder = np.argsort(_narrow(rank, n), kind="stable")
+    counts = np.bincount(rank)
+    bl = [0] + np.cumsum(counts).tolist()
+
+    r_set = s_set[rorder]
+    r_line = s_line[rorder]
+    r_flag = s_flag[rorder]
+    r_emit = s_emit[rorder]
+    r_agep = s_agep[rorder]
+    r_isdem = s_kind[rorder] != _INSTALL
+    all_dem = bool(r_isdem.all())
+
+    tags, dirty, age = cache.tags, cache.dirty, cache.age
+    dem_lines_l: list[np.ndarray] = []
+    dem_pos_l: list[np.ndarray] = []
+    vic_lines_l: list[np.ndarray] = []
+    vic_dirty_l: list[np.ndarray] = []
+    vic_pos_l: list[np.ndarray] = []
+    n_vd_miss = 0
+
+    vic_raw = False
+    if not victim_level:
+        # Non-victim levels never invalidate, so a level observed full at
+        # batch start stays full: no empty-way probing is needed and
+        # every miss evicts.
+        fullness = bool((tags != -1).all())
+        vic_raw = fullness and all_dem
+        for b, e in zip(bl[:-1], bl[1:]):
+            rs = r_set[b:e]
+            rt = r_line[b:e]
+            wt = tags[rs]  # all sets in a round are distinct
+            match = wt == rt[:, None]
+            hit = np.logical_or.reduce(match, axis=1)
+            nm = np.count_nonzero(hit)
+            if nm == e - b:
+                hw = match.argmax(axis=1)
+                dirty[rs, hw] |= r_flag[b:e]
+                age[rs, hw] = r_agep[b:e]
+                continue
+            miss = ~hit
+            if nm:
+                hw = match.argmax(axis=1)
+                hs = rs[hit]
+                hwh = hw[hit]
+                dirty[hs, hwh] |= r_flag[b:e][hit]
+                age[hs, hwh] = r_agep[b:e][hit]
+            ms = rs[miss]
+            ml = rt[miss]
+            me = r_emit[b:e][miss]
+            if all_dem:
+                dem_lines_l.append(ml)
+                dem_pos_l.append(me)  # scaled by 4 once, after the loop
+            else:
+                dm = miss & r_isdem[b:e]
+                dem_lines_l.append(rt[dm])
+                dem_pos_l.append(r_emit[b:e][dm])
+            if fullness:
+                way = age[ms].argmin(axis=1)
+                vic_lines_l.append(tags[ms, way])
+                vic_dirty_l.append(dirty[ms, way])
+                if all_dem:
+                    vic_pos_l.append(me)  # deferred: *4 + 1 after the loop
+                else:
+                    vic_pos_l.append(
+                        me * 4 + np.where(r_isdem[b:e][miss], 1, 2)
+                    )
+            else:
+                empty = wt[miss] == -1
+                has_empty = np.logical_or.reduce(empty, axis=1)
+                if np.count_nonzero(has_empty) == has_empty.shape[0]:
+                    way = empty.argmax(axis=1)
+                else:
+                    way = np.where(
+                        has_empty, empty.argmax(axis=1),
+                        age[ms].argmin(axis=1),
+                    )
+                    full = ~has_empty
+                    fs = ms[full]
+                    fw = way[full]
+                    vic_lines_l.append(tags[fs, fw])
+                    vic_dirty_l.append(dirty[fs, fw])
+                    if all_dem:
+                        vic_pos_l.append(me[full] * 4 + 1)
+                    else:
+                        sub = np.where(r_isdem[b:e][miss][full], 1, 2)
+                        vic_pos_l.append(me[full] * 4 + sub)
+            tags[ms, way] = ml
+            dirty[ms, way] = r_flag[b:e][miss]
+            age[ms, way] = r_agep[b:e][miss]
+        n_miss = sum(a.shape[0] for a in dem_lines_l)
+        n_hits = n_dem_total - n_miss
+    else:
+        for b, e in zip(bl[:-1], bl[1:]):
+            rs = r_set[b:e]
+            rt = r_line[b:e]
+            wt = tags[rs]
+            match = wt == rt[:, None]
+            hit = match.any(axis=1)
+            is_vd = r_isdem[b:e]
+            vd_hit = hit & is_vd
+            if vd_hit.any():
+                tags[rs[vd_hit], match[vd_hit].argmax(axis=1)] = -1
+            ins_hit = hit & ~is_vd
+            if ins_hit.any():
+                hs = rs[ins_hit]
+                hw = match[ins_hit].argmax(axis=1)
+                dirty[hs, hw] |= r_flag[b:e][ins_hit]
+                age[hs, hw] = r_agep[b:e][ins_hit]
+            n_vd_miss += int((is_vd & ~hit).sum())
+            ins = ~hit & ~is_vd
+            if ins.any():
+                ms = rs[ins]
+                empty = wt[ins] == -1
+                has_empty = empty.any(axis=1)
+                way = np.where(
+                    has_empty, empty.argmax(axis=1), age[ms].argmin(axis=1)
+                )
+                full = ~has_empty
+                if full.any():
+                    fs = ms[full]
+                    fw = way[full]
+                    vic_lines_l.append(tags[fs, fw])
+                    vic_dirty_l.append(dirty[fs, fw])
+                    # A victim level never demand-fills: every insert is
+                    # an install, so the eviction sub-position is 2.
+                    vic_pos_l.append(r_emit[b:e][ins][full] * 4 + 2)
+                tags[ms, way] = rt[ins]
+                dirty[ms, way] = r_flag[b:e][ins]
+                age[ms, way] = r_agep[b:e][ins]
+        n_miss = n_vd_miss
+        n_hits = n_dem_total - n_vd_miss
+
+    dem_pos = _cat(dem_pos_l, np.int64) * 4
+    vic_pos = _cat(vic_pos_l, np.int64)
+    if vic_raw:
+        vic_pos = vic_pos * 4 + 1
+    return (
+        n_hits,
+        n_miss,
+        _cat(dem_lines_l, np.int64),
+        dem_pos,
+        _cat(vic_lines_l, np.int64),
+        _cat(vic_dirty_l, bool),
+        vic_pos,
+    )
+
+
+def replay_batch(hier, lines: np.ndarray, writes: np.ndarray) -> None:
+    """Replay one ``(lines, writes)`` batch through a vector hierarchy.
+
+    Updates the hierarchy's traffic counters and per-level hit/miss
+    counters exactly like the scalar ``access_many`` loop would.
+    """
+    n = int(len(lines))
+    if n == 0:
+        return
+    levels = hier.levels
+    n_levels = len(levels)
+    last = n_levels - 1
+    victim_last = hier._victim_last
+
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    flags = np.ascontiguousarray(writes, dtype=bool)
+    hier.accesses += n
+    base = hier._clock
+    hier._clock = base + n
+    pos = np.arange(base, base + n, dtype=np.int64)
+    kinds = np.zeros(n, dtype=np.int8)  # phase 0: all demand ops
+
+    for j in range(n_levels):
+        victim_level = victim_last and j == last
+        h, m, dem_lines, dem_pos, vic_lines, vic_dirty, vic_pos = (
+            _replay_level(levels[j], lines, kinds, flags, pos, victim_level)
+        )
+        levels[j].hits += h
+        levels[j].misses += m
+        hier.loads[j] += m
+
+        if j == last:
+            # Evictions from the deepest level go to memory if dirty.
+            hier.writebacks[last] += int(vic_dirty.sum())
+            break
+        if victim_last and j + 1 == last:
+            # Every eviction is installed into the victim level below.
+            hier.writebacks[j] += int(vic_lines.shape[0])
+            inst_lines = vic_lines
+            inst_flags = vic_dirty
+            inst_pos = vic_pos
+            dem_kind = _VDEMAND
+        else:
+            # Only dirty lines travel down the write-back path.
+            hier.writebacks[j] += int(vic_dirty.sum())
+            inst_lines = vic_lines[vic_dirty]
+            inst_flags = np.ones(inst_lines.shape[0], dtype=bool)
+            inst_pos = vic_pos[vic_dirty]
+            dem_kind = _DEMAND
+
+        if dem_lines.shape[0] + inst_lines.shape[0] == 0:
+            break
+        m_lines = np.concatenate((dem_lines, inst_lines))
+        m_kinds = np.concatenate(
+            (
+                np.full(dem_lines.shape[0], dem_kind, dtype=np.int8),
+                np.full(inst_lines.shape[0], _INSTALL, dtype=np.int8),
+            )
+        )
+        m_flags = np.concatenate(
+            (np.zeros(dem_lines.shape[0], dtype=bool), inst_flags)
+        )
+        m_pos = np.concatenate((dem_pos, inst_pos))
+        if m_pos.shape[0] > 1:
+            lo = int(m_pos.min())
+            key = _narrow(m_pos - lo, int(m_pos.max()) - lo + 1)
+        else:
+            key = m_pos
+        order = np.argsort(key, kind="stable")  # positions are unique
+        lines = m_lines[order]
+        kinds = m_kinds[order]
+        flags = m_flags[order]
+        pos = m_pos[order]

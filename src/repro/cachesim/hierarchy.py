@@ -57,6 +57,35 @@ class TrafficReport:
         return out
 
 
+def _resolve_engine(engine: str, machine: Machine) -> str:
+    """Resolve the ``engine`` selector against the machine's geometry.
+
+    ``"auto"`` picks the vectorized engine when the L1 has enough sets
+    for per-set batching to pay off (full-size hierarchies), and the
+    scalar engine for tiny or heavily scaled-down caches where the
+    per-round batches would degenerate to a handful of ops.  A
+    single-level victim hierarchy (degenerate: nothing ever fills) is
+    always replayed by the scalar oracle.
+    """
+    if engine not in ("auto", "scalar", "vector"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'auto', 'scalar' or 'vector'"
+        )
+    single_victim = len(machine.caches) == 1 and machine.caches[0].victim
+    if engine == "vector":
+        if single_victim:
+            raise ValueError(
+                "the vector engine does not support a single-level "
+                "victim hierarchy"
+            )
+        return "vector"
+    if engine == "scalar":
+        return "scalar"
+    if single_victim or machine.caches[0].n_sets < 32:
+        return "scalar"
+    return "vector"
+
+
 class CacheHierarchy:
     """Single-core view of a machine's cache hierarchy.
 
@@ -64,22 +93,43 @@ class CacheHierarchy:
     through (a standard inclusive-ish model).  A ``victim=True`` last
     level (AMD Rome's L3) is exclusive: it is filled only by evictions
     from the level above, and hits move the line out of it.
+
+    ``engine`` selects the replay implementation: ``"scalar"`` is the
+    per-access reference loop, ``"vector"`` the batched NumPy engine in
+    :mod:`repro.cachesim.fastlru` (bit-identical counters), and
+    ``"auto"`` (default) picks vector for full-size hierarchies.
     """
 
-    def __init__(self, machine: Machine) -> None:
+    def __init__(self, machine: Machine, engine: str = "auto") -> None:
         self.machine = machine
-        self.levels = [SetAssocCache(c) for c in machine.caches]
+        if any(c.victim for c in machine.caches[:-1]):
+            raise ValueError("only the last level may be a victim cache")
+        self.engine = _resolve_engine(engine, machine)
+        if self.engine == "vector":
+            from repro.cachesim.fastlru import VectorCache
+
+            self.levels = [VectorCache(c) for c in machine.caches]
+        else:
+            self.levels = [SetAssocCache(c) for c in machine.caches]
         n = len(self.levels)
         self.loads = [0] * n
         self.writebacks = [0] * n
         self.accesses = 0
         self._victim_last = machine.caches[-1].victim if n > 0 else False
-        if any(c.victim for c in machine.caches[:-1]):
-            raise ValueError("only the last level may be a victim cache")
+        self._clock = 1  # global position counter of the vector engine
 
     # ------------------------------------------------------------------
     def access(self, line: int, write: bool) -> None:
         """One load or store (write-allocate) of a cache line."""
+        if self.engine == "vector":
+            from repro.cachesim.fastlru import replay_batch
+
+            replay_batch(
+                self,
+                np.array([line], dtype=np.int64),
+                np.array([write], dtype=bool),
+            )
+            return
         self.accesses += 1
         levels = self.levels
         if levels[0].lookup(line):
@@ -90,6 +140,11 @@ class CacheHierarchy:
 
     def access_many(self, lines: np.ndarray, writes: np.ndarray) -> None:
         """Replay a batch of accesses (hot path: minimal indirection)."""
+        if self.engine == "vector":
+            from repro.cachesim.fastlru import replay_batch
+
+            replay_batch(self, lines, writes)
+            return
         l0 = self.levels[0]
         l0_sets = l0._sets
         n_sets = l0.n_sets

@@ -76,6 +76,10 @@ class SetAssocCache:
         """Number of lines currently cached."""
         return sum(len(s) for s in self._sets)
 
+    def lru_snapshot(self) -> list[list[tuple[int, bool]]]:
+        """Per-set ``(line, dirty)`` pairs in LRU-to-MRU order."""
+        return [list(s.items()) for s in self._sets]
+
     def flush(self) -> int:
         """Drop all contents; return the number of dirty lines discarded."""
         dirty = 0

@@ -1,0 +1,245 @@
+"""Content-addressed memoization of simulated traffic reports.
+
+Replaying a sweep through the exact cache simulator is deterministic:
+the resulting :class:`~repro.cachesim.hierarchy.TrafficReport` is a
+pure function of the stencil's access geometry, the grid placement,
+the (clipped) kernel plan and the machine's cache geometry.  Tuners
+re-evaluate identical configurations constantly — the exhaustive tuner
+re-visits plans across seeds, the Offsite ranking re-measures the same
+variant on fresh grids — so traffic reports are memoized behind a
+content-addressed key.
+
+The cache is in-memory by default and optionally persistent: pass a
+directory (one JSON file per key) or set ``REPRO_TRAFFIC_CACHE_DIR``
+to make the default cache disk-backed, e.g. under ``~/.cache/repro``.
+Noise is applied by the perf layer *after* lookup, so memoization never
+changes simulated measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.cachesim.hierarchy import TrafficReport
+from repro.codegen.plan import KernelPlan
+from repro.grid.grid import GridSet
+from repro.machine.machine import Machine
+from repro.stencil.spec import StencilSpec
+
+__all__ = [
+    "TrafficCache",
+    "default_traffic_cache",
+    "set_default_traffic_cache",
+    "resolve_traffic_cache",
+    "sweep_key",
+    "stream_key",
+]
+
+#: Environment variable that makes the default cache disk-backed.
+CACHE_DIR_ENV = "REPRO_TRAFFIC_CACHE_DIR"
+
+
+def _report_to_dict(report: TrafficReport) -> dict:
+    return {
+        "level_names": list(report.level_names),
+        "line_bytes": report.line_bytes,
+        "loads": list(report.loads),
+        "writebacks": list(report.writebacks),
+        "accesses": report.accesses,
+        "lups": report.lups,
+    }
+
+
+def _report_from_dict(rec: dict) -> TrafficReport:
+    return TrafficReport(
+        level_names=tuple(rec["level_names"]),
+        line_bytes=int(rec["line_bytes"]),
+        loads=[int(v) for v in rec["loads"]],
+        writebacks=[int(v) for v in rec["writebacks"]],
+        accesses=int(rec["accesses"]),
+        lups=int(rec["lups"]),
+    )
+
+
+class TrafficCache:
+    """Keyed store of traffic reports (in-memory, optionally on disk).
+
+    ``get`` returns a *fresh* :class:`TrafficReport` copy on every hit,
+    so callers may mutate the result (e.g. stamp ``lups``) without
+    corrupting the cache.  ``hits``/``misses`` count lookups, which is
+    what the tuners surface as their cost accounting.
+    """
+
+    def __init__(self, disk_dir: str | os.PathLike | None = None) -> None:
+        self._mem: dict[str, dict] = {}
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.json"
+
+    def get(self, key: str) -> TrafficReport | None:
+        """Look up a report; return a fresh copy or ``None``."""
+        rec = self._mem.get(key)
+        if rec is None and self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.is_file():
+                try:
+                    rec = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    rec = None
+                if rec is not None:
+                    self._mem[key] = rec
+        if rec is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return _report_from_dict(rec)
+
+    def put(self, key: str, report: TrafficReport) -> None:
+        """Store a report under ``key`` (memory and, if set, disk)."""
+        rec = _report_to_dict(report)
+        self._mem[key] = rec
+        if self.disk_dir is not None:
+            tmp = self._disk_path(key).with_suffix(".tmp")
+            tmp.write_text(json.dumps(rec))
+            tmp.replace(self._disk_path(key))
+
+    def clear(self) -> None:
+        """Drop all in-memory entries and reset the counters."""
+        self._mem.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_default_cache: TrafficCache | None = None
+
+
+def default_traffic_cache() -> TrafficCache:
+    """The process-wide cache (created on first use).
+
+    Disk-backed iff ``REPRO_TRAFFIC_CACHE_DIR`` is set; in-memory only
+    otherwise.
+    """
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = TrafficCache(disk_dir=os.environ.get(CACHE_DIR_ENV))
+    return _default_cache
+
+
+def set_default_traffic_cache(cache: TrafficCache | None) -> None:
+    """Replace the process-wide default cache (``None`` resets it)."""
+    global _default_cache
+    _default_cache = cache
+
+
+def resolve_traffic_cache(
+    cache: TrafficCache | str | None,
+) -> TrafficCache | None:
+    """Resolve a ``traffic_cache`` argument.
+
+    ``"default"`` → the process-wide cache, ``None`` → memoization off,
+    a :class:`TrafficCache` instance → itself.
+    """
+    if cache is None:
+        return None
+    if cache == "default":
+        return default_traffic_cache()
+    if isinstance(cache, TrafficCache):
+        return cache
+    raise TypeError(
+        f"traffic_cache must be a TrafficCache, 'default' or None, "
+        f"got {cache!r}"
+    )
+
+
+def _digest(payload: object) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _spec_fingerprint(spec: StencilSpec) -> dict:
+    return {
+        "name": spec.name,
+        "output": spec.output,
+        "dtype_bytes": spec.dtype_bytes,
+        "offsets": {
+            g: sorted(offs) for g, offs in spec.offsets.items()
+        },
+    }
+
+
+def _grids_fingerprint(grids: GridSet) -> list:
+    return [
+        [
+            g.name,
+            list(g.interior_shape),
+            g.halo,
+            g.dtype_bytes,
+            g.base_addr,
+            list(g.layout.shape),
+        ]
+        for g in grids
+    ]
+
+
+def _machine_fingerprint(machine: Machine) -> list:
+    return [
+        [
+            c.name,
+            c.size_bytes,
+            c.line_bytes,
+            c.assoc,
+            c.bytes_per_cycle,
+            c.write_policy.value,
+            c.victim,
+        ]
+        for c in machine.caches
+    ]
+
+
+def sweep_key(
+    spec: StencilSpec,
+    grids: GridSet,
+    plan: KernelPlan,
+    machine: Machine,
+    warmup: bool,
+) -> str:
+    """Content key of one ``measure_sweep`` configuration.
+
+    Only inputs the access stream and the replay depend on enter the
+    key: stencil geometry, grid placement, the clipped plan's block and
+    loop order, cache geometry and the warm-up mode.
+    """
+    plan = plan.clipped(grids.interior_shape)
+    payload = {
+        "kind": "sweep",
+        "spec": _spec_fingerprint(spec),
+        "grids": _grids_fingerprint(grids),
+        "block": list(plan.block),
+        "order": list(plan.order()),
+        "machine": _machine_fingerprint(machine),
+        "warmup": bool(warmup),
+    }
+    return _digest(payload)
+
+
+def stream_key(kind: str, payload: object) -> str:
+    """Content key for a caller-described stream replay.
+
+    Used by drivers whose access stream is not a plain spatial sweep
+    (e.g. Offsite composite kernels): the caller supplies whatever
+    JSON-serializable description uniquely determines its stream, plus
+    a ``kind`` namespace tag.
+    """
+    return _digest({"kind": kind, "payload": payload})

@@ -6,6 +6,13 @@ yields the cache-line accesses in execution order, interleaved at
 x-chunk granularity.  It is intentionally independent of the analytic
 layer-condition machinery in :mod:`repro.ecm`: addresses come straight
 from the grid layouts.
+
+Two batching granularities are offered: ``batch="row"`` yields one
+small batch per grid row (the historical shape, what the scalar engine
+consumes), ``batch="block"`` concatenates all rows of one spatial block
+into a single mega-batch — the exact same accesses in the exact same
+order, but large enough for the vectorized replay engine to amortise
+per-batch overheads.
 """
 
 from __future__ import annotations
@@ -24,38 +31,20 @@ def _block_ranges(extent: int, block: int) -> list[tuple[int, int]]:
     return [(lo, min(lo + block, extent)) for lo in range(0, extent, block)]
 
 
-def sweep_stream(
+def _sweep_blocks(
     spec: StencilSpec,
     grids: GridSet,
     plan: KernelPlan,
-    z_range: tuple[int, int] | None = None,
-) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Yield ``(line_numbers, is_write)`` batches for one sweep.
-
-    Each batch covers one grid row (fixed outer indices, full x range of
-    the current block).  Within a row, accesses are interleaved per
-    64-byte x-chunk: all distinct read lines of the chunk, then the
-    store line — the order an in-order traversal of the generated loop
-    body produces at line granularity.
-
-    ``z_range`` optionally restricts the outermost axis (used by the
-    wavefront/temporal driver to stream skewed slabs).
-    """
+    z_range: tuple[int, int] | None,
+) -> Iterator[list[tuple[int, int]]]:
+    """Yield per-axis bounds of every spatial block, in plan order."""
     dim = spec.dim
     shape = grids.interior_shape
     plan = plan.clipped(shape)
-    halo = grids[spec.output].halo
-    line_bytes = 64
-    dtype = spec.dtype_bytes
-
-    read_offsets = [
-        (g, off) for g in spec.reads for off in sorted(spec.offsets[g])
-    ]
-    out_grid = grids[spec.output]
-    out_layout = out_grid.layout
-
     order = plan.order()
-    ranges_per_axis = [_block_ranges(shape[a], plan.block[a]) for a in range(dim)]
+    ranges_per_axis = [
+        _block_ranges(shape[a], plan.block[a]) for a in range(dim)
+    ]
     if z_range is not None:
         lo, hi = z_range
         ranges_per_axis[0] = [
@@ -63,16 +52,56 @@ def sweep_stream(
             for r0, r1 in ranges_per_axis[0]
             if r1 > lo and r0 < hi
         ]
-
-    # Iterate blocks in the plan's loop order.
     ordered_ranges = [ranges_per_axis[a] for a in order]
     for combo in product(*ordered_ranges):
-        bounds = [None] * dim
+        bounds: list[tuple[int, int]] = [None] * dim  # type: ignore[list-item]
         for axis, rng in zip(order, combo):
             bounds[axis] = rng
-        x0, x1 = bounds[dim - 1]
-        if x1 <= x0:
+        if bounds[dim - 1][1] <= bounds[dim - 1][0]:
             continue
+        yield bounds
+
+
+def sweep_stream(
+    spec: StencilSpec,
+    grids: GridSet,
+    plan: KernelPlan,
+    z_range: tuple[int, int] | None = None,
+    batch: str = "row",
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(line_numbers, is_write)`` batches for one sweep.
+
+    With ``batch="row"`` each batch covers one grid row (fixed outer
+    indices, full x range of the current block).  Within a row, accesses
+    are interleaved per 64-byte x-chunk: all distinct read lines of the
+    chunk, then the store line — the order an in-order traversal of the
+    generated loop body produces at line granularity.  With
+    ``batch="block"`` the row batches of each spatial block are emitted
+    as one concatenated mega-batch (identical accesses and order).
+
+    ``z_range`` optionally restricts the outermost axis (used by the
+    wavefront/temporal driver to stream skewed slabs).
+    """
+    if batch not in ("row", "block"):
+        raise ValueError(f"unknown batch mode {batch!r}; use 'row' or 'block'")
+    dim = spec.dim
+    halo = grids[spec.output].halo
+    line_bytes = 64
+    dtype = spec.dtype_bytes
+
+    read_offsets = [
+        (g, off) for g in spec.reads for off in sorted(spec.offsets[g])
+    ]
+    out_layout = grids[spec.output].layout
+
+    for bounds in _sweep_blocks(spec, grids, plan, z_range):
+        if batch == "block":
+            yield _block_batch(
+                bounds, halo, dtype, line_bytes, read_offsets, grids,
+                out_layout,
+            )
+            continue
+        x0, x1 = bounds[dim - 1]
         inner_extents = [range(b[0], b[1]) for b in bounds[:-1]]
         for outer in product(*inner_extents):
             yield _row_batch(
@@ -119,13 +148,130 @@ def _row_batch(
     return lines, writes.ravel()
 
 
+def _block_geometry(
+    bounds: list[tuple[int, int]],
+    halo: int,
+    dtype: int,
+    line_bytes: int,
+    read_offsets,
+    grids: GridSet,
+    out_layout,
+):
+    """Vectorized per-row column/chunk geometry of one spatial block.
+
+    Returns ``(cols_flat, col_start, cc, n_chunks, rows)``:
+    ``cols_flat`` concatenates every row's sorted-unique read first
+    lines followed by its store first line, ``col_start``/``cc`` index
+    and count that ragged layout, and ``n_chunks`` is the per-row chunk
+    count.  All derived without materializing any access array.
+    """
+    dim = len(bounds)
+    x0 = bounds[-1][0]
+
+    # Rows: the outer (non-x) index tuples, in the same lexicographic
+    # order ``product`` yields them.
+    axis_ranges = [
+        np.arange(b0, b1, dtype=np.int64) for b0, b1 in bounds[:-1]
+    ]
+    if axis_ranges:
+        mesh = np.meshgrid(*axis_ranges, indexing="ij")
+        outer = np.stack([m.ravel() for m in mesh], axis=1)
+    else:
+        outer = np.zeros((1, 0), dtype=np.int64)
+    rows = outer.shape[0]
+
+    # Addresses are affine in the outer indices: one base address per
+    # column at the block's x origin, plus a per-grid outer contribution.
+    n_cols = len(read_offsets)
+    base = np.empty(n_cols, dtype=np.int64)
+    weight = np.empty((dim - 1, n_cols), dtype=np.int64)
+    for c, (g, off) in enumerate(read_offsets):
+        layout = grids[g].layout
+        strides = layout.strides
+        base[c] = layout.element_addr(
+            tuple(o + halo for o in off[:-1]) + (off[-1] + halo + x0,)
+        )
+        for a in range(dim - 1):
+            weight[a, c] = strides[a] * dtype
+    out_strides = out_layout.strides
+    out_base = out_layout.element_addr(
+        (halo,) * (dim - 1) + (halo + x0,)
+    )
+    out_weight = np.array(
+        [out_strides[a] * dtype for a in range(dim - 1)], dtype=np.int64
+    )
+
+    addr = base[None, :] + outer @ weight               # rows x n_cols
+    first = addr // line_bytes
+    out_addr = out_base + outer @ out_weight            # rows
+    out_first = out_addr // line_bytes
+    n = bounds[-1][1] - x0
+    n_chunks = (out_addr + (n - 1) * dtype) // line_bytes - out_first + 1
+
+    # Per-row sorted unique read lines, then the store line (duplicates
+    # with the store column are kept, exactly like the row generator).
+    first_sorted = np.sort(first, axis=1)
+    keep = np.empty(first_sorted.shape, dtype=bool)
+    keep[:, :1] = True
+    keep[:, 1:] = first_sorted[:, 1:] != first_sorted[:, :-1]
+    cols_mat = np.concatenate([first_sorted, out_first[:, None]], axis=1)
+    keep_mat = np.concatenate(
+        [keep, np.ones((rows, 1), dtype=bool)], axis=1
+    )
+    cols_flat = cols_mat[keep_mat]
+    cc = keep_mat.sum(axis=1)
+    col_start = np.concatenate(([0], np.cumsum(cc)[:-1]))
+    return cols_flat, col_start, cc, n_chunks, rows
+
+
+def _block_batch(
+    bounds: list[tuple[int, int]],
+    halo: int,
+    dtype: int,
+    line_bytes: int,
+    read_offsets,
+    grids: GridSet,
+    out_layout,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One mega-batch: the concatenation of a block's row batches."""
+    cols_flat, col_start, cc, n_chunks, rows = _block_geometry(
+        bounds, halo, dtype, line_bytes, read_offsets, grids, out_layout
+    )
+    per_row = cc * n_chunks
+    total = int(per_row.sum())
+    row_id = np.repeat(np.arange(rows), per_row)
+    row_begin = np.concatenate(([0], np.cumsum(per_row)[:-1]))
+    local = np.arange(total, dtype=np.int64) - row_begin[row_id]
+    cc_r = cc[row_id]
+    chunk = local // cc_r
+    col_idx = local - chunk * cc_r
+    lines = cols_flat[col_start[row_id] + col_idx] + chunk
+    writes = col_idx == cc_r - 1
+    return lines, writes
+
+
 def stream_stats(
     spec: StencilSpec, grids: GridSet, plan: KernelPlan
 ) -> dict[str, int]:
-    """Count batches/accesses of a sweep without touching a cache."""
+    """Count row batches/accesses of a sweep without touching a cache.
+
+    Computed arithmetically from the per-block geometry — no access
+    arrays are materialized.
+    """
+    dim = spec.dim
+    halo = grids[spec.output].halo
+    line_bytes = 64
+    dtype = spec.dtype_bytes
+    read_offsets = [
+        (g, off) for g in spec.reads for off in sorted(spec.offsets[g])
+    ]
+    out_layout = grids[spec.output].layout
     batches = 0
     accesses = 0
-    for lines, _ in sweep_stream(spec, grids, plan):
-        batches += 1
-        accesses += len(lines)
+    for bounds in _sweep_blocks(spec, grids, plan, None):
+        _, _, cc, n_chunks, rows = _block_geometry(
+            bounds, halo, dtype, line_bytes, read_offsets, grids, out_layout
+        )
+        batches += rows
+        accesses += int((cc * n_chunks).sum())
     return {"batches": batches, "accesses": accesses}

@@ -82,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--tuner", choices=("ecm", "exhaustive", "greedy"), default="ecm"
     )
     tune.add_argument("--cache-scale", type=float, default=1 / 32)
+    tune.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for variant evaluation (empirical tuners)",
+    )
 
     exp = sub.add_parser("experiment", help="run a reconstructed experiment")
     exp.add_argument("id", choices=sorted(EXPERIMENTS))
@@ -123,10 +129,15 @@ def cmd_predict(args: argparse.Namespace) -> int:
 def cmd_tune(args: argparse.Namespace) -> int:
     ys = YaskSite(args.machine, cache_scale=args.cache_scale)
     spec = get_stencil(args.stencil)
-    res = ys.tune(spec, args.grid, tuner=args.tuner)
+    res = ys.tune(spec, args.grid, tuner=args.tuner, workers=args.workers)
     print(f"tuner            : {res.tuner}")
     print(f"variants examined: {res.variants_examined}")
     print(f"variants run     : {res.variants_run}")
+    print(f"workers          : {res.workers}")
+    print(
+        f"traffic cache    : {res.traffic_cache_hits} hits / "
+        f"{res.traffic_cache_misses} misses"
+    )
     print(f"best plan        : {res.best_plan.describe()}")
     print(f"best performance : {res.best_mlups:.1f} MLUP/s")
     return 0

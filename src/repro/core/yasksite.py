@@ -141,16 +141,27 @@ class YaskSite:
         shape: tuple[int, ...],
         tuner: str = "ecm",
         seed: int = 0,
+        workers: int = 1,
     ) -> TunerResult:
-        """Run one of the tuners ("ecm", "exhaustive", "greedy")."""
+        """Run one of the tuners ("ecm", "exhaustive", "greedy").
+
+        ``workers`` parallelises the empirical tuners' variant
+        evaluations across processes; the result is identical to a
+        serial run (the ECM tuner ignores it — there is nothing to
+        parallelise over).
+        """
         try:
             tuner_cls = _TUNERS[tuner]
         except KeyError:
             raise KeyError(
                 f"unknown tuner {tuner!r}; choose from {sorted(_TUNERS)}"
             ) from None
+        if tuner == "ecm":
+            instance = tuner_cls()
+        else:
+            instance = tuner_cls(workers=workers)
         grids = GridSet(spec, shape)
-        return tuner_cls().tune(spec, grids, self.machine, seed=seed)
+        return instance.tune(spec, grids, self.machine, seed=seed)
 
     def predicted_scaling(
         self,

@@ -48,6 +48,7 @@ def run(quick: bool = True) -> dict:
                     "examined": res.variants_examined,
                     "run": res.variants_run,
                     "sim run cost (ms)": round(res.simulated_run_seconds * 1e3, 2),
+                    "cache hits": res.traffic_cache_hits,
                     "best block": "x".join(map(str, res.best_plan.block)),
                     "best MLUP/s": round(res.best_mlups, 1),
                 }

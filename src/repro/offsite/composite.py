@@ -10,6 +10,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
+from repro.cachesim.memo import resolve_traffic_cache, stream_key
 from repro.codegen.plan import KernelPlan
 from repro.ecm.layer_conditions import effective_capacity
 from repro.grid.grid import Grid
@@ -292,6 +293,44 @@ def kernel_stream(
             yield lines, writes
 
 
+def _kernel_key(
+    kernel: CompositeKernel,
+    grids: VariantGrids,
+    plan: KernelPlan,
+    machine: Machine,
+    dim: int,
+    warmup: bool,
+) -> str:
+    """Content key of one composite-kernel replay (see ``stream_key``)."""
+    plan = plan.clipped(grids.interior_shape)
+    payload = {
+        "kernel": kernel.name,
+        "reads": [[r.grid, r.radius, r.dim] for r in kernel.reads],
+        "writes": [[w.grid, w.also_read] for w in kernel.writes],
+        "grids": [
+            [
+                g,
+                grids[g].base_addr,
+                grids[g].halo,
+                grids[g].dtype_bytes,
+                list(grids[g].layout.shape),
+            ]
+            for g in grids.names
+        ],
+        "shape": list(grids.interior_shape),
+        "block": list(plan.block),
+        "order": list(plan.order()),
+        "dim": dim,
+        "machine": [
+            [c.name, c.size_bytes, c.line_bytes, c.assoc, c.victim,
+             c.write_policy.value]
+            for c in machine.caches
+        ],
+        "warmup": bool(warmup),
+    }
+    return stream_key("offsite-kernel", payload)
+
+
 def measure_kernel(
     kernel: CompositeKernel,
     grids: VariantGrids,
@@ -300,17 +339,34 @@ def measure_kernel(
     dim: int = 3,
     seed: int = 0,
     warmup: bool = True,
+    engine: str = "auto",
+    traffic_cache="default",
 ) -> tuple[float, TrafficReport]:
-    """Simulated (cycles/LUP, traffic) of one composite-kernel sweep."""
-    hier = CacheHierarchy(machine)
-    if warmup:
+    """Simulated (cycles/LUP, traffic) of one composite-kernel sweep.
+
+    The deterministic traffic replay is memoized behind ``traffic_cache``
+    (see :mod:`repro.cachesim.memo`); the in-core cycle model and the
+    seeded noise are recomputed after every lookup, so cached and cold
+    calls agree bit-for-bit for equal seeds.
+    """
+    lups = prod(grids.interior_shape)
+    cache = resolve_traffic_cache(traffic_cache)
+    traffic = None
+    key = None
+    if cache is not None:
+        key = _kernel_key(kernel, grids, plan, machine, dim, warmup)
+        traffic = cache.get(key)
+    if traffic is None:
+        hier = CacheHierarchy(machine, engine=engine)
+        if warmup:
+            for lines, writes in kernel_stream(kernel, grids, plan, dim):
+                hier.access_many(lines, writes)
+            hier.reset_counters()
         for lines, writes in kernel_stream(kernel, grids, plan, dim):
             hier.access_many(lines, writes)
-        hier.reset_counters()
-    for lines, writes in kernel_stream(kernel, grids, plan, dim):
-        hier.access_many(lines, writes)
-    lups = prod(grids.interior_shape)
-    traffic = hier.report(lups=lups)
+        traffic = hier.report(lups=lups)
+        if cache is not None:
+            cache.put(key, traffic)
 
     core = machine.core
     lanes = core.simd_lanes(8)

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass
 from math import prod
 
+from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan
 from repro.machine.machine import Machine
 from repro.offsite.composite import (
@@ -48,6 +49,8 @@ class RankingReport:
     top1_hit: bool | None
     predict_seconds: float
     measure_seconds: float
+    traffic_cache_hits: int = 0
+    traffic_cache_misses: int = 0
 
     def best_predicted(self) -> VariantTiming:
         """The variant the tuner would deploy."""
@@ -168,6 +171,8 @@ class OffsiteTuner:
 
         measured: dict[str, float] = {}
         t0 = time.perf_counter()
+        traffic_cache = default_traffic_cache()
+        hits0, misses0 = traffic_cache.hits, traffic_cache.misses
         if validate:
             for i, var in enumerate(variants):
                 cycles = 0.0
@@ -218,6 +223,8 @@ class OffsiteTuner:
             top1_hit=top1,
             predict_seconds=predict_seconds,
             measure_seconds=measure_seconds,
+            traffic_cache_hits=traffic_cache.hits - hits0,
+            traffic_cache_misses=traffic_cache.misses - misses0,
         )
 
 

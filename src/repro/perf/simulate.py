@@ -109,10 +109,21 @@ def simulate_kernel(
     seed: int = 0,
     warmup: bool = True,
     n_cores: int = 1,
+    engine: str = "auto",
+    traffic_cache="default",
 ) -> Measurement:
-    """Measure one sweep: exact cache replay + cycle accounting + noise."""
+    """Measure one sweep: exact cache replay + cycle accounting + noise.
+
+    The traffic replay is memoized (see
+    :func:`repro.cachesim.driver.measure_sweep`); the seeded noise is
+    applied *after* the lookup, so cached and cold calls produce
+    identical measurements for identical seeds.
+    """
     plan = plan.clipped(grids.interior_shape)
-    traffic = measure_sweep(spec, grids, plan, machine, warmup=warmup)
+    traffic = measure_sweep(
+        spec, grids, plan, machine, warmup=warmup,
+        engine=engine, traffic_cache=traffic_cache,
+    )
     t_exec = _exec_cycles_per_lup(spec, machine)
     t_ports = _port_cycles_per_lup(spec, machine)
     t_traffic = simulate_traffic_time(traffic, machine, n_cores=n_cores)

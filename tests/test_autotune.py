@@ -60,3 +60,33 @@ class TestEcmGuided:
         exhaustive = ExhaustiveTuner().tune(spec, grids, machine, seed=2)
         # The analytic pick must be within 15% of the empirical best.
         assert ecm.best_mlups >= 0.85 * exhaustive.best_mlups
+
+
+class TestParallelWorkers:
+    """workers=N must reproduce the serial tuning outcome exactly."""
+
+    def test_exhaustive_parallel_matches_serial(self, setting):
+        spec, grids, machine = setting
+        serial = ExhaustiveTuner().tune(spec, grids, machine, seed=3)
+        par = ExhaustiveTuner(workers=2).tune(spec, grids, machine, seed=3)
+        assert par.best_plan == serial.best_plan
+        assert par.best_mlups == pytest.approx(serial.best_mlups, abs=0)
+        assert par.trace == serial.trace
+        assert par.workers == 2 and serial.workers == 1
+
+    def test_greedy_parallel_matches_serial(self, setting):
+        spec, grids, machine = setting
+        serial = GreedyLineSearchTuner().tune(spec, grids, machine, seed=4)
+        par = GreedyLineSearchTuner(workers=2).tune(spec, grids, machine, seed=4)
+        assert par.best_plan == serial.best_plan
+        assert par.best_mlups == pytest.approx(serial.best_mlups, abs=0)
+        assert par.trace == serial.trace
+
+    def test_cache_counters_accumulate(self, setting):
+        spec, grids, machine = setting
+        res = ExhaustiveTuner().tune(spec, grids, machine, seed=5)
+        # Every variant consults the traffic cache exactly once.
+        assert res.traffic_cache_hits + res.traffic_cache_misses == res.variants_run
+        again = ExhaustiveTuner().tune(spec, grids, machine, seed=5)
+        # A second identical run in the same process hits on every lookup.
+        assert again.traffic_cache_hits == again.variants_run

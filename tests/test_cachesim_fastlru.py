@@ -1,0 +1,155 @@
+"""Vectorized replay engine: bit-identical to the scalar oracle."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import CacheHierarchy, measure_sweep, sweep_stream
+from repro.codegen.plan import KernelPlan
+from repro.grid import GridSet
+from repro.machine import CacheLevel, CoreModel, Machine
+from repro.machine.presets import cascade_lake_sp, rome
+from repro.stencil import get_stencil
+
+
+def small_machine(victim_l3: bool = False, assoc: int = 4) -> Machine:
+    """Small but vector-eligible hierarchy (L1 has 32 sets)."""
+    caches = [
+        CacheLevel("L1", 32 * 2 * 64, 64, 2, 64.0),
+        CacheLevel("L2", 64 * assoc * 64, 64, assoc, 32.0),
+    ]
+    if victim_l3:
+        caches.append(
+            CacheLevel("L3", 128 * assoc * 64, 64, assoc, 16.0, victim=True)
+        )
+    return Machine(
+        name="small",
+        isa="AVX2",
+        freq_ghz=2.0,
+        cores=2,
+        cores_per_llc=2,
+        core=CoreModel(32, 2, 1, 1, 2, 1),
+        caches=tuple(caches),
+        mem_bw_gbs=20.0,
+        mem_bw_core_gbs=10.0,
+    )
+
+
+def replay(machine: Machine, engine: str, batches) -> CacheHierarchy:
+    hier = CacheHierarchy(machine, engine=engine)
+    for lines, writes in batches:
+        hier.access_many(lines, writes)
+    return hier
+
+
+def random_batches(seed: int, n_batches: int = 20, span: int = 600):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n_batches):
+        n = int(rng.integers(1, 400))
+        lines = rng.integers(0, span, size=n).astype(np.int64)
+        writes = rng.random(n) < 0.3
+        out.append((lines, writes))
+    return out
+
+
+def assert_same_state(a: CacheHierarchy, b: CacheHierarchy) -> None:
+    assert a.loads == b.loads
+    assert a.writebacks == b.writebacks
+    for la, lb in zip(a.levels, b.levels):
+        assert la.hits == lb.hits and la.misses == lb.misses
+        assert la.lru_snapshot() == lb.lru_snapshot()
+
+
+class TestEngineSelection:
+    def test_auto_is_scalar_for_tiny_sets(self):
+        caches = (CacheLevel("L1", 4 * 64, 64, 2, 64.0),)
+        m = Machine(
+            "t", "AVX2", 2.0, 1, 1, CoreModel(32, 2, 1, 1, 2, 1),
+            caches, 20.0, 10.0,
+        )
+        assert CacheHierarchy(m).engine == "scalar"
+
+    def test_auto_is_vector_for_real_presets(self):
+        assert CacheHierarchy(cascade_lake_sp()).engine == "vector"
+        assert CacheHierarchy(rome()).engine == "vector"
+
+    def test_explicit_engines(self):
+        m = small_machine()
+        assert CacheHierarchy(m, engine="scalar").engine == "scalar"
+        assert CacheHierarchy(m, engine="vector").engine == "vector"
+        with pytest.raises(ValueError):
+            CacheHierarchy(m, engine="simd")
+
+    def test_single_level_victim_rejects_vector(self):
+        caches = (CacheLevel("V", 32 * 2 * 64, 64, 2, 64.0, victim=True),)
+        m = Machine(
+            "v", "AVX2", 2.0, 1, 1, CoreModel(32, 2, 1, 1, 2, 1),
+            caches, 20.0, 10.0,
+        )
+        assert CacheHierarchy(m).engine == "scalar"
+        with pytest.raises(ValueError):
+            CacheHierarchy(m, engine="vector")
+
+
+class TestRandomStreamEquivalence:
+    @pytest.mark.parametrize("victim", [False, True])
+    @pytest.mark.parametrize("assoc", [1, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counters_and_state_match(self, victim, assoc, seed):
+        m = small_machine(victim_l3=victim, assoc=assoc)
+        batches = random_batches(seed)
+        a = replay(m, "scalar", batches)
+        b = replay(m, "vector", batches)
+        assert_same_state(a, b)
+
+    def test_single_element_batches(self):
+        m = small_machine(victim_l3=True)
+        batches = [(b[:1], w[:1]) for b, w in random_batches(7, 40)]
+        assert_same_state(replay(m, "scalar", batches),
+                          replay(m, "vector", batches))
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("preset", [cascade_lake_sp, rome])
+    @pytest.mark.parametrize("stencil", ["3d7pt", "3d25pt"])
+    def test_reports_bit_identical(self, preset, stencil):
+        machine = preset().scaled_caches(1 / 8)
+        spec = get_stencil(stencil)
+        grids = GridSet(spec, (20, 20, 40))
+        plan = KernelPlan(block=(10, 10, 40))
+        r_scalar = measure_sweep(
+            spec, grids, plan, machine, engine="scalar", traffic_cache=None
+        )
+        r_vector = measure_sweep(
+            spec, grids, plan, machine, engine="vector", traffic_cache=None
+        )
+        assert r_scalar.as_dict() == r_vector.as_dict()
+
+    def test_2d_stencil_matches(self):
+        machine = cascade_lake_sp().scaled_caches(1 / 8)
+        spec = get_stencil("2d5pt")
+        grids = GridSet(spec, (48, 96))
+        plan = KernelPlan(block=(16, 96))
+        r_scalar = measure_sweep(
+            spec, grids, plan, machine, engine="scalar", traffic_cache=None
+        )
+        r_vector = measure_sweep(
+            spec, grids, plan, machine, engine="vector", traffic_cache=None
+        )
+        assert r_scalar.as_dict() == r_vector.as_dict()
+
+
+class TestBlockBatchStream:
+    def test_block_batches_concatenate_row_batches(self):
+        spec = get_stencil("3d7pt")
+        grids = GridSet(spec, (12, 12, 24))
+        plan = KernelPlan(block=(6, 6, 24))
+        rows = list(sweep_stream(spec, grids, plan, batch="row"))
+        blocks = list(sweep_stream(spec, grids, plan, batch="block"))
+        assert len(blocks) < len(rows)
+        row_lines = np.concatenate([l for l, _ in rows])
+        row_writes = np.concatenate([w for _, w in rows])
+        blk_lines = np.concatenate([l for l, _ in blocks])
+        blk_writes = np.concatenate([w for _, w in blocks])
+        np.testing.assert_array_equal(row_lines, blk_lines)
+        np.testing.assert_array_equal(row_writes, blk_writes)

@@ -1,0 +1,131 @@
+"""Traffic memoization: determinism, key sensitivity, disk persistence."""
+
+import pytest
+
+from repro.cachesim import (
+    TrafficCache,
+    default_traffic_cache,
+    measure_sweep,
+    resolve_traffic_cache,
+    set_default_traffic_cache,
+    sweep_key,
+)
+from repro.codegen.plan import KernelPlan
+from repro.grid import GridSet
+from repro.machine import cascade_lake_sp, rome
+from repro.perf.simulate import simulate_kernel
+from repro.stencil import get_stencil
+
+SHAPE = (16, 16, 32)
+
+
+@pytest.fixture
+def setting():
+    machine = cascade_lake_sp().scaled_caches(1 / 16)
+    spec = get_stencil("3d7pt")
+    grids = GridSet(spec, SHAPE)
+    plan = KernelPlan(block=(8, 8, 32))
+    return spec, grids, plan, machine
+
+
+class TestTrafficCache:
+    def test_hit_returns_equal_fresh_report(self, setting):
+        spec, grids, plan, machine = setting
+        cache = TrafficCache()
+        r1 = measure_sweep(spec, grids, plan, machine, traffic_cache=cache)
+        r2 = measure_sweep(spec, grids, plan, machine, traffic_cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert r1.as_dict() == r2.as_dict()
+        assert r1 is not r2  # fresh copy, safe to mutate
+
+    def test_none_disables_memoization(self, setting):
+        spec, grids, plan, machine = setting
+        cache = TrafficCache()
+        set_default_traffic_cache(cache)
+        try:
+            measure_sweep(spec, grids, plan, machine, traffic_cache=None)
+        finally:
+            set_default_traffic_cache(None)
+        assert len(cache) == 0
+
+    def test_default_resolution(self):
+        set_default_traffic_cache(None)
+        cache = default_traffic_cache()
+        assert resolve_traffic_cache("default") is cache
+        assert resolve_traffic_cache(None) is None
+        own = TrafficCache()
+        assert resolve_traffic_cache(own) is own
+        with pytest.raises(TypeError):
+            resolve_traffic_cache("yes please")
+        set_default_traffic_cache(None)
+
+    def test_disk_roundtrip(self, setting, tmp_path):
+        spec, grids, plan, machine = setting
+        c1 = TrafficCache(disk_dir=tmp_path)
+        r1 = measure_sweep(spec, grids, plan, machine, traffic_cache=c1)
+        # A brand-new cache over the same directory serves the hit.
+        c2 = TrafficCache(disk_dir=tmp_path)
+        r2 = measure_sweep(spec, grids, plan, machine, traffic_cache=c2)
+        assert c2.hits == 1 and c2.misses == 0
+        assert r1.as_dict() == r2.as_dict()
+
+
+class TestKeySensitivity:
+    def test_key_depends_on_inputs(self, setting):
+        spec, grids, plan, machine = setting
+        base = sweep_key(spec, grids, plan, machine, True)
+        assert sweep_key(spec, grids, plan, machine, False) != base
+        other_plan = KernelPlan(block=(4, 8, 32))
+        assert sweep_key(spec, grids, other_plan, machine, True) != base
+        other_machine = rome().scaled_caches(1 / 16)
+        assert sweep_key(spec, grids, plan, other_machine, True) != base
+        spec2 = get_stencil("3d27pt")
+        grids2 = GridSet(spec2, SHAPE)
+        assert sweep_key(spec2, grids2, plan, machine, True) != base
+
+    def test_key_ignores_clipping_no_ops(self, setting):
+        spec, grids, plan, machine = setting
+        huge = KernelPlan(block=(999, 999, 999))
+        whole = KernelPlan(block=SHAPE)
+        assert sweep_key(spec, grids, huge, machine, True) == sweep_key(
+            spec, grids, whole, machine, True
+        )
+
+
+class TestSimulateDeterminism:
+    def test_same_seed_same_measurement(self, setting):
+        spec, grids, plan, machine = setting
+        cache = TrafficCache()
+        m1 = simulate_kernel(
+            spec, grids, plan, machine, seed=3, traffic_cache=cache
+        )
+        m2 = simulate_kernel(
+            spec, grids, plan, machine, seed=3, traffic_cache=cache
+        )
+        assert m1.cycles_per_lup == m2.cycles_per_lup
+        assert cache.hits >= 1
+
+    def test_noise_applied_after_lookup(self, setting):
+        spec, grids, plan, machine = setting
+        cache = TrafficCache()
+        m1 = simulate_kernel(
+            spec, grids, plan, machine, seed=3, traffic_cache=cache
+        )
+        m2 = simulate_kernel(
+            spec, grids, plan, machine, seed=4, traffic_cache=cache
+        )
+        assert m1.traffic.as_dict() == m2.traffic.as_dict()
+        assert m1.cycles_per_lup != m2.cycles_per_lup
+
+    def test_cached_equals_uncached(self, setting):
+        spec, grids, plan, machine = setting
+        cache = TrafficCache()
+        simulate_kernel(spec, grids, plan, machine, seed=5, traffic_cache=cache)
+        warm = simulate_kernel(
+            spec, grids, plan, machine, seed=5, traffic_cache=cache
+        )
+        cold = simulate_kernel(
+            spec, grids, plan, machine, seed=5, traffic_cache=None
+        )
+        assert warm.cycles_per_lup == cold.cycles_per_lup
+        assert warm.traffic.as_dict() == cold.traffic.as_dict()
