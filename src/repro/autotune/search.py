@@ -116,6 +116,24 @@ def _evaluate_variants(
         return list(ex.map(_worker_eval, jobs))
 
 
+def make_tuner(name: str, workers: int = 1):
+    """Construct a tuner by registry name (see :data:`TUNERS`).
+
+    The single entry point shared by :class:`repro.core.YaskSite`, the
+    CLI and the service: ``workers`` is forwarded to the empirical
+    tuners and ignored by the analytic one (nothing to parallelise).
+    """
+    try:
+        cls = TUNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown tuner {name!r}; choose from {sorted(TUNERS)}"
+        ) from None
+    if name == "ecm":
+        return cls()
+    return cls(workers=workers)
+
+
 class ExhaustiveTuner:
     """Run every candidate plan and keep the fastest (YASK-style search).
 
@@ -312,3 +330,11 @@ class EcmGuidedTuner:
             traffic_cache_hits=cache_hits,
             traffic_cache_misses=cache_misses,
         )
+
+
+#: Registry of tuner implementations by CLI/service name.
+TUNERS = {
+    "ecm": EcmGuidedTuner,
+    "exhaustive": ExhaustiveTuner,
+    "greedy": GreedyLineSearchTuner,
+}

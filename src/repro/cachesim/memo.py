@@ -19,6 +19,7 @@ changes simulated measurements.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
@@ -80,6 +81,7 @@ class TrafficCache:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._tmp_counter = itertools.count()
 
     def __len__(self) -> int:
         return len(self._mem)
@@ -107,13 +109,29 @@ class TrafficCache:
         return _report_from_dict(rec)
 
     def put(self, key: str, report: TrafficReport) -> None:
-        """Store a report under ``key`` (memory and, if set, disk)."""
+        """Store a report under ``key`` (memory and, if set, disk).
+
+        The disk write is concurrency-safe: each writer uses its own
+        unique temp file and publishes it with an atomic
+        :func:`os.replace`, so parallel workers (server pool, ``--workers
+        N`` tuners) sharing one cache directory never collide on a temp
+        path or expose torn JSON to readers.  Last writer wins, which is
+        harmless — all writers store the same deterministic report.
+        """
         rec = _report_to_dict(report)
         self._mem[key] = rec
         if self.disk_dir is not None:
-            tmp = self._disk_path(key).with_suffix(".tmp")
-            tmp.write_text(json.dumps(rec))
-            tmp.replace(self._disk_path(key))
+            tmp = self.disk_dir / (
+                f".{key}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+            )
+            try:
+                tmp.write_text(json.dumps(rec))
+                os.replace(tmp, self._disk_path(key))
+            except OSError:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
 
     def clear(self) -> None:
         """Drop all in-memory entries and reset the counters."""

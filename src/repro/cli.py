@@ -11,13 +11,21 @@ Commands
 ``tune``
     Run a tuner (ecm / exhaustive / greedy) and print the ledger.
 ``experiment``
-    Run one of the reconstructed experiments by id (t1, f2, ...).
+    Run one of the reconstructed experiments by id (t1, f2, ...);
+    ``--list`` prints the id → module table.
+``serve``
+    Start the async tuning/prediction HTTP service.
+
+``suite``, ``machines``, ``predict`` and ``tune`` accept ``--json``;
+the JSON forms are the same serializers the service responds with
+(:mod:`repro.service.serializers`).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 
 from repro.codegen.plan import KernelPlan
@@ -64,8 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("suite", help="print the stencil suite table")
-    sub.add_parser("machines", help="print the platform table")
+    suite = sub.add_parser("suite", help="print the stencil suite table")
+    suite.add_argument("--json", action="store_true", help="emit JSON rows")
+    machines = sub.add_parser("machines", help="print the platform table")
+    machines.add_argument(
+        "--json", action="store_true", help="emit JSON rows"
+    )
 
     pred = sub.add_parser("predict", help="ECM prediction for one config")
     pred.add_argument("stencil", choices=sorted(STENCIL_SUITE))
@@ -73,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--machine", default="clx")
     pred.add_argument("--block", type=_parse_shape, default=None)
     pred.add_argument("--cache-scale", type=float, default=None)
+    pred.add_argument("--json", action="store_true", help="emit JSON")
 
     tune = sub.add_parser("tune", help="tune a stencil on a machine")
     tune.add_argument("stencil", choices=sorted(STENCIL_SUITE))
@@ -88,22 +101,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="processes for variant evaluation (empirical tuners)",
     )
+    tune.add_argument("--json", action="store_true", help="emit JSON")
 
     exp = sub.add_parser("experiment", help="run a reconstructed experiment")
-    exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp.add_argument("id", nargs="?", choices=sorted(EXPERIMENTS))
+    exp.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment id → module table",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="start the async tuning/prediction HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8753, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker-pool size"
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="worker-pool kind",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max in-flight jobs before load-shedding (HTTP 429)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="response LRU capacity (entries)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-request deadline in seconds",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="graceful-shutdown budget in seconds",
+    )
+    serve.add_argument(
+        "--db",
+        default=None,
+        help="path of the persistent tuning database (/rank warm tier)",
+    )
 
     return parser
 
 
-def cmd_suite() -> int:
-    print(format_table(suite_table(), title="Stencil suite"))
+def cmd_suite(args: argparse.Namespace) -> int:
+    rows = suite_table()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(format_table(rows, title="Stencil suite"))
     return 0
 
 
-def cmd_machines() -> int:
+def cmd_machines(args: argparse.Namespace) -> int:
     from repro.experiments.exp_t1_machines import run
 
-    print(format_table(run()["rows"], title="Evaluation platforms"))
+    rows = run()["rows"]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(format_table(rows, title="Evaluation platforms"))
     return 0
 
 
@@ -116,6 +189,13 @@ def cmd_predict(args: argparse.Namespace) -> int:
         else ys.select_block(spec, args.grid).plan
     )
     pred = ys.predict(spec, args.grid, plan)
+    if args.json:
+        from repro.service.serializers import prediction_to_dict
+
+        out = prediction_to_dict(pred, plan=plan)
+        out["grid"] = list(args.grid)
+        print(json.dumps(out, indent=2))
+        return 0
     print(f"stencil : {spec.name}")
     print(f"machine : {ys.machine.name}")
     print(f"plan    : {plan.describe()}")
@@ -130,6 +210,15 @@ def cmd_tune(args: argparse.Namespace) -> int:
     ys = YaskSite(args.machine, cache_scale=args.cache_scale)
     spec = get_stencil(args.stencil)
     res = ys.tune(spec, args.grid, tuner=args.tuner, workers=args.workers)
+    if args.json:
+        from repro.service.serializers import tuner_result_to_dict
+
+        out = tuner_result_to_dict(res)
+        out["stencil"] = args.stencil
+        out["machine"] = args.machine
+        out["grid"] = list(args.grid)
+        print(json.dumps(out, indent=2))
+        return 0
     print(f"tuner            : {res.tuner}")
     print(f"variants examined: {res.variants_examined}")
     print(f"variants run     : {res.variants_run}")
@@ -144,6 +233,16 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            {"id": exp_id, "module": f"repro.experiments.{module}"}
+            for exp_id, module in sorted(EXPERIMENTS.items())
+        ]
+        print(format_table(rows, title="Experiments"))
+        return 0
+    if args.id is None:
+        print("error: experiment needs an id (or --list)", file=sys.stderr)
+        return 2
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[args.id]}"
     )
@@ -151,17 +250,40 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.config import ServiceConfig
+    from repro.service.server import serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        queue_limit=args.queue_limit,
+        response_cache_size=args.cache_size,
+        request_timeout_s=args.timeout,
+        drain_timeout_s=args.drain_timeout,
+        db_path=args.db,
+    )
+    asyncio.run(serve(config))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     if args.command == "suite":
-        return cmd_suite()
+        return cmd_suite(args)
     if args.command == "machines":
-        return cmd_machines()
+        return cmd_machines(args)
     if args.command == "predict":
         return cmd_predict(args)
     if args.command == "tune":
         return cmd_tune(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     return cmd_experiment(args)
 
 

@@ -13,12 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.autotune.search import (
-    EcmGuidedTuner,
-    ExhaustiveTuner,
-    GreedyLineSearchTuner,
-    TunerResult,
-)
+from repro.autotune.search import TUNERS, TunerResult, make_tuner
 from repro.blocking.spatial import BlockChoice, analytic_block_selection
 from repro.codegen.compiler import CompiledKernel, compile_kernel
 from repro.codegen.plan import KernelPlan
@@ -31,11 +26,7 @@ from repro.perf.multicore import simulate_scaling
 from repro.perf.simulate import Measurement, simulate_kernel
 from repro.stencil.spec import StencilSpec
 
-_TUNERS = {
-    "ecm": EcmGuidedTuner,
-    "exhaustive": ExhaustiveTuner,
-    "greedy": GreedyLineSearchTuner,
-}
+_TUNERS = TUNERS  # backwards-compatible alias
 
 
 class YaskSite:
@@ -150,16 +141,7 @@ class YaskSite:
         serial run (the ECM tuner ignores it — there is nothing to
         parallelise over).
         """
-        try:
-            tuner_cls = _TUNERS[tuner]
-        except KeyError:
-            raise KeyError(
-                f"unknown tuner {tuner!r}; choose from {sorted(_TUNERS)}"
-            ) from None
-        if tuner == "ecm":
-            instance = tuner_cls()
-        else:
-            instance = tuner_cls(workers=workers)
+        instance = make_tuner(tuner, workers=workers)
         grids = GridSet(spec, shape)
         return instance.tune(spec, grids, self.machine, seed=seed)
 

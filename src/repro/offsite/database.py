@@ -9,6 +9,7 @@ JSON-backed database with nearest-grid lookup.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from math import prod
 from pathlib import Path
@@ -109,9 +110,21 @@ class TuningDatabase:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist all records as JSON."""
+        """Persist all records as JSON (atomic temp-file + replace).
+
+        Safe against concurrent readers — the published file is always
+        a complete document — and against crashing mid-write.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         data = [r.to_json() for r in self._records.values()]
-        Path(path).write_text(json.dumps(data, indent=2) + "\n")
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(data, indent=2) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
 
     @staticmethod
     def load(path: str | Path) -> "TuningDatabase":
@@ -120,6 +133,13 @@ class TuningDatabase:
         for item in json.loads(Path(path).read_text()):
             db.put(TuningRecord.from_json(item))
         return db
+
+    @staticmethod
+    def load_or_empty(path: str | Path) -> "TuningDatabase":
+        """Load if ``path`` exists, else start empty (service warm tier)."""
+        if Path(path).is_file():
+            return TuningDatabase.load(path)
+        return TuningDatabase()
 
     # ------------------------------------------------------------------
     def record_report(self, report, grid: tuple[int, ...],

@@ -17,6 +17,13 @@ from repro.offsite.composite import (
 )
 from repro.offsite.variants import Variant, pirk_variants
 from repro.ode.pirk import PIRK
+from repro.ode.tableau import (
+    gauss_legendre,
+    lobatto_iiia,
+    lobatto_iiic,
+    radau_ia,
+    radau_iia,
+)
 
 
 @dataclass(frozen=True)
@@ -226,6 +233,67 @@ class OffsiteTuner:
             traffic_cache_hits=traffic_cache.hits - hits0,
             traffic_cache_misses=traffic_cache.misses - misses0,
         )
+
+
+#: Implicit tableau families a PIRK method can be built from by name
+#: (the string keys are what the CLI/service accept).
+TABLEAU_FAMILIES = {
+    "radau_iia": radau_iia,
+    "radau_ia": radau_ia,
+    "gauss_legendre": gauss_legendre,
+    "lobatto_iiia": lobatto_iiia,
+    "lobatto_iiic": lobatto_iiic,
+}
+
+
+def build_pirk(family: str, stages: int, corrector_steps: int) -> PIRK:
+    """Construct a PIRK method from a named implicit tableau family."""
+    try:
+        factory = TABLEAU_FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown tableau family {family!r}; "
+            f"choose from {sorted(TABLEAU_FAMILIES)}"
+        ) from None
+    return PIRK(factory(stages), corrector_steps)
+
+
+def rank_variants(
+    family: str,
+    stages: int,
+    corrector_steps: int,
+    grid_shape: tuple[int, ...],
+    machine: Machine | str,
+    cache_scale: float | None = None,
+    block: tuple[int, ...] | str | None = None,
+    validate: bool = True,
+    radius: int = 1,
+    seed: int = 0,
+    capacity_factor: float = 1.0,
+    ivp_name: str | None = None,
+) -> RankingReport:
+    """One-call Offsite ranking: build method + tuner, return the report.
+
+    The library-level entry point the service's ``/rank`` endpoint and
+    the CLI share; ``machine`` may be a preset short name, and
+    ``cache_scale`` shrinks its caches the same way the experiments do.
+    """
+    from repro.machine.presets import get_machine
+
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    if cache_scale is not None:
+        machine = machine.scaled_caches(cache_scale)
+    method = build_pirk(family, stages, corrector_steps)
+    tuner = OffsiteTuner(machine, block=block, capacity_factor=capacity_factor)
+    return tuner.tune(
+        method,
+        tuple(grid_shape),
+        validate=validate,
+        radius=radius,
+        seed=seed,
+        ivp_name=ivp_name,
+    )
 
 
 def _final_lc_kernel(s: int, dim: int, radius: int):

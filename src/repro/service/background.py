@@ -1,0 +1,102 @@
+"""Run a service in a background thread (tests, benchmarks, smoke).
+
+The server's asyncio loop lives in a daemon thread; the caller gets a
+bound :class:`~repro.service.client.ServiceClient` and a handle to the
+live :class:`ReproService` (for metrics assertions).  Use as a context
+manager::
+
+    with BackgroundServer(ServiceConfig(port=0, executor="thread")) as bg:
+        bg.client.predict(stencil="3d7pt")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import ReproService
+
+__all__ = ["BackgroundServer"]
+
+
+class BackgroundServer:
+    """A :class:`ReproService` hosted on its own event-loop thread."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig(port=0, executor="thread")
+        self.service: ReproService | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stopped: Future | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, timeout_s: float = 30.0) -> "BackgroundServer":
+        """Start the loop thread; blocks until the port is bound."""
+        started: Future = Future()
+        self._stopped = Future()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def run() -> None:
+                service = ReproService(self.config)
+                self.service = service
+                try:
+                    port = await service.start()
+                    started.set_result(port)
+                except BaseException as exc:  # bind failures etc.
+                    started.set_exception(exc)
+                    return
+                await service.wait_stopped()
+
+            try:
+                loop.run_until_complete(run())
+                self._stopped.set_result(None)
+            except BaseException as exc:
+                if not self._stopped.done():
+                    self._stopped.set_exception(exc)
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-service-bg", daemon=True
+        )
+        self._thread.start()
+        self.port = started.result(timeout=timeout_s)
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Request a drain and join the loop thread."""
+        if self._loop is not None and self.service is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_drain)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._stopped is not None:
+            self._stopped.result(timeout=timeout_s)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- conveniences ---------------------------------------------------
+    @property
+    def client(self) -> ServiceClient:
+        """A client bound to the live server."""
+        assert self.port is not None, "server not started"
+        return ServiceClient(host=self.config.host, port=self.port)
+
+    def metrics_snapshot(self) -> dict:
+        """In-process metrics readout (no HTTP round trip)."""
+        assert self.service is not None
+        return self.service.metrics_snapshot()

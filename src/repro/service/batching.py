@@ -1,0 +1,146 @@
+"""Request coalescing + batching onto a worker pool, with admission.
+
+The dispatcher owns the executor (thread or process pool — job bodies
+in :mod:`repro.service.jobs` are picklable top-level functions so both
+work) and keeps one task per distinct in-flight request key: a second
+identical request *joins* the running task instead of re-executing it
+(coalescing).  Heterogeneous requests batch naturally — each fresh job
+is one pool item, and the pool's ``workers`` slots drain the queue.
+
+Admission control is a bounded count of fresh in-flight jobs: beyond
+``queue_limit`` the dispatcher sheds (the server turns that into HTTP
+429) instead of letting the queue grow without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Awaitable, Callable
+
+from repro.service.config import ServiceConfig
+
+__all__ = ["Overloaded", "CoalescingDispatcher"]
+
+
+class Overloaded(RuntimeError):
+    """Admission control tripped: too many in-flight jobs."""
+
+
+class CoalescingDispatcher:
+    """Deduplicate identical in-flight requests; bound fresh admissions.
+
+    All methods must be called from the event-loop thread (the server's
+    request handlers); the executor threads/processes only ever see the
+    pure job functions.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self._executor: Executor | None = None
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._pending = 0  # fresh jobs admitted and not yet finished
+
+    # -- gauges ---------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Fresh jobs admitted and not yet finished (running + queued)."""
+        return self._pending
+
+    @property
+    def busy(self) -> int:
+        """Pool slots currently occupied (bounded by ``workers``)."""
+        return min(self._pending, self.config.workers)
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but waiting for a free pool slot."""
+        return max(0, self._pending - self.config.workers)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the pool in [0, 1]."""
+        return self.busy / self.config.workers
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.config.executor == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.config.workers
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-service",
+                )
+        return self._executor
+
+    async def drain(self, timeout: float) -> bool:
+        """Wait for all in-flight jobs; ``True`` if everything finished."""
+        tasks = list(self._inflight.values())
+        if not tasks:
+            return True
+        done, pending = await asyncio.wait(tasks, timeout=timeout)
+        return not pending
+
+    def shutdown(self) -> None:
+        """Tear the pool down (cancels jobs still queued inside it)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- dispatch -------------------------------------------------------
+    def dispatch(
+        self,
+        key: str,
+        fn: Callable[[dict], dict],
+        payload: dict,
+        on_result: Callable[[dict], None] | None = None,
+    ) -> tuple[str, Awaitable[dict]]:
+        """Route one request; returns ``("coalesced"|"fresh", awaitable)``.
+
+        Raises :class:`Overloaded` when a fresh job would exceed the
+        admission bound.  ``on_result`` runs on the loop with a
+        successful result *before* the key leaves the in-flight map —
+        populate response caches there, so a request can never slip
+        between job completion and cache fill and re-execute.  Awaiters
+        must wrap the returned task in ``asyncio.shield`` so a
+        per-request timeout does not cancel the shared job other
+        waiters ride on.
+        """
+        task = self._inflight.get(key)
+        if task is not None:
+            return "coalesced", task
+        if self._pending >= self.config.queue_limit:
+            raise Overloaded(
+                f"{self._pending} jobs in flight (limit "
+                f"{self.config.queue_limit})"
+            )
+        self._pending += 1
+        task = asyncio.get_running_loop().create_task(
+            self._run(key, fn, payload, on_result)
+        )
+        # Consume exceptions even if every waiter timed out first.
+        task.add_done_callback(lambda t: t.cancelled() or t.exception())
+        self._inflight[key] = task
+        return "fresh", task
+
+    async def _run(
+        self,
+        key: str,
+        fn: Callable[[dict], dict],
+        payload: dict,
+        on_result: Callable[[dict], None] | None,
+    ) -> dict:
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._ensure_executor(), fn, payload
+            )
+            if on_result is not None:
+                on_result(result)
+            return result
+        finally:
+            self._pending -= 1
+            self._inflight.pop(key, None)

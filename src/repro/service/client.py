@@ -1,0 +1,132 @@
+"""Stdlib HTTP client for the service, with retry + backoff.
+
+Connection errors and retryable statuses (429 load-shed, 503 drain)
+back off exponentially and try again; anything else raises
+:class:`ServiceError` carrying the status and decoded body.  One
+``http.client`` connection per request (the server closes connections
+after each response anyway), so the client is thread-safe and the
+soak test can hammer one instance from many threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """Non-success response (after retries were exhausted)."""
+
+    def __init__(self, status: int, body: dict | str) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Client bound to one server address.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout_s:
+        Socket timeout per attempt.
+    retries:
+        Extra attempts after the first (so ``retries=3`` → ≤ 4 tries).
+    backoff_s, backoff_factor:
+        Sleep before retry ``k`` is ``backoff_s * backoff_factor**k``.
+    retry_statuses:
+        HTTP statuses treated as transient.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8753,
+        timeout_s: float = 120.0,
+        retries: int = 3,
+        backoff_s: float = 0.1,
+        backoff_factor: float = 2.0,
+        retry_statuses: tuple[int, ...] = (429, 503),
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self.retry_statuses = retry_statuses
+
+    # -- transport ------------------------------------------------------
+    def _attempt(
+        self, method: str, path: str, payload: dict | None
+    ) -> tuple[int, dict | str]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = json.dumps(payload).encode() if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read().decode()
+            try:
+                decoded: dict | str = json.loads(raw)
+            except ValueError:
+                decoded = raw
+            return resp.status, decoded
+        finally:
+            conn.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        retries: int | None = None,
+    ) -> dict:
+        """Issue one request; retry transient failures with backoff."""
+        budget = self.retries if retries is None else retries
+        attempt = 0
+        while True:
+            try:
+                status, body = self._attempt(method, path, payload)
+            except (ConnectionError, OSError, http.client.HTTPException):
+                if attempt >= budget:
+                    raise
+                status, body = None, None  # transient transport failure
+            if status is not None:
+                if status < 400:
+                    return body if isinstance(body, dict) else {"raw": body}
+                if status not in self.retry_statuses or attempt >= budget:
+                    raise ServiceError(status, body)
+            time.sleep(self.backoff_s * self.backoff_factor**attempt)
+            attempt += 1
+
+    # -- endpoint wrappers ----------------------------------------------
+    def healthz(self) -> dict:
+        """``GET /healthz`` (no retries — health must be a point probe)."""
+        status, body = self._attempt("GET", "/healthz", None)
+        if isinstance(body, dict):
+            return {"http_status": status, **body}
+        return {"http_status": status, "raw": body}
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self.request("GET", "/metrics")
+
+    def predict(self, **payload: object) -> dict:
+        """``POST /predict``; returns the response envelope."""
+        return self.request("POST", "/predict", dict(payload))
+
+    def tune(self, **payload: object) -> dict:
+        """``POST /tune``."""
+        return self.request("POST", "/tune", dict(payload))
+
+    def rank(self, **payload: object) -> dict:
+        """``POST /rank``."""
+        return self.request("POST", "/rank", dict(payload))

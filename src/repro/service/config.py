@@ -1,0 +1,78 @@
+"""Configuration of the tuning/prediction service.
+
+One frozen dataclass carries every knob of the server: network
+binding, worker-pool sizing, admission control, cache sizing and the
+timeouts that bound a request's life.  The CLI (``python -m repro
+serve``) maps its flags 1:1 onto these fields; tests construct the
+dataclass directly with an ephemeral port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All tunables of one :class:`~repro.service.server.ReproService`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound
+        port is returned by ``start()``).
+    workers:
+        Size of the executor pool evaluating jobs.
+    executor:
+        ``"process"`` (default; jobs are picklable top-level functions
+        in :mod:`repro.service.jobs`) or ``"thread"`` (cheaper startup,
+        used by tests and benchmarks).
+    queue_limit:
+        Admission control: maximum number of in-flight *fresh* jobs
+        (running + queued).  Requests beyond it are shed with HTTP 429.
+    response_cache_size:
+        Entries kept in the in-process LRU response cache (tier 1).
+    request_timeout_s:
+        Per-request deadline; an expired request gets HTTP 504 (the
+        underlying job keeps running for coalesced waiters).
+    drain_timeout_s:
+        On SIGTERM/``stop()``, how long to wait for in-flight requests
+        before forcing shutdown.
+    db_path:
+        Optional path of the Offsite :class:`TuningDatabase` used as
+        the warm persistent tier for ``/rank`` (loaded if present,
+        updated after fresh rankings).
+    max_body_bytes:
+        Request bodies larger than this are rejected with HTTP 413.
+    latency_reservoir:
+        Samples kept per endpoint for the latency percentiles
+        reported by ``/metrics``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8753
+    workers: int = 2
+    executor: str = "process"
+    queue_limit: int = 64
+    response_cache_size: int = 1024
+    request_timeout_s: float = 120.0
+    drain_timeout_s: float = 30.0
+    db_path: str | None = None
+    max_body_bytes: int = 1 << 20
+    latency_reservoir: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {self.executor!r}"
+            )
+        if self.queue_limit <= 0:
+            raise ValueError("queue_limit must be positive")
+        if self.response_cache_size < 0:
+            raise ValueError("response_cache_size must be >= 0")
+        if self.request_timeout_s <= 0 or self.drain_timeout_s < 0:
+            raise ValueError("timeouts must be positive")

@@ -1,0 +1,272 @@
+"""Request payloads: validation, canonicalization and job execution.
+
+Each endpoint has a *normalizer* (fills defaults, validates types,
+returns a canonical dict — two requests meaning the same thing
+normalize identically, which is what request coalescing and the
+response cache key on) and a *job* (a pure top-level function taking
+the normalized payload and returning a JSON-ready dict, picklable so
+it runs unchanged on a thread or process pool).
+
+Jobs report the traffic-memoization ledger of their own run under a
+``"traffic_cache"`` key, so the server can aggregate per-tier hit
+rates even when the memo lives in worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.autotune.search import TUNERS
+from repro.cachesim.memo import default_traffic_cache
+from repro.codegen.plan import KernelPlan
+from repro.core.yasksite import YaskSite
+from repro.machine.presets import PRESETS
+from repro.offsite.tuner import TABLEAU_FAMILIES, rank_variants
+from repro.service.serializers import (
+    canonical_dumps,
+    prediction_to_dict,
+    ranking_report_to_dict,
+    tuner_result_to_dict,
+)
+from repro.stencil.library import STENCIL_SUITE, get_stencil
+
+__all__ = [
+    "JobError",
+    "JOBS",
+    "request_key",
+    "normalize_predict",
+    "normalize_tune",
+    "normalize_rank",
+    "predict_job",
+    "tune_job",
+    "rank_job",
+    "rank_db_key_parts",
+]
+
+
+class JobError(ValueError):
+    """Invalid request payload (maps to HTTP 400)."""
+
+
+def _require_grid(payload: dict, default: list[int]) -> list[int]:
+    grid = payload.get("grid", default)
+    if (
+        not isinstance(grid, (list, tuple))
+        or not grid
+        or not all(isinstance(g, int) and g > 0 for g in grid)
+    ):
+        raise JobError(f"bad grid {grid!r}; expected a list of positive ints")
+    return [int(g) for g in grid]
+
+
+def _require_machine(payload: dict) -> str:
+    machine = payload.get("machine", "clx")
+    if not isinstance(machine, str) or machine.lower() not in PRESETS:
+        raise JobError(
+            f"unknown machine {machine!r}; choose from {sorted(PRESETS)}"
+        )
+    return machine.lower()
+
+
+def _require_stencil(payload: dict) -> str:
+    stencil = payload.get("stencil")
+    if stencil not in STENCIL_SUITE:
+        raise JobError(
+            f"unknown stencil {stencil!r}; choose from {sorted(STENCIL_SUITE)}"
+        )
+    return stencil
+
+
+def _optional_scale(payload: dict, key: str, default: float | None):
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise JobError(f"{key} must be a positive number, got {value!r}")
+    return float(value)
+
+
+def normalize_predict(payload: dict) -> dict:
+    """Canonical form of a ``/predict`` request."""
+    grid = _require_grid(payload, [48, 48, 64])
+    block = payload.get("block")
+    if block is not None:
+        if (
+            not isinstance(block, (list, tuple))
+            or len(block) != len(grid)
+            or not all(isinstance(b, int) and b > 0 for b in block)
+        ):
+            raise JobError(f"bad block {block!r}; expected e.g. [8, 8, 64]")
+        block = [int(b) for b in block]
+    return {
+        "stencil": _require_stencil(payload),
+        "grid": grid,
+        "machine": _require_machine(payload),
+        "block": block,
+        "cache_scale": _optional_scale(payload, "cache_scale", None),
+        "capacity_factor": _optional_scale(payload, "capacity_factor", 1.0),
+    }
+
+
+def normalize_tune(payload: dict) -> dict:
+    """Canonical form of a ``/tune`` request."""
+    tuner = payload.get("tuner", "ecm")
+    if tuner not in TUNERS:
+        raise JobError(
+            f"unknown tuner {tuner!r}; choose from {sorted(TUNERS)}"
+        )
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int):
+        raise JobError(f"seed must be an int, got {seed!r}")
+    return {
+        "stencil": _require_stencil(payload),
+        "grid": _require_grid(payload, [48, 48, 64]),
+        "machine": _require_machine(payload),
+        "tuner": tuner,
+        "cache_scale": _optional_scale(payload, "cache_scale", 1 / 32),
+        "seed": seed,
+    }
+
+
+def normalize_rank(payload: dict) -> dict:
+    """Canonical form of a ``/rank`` request."""
+    family = payload.get("method", "radau_iia")
+    if family not in TABLEAU_FAMILIES:
+        raise JobError(
+            f"unknown method family {family!r}; "
+            f"choose from {sorted(TABLEAU_FAMILIES)}"
+        )
+    stages = payload.get("stages", 4)
+    corrector = payload.get("corrector_steps", 3)
+    if not isinstance(stages, int) or stages < 1:
+        raise JobError(f"stages must be a positive int, got {stages!r}")
+    if not isinstance(corrector, int) or corrector < 1:
+        raise JobError(
+            f"corrector_steps must be a positive int, got {corrector!r}"
+        )
+    block = payload.get("block")
+    grid = _require_grid(payload, [16, 16, 32])
+    if block is not None and block != "auto":
+        if (
+            not isinstance(block, (list, tuple))
+            or len(block) != len(grid)
+            or not all(isinstance(b, int) and b > 0 for b in block)
+        ):
+            raise JobError(
+                f"bad block {block!r}; expected 'auto', null or e.g. [8, 8, 32]"
+            )
+        block = [int(b) for b in block]
+    validate = payload.get("validate", True)
+    if not isinstance(validate, bool):
+        raise JobError(f"validate must be a bool, got {validate!r}")
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int):
+        raise JobError(f"seed must be an int, got {seed!r}")
+    return {
+        "method": family,
+        "stages": stages,
+        "corrector_steps": corrector,
+        "grid": grid,
+        "machine": _require_machine(payload),
+        "cache_scale": _optional_scale(payload, "cache_scale", 1 / 32),
+        "block": block,
+        "validate": validate,
+        "seed": seed,
+    }
+
+
+def rank_db_key_parts(payload: dict) -> tuple[str, str, str, tuple[int, ...]]:
+    """(method, ivp, machine, grid) identity of a normalized ``/rank``
+    request — the :class:`~repro.offsite.database.TuningKey` fields the
+    warm database tier stores rankings under."""
+    method = (
+        f"{payload['method']}({payload['stages']})"
+        f"m{payload['corrector_steps']}"
+    )
+    grid = tuple(payload["grid"])
+    ivp = "grid" + "x".join(map(str, grid))
+    return method, ivp, payload["machine"], grid
+
+
+# ----------------------------------------------------------------------
+# Job bodies (run on the worker pool; must stay picklable top-levels)
+# ----------------------------------------------------------------------
+def _traffic_ledger(hits0: int, misses0: int) -> dict:
+    cache = default_traffic_cache()
+    return {"hits": cache.hits - hits0, "misses": cache.misses - misses0}
+
+
+def predict_job(payload: dict) -> dict:
+    """Analytic ECM prediction (no simulation, no traffic)."""
+    ys = YaskSite(
+        payload["machine"],
+        capacity_factor=payload["capacity_factor"],
+        cache_scale=payload["cache_scale"],
+    )
+    spec = get_stencil(payload["stencil"])
+    grid = tuple(payload["grid"])
+    if payload["block"] is not None:
+        plan = KernelPlan(block=tuple(payload["block"]))
+    else:
+        plan = ys.select_block(spec, grid).plan
+    pred = ys.predict(spec, grid, plan)
+    out = prediction_to_dict(pred, plan=plan)
+    out["grid"] = list(grid)
+    return out
+
+
+def tune_job(payload: dict) -> dict:
+    """Run a tuner; the pool provides the parallelism (inner workers=1)."""
+    cache = default_traffic_cache()
+    hits0, misses0 = cache.hits, cache.misses
+    ys = YaskSite(payload["machine"], cache_scale=payload["cache_scale"])
+    spec = get_stencil(payload["stencil"])
+    res = ys.tune(
+        spec,
+        tuple(payload["grid"]),
+        tuner=payload["tuner"],
+        seed=payload["seed"],
+    )
+    out = tuner_result_to_dict(res)
+    out["stencil"] = payload["stencil"]
+    out["machine"] = payload["machine"]
+    out["grid"] = list(payload["grid"])
+    out["traffic_cache"] = _traffic_ledger(hits0, misses0)
+    return out
+
+
+def rank_job(payload: dict) -> dict:
+    """Offsite variant ranking for one (method, grid, machine)."""
+    block = payload["block"]
+    if isinstance(block, list):
+        block = tuple(block)
+    _, ivp, _, _ = rank_db_key_parts(payload)
+    report = rank_variants(
+        payload["method"],
+        payload["stages"],
+        payload["corrector_steps"],
+        tuple(payload["grid"]),
+        payload["machine"],
+        cache_scale=payload["cache_scale"],
+        block=block,
+        validate=payload["validate"],
+        seed=payload["seed"],
+        ivp_name=ivp,
+    )
+    out = ranking_report_to_dict(report)
+    out["grid"] = list(payload["grid"])
+    return out
+
+
+#: endpoint path → (normalizer, job body)
+JOBS = {
+    "/predict": (normalize_predict, predict_job),
+    "/tune": (normalize_tune, tune_job),
+    "/rank": (normalize_rank, rank_job),
+}
+
+
+def request_key(endpoint: str, normalized: dict) -> str:
+    """Content hash identifying one request for coalescing/caching."""
+    blob = canonical_dumps({"endpoint": endpoint, "payload": normalized})
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,137 @@
+"""Service observability: request counters, latency percentiles, tiers.
+
+Every POST request resolves to exactly **one** outcome —
+
+``cache``      served by the in-process LRU response cache (tier 1)
+``coalesced``  joined an identical in-flight request's future
+``database``   served by the warm Offsite tuning database (tier 3)
+``fresh``      executed on the worker pool
+``shed``       refused by admission control (HTTP 429)
+``failed``     bad payload, job error or timeout
+
+so the per-endpoint outcome counts always sum to the request total;
+the soak test asserts that invariant through ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["OUTCOMES", "LatencyReservoir", "EndpointStats", "ServiceMetrics"]
+
+OUTCOMES = ("cache", "coalesced", "database", "fresh", "shed", "failed")
+
+
+class LatencyReservoir:
+    """Sliding window of request latencies with percentile readout."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (in seconds)."""
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentiles(self) -> dict[str, float | None]:
+        """p50/p95/p99 of the retained window, in milliseconds."""
+        if not self._samples:
+            return {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+        ordered = sorted(self._samples)
+        n = len(ordered)
+
+        def pick(q: float) -> float:
+            idx = min(n - 1, max(0, round(q * (n - 1))))
+            return ordered[idx] * 1e3
+
+        return {
+            "p50_ms": pick(0.50),
+            "p95_ms": pick(0.95),
+            "p99_ms": pick(0.99),
+        }
+
+
+class EndpointStats:
+    """Outcome counters + latency reservoir of one endpoint."""
+
+    def __init__(self, reservoir: int = 2048) -> None:
+        self.total = 0
+        self.outcomes = {name: 0 for name in OUTCOMES}
+        self.latency = LatencyReservoir(reservoir)
+
+    def record(self, outcome: str, seconds: float) -> None:
+        if outcome not in self.outcomes:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        self.total += 1
+        self.outcomes[outcome] += 1
+        self.latency.record(seconds)
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.total,
+            "outcomes": dict(self.outcomes),
+            "latency": self.latency.percentiles(),
+        }
+
+
+class ServiceMetrics:
+    """All counters of one server, snapshotted by ``/metrics``.
+
+    Thread-safe: the asyncio server records from its loop thread, but
+    tests and the background-server helper may read concurrently.
+    """
+
+    def __init__(self, reservoir: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self.endpoints: dict[str, EndpointStats] = {}
+        # Tiered-cache ledgers: response LRU (1), traffic memo (2),
+        # tuning database (3).
+        self.tiers = {
+            "response": {"hits": 0, "misses": 0},
+            "traffic": {"hits": 0, "misses": 0},
+            "database": {"hits": 0, "misses": 0},
+        }
+
+    def record_request(
+        self, endpoint: str, outcome: str, seconds: float
+    ) -> None:
+        """Count one finished request."""
+        with self._lock:
+            stats = self.endpoints.get(endpoint)
+            if stats is None:
+                stats = self.endpoints[endpoint] = EndpointStats(
+                    self._reservoir
+                )
+            stats.record(outcome, seconds)
+
+    def record_tier(self, tier: str, hits: int = 0, misses: int = 0) -> None:
+        """Add to one cache tier's hit/miss ledger."""
+        with self._lock:
+            ledger = self.tiers[tier]
+            ledger["hits"] += hits
+            ledger["misses"] += misses
+
+    @staticmethod
+    def _hit_rate(ledger: dict) -> float | None:
+        total = ledger["hits"] + ledger["misses"]
+        return ledger["hits"] / total if total else None
+
+    def snapshot(self, **extra: object) -> dict:
+        """JSON-ready state; ``extra`` merges server-owned gauges in
+        (queue depth, pool utilization, uptime, ...)."""
+        with self._lock:
+            data = {
+                "endpoints": {
+                    path: stats.snapshot()
+                    for path, stats in sorted(self.endpoints.items())
+                },
+                "tiers": {
+                    name: {**ledger, "hit_rate": self._hit_rate(ledger)}
+                    for name, ledger in self.tiers.items()
+                },
+            }
+        data.update(extra)
+        return data

@@ -1,0 +1,134 @@
+"""JSON serializers shared by the CLI (``--json``) and the service.
+
+Every serializer maps one library result object onto plain built-in
+types, so ``json.dumps`` works on the output and a service response is
+byte-identical to what a direct library call would serialize to —
+the soak test asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.autotune.search import TunerResult
+from repro.codegen.plan import KernelPlan
+from repro.ecm.model import EcmPrediction
+from repro.offsite.database import TuningRecord
+from repro.offsite.tuner import RankingReport
+
+__all__ = [
+    "canonical_dumps",
+    "plan_to_dict",
+    "prediction_to_dict",
+    "tuner_result_to_dict",
+    "ranking_report_to_dict",
+    "tuning_record_to_dict",
+]
+
+
+def canonical_dumps(obj: object) -> str:
+    """Stable JSON form (sorted keys, no whitespace) for hashing."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def plan_to_dict(plan: KernelPlan) -> dict:
+    """JSON form of a kernel plan."""
+    return {
+        "block": list(plan.block),
+        "loop_order": list(plan.loop_order) if plan.loop_order else None,
+        "threads": plan.threads,
+        "wavefront": plan.wavefront,
+        "label": plan.describe(),
+    }
+
+
+def prediction_to_dict(
+    pred: EcmPrediction, plan: KernelPlan | None = None
+) -> dict:
+    """JSON form of a single-core ECM prediction."""
+    data = {
+        "stencil": pred.spec_name,
+        "machine": pred.machine_name,
+        "plan": plan_to_dict(plan) if plan is not None else pred.plan_label,
+        "ecm_notation": pred.notation(),
+        "t_ol_cycles": pred.t_ol,
+        "t_nol_cycles": pred.t_nol,
+        "t_data_cycles": list(pred.t_data),
+        "t_ecm_cycles": pred.t_ecm,
+        "regimes": list(pred.traffic.regimes),
+        "cycles_per_lup": pred.cycles_per_lup,
+        "mlups": pred.mlups,
+        "mem_bytes_per_lup": pred.memory_bytes_per_lup(),
+        "freq_ghz": pred.freq_ghz,
+    }
+    return data
+
+
+def tuner_result_to_dict(res: TunerResult) -> dict:
+    """JSON form of a tuning run, including its cost ledger."""
+    return {
+        "tuner": res.tuner,
+        "best_plan": plan_to_dict(res.best_plan),
+        "best_mlups": res.best_mlups,
+        "variants_examined": res.variants_examined,
+        "variants_run": res.variants_run,
+        "simulated_run_seconds": res.simulated_run_seconds,
+        "workers": res.workers,
+        "traffic_cache": {
+            "hits": res.traffic_cache_hits,
+            "misses": res.traffic_cache_misses,
+        },
+    }
+
+
+def ranking_report_to_dict(report: RankingReport) -> dict:
+    """JSON form of an Offsite variant-ranking run."""
+    ranking = [
+        t.variant
+        for t in sorted(report.timings, key=lambda t: t.predicted_s)
+    ]
+    best = report.best_predicted()
+    return {
+        "method": report.method,
+        "ivp": report.ivp,
+        "machine": report.machine,
+        "timings": [
+            {
+                "variant": t.variant,
+                "predicted_s": t.predicted_s,
+                "measured_s": t.measured_s,
+                "error_pct": t.error_pct,
+                "sweeps_per_step": t.sweeps_per_step,
+                "mem_bytes_per_lup": t.mem_bytes_per_lup,
+            }
+            for t in report.timings
+        ],
+        "ranking": ranking,
+        "best_predicted": {
+            "variant": best.variant,
+            "predicted_s": best.predicted_s,
+        },
+        "kendall_tau": report.kendall_tau,
+        "top1_hit": report.top1_hit,
+        "predict_seconds": report.predict_seconds,
+        "measure_seconds": report.measure_seconds,
+        "traffic_cache": {
+            "hits": report.traffic_cache_hits,
+            "misses": report.traffic_cache_misses,
+        },
+    }
+
+
+def tuning_record_to_dict(record: TuningRecord) -> dict:
+    """JSON form of a stored tuning record (database-tier responses)."""
+    return {
+        "method": record.key.method,
+        "ivp": record.key.ivp,
+        "machine": record.key.machine,
+        "grid": list(record.key.grid),
+        "best_variant": record.best_variant,
+        "block": list(record.block),
+        "predicted_s_per_step": record.predicted_s_per_step,
+        "ranking": list(record.ranking),
+        "served_from": "database",
+    }

@@ -1,0 +1,400 @@
+"""The tuning/prediction server: asyncio + stdlib HTTP/1.1, no deps.
+
+Layering of one POST request (``/predict``, ``/tune``, ``/rank``)::
+
+    parse + normalize                 (400 on bad payload)
+      └─ tier 1: LRU response cache  (identical request already solved)
+          └─ tier 3: tuning database (/rank, validate=false: the warm
+             Offsite store — rankings computed once, then looked up)
+              └─ coalesce            (identical request in flight joins it)
+                  └─ admit + batch   (429 when the bounded queue is full)
+                      └─ worker pool (jobs; tier 2 traffic memo inside)
+
+``GET /healthz`` and ``GET /metrics`` are served inline.  SIGTERM (or
+``stop()``) drains gracefully: the listener closes, in-flight requests
+finish within ``drain_timeout_s``, then the pool shuts down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from collections import OrderedDict
+
+from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
+from repro.service.batching import CoalescingDispatcher, Overloaded
+from repro.service.config import ServiceConfig
+from repro.service.jobs import JOBS, JobError, rank_db_key_parts, request_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.serializers import tuning_record_to_dict
+
+__all__ = ["ReproService", "serve"]
+
+_SERVER_NAME = "repro-service"
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _LruCache:
+    """Tiny insertion-evicting LRU for JSON-ready response dicts."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> dict | None:
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+
+class ReproService:
+    """One server instance; ``start()`` binds, ``stop()`` drains."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics(self.config.latency_reservoir)
+        self.dispatcher = CoalescingDispatcher(self.config)
+        self.response_cache = _LruCache(self.config.response_cache_size)
+        if self.config.db_path:
+            self.database = TuningDatabase.load_or_empty(self.config.db_path)
+        else:
+            self.database = TuningDatabase()
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_requested = asyncio.Event()
+        self._active_requests = 0
+        self._started_at: float | None = None
+        self.port: int | None = None
+        self.draining = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        return self.port
+
+    def request_drain(self) -> None:
+        """Ask the server to drain and stop (signal-handler safe)."""
+        self.draining = True
+        self._stop_requested.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until a drain is requested, then shut down cleanly."""
+        await self._stop_requested.wait()
+        await self.stop()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Close the listener, optionally drain in-flight work, tear down."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            while self._active_requests > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.01)
+            await self.dispatcher.drain(
+                max(0.0, deadline - time.monotonic())
+            )
+        self.dispatcher.shutdown()
+        self._stop_requested.set()
+
+    def uptime_s(self) -> float:
+        return (
+            time.monotonic() - self._started_at if self._started_at else 0.0
+        )
+
+    # -- HTTP plumbing --------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._active_requests += 1
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._active_requests -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=30.0
+            )
+        except asyncio.TimeoutError:
+            return
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._send(writer, 400, {"error": "bad content-length"})
+            return
+        if length > self.config.max_body_bytes:
+            await self._send(writer, 413, {"error": "payload too large"})
+            return
+        body = await reader.readexactly(length) if length else b""
+
+        if method == "GET" and path == "/healthz":
+            status = 503 if self.draining else 200
+            await self._send(
+                writer,
+                status,
+                {
+                    "status": "draining" if self.draining else "ok",
+                    "uptime_s": self.uptime_s(),
+                },
+            )
+            return
+        if method == "GET" and path == "/metrics":
+            await self._send(writer, 200, self.metrics_snapshot())
+            return
+        if path in JOBS:
+            if method != "POST":
+                await self._send(
+                    writer, 405, {"error": f"{path} requires POST"}
+                )
+                return
+            await self._handle_job(writer, path, body)
+            return
+        await self._send(writer, 404, {"error": f"no route {path}"})
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Server: {_SERVER_NAME}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
+        await writer.drain()
+
+    # -- the tiered job path --------------------------------------------
+    async def _handle_job(
+        self, writer: asyncio.StreamWriter, endpoint: str, body: bytes
+    ) -> None:
+        t0 = time.perf_counter()
+        outcome, status, response, headers = await self._process_job(
+            endpoint, body
+        )
+        # Count the request *before* the response leaves, so a client
+        # that reads /metrics right after a reply sees it included.
+        self.metrics.record_request(
+            endpoint, outcome, time.perf_counter() - t0
+        )
+        await self._send(writer, status, response, extra_headers=headers)
+
+    async def _process_job(
+        self, endpoint: str, body: bytes
+    ) -> tuple[str, int, dict, dict[str, str] | None]:
+        """Resolve one POST through the cache tiers and the pool.
+
+        Returns ``(outcome, http_status, response, extra_headers)``.
+        """
+        normalizer, job = JOBS[endpoint]
+        try:
+            payload = json.loads(body.decode() or "{}")
+            if not isinstance(payload, dict):
+                raise JobError("payload must be a JSON object")
+            normalized = normalizer(payload)
+        except (ValueError, JobError) as exc:
+            return "failed", 400, {"error": str(exc)}, None
+        key = request_key(endpoint, normalized)
+
+        def envelope(served: str, result: dict) -> dict:
+            return {"endpoint": endpoint, "served": served, "result": result}
+
+        # Tier 1: in-process response LRU.
+        cached = self.response_cache.get(key)
+        if cached is not None:
+            self.metrics.record_tier("response", hits=1)
+            return "cache", 200, envelope("response-cache", cached), None
+        self.metrics.record_tier("response", misses=1)
+
+        # Tier 3: the warm Offsite tuning database (/rank lookups;
+        # validated rankings always recompute measurements).
+        if endpoint == "/rank" and not normalized["validate"]:
+            method, ivp, machine, grid = rank_db_key_parts(normalized)
+            record = self.database.get(TuningKey(method, ivp, machine, grid))
+            if record is not None:
+                self.metrics.record_tier("database", hits=1)
+                return (
+                    "database",
+                    200,
+                    envelope("database", tuning_record_to_dict(record)),
+                    None,
+                )
+            self.metrics.record_tier("database", misses=1)
+
+        # Coalesce + admit + batch onto the pool.  The completion hook
+        # fills the caches before the in-flight key is released, so
+        # identical late arrivals can never re-execute.
+        def on_result(result: dict) -> None:
+            self.response_cache.put(key, result)
+            ledger = result.get("traffic_cache")
+            if isinstance(ledger, dict):
+                self.metrics.record_tier(
+                    "traffic",
+                    hits=int(ledger.get("hits", 0)),
+                    misses=int(ledger.get("misses", 0)),
+                )
+            if endpoint == "/rank":
+                try:
+                    self._store_ranking(normalized, result)
+                except OSError:
+                    pass  # persistence failure must not fail requests
+
+        try:
+            mode, task = self.dispatcher.dispatch(
+                key, job, normalized, on_result=on_result
+            )
+        except Overloaded as exc:
+            return (
+                "shed",
+                429,
+                {"error": "overloaded", "detail": str(exc)},
+                {"Retry-After": "1"},
+            )
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(task), self.config.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            return (
+                "failed",
+                504,
+                {
+                    "error": "timeout",
+                    "timeout_s": self.config.request_timeout_s,
+                },
+                None,
+            )
+        except Exception as exc:  # job blew up in the worker
+            return (
+                "failed",
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                None,
+            )
+        return mode, 200, envelope(mode, result), None
+
+    def _store_ranking(self, normalized: dict, result: dict) -> None:
+        """Warm the database tier with a freshly computed ranking."""
+        method, ivp, machine, grid = rank_db_key_parts(normalized)
+        block = normalized["block"]
+        if isinstance(block, list):
+            block = tuple(block)
+        elif block == "auto":
+            block = (0,) * len(grid)  # sentinel: per-kernel analytic choice
+        else:
+            block = grid
+        self.database.put(
+            TuningRecord(
+                key=TuningKey(method, ivp, machine, grid),
+                best_variant=result["best_predicted"]["variant"],
+                block=block,
+                predicted_s_per_step=result["best_predicted"]["predicted_s"],
+                ranking=list(result["ranking"]),
+            )
+        )
+        if self.config.db_path:
+            self.database.save(self.config.db_path)
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` document."""
+        return self.metrics.snapshot(
+            uptime_s=self.uptime_s(),
+            draining=self.draining,
+            queue={
+                "depth": self.dispatcher.queue_depth,
+                "pending": self.dispatcher.pending,
+                "limit": self.config.queue_limit,
+            },
+            pool={
+                "workers": self.config.workers,
+                "executor": self.config.executor,
+                "busy": self.dispatcher.busy,
+                "utilization": self.dispatcher.utilization,
+            },
+            response_cache={
+                "size": len(self.response_cache),
+                "capacity": self.config.response_cache_size,
+            },
+            database={"records": len(self.database)},
+        )
+
+
+async def serve(config: ServiceConfig, banner: bool = True) -> None:
+    """Run a server until SIGTERM/SIGINT, then drain and exit."""
+    service = ReproService(config)
+    port = await service.start()
+    if banner:
+        print(
+            f"repro-service listening on http://{config.host}:{port} "
+            f"(workers={config.workers}/{config.executor}, "
+            f"queue_limit={config.queue_limit})",
+            flush=True,
+        )
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, service.request_drain)
+        except (NotImplementedError, RuntimeError):  # non-Unix loops
+            pass
+    await service.wait_stopped()
+    if banner:
+        print("repro-service drained, bye", flush=True)

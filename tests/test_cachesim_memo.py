@@ -129,3 +129,41 @@ class TestSimulateDeterminism:
         )
         assert warm.cycles_per_lup == cold.cycles_per_lup
         assert warm.traffic.as_dict() == cold.traffic.as_dict()
+
+
+class TestConcurrentDiskPuts:
+    def test_parallel_writers_publish_atomically(self, setting, tmp_path):
+        """Racing puts over one disk dir: no stray temps, no torn JSON."""
+        import json
+        import threading
+
+        spec, grids, plan, machine = setting
+        source = TrafficCache()
+        report = measure_sweep(
+            spec, grids, plan, machine, traffic_cache=source
+        )
+        key = sweep_key(spec, grids, plan, machine, True)
+        caches = [TrafficCache(disk_dir=tmp_path) for _ in range(8)]
+        barrier = threading.Barrier(len(caches))
+
+        def hammer(cache):
+            barrier.wait()
+            for i in range(25):
+                cache.put(key, report)
+                cache.put(f"{key}-{i % 5}", report)
+
+        threads = [
+            threading.Thread(target=hammer, args=(c,)) for c in caches
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+        for path in tmp_path.iterdir():
+            json.loads(path.read_text())  # every published file is whole
+        fresh = TrafficCache(disk_dir=tmp_path)
+        assert fresh.get(key).as_dict() == report.as_dict()

@@ -72,3 +72,61 @@ class TestCommands:
     def test_experiment_t2(self, capsys):
         assert main(["experiment", "t2"]) == 0
         assert "Stencil suite" in capsys.readouterr().out
+
+    def test_experiment_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+        assert "repro.experiments.exp_f5_offsite_ranking" in out
+
+    def test_experiment_without_id_errors(self, capsys):
+        assert main(["experiment"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    """``--json`` emits the same serializer dicts the service uses."""
+
+    def test_suite_json(self, capsys):
+        import json
+
+        assert main(["suite", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list)
+        assert any("3d7pt" in str(row) for row in rows)
+
+    def test_machines_json(self, capsys):
+        import json
+
+        assert main(["machines", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert all({"CascadeLakeSP", "Rome"} <= set(row) for row in rows)
+        assert rows[0]["characteristic"] == "Microarchitecture"
+
+    def test_predict_json_matches_service_serializer(self, capsys):
+        import json
+
+        from repro.service.jobs import normalize_predict, predict_job
+
+        argv = ["predict", "3d7pt", "--grid", "16x16x32",
+                "--cache-scale", "0.03125"]
+        assert main(argv + ["--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        expected = predict_job(normalize_predict(
+            {"stencil": "3d7pt", "grid": [16, 16, 32],
+             "cache_scale": 1 / 32}
+        ))
+        assert out == expected
+
+    def test_tune_json(self, capsys):
+        import json
+
+        assert main(
+            ["tune", "3d7pt", "--grid", "16x16x32", "--tuner", "ecm",
+             "--json"]
+        ) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["tuner"] == "ecm" and out["variants_run"] == 1
+        assert out["best_mlups"] > 0
+        assert out["stencil"] == "3d7pt" and out["grid"] == [16, 16, 32]

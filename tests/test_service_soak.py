@@ -1,0 +1,332 @@
+"""Concurrency / soak tests: a live server under overlapping load.
+
+The server runs on an ephemeral port with a thread pool (same process,
+so results share the deterministic traffic memo with direct library
+calls).  The soak fires 64+ overlapping mixed requests and asserts:
+
+* every response equals the direct library call for its payload,
+* identical in-flight requests coalesce onto one execution,
+* the ``/metrics`` outcome ledgers add up exactly,
+* admission control sheds with 429 without killing the server,
+* SIGTERM drains a ``python -m repro serve`` subprocess cleanly.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+import repro.service.jobs as jobs
+from repro.service.background import BackgroundServer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+
+#: Response fields that depend on wall time or cache warmth, not on the
+#: configuration — excluded when comparing against direct library calls.
+VOLATILE = ("predict_seconds", "measure_seconds", "traffic_cache")
+
+
+def strip_volatile(result: dict) -> dict:
+    return {k: v for k, v in result.items() if k not in VOLATILE}
+
+
+def _cfg(**kwargs) -> ServiceConfig:
+    defaults = dict(
+        port=0,
+        executor="thread",
+        workers=4,
+        queue_limit=256,
+        request_timeout_s=120.0,
+        drain_timeout_s=30.0,
+    )
+    defaults.update(kwargs)
+    return ServiceConfig(**defaults)
+
+
+SCALE = 1 / 32  # shrink caches so exact simulation stays fast
+
+
+def _workload() -> list[tuple[str, dict]]:
+    """Distinct request payloads mixing all three POST endpoints."""
+    work: list[tuple[str, dict]] = []
+    for stencil in ("3d7pt", "3d27pt", "heat3d"):
+        for grid in ([16, 16, 32], [8, 16, 32]):
+            work.append(
+                ("/predict", {"stencil": stencil, "grid": grid,
+                              "cache_scale": SCALE})
+            )
+    for machine in ("clx", "rome"):
+        work.append(
+            ("/tune", {"stencil": "3d7pt", "grid": [16, 16, 32],
+                       "machine": machine, "tuner": "ecm",
+                       "cache_scale": SCALE})
+        )
+    for grid in ([8, 8, 16], [8, 16, 16]):
+        work.append(
+            ("/rank", {"grid": grid, "validate": False,
+                       "cache_scale": SCALE})
+        )
+    return work
+
+
+class TestSoak:
+    def test_overlapping_mixed_requests(self):
+        distinct = _workload()
+        # Repeat the distinct set so ≥64 requests overlap, with many
+        # duplicates to exercise coalescing and the response cache.
+        requests = (distinct * 7)[:70]
+        assert len(requests) >= 64
+
+        expected = {}
+        for endpoint, payload in distinct:
+            normalizer, job = jobs.JOBS[endpoint]
+            expected[jobs.request_key(endpoint, normalizer(payload))] = (
+                strip_volatile(job(normalizer(payload)))
+            )
+
+        with BackgroundServer(_cfg()) as bg:
+            client = bg.client
+
+            def fire(item):
+                endpoint, payload = item
+                return item, client.request("POST", endpoint, payload)
+
+            with ThreadPoolExecutor(max_workers=32) as pool:
+                responses = list(pool.map(fire, requests))
+
+            for (endpoint, payload), response in responses:
+                normalizer, _ = jobs.JOBS[endpoint]
+                key = jobs.request_key(endpoint, normalizer(payload))
+                assert response["endpoint"] == endpoint
+                assert strip_volatile(response["result"]) == expected[key], (
+                    f"{endpoint} response diverged from direct library call"
+                )
+
+            snap = bg.metrics_snapshot()
+
+        # Ledger invariants: outcomes partition the request totals.
+        totals = 0
+        fresh = 0
+        for path, stats in snap["endpoints"].items():
+            assert sum(stats["outcomes"].values()) == stats["requests"], path
+            assert stats["outcomes"]["shed"] == 0
+            assert stats["outcomes"]["failed"] == 0
+            totals += stats["requests"]
+            fresh += stats["outcomes"]["fresh"]
+        assert totals == len(requests)
+        # Each distinct payload executed exactly once; every duplicate
+        # was deduplicated by the response cache or coalescing.
+        assert fresh == len(distinct)
+        dedup = sum(
+            stats["outcomes"]["cache"] + stats["outcomes"]["coalesced"]
+            for stats in snap["endpoints"].values()
+        )
+        assert dedup == len(requests) - len(distinct)
+        # Tier ledgers are consistent with the outcomes.
+        tiers = snap["tiers"]
+        assert tiers["response"]["hits"] == sum(
+            stats["outcomes"]["cache"]
+            for stats in snap["endpoints"].values()
+        )
+        assert tiers["response"]["misses"] >= len(distinct)
+        # Latency percentiles exist for every endpoint.
+        for stats in snap["endpoints"].values():
+            assert stats["latency"]["p50_ms"] is not None
+            assert stats["latency"]["p99_ms"] >= stats["latency"]["p50_ms"]
+
+    def test_coalescing_joins_identical_inflight_requests(self, monkeypatch):
+        release = threading.Event()
+        real_job = jobs.tune_job
+
+        def gated_tune(payload):
+            release.wait(timeout=30)
+            return real_job(payload)
+
+        monkeypatch.setitem(
+            jobs.JOBS, "/tune", (jobs.normalize_tune, gated_tune)
+        )
+        payload = {"stencil": "3d7pt", "grid": [16, 16, 32],
+                   "cache_scale": SCALE}
+        n_clients = 8
+        with BackgroundServer(_cfg(workers=2)) as bg:
+            client = bg.client
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                futures = [
+                    pool.submit(client.request, "POST", "/tune", payload)
+                    for _ in range(n_clients)
+                ]
+                # Wait until every request is parked on the server, so
+                # the dedup assertion below is deterministic.
+                deadline = time.monotonic() + 15
+                while bg.service._active_requests < n_clients:
+                    if time.monotonic() > deadline:
+                        pytest.fail("requests never arrived at the server")
+                    time.sleep(0.005)
+                release.set()
+                results = [f.result(timeout=60) for f in futures]
+            snap = bg.metrics_snapshot()
+
+        bodies = [json.dumps(r["result"], sort_keys=True) for r in results]
+        assert len(set(bodies)) == 1  # everyone saw the same answer
+        outcomes = snap["endpoints"]["/tune"]["outcomes"]
+        assert outcomes["fresh"] == 1
+        assert outcomes["coalesced"] == n_clients - 1
+
+    def test_load_shedding_under_overload(self, monkeypatch):
+        release = threading.Event()
+
+        def gated_predict(payload):
+            release.wait(timeout=30)
+            return jobs.predict_job(payload)
+
+        monkeypatch.setitem(
+            jobs.JOBS, "/predict", (jobs.normalize_predict, gated_predict)
+        )
+        n_clients = 6
+        with BackgroundServer(_cfg(workers=1, queue_limit=1)) as bg:
+            shed_client = ServiceClient(
+                port=bg.port, retries=0  # observe 429s instead of retrying
+            )
+            # Distinct payloads so nothing coalesces.
+            payloads = [
+                {"stencil": "3d7pt", "grid": [8 + 2 * i, 16, 32],
+                 "cache_scale": SCALE}
+                for i in range(n_clients)
+            ]
+            statuses = []
+
+            def fire(p):
+                try:
+                    shed_client.request("POST", "/predict", p)
+                    return 200
+                except ServiceError as err:
+                    return err.status
+
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                futures = [pool.submit(fire, p) for p in payloads]
+                deadline = time.monotonic() + 15
+                # One admitted job + the shed responses all resolve.
+                while sum(f.done() for f in futures) < n_clients - 1:
+                    if time.monotonic() > deadline:
+                        break
+                    time.sleep(0.005)
+                release.set()
+                statuses = [f.result(timeout=60) for f in futures]
+            # The server survived and still answers.
+            assert bg.client.healthz()["http_status"] == 200
+            snap = bg.metrics_snapshot()
+
+        assert statuses.count(200) == 1
+        assert statuses.count(429) == n_clients - 1
+        outcomes = snap["endpoints"]["/predict"]["outcomes"]
+        assert outcomes["shed"] == n_clients - 1
+        assert outcomes["fresh"] == 1
+        assert sum(outcomes.values()) == snap["endpoints"]["/predict"][
+            "requests"
+        ]
+
+    def test_request_timeout_returns_504(self, monkeypatch):
+        release = threading.Event()
+
+        def stuck_predict(payload):
+            release.wait(timeout=30)
+            return jobs.predict_job(payload)
+
+        monkeypatch.setitem(
+            jobs.JOBS, "/predict", (jobs.normalize_predict, stuck_predict)
+        )
+        try:
+            with BackgroundServer(_cfg(request_timeout_s=0.2)) as bg:
+                client = ServiceClient(port=bg.port, retries=0)
+                with pytest.raises(ServiceError) as err:
+                    client.request(
+                        "POST", "/predict",
+                        {"stencil": "3d7pt", "cache_scale": SCALE},
+                    )
+                assert err.value.status == 504
+                release.set()
+                snap = bg.metrics_snapshot()
+            assert snap["endpoints"]["/predict"]["outcomes"]["failed"] == 1
+        finally:
+            release.set()
+
+    def test_rank_database_tier_survives_restart(self, tmp_path):
+        db_path = str(tmp_path / "tuning_db.json")
+        payload = {"grid": [8, 8, 16], "validate": False,
+                   "cache_scale": SCALE}
+        with BackgroundServer(_cfg(db_path=db_path)) as bg:
+            first = bg.client.rank(**payload)
+            assert first["served"] == "fresh"
+        assert Path(db_path).is_file()
+
+        # A fresh server has a cold response cache but a warm database.
+        with BackgroundServer(_cfg(db_path=db_path)) as bg:
+            second = bg.client.rank(**payload)
+            assert second["served"] == "database"
+            assert (
+                second["result"]["best_variant"]
+                == first["result"]["best_predicted"]["variant"]
+            )
+            assert second["result"]["ranking"] == first["result"]["ranking"]
+            snap = bg.metrics_snapshot()
+        assert snap["tiers"]["database"]["hits"] == 1
+        assert snap["endpoints"]["/rank"]["outcomes"]["database"] == 1
+
+    def test_bad_requests_are_rejected_not_crashing(self):
+        with BackgroundServer(_cfg()) as bg:
+            client = ServiceClient(port=bg.port, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.request("POST", "/predict", {"stencil": "bogus"})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                client.request("GET", "/nowhere")
+            assert err.value.status == 404
+            with pytest.raises(ServiceError) as err:
+                client.request("GET", "/predict")
+            assert err.value.status == 405
+            # Still healthy afterwards.
+            assert bg.client.healthz()["status"] == "ok"
+
+
+class TestServeSubprocess:
+    def test_sigterm_drains_cleanly(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "2", "--executor", "thread",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no address in banner: {banner!r}"
+            client = ServiceClient(port=int(match.group(1)))
+            assert client.healthz()["status"] == "ok"
+            result = client.predict(
+                stencil="3d7pt", grid=[16, 16, 32], cache_scale=SCALE
+            )
+            assert result["result"]["mlups"] > 0
+            assert "/predict" in client.metrics()["endpoints"]
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            assert "drained" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
