@@ -109,15 +109,27 @@ class TuningDatabase:
         )
 
     # ------------------------------------------------------------------
+    def records(self) -> list[TuningRecord]:
+        """Shallow snapshot of all records (safe to serialize later,
+        e.g. on a writer thread, while the database keeps mutating)."""
+        return list(self._records.values())
+
     def save(self, path: str | Path) -> None:
-        """Persist all records as JSON (atomic temp-file + replace).
+        """Persist all records as JSON (atomic temp-file + replace)."""
+        TuningDatabase.write_records(path, self.records())
+
+    @staticmethod
+    def write_records(
+        path: str | Path, records: list[TuningRecord]
+    ) -> None:
+        """Write a record snapshot as JSON (atomic temp-file + replace).
 
         Safe against concurrent readers — the published file is always
         a complete document — and against crashing mid-write.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        data = [r.to_json() for r in self._records.values()]
+        data = [r.to_json() for r in records]
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
         try:
             tmp.write_text(json.dumps(data, indent=2) + "\n")

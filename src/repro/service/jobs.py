@@ -9,7 +9,10 @@ it runs unchanged on a thread or process pool).
 
 Jobs report the traffic-memoization ledger of their own run under a
 ``"traffic_cache"`` key, so the server can aggregate per-tier hit
-rates even when the memo lives in worker processes.
+rates even when the memo lives in worker processes.  The ledger comes
+from the library result objects (``TunerResult``/``RankingReport``),
+which count their own lookups — never from diffing the process-global
+cache counters, which would cross-count concurrent jobs.
 """
 
 from __future__ import annotations
@@ -17,7 +20,6 @@ from __future__ import annotations
 import hashlib
 
 from repro.autotune.search import TUNERS
-from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan
 from repro.core.yasksite import YaskSite
 from repro.machine.presets import PRESETS
@@ -175,27 +177,51 @@ def normalize_rank(payload: dict) -> dict:
     }
 
 
+#: Canonical ``/rank`` parameter defaults (see :func:`normalize_rank`).
+#: Requests deviating from them get the deviation folded into the
+#: database identity below.
+_RANK_DEFAULT_CACHE_SCALE = 1 / 32
+_RANK_DEFAULT_SEED = 0
+
+
 def rank_db_key_parts(payload: dict) -> tuple[str, str, str, tuple[int, ...]]:
     """(method, ivp, machine, grid) identity of a normalized ``/rank``
     request — the :class:`~repro.offsite.database.TuningKey` fields the
-    warm database tier stores rankings under."""
+    warm database tier stores rankings under.
+
+    Every parameter that changes the ranking output is part of the
+    identity: non-default ``cache_scale``, ``block`` and ``seed`` are
+    folded into the ivp string, so a record stored for one
+    parameterization can never be served to a request with another.
+    Canonical-default requests keep the plain ``gridAxBxC`` name.
+    """
     method = (
         f"{payload['method']}({payload['stages']})"
         f"m{payload['corrector_steps']}"
     )
     grid = tuple(payload["grid"])
     ivp = "grid" + "x".join(map(str, grid))
+    qualifiers = []
+    cache_scale = payload["cache_scale"]
+    if cache_scale != _RANK_DEFAULT_CACHE_SCALE:
+        qualifiers.append(
+            "csfull" if cache_scale is None else f"cs{cache_scale:g}"
+        )
+    block = payload["block"]
+    if block is not None:
+        qualifiers.append(
+            "bauto" if block == "auto" else "b" + "x".join(map(str, block))
+        )
+    if payload["seed"] != _RANK_DEFAULT_SEED:
+        qualifiers.append(f"s{payload['seed']}")
+    if qualifiers:
+        ivp += "@" + ",".join(qualifiers)
     return method, ivp, payload["machine"], grid
 
 
 # ----------------------------------------------------------------------
 # Job bodies (run on the worker pool; must stay picklable top-levels)
 # ----------------------------------------------------------------------
-def _traffic_ledger(hits0: int, misses0: int) -> dict:
-    cache = default_traffic_cache()
-    return {"hits": cache.hits - hits0, "misses": cache.misses - misses0}
-
-
 def predict_job(payload: dict) -> dict:
     """Analytic ECM prediction (no simulation, no traffic)."""
     ys = YaskSite(
@@ -216,9 +242,13 @@ def predict_job(payload: dict) -> dict:
 
 
 def tune_job(payload: dict) -> dict:
-    """Run a tuner; the pool provides the parallelism (inner workers=1)."""
-    cache = default_traffic_cache()
-    hits0, misses0 = cache.hits, cache.misses
+    """Run a tuner; the pool provides the parallelism (inner workers=1).
+
+    The ``traffic_cache`` ledger is the :class:`TunerResult`'s own
+    per-run counters (already serialized by
+    :func:`tuner_result_to_dict`), so concurrent jobs on a shared memo
+    never count each other's lookups.
+    """
     ys = YaskSite(payload["machine"], cache_scale=payload["cache_scale"])
     spec = get_stencil(payload["stencil"])
     res = ys.tune(
@@ -231,7 +261,6 @@ def tune_job(payload: dict) -> dict:
     out["stencil"] = payload["stencil"]
     out["machine"] = payload["machine"]
     out["grid"] = list(payload["grid"])
-    out["traffic_cache"] = _traffic_ledger(hits0, misses0)
     return out
 
 

@@ -33,6 +33,9 @@ from repro.service.serializers import tuning_record_to_dict
 __all__ = ["ReproService", "serve"]
 
 _SERVER_NAME = "repro-service"
+#: One deadline covering the whole request read (request line, headers
+#: and body), so a stalled client cannot pin a connection open.
+_READ_TIMEOUT_S = 30.0
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
@@ -44,6 +47,15 @@ _STATUS_TEXT = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+class _HttpError(Exception):
+    """Request cannot be parsed/admitted; reply ``status`` and close."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
 
 
 class _LruCache:
@@ -86,6 +98,9 @@ class ReproService:
         self._server: asyncio.base_events.Server | None = None
         self._stop_requested = asyncio.Event()
         self._active_requests = 0
+        self._db_dirty = False
+        self._db_save_task: asyncio.Task | None = None
+        self.read_timeout_s = _READ_TIMEOUT_S
         self._started_at: float | None = None
         self.port: int | None = None
         self.draining = False
@@ -125,6 +140,7 @@ class ReproService:
                 max(0.0, deadline - time.monotonic())
             )
         self.dispatcher.shutdown()
+        await self._flush_database_now()
         self._stop_requested.set()
 
     def uptime_s(self) -> float:
@@ -149,18 +165,18 @@ class ReproService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _handle_request(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            request_line = await asyncio.wait_for(
-                reader.readline(), timeout=30.0
-            )
-        except asyncio.TimeoutError:
-            return
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes] | None:
+        """Read one request; ``None`` if the line is unparseable.
+
+        Raises :class:`_HttpError` for a malformed or oversized body
+        declaration.  Callers bound the *whole* read with one deadline.
+        """
+        request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
-            return
+            return None
         method, path = parts[0].upper(), parts[1]
         headers: dict[str, str] = {}
         while True:
@@ -172,12 +188,30 @@ class ReproService:
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
-            await self._send(writer, 400, {"error": "bad content-length"})
-            return
+            raise _HttpError(400, "bad content-length") from None
         if length > self.config.max_body_bytes:
-            await self._send(writer, 413, {"error": "payload too large"})
-            return
+            raise _HttpError(413, "payload too large")
         body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # One deadline for request line + headers + body: a client that
+        # stalls mid-headers or mid-body (slowloris) is dropped instead
+        # of pinning the connection (and the drain counter) open.
+        try:
+            request = await asyncio.wait_for(
+                self._read_request(reader), timeout=self.read_timeout_s
+            )
+        except asyncio.TimeoutError:
+            return
+        except _HttpError as err:
+            await self._send(writer, err.status, {"error": err.message})
+            return
+        if request is None:
+            return
+        method, path, body = request
 
         if method == "GET" and path == "/healthz":
             status = 503 if self.draining else 200
@@ -295,8 +329,12 @@ class ReproService:
             if endpoint == "/rank":
                 try:
                     self._store_ranking(normalized, result)
-                except OSError:
-                    pass  # persistence failure must not fail requests
+                except Exception:
+                    # Warm-tier bookkeeping runs after the job already
+                    # succeeded; any failure here (unexpected result
+                    # shape, persistence error) must not turn that
+                    # success into a 500 for every coalesced waiter.
+                    pass
 
         try:
             mode, task = self.dispatcher.dispatch(
@@ -351,8 +389,51 @@ class ReproService:
                 ranking=list(result["ranking"]),
             )
         )
-        if self.config.db_path:
-            self.database.save(self.config.db_path)
+        self._schedule_db_save()
+
+    def _schedule_db_save(self) -> None:
+        """Persist the database off the event loop, single-flight.
+
+        ``TuningDatabase.save`` rewrites the whole JSON file; doing
+        that synchronously on the loop would stall every connection
+        once per fresh ``/rank``.  Instead mark the database dirty and
+        keep (at most) one saver task that snapshots on the loop and
+        writes on a thread, re-checking the dirty flag so bursts of
+        rankings coalesce into few writes.
+        """
+        if not self.config.db_path:
+            return
+        self._db_dirty = True
+        if self._db_save_task is None or self._db_save_task.done():
+            self._db_save_task = asyncio.get_running_loop().create_task(
+                self._flush_database()
+            )
+
+    async def _flush_database(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self._db_dirty:
+            self._db_dirty = False
+            records = self.database.records()  # snapshot on the loop
+            try:
+                await loop.run_in_executor(
+                    None,
+                    TuningDatabase.write_records,
+                    self.config.db_path,
+                    records,
+                )
+            except OSError:
+                pass  # persistence failure must not fail requests
+
+    async def _flush_database_now(self) -> None:
+        """Await any pending persistence (shutdown path)."""
+        task = self._db_save_task
+        if task is not None and not task.done():
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(task), self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                pass
 
     def metrics_snapshot(self) -> dict:
         """The ``/metrics`` document."""

@@ -95,6 +95,30 @@ class TestNormalization:
         assert ivp == "grid8x8x16"
         assert machine == "clx" and grid == (8, 8, 16)
 
+    def test_rank_db_key_distinguishes_tuning_parameters(self):
+        base = normalize_rank({"grid": [8, 8, 16], "validate": False})
+        overrides = [
+            {"cache_scale": 1.0},
+            {"cache_scale": None},
+            {"block": [4, 4, 8]},
+            {"block": "auto"},
+            {"seed": 7},
+        ]
+        keys = {rank_db_key_parts(base)}
+        for override in overrides:
+            n = normalize_rank(
+                {"grid": [8, 8, 16], "validate": False, **override}
+            )
+            keys.add(rank_db_key_parts(n))
+        # Every non-default parameterization gets its own identity …
+        assert len(keys) == len(overrides) + 1
+        # … while explicitly spelling out the defaults does not.
+        explicit = normalize_rank(
+            {"grid": [8, 8, 16], "validate": False,
+             "cache_scale": 1 / 32, "seed": 0}
+        )
+        assert rank_db_key_parts(explicit) == rank_db_key_parts(base)
+
     def test_request_key_is_canonical(self):
         a = normalize_predict({"stencil": "3d7pt", "machine": "clx"})
         b = normalize_predict({"machine": "CLX", "stencil": "3d7pt",

@@ -280,6 +280,35 @@ class TestSoak:
         assert snap["tiers"]["database"]["hits"] == 1
         assert snap["endpoints"]["/rank"]["outcomes"]["database"] == 1
 
+    def test_store_ranking_failure_does_not_fail_request(self, monkeypatch):
+        with BackgroundServer(_cfg()) as bg:
+            def boom(normalized, result):
+                raise RuntimeError("warm tier exploded")
+
+            monkeypatch.setattr(bg.service, "_store_ranking", boom)
+            out = bg.client.rank(
+                grid=[8, 8, 16], validate=False, cache_scale=SCALE
+            )
+            assert out["served"] == "fresh"
+            assert out["result"]["best_predicted"]["variant"]
+            snap = bg.metrics_snapshot()
+        assert snap["endpoints"]["/rank"]["outcomes"]["failed"] == 0
+
+    def test_stalled_header_read_is_dropped(self):
+        import socket
+
+        with BackgroundServer(_cfg()) as bg:
+            bg.service.read_timeout_s = 0.2
+            with socket.create_connection(
+                ("127.0.0.1", bg.port), timeout=10
+            ) as sock:
+                # Request line + a header fragment, then stall forever.
+                sock.sendall(b"POST /predict HTTP/1.1\r\nContent-Le")
+                sock.settimeout(10)
+                assert sock.recv(1024) == b""  # server closed on us
+            # The stalled connection did not wedge the server.
+            assert bg.client.healthz()["status"] == "ok"
+
     def test_bad_requests_are_rejected_not_crashing(self):
         with BackgroundServer(_cfg()) as bg:
             client = ServiceClient(port=bg.port, retries=0)
