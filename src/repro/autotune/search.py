@@ -6,6 +6,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.blocking.spatial import analytic_block_selection
 from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan, candidate_plans
@@ -99,21 +100,25 @@ def _evaluate_variants(
     in submission order — the reduction over this list is independent of
     ``workers``.
     """
-    if workers <= 1:
-        cache = default_traffic_cache()
-        out = []
-        for plan, seed in jobs:
-            h0, m0 = cache.hits, cache.misses
-            meas = simulate_kernel(spec, grids, plan, machine, seed=seed)
-            out.append((meas, cache.hits - h0, cache.misses - m0))
-        return out
-    extra_halo = grids.output.halo - spec.radius
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init,
-        initargs=(spec, grids.interior_shape, extra_halo, machine),
-    ) as ex:
-        return list(ex.map(_worker_eval, jobs))
+    with obs.span("tuner.evaluate") as sp:
+        sp.add(jobs=len(jobs), workers=max(1, workers))
+        if workers <= 1:
+            cache = default_traffic_cache()
+            out = []
+            for plan, seed in jobs:
+                h0, m0 = cache.hits, cache.misses
+                meas = simulate_kernel(spec, grids, plan, machine, seed=seed)
+                out.append((meas, cache.hits - h0, cache.misses - m0))
+            return out
+        # Spans cannot cross process boundaries: the pool's wall time is
+        # attributed here at the submission site, not inside the workers.
+        extra_halo = grids.output.halo - spec.radius
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(spec, grids.interior_shape, extra_halo, machine),
+        ) as ex:
+            return list(ex.map(_worker_eval, jobs))
 
 
 def make_tuner(name: str, workers: int = 1):

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.codegen.plan import KernelPlan, candidate_plans
 from repro.ecm.model import EcmPrediction, predict
 from repro.machine.machine import Machine
@@ -43,14 +44,22 @@ def analytic_block_selection(
     """
     best: tuple[float, int, KernelPlan, EcmPrediction] | None = None
     examined = 0
-    for plan in candidate_plans(spec, interior_shape, machine, threads=threads):
-        examined += 1
-        pred = predict(
-            spec, interior_shape, plan, machine, capacity_factor=capacity_factor
-        )
-        key = (pred.t_ecm, -plan.block_volume())
-        if best is None or key < (best[0], best[1]):
-            best = (pred.t_ecm, -plan.block_volume(), plan, pred)
+    with obs.span("blocking.select") as sp:
+        for plan in candidate_plans(
+            spec, interior_shape, machine, threads=threads
+        ):
+            examined += 1
+            pred = predict(
+                spec,
+                interior_shape,
+                plan,
+                machine,
+                capacity_factor=capacity_factor,
+            )
+            key = (pred.t_ecm, -plan.block_volume())
+            if best is None or key < (best[0], best[1]):
+                best = (pred.t_ecm, -plan.block_volume(), plan, pred)
+        sp.add(candidates=examined)
     if best is None:
         raise ValueError("empty candidate space")
     return BlockChoice(

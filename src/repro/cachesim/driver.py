@@ -7,6 +7,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
 from repro.cachesim.memo import TrafficCache, resolve_traffic_cache, sweep_key
 from repro.cachesim.stream import sweep_stream
@@ -52,27 +53,34 @@ def measure_sweep(
     configurations return the cached report without re-simulation.
     """
     plan = plan.clipped(grids.interior_shape)
-    cache = resolve_traffic_cache(traffic_cache)
-    if cache is not None:
-        key = sweep_key(spec, grids, plan, machine, warmup)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-    hier = CacheHierarchy(machine, engine=engine)
-    # The vector engine wants block-sized mega-batches; the scalar loop
-    # is fastest on the small per-row batches.
-    batch = "block" if hier.engine == "vector" else "row"
-    if warmup:
-        # Addresses are name-bound, so a warm-up replay leaves exactly the
-        # footprint a steady pointer-swapping time loop would: the trailing
-        # working set of every involved array.
-        for lines, writes in sweep_stream(spec, grids, plan, batch=batch):
-            hier.access_many(lines, writes)
-        hier.reset_counters()
-    for lines, writes in sweep_stream(spec, grids, plan, batch=batch):
-        hier.access_many(lines, writes)
-    lups = prod(grids.interior_shape)
-    report = hier.report(lups=lups)
-    if cache is not None:
-        cache.put(key, report)
-    return report
+    with obs.span("cachesim.sweep") as sp:
+        cache = resolve_traffic_cache(traffic_cache)
+        if cache is not None:
+            key = sweep_key(spec, grids, plan, machine, warmup)
+            cached = cache.get(key)
+            if cached is not None:
+                sp.add(memo_hits=1)
+                return cached
+            sp.add(memo_misses=1)
+        with obs.span("cachesim.replay") as rp:
+            hier = CacheHierarchy(machine, engine=engine)
+            rp.set(engine=hier.engine)
+            # The vector engine wants block-sized mega-batches; the scalar
+            # loop is fastest on the small per-row batches.
+            batch = "block" if hier.engine == "vector" else "row"
+            if warmup:
+                # Addresses are name-bound, so a warm-up replay leaves
+                # exactly the footprint a steady pointer-swapping time loop
+                # would: the trailing working set of every involved array.
+                for lines, writes in sweep_stream(
+                    spec, grids, plan, batch=batch
+                ):
+                    hier.access_many(lines, writes)
+                hier.reset_counters()
+            for lines, writes in sweep_stream(spec, grids, plan, batch=batch):
+                hier.access_many(lines, writes)
+            lups = prod(grids.interior_shape)
+            report = hier.report(lups=lups)
+        if cache is not None:
+            cache.put(key, report)
+        return report

@@ -10,15 +10,22 @@ Commands
     ECM prediction for one stencil/grid/machine configuration.
 ``tune``
     Run a tuner (ecm / exhaustive / greedy) and print the ledger.
+``rank``
+    Offsite PIRK variant ranking for one (method, grid, machine).
 ``experiment``
     Run one of the reconstructed experiments by id (t1, f2, ...);
     ``--list`` prints the id → module table.
 ``serve``
     Start the async tuning/prediction HTTP service.
 
-``suite``, ``machines``, ``predict`` and ``tune`` accept ``--json``;
-the JSON forms are the same serializers the service responds with
-(:mod:`repro.service.serializers`).
+``predict``, ``tune`` and ``rank`` are thin adapters over
+:mod:`repro.engine` — flags become a request payload, the engine runs
+it, and ``--json`` emits the canonical serializer output
+(:mod:`repro.service.serializers`), so the JSON bytes on stdout equal
+the ``result`` object the service responds with for the same request.
+``--trace`` additionally records an :mod:`repro.obs` span tree of the
+run and writes it to stderr (rendered, or as JSON with ``--json``),
+keeping stdout unchanged.
 """
 
 from __future__ import annotations
@@ -28,9 +35,16 @@ import importlib
 import json
 import sys
 
-from repro.codegen.plan import KernelPlan
-from repro.core.yasksite import YaskSite
-from repro.stencil.library import STENCIL_SUITE, get_stencil, suite_table
+from repro import obs
+from repro.engine import (
+    PredictRequest,
+    RankRequest,
+    RequestError,
+    TuneRequest,
+    default_engine,
+)
+from repro.offsite.tuner import TABLEAU_FAMILIES
+from repro.stencil.library import STENCIL_SUITE, suite_table
 from repro.util.tables import format_table
 
 EXPERIMENTS = {
@@ -64,6 +78,12 @@ def _parse_shape(text: str) -> tuple[int, ...]:
     return shape
 
 
+def _parse_block_policy(text: str) -> tuple[int, ...] | str:
+    if text == "auto":
+        return "auto"
+    return _parse_shape(text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -86,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--block", type=_parse_shape, default=None)
     pred.add_argument("--cache-scale", type=float, default=None)
     pred.add_argument("--json", action="store_true", help="emit JSON")
+    pred.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a span tree of the run to stderr",
+    )
 
     tune = sub.add_parser("tune", help="tune a stencil on a machine")
     tune.add_argument("stencil", choices=sorted(STENCIL_SUITE))
@@ -102,6 +127,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for variant evaluation (empirical tuners)",
     )
     tune.add_argument("--json", action="store_true", help="emit JSON")
+    tune.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a span tree of the run to stderr",
+    )
+
+    rank = sub.add_parser(
+        "rank", help="Offsite PIRK variant ranking for one method/grid"
+    )
+    rank.add_argument(
+        "--method", choices=sorted(TABLEAU_FAMILIES), default="radau_iia"
+    )
+    rank.add_argument("--stages", type=int, default=4)
+    rank.add_argument("--corrector-steps", type=int, default=3)
+    rank.add_argument("--grid", type=_parse_shape, default=(16, 16, 32))
+    rank.add_argument("--machine", default="clx")
+    rank.add_argument("--cache-scale", type=float, default=1 / 32)
+    rank.add_argument(
+        "--block",
+        type=_parse_block_policy,
+        default=None,
+        help="explicit block (e.g. 8x8x32), 'auto', or omit for whole-grid",
+    )
+    rank.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the simulated measurements (pure offline ranking)",
+    )
+    rank.add_argument("--seed", type=int, default=0)
+    rank.add_argument("--json", action="store_true", help="emit JSON")
+    rank.add_argument(
+        "--trace",
+        action="store_true",
+        help="write a span tree of the run to stderr",
+    )
 
     exp = sub.add_parser("experiment", help="run a reconstructed experiment")
     exp.add_argument("id", nargs="?", choices=sorted(EXPERIMENTS))
@@ -109,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="print the experiment id → module table",
+    )
+    exp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment's raw result dict as JSON",
     )
 
     serve = sub.add_parser(
@@ -160,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _traced(args: argparse.Namespace, name: str, fn):
+    """Run ``fn`` (optionally under a trace emitted to stderr)."""
+    if not args.trace:
+        return fn()
+    trace = obs.start_trace(name)
+    try:
+        result = fn()
+    finally:
+        root = trace.finish()
+        if args.json:
+            print(json.dumps(root.to_dict(), indent=2), file=sys.stderr)
+        else:
+            print(obs.render_trace(root), file=sys.stderr)
+    return result
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     rows = suite_table()
     if args.json:
@@ -181,54 +262,105 @@ def cmd_machines(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    ys = YaskSite(args.machine, cache_scale=args.cache_scale)
-    spec = get_stencil(args.stencil)
-    plan = (
-        KernelPlan(block=args.block)
-        if args.block
-        else ys.select_block(spec, args.grid).plan
+    request = PredictRequest.from_payload(
+        {
+            "stencil": args.stencil,
+            "grid": list(args.grid),
+            "machine": args.machine,
+            "block": list(args.block) if args.block else None,
+            "cache_scale": args.cache_scale,
+        }
     )
-    pred = ys.predict(spec, args.grid, plan)
+    res = _traced(
+        args, "cli:predict", lambda: default_engine().predict(request)
+    )
     if args.json:
-        from repro.service.serializers import prediction_to_dict
+        from repro.service.serializers import predict_result_to_dict
 
-        out = prediction_to_dict(pred, plan=plan)
-        out["grid"] = list(args.grid)
-        print(json.dumps(out, indent=2))
+        print(json.dumps(predict_result_to_dict(res), indent=2))
         return 0
-    print(f"stencil : {spec.name}")
-    print(f"machine : {ys.machine.name}")
-    print(f"plan    : {plan.describe()}")
-    print(f"ECM     : {pred.notation()}")
-    print(f"regimes : {'/'.join(pred.traffic.regimes)}")
-    print(f"perf    : {pred.mlups:.1f} MLUP/s (single core)")
-    print(f"mem     : {pred.memory_bytes_per_lup():.1f} B/LUP")
+    print(f"stencil : {res.stencil}")
+    print(f"machine : {res.machine}")
+    print(f"plan    : {res.plan.label}")
+    print(f"ECM     : {res.ecm_notation}")
+    print(f"regimes : {'/'.join(res.regimes)}")
+    print(f"perf    : {res.mlups:.1f} MLUP/s (single core)")
+    print(f"mem     : {res.mem_bytes_per_lup:.1f} B/LUP")
     return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    ys = YaskSite(args.machine, cache_scale=args.cache_scale)
-    spec = get_stencil(args.stencil)
-    res = ys.tune(spec, args.grid, tuner=args.tuner, workers=args.workers)
+    request = TuneRequest.from_payload(
+        {
+            "stencil": args.stencil,
+            "grid": list(args.grid),
+            "machine": args.machine,
+            "tuner": args.tuner,
+            "cache_scale": args.cache_scale,
+            "workers": args.workers,
+        }
+    )
+    res = _traced(args, "cli:tune", lambda: default_engine().tune(request))
     if args.json:
-        from repro.service.serializers import tuner_result_to_dict
+        from repro.service.serializers import tune_result_to_dict
 
-        out = tuner_result_to_dict(res)
-        out["stencil"] = args.stencil
-        out["machine"] = args.machine
-        out["grid"] = list(args.grid)
-        print(json.dumps(out, indent=2))
+        print(json.dumps(tune_result_to_dict(res), indent=2))
         return 0
     print(f"tuner            : {res.tuner}")
     print(f"variants examined: {res.variants_examined}")
     print(f"variants run     : {res.variants_run}")
     print(f"workers          : {res.workers}")
     print(
-        f"traffic cache    : {res.traffic_cache_hits} hits / "
-        f"{res.traffic_cache_misses} misses"
+        f"traffic cache    : {res.traffic_cache.hits} hits / "
+        f"{res.traffic_cache.misses} misses"
     )
-    print(f"best plan        : {res.best_plan.describe()}")
+    print(f"best plan        : {res.best_plan.label}")
     print(f"best performance : {res.best_mlups:.1f} MLUP/s")
+    return 0
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    if isinstance(args.block, tuple):
+        block: list[int] | str | None = list(args.block)
+    else:
+        block = args.block
+    request = RankRequest.from_payload(
+        {
+            "method": args.method,
+            "stages": args.stages,
+            "corrector_steps": args.corrector_steps,
+            "grid": list(args.grid),
+            "machine": args.machine,
+            "cache_scale": args.cache_scale,
+            "block": block,
+            "validate": not args.no_validate,
+            "seed": args.seed,
+        }
+    )
+    res = _traced(args, "cli:rank", lambda: default_engine().rank(request))
+    if args.json:
+        from repro.service.serializers import rank_result_to_dict
+
+        print(json.dumps(rank_result_to_dict(res), indent=2))
+        return 0
+    print(f"method  : {res.method}")
+    print(f"ivp     : {res.ivp}")
+    print(f"machine : {res.machine}")
+    rows = []
+    for t in sorted(res.timings, key=lambda t: t.predicted_s):
+        row = {
+            "variant": t.variant,
+            "pred ms/step": round(t.predicted_s * 1e3, 3),
+            "sweeps/step": t.sweeps_per_step,
+        }
+        if t.measured_s is not None:
+            row["meas ms/step"] = round(t.measured_s * 1e3, 3)
+            row["err %"] = round(t.error_pct, 1)
+        rows.append(row)
+    print(format_table(rows, title="Variant ranking"))
+    print(f"best    : {res.best_variant}")
+    if res.kendall_tau is not None:
+        print(f"tau     : {res.kendall_tau:.3f}  top1_hit: {res.top1_hit}")
     return 0
 
 
@@ -246,6 +378,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENTS[args.id]}"
     )
+    if args.json:
+        print(json.dumps(module.run(), indent=2))
+        return 0
     module.main()
     return 0
 
@@ -274,17 +409,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    if args.command == "suite":
-        return cmd_suite(args)
-    if args.command == "machines":
-        return cmd_machines(args)
-    if args.command == "predict":
-        return cmd_predict(args)
-    if args.command == "tune":
-        return cmd_tune(args)
-    if args.command == "serve":
-        return cmd_serve(args)
-    return cmd_experiment(args)
+    try:
+        if args.command == "suite":
+            return cmd_suite(args)
+        if args.command == "machines":
+            return cmd_machines(args)
+        if args.command == "predict":
+            return cmd_predict(args)
+        if args.command == "tune":
+            return cmd_tune(args)
+        if args.command == "rank":
+            return cmd_rank(args)
+        if args.command == "serve":
+            return cmd_serve(args)
+        return cmd_experiment(args)
+    except RequestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

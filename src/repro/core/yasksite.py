@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.autotune.search import TUNERS, TunerResult, make_tuner
+from repro import obs
+from repro.autotune.search import TunerResult, make_tuner
 from repro.blocking.spatial import BlockChoice, analytic_block_selection
 from repro.codegen.compiler import CompiledKernel, compile_kernel
 from repro.codegen.plan import KernelPlan
@@ -25,8 +26,6 @@ from repro.machine.presets import get_machine
 from repro.perf.multicore import simulate_scaling
 from repro.perf.simulate import Measurement, simulate_kernel
 from repro.stencil.spec import StencilSpec
-
-_TUNERS = TUNERS  # backwards-compatible alias
 
 
 class YaskSite:
@@ -143,7 +142,8 @@ class YaskSite:
         """
         instance = make_tuner(tuner, workers=workers)
         grids = GridSet(spec, shape)
-        return instance.tune(spec, grids, self.machine, seed=seed)
+        with obs.span(f"tuner.{tuner}"):
+            return instance.tune(spec, grids, self.machine, seed=seed)
 
     def predicted_scaling(
         self,

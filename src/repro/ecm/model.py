@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro import obs
 from repro.codegen.plan import KernelPlan
 from repro.ecm.incore import InCoreSummary, incore_model
 from repro.ecm.layer_conditions import LayerConditionReport, boundary_traffic
@@ -105,31 +106,36 @@ def predict(
     OSACA/IACA-style path the paper's workflow uses.
     """
     plan = plan.clipped(interior_shape)
-    incore = incore_model(spec, machine, plan.fold)
-    if detailed:
-        from dataclasses import replace as _replace
+    with obs.span("ecm.predict"):
+        incore = incore_model(spec, machine, plan.fold)
+        if detailed:
+            from dataclasses import replace as _replace
 
-        from repro.ecm.portsim import detailed_incore
+            from repro.ecm.portsim import detailed_incore
 
-        port = detailed_incore(spec, machine)
-        incore = _replace(incore, t_ol=port.t_ol, t_nol=port.t_nol)
-    traffic = boundary_traffic(
-        spec,
-        interior_shape,
-        plan,
-        machine,
-        capacity_factor=capacity_factor,
-        assume_no_reuse=assume_no_reuse,
-    )
-    elems_per_line = machine.line_bytes // spec.dtype_bytes
-    t_data = []
-    for k, elems in enumerate(traffic.elements_per_lup):
-        bytes_per_cl = elems * spec.dtype_bytes * elems_per_line
-        if k == machine.n_levels - 1:
-            cycles = bytes_per_cl * machine.mem_cycles_per_line(1) / machine.line_bytes
-        else:
-            cycles = bytes_per_cl / machine.caches[k].bytes_per_cycle
-        t_data.append(cycles)
+            port = detailed_incore(spec, machine)
+            incore = _replace(incore, t_ol=port.t_ol, t_nol=port.t_nol)
+        traffic = boundary_traffic(
+            spec,
+            interior_shape,
+            plan,
+            machine,
+            capacity_factor=capacity_factor,
+            assume_no_reuse=assume_no_reuse,
+        )
+        elems_per_line = machine.line_bytes // spec.dtype_bytes
+        t_data = []
+        for k, elems in enumerate(traffic.elements_per_lup):
+            bytes_per_cl = elems * spec.dtype_bytes * elems_per_line
+            if k == machine.n_levels - 1:
+                cycles = (
+                    bytes_per_cl
+                    * machine.mem_cycles_per_line(1)
+                    / machine.line_bytes
+                )
+            else:
+                cycles = bytes_per_cl / machine.caches[k].bytes_per_cycle
+            t_data.append(cycles)
     return EcmPrediction(
         spec_name=spec.name,
         machine_name=machine.name,

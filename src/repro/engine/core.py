@@ -1,0 +1,144 @@
+"""The engine: one request lifecycle for predict / tune / rank.
+
+The engine owns what the CLI, the HTTP service and the experiment
+drivers used to each wire up on their own: :class:`YaskSite`
+construction (cached per ``(machine, cache_scale, capacity_factor)``
+since machines are frozen and the facade is stateless), stencil/method
+lookup, and lifting library results into the typed result dataclasses
+the canonical serializers consume.
+
+Every engine entry point runs under an :mod:`repro.obs` span, so a
+trace of a request attributes its wall time to the engine stages and
+the hot layers they call (block selection, ECM model, cache-replay
+simulation, tuner variant evaluation).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.codegen.plan import KernelPlan
+from repro.core.yasksite import YaskSite
+from repro.engine.requests import PredictRequest, RankRequest, TuneRequest
+from repro.engine.results import PredictResult, RankResult, TuneResult
+from repro.machine.machine import Machine
+from repro.offsite.tuner import rank_variants
+from repro.stencil.library import get_stencil
+
+__all__ = ["Engine", "default_engine", "set_default_engine"]
+
+
+class Engine:
+    """Shared execution layer for prediction, tuning and ranking."""
+
+    def __init__(self) -> None:
+        self._sites: dict[tuple, YaskSite] = {}
+
+    # ------------------------------------------------------------------
+    def yasksite(
+        self,
+        machine: str | Machine,
+        cache_scale: float | None = None,
+        capacity_factor: float = 1.0,
+    ) -> YaskSite:
+        """A :class:`YaskSite` for the configuration, cached by key.
+
+        Machines are frozen dataclasses and the facade holds no mutable
+        state, so instances are shared freely across requests and
+        threads.  Explicit :class:`Machine` objects bypass the cache
+        (their identity is not a hashable preset key).
+        """
+        with obs.span("engine.yasksite") as sp:
+            if isinstance(machine, Machine):
+                return YaskSite(
+                    machine,
+                    capacity_factor=capacity_factor,
+                    cache_scale=cache_scale,
+                )
+            key = (machine, cache_scale, capacity_factor)
+            site = self._sites.get(key)
+            if site is None:
+                sp.add(constructed=1)
+                site = YaskSite(
+                    machine,
+                    capacity_factor=capacity_factor,
+                    cache_scale=cache_scale,
+                )
+                self._sites[key] = site
+            return site
+
+    # ------------------------------------------------------------------
+    def predict(self, request: PredictRequest) -> PredictResult:
+        """Analytic ECM prediction (no simulation, no measurements)."""
+        with obs.span("engine.predict"):
+            ys = self.yasksite(
+                request.machine,
+                cache_scale=request.cache_scale,
+                capacity_factor=request.capacity_factor,
+            )
+            spec = get_stencil(request.stencil)
+            if request.block is not None:
+                plan = KernelPlan(block=request.block)
+            else:
+                plan = ys.select_block(spec, request.grid).plan
+            pred = ys.predict(spec, request.grid, plan)
+            return PredictResult.from_prediction(pred, plan, request.grid)
+
+    def tune(self, request: TuneRequest) -> TuneResult:
+        """Run one of the tuners; returns the typed ledger."""
+        with obs.span("engine.tune"):
+            ys = self.yasksite(
+                request.machine, cache_scale=request.cache_scale
+            )
+            spec = get_stencil(request.stencil)
+            res = ys.tune(
+                spec,
+                request.grid,
+                tuner=request.tuner,
+                seed=request.seed,
+                workers=request.workers,
+            )
+            return TuneResult.from_tuner_result(
+                res, request.stencil, request.machine, request.grid
+            )
+
+    def rank(self, request: RankRequest) -> RankResult:
+        """Offsite variant ranking for one (method, grid, machine)."""
+        with obs.span("engine.rank"):
+            ys = self.yasksite(
+                request.machine, cache_scale=request.cache_scale
+            )
+            _, ivp, _, _ = request.db_key_parts()
+            report = rank_variants(
+                request.method,
+                request.stages,
+                request.corrector_steps,
+                request.grid,
+                ys.machine,
+                cache_scale=None,  # the cached machine is already scaled
+                block=request.block,
+                validate=request.validate,
+                seed=request.seed,
+                ivp_name=ivp,
+            )
+            return RankResult.from_report(report, request.grid)
+
+
+_default: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine (created on first use).
+
+    Worker processes each build their own on first job, so the
+    per-process :class:`YaskSite` cache warms exactly once per worker.
+    """
+    global _default
+    if _default is None:
+        _default = Engine()
+    return _default
+
+
+def set_default_engine(engine: Engine | None) -> None:
+    """Replace the process-wide engine (``None`` resets it)."""
+    global _default
+    _default = engine

@@ -1,0 +1,300 @@
+"""Typed requests: the single normalization/validation path.
+
+Every front end (CLI flags, service JSON payloads, experiment drivers)
+funnels through ``*Request.from_payload``, which fills defaults,
+validates types and values, and produces a frozen dataclass.
+``to_payload()`` emits the canonical dict form — two requests meaning
+the same thing produce identical payloads, which is what the service's
+request coalescing, response cache and database tier key on.
+
+The canonical payload shapes are byte-compatible with the historical
+``repro.service.jobs`` normalizers, so persisted tuning databases and
+recorded service responses stay valid across the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotune.search import TUNERS
+from repro.machine.presets import PRESETS
+from repro.offsite.tuner import TABLEAU_FAMILIES
+from repro.stencil.library import STENCIL_SUITE
+
+__all__ = [
+    "RequestError",
+    "PredictRequest",
+    "TuneRequest",
+    "RankRequest",
+]
+
+
+class RequestError(ValueError):
+    """Invalid request payload (the service maps this to HTTP 400)."""
+
+
+# ----------------------------------------------------------------------
+# Field validators (shared by all request types)
+# ----------------------------------------------------------------------
+def _require_grid(payload: dict, default: list[int]) -> tuple[int, ...]:
+    grid = payload.get("grid", default)
+    if (
+        not isinstance(grid, (list, tuple))
+        or not grid
+        or not all(isinstance(g, int) and g > 0 for g in grid)
+    ):
+        raise RequestError(
+            f"bad grid {grid!r}; expected a list of positive ints"
+        )
+    return tuple(int(g) for g in grid)
+
+
+def _require_machine(payload: dict) -> str:
+    machine = payload.get("machine", "clx")
+    if not isinstance(machine, str) or machine.lower() not in PRESETS:
+        raise RequestError(
+            f"unknown machine {machine!r}; choose from {sorted(PRESETS)}"
+        )
+    return machine.lower()
+
+
+def _require_stencil(payload: dict) -> str:
+    stencil = payload.get("stencil")
+    if stencil not in STENCIL_SUITE:
+        raise RequestError(
+            f"unknown stencil {stencil!r}; choose from {sorted(STENCIL_SUITE)}"
+        )
+    return stencil
+
+
+def _optional_scale(payload: dict, key: str, default: float | None):
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise RequestError(f"{key} must be a positive number, got {value!r}")
+    return float(value)
+
+
+def _optional_block(
+    payload: dict, grid: tuple[int, ...], allow_auto: bool = False
+):
+    block = payload.get("block")
+    if block is None:
+        return None
+    if allow_auto and block == "auto":
+        return "auto"
+    if (
+        not isinstance(block, (list, tuple))
+        or len(block) != len(grid)
+        or not all(isinstance(b, int) and b > 0 for b in block)
+    ):
+        expected = (
+            "'auto', null or e.g. [8, 8, 32]" if allow_auto
+            else "e.g. [8, 8, 64]"
+        )
+        raise RequestError(f"bad block {block!r}; expected {expected}")
+    return tuple(int(b) for b in block)
+
+
+def _require_seed(payload: dict) -> int:
+    seed = payload.get("seed", 0)
+    if not isinstance(seed, int):
+        raise RequestError(f"seed must be an int, got {seed!r}")
+    return seed
+
+
+# ----------------------------------------------------------------------
+# Request types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PredictRequest:
+    """One analytic ECM prediction (no simulation, no measurements)."""
+
+    stencil: str
+    grid: tuple[int, ...] = (48, 48, 64)
+    machine: str = "clx"
+    block: tuple[int, ...] | None = None
+    cache_scale: float | None = None
+    capacity_factor: float = 1.0
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PredictRequest":
+        """Validate and canonicalize a raw payload dict."""
+        grid = _require_grid(payload, [48, 48, 64])
+        return cls(
+            stencil=_require_stencil(payload),
+            grid=grid,
+            machine=_require_machine(payload),
+            block=_optional_block(payload, grid),
+            cache_scale=_optional_scale(payload, "cache_scale", None),
+            capacity_factor=_optional_scale(payload, "capacity_factor", 1.0),
+        )
+
+    def to_payload(self) -> dict:
+        """The canonical dict form (service normalization output)."""
+        return {
+            "stencil": self.stencil,
+            "grid": list(self.grid),
+            "machine": self.machine,
+            "block": list(self.block) if self.block is not None else None,
+            "cache_scale": self.cache_scale,
+            "capacity_factor": self.capacity_factor,
+        }
+
+
+@dataclass(frozen=True)
+class TuneRequest:
+    """One tuner run (ecm / exhaustive / greedy).
+
+    ``workers`` parallelises empirical tuners' variant evaluation but
+    never changes the result (the reduction is serial-identical), so it
+    is deliberately *not* part of the canonical payload identity.
+    """
+
+    stencil: str
+    grid: tuple[int, ...] = (48, 48, 64)
+    machine: str = "clx"
+    tuner: str = "ecm"
+    cache_scale: float | None = 1 / 32
+    seed: int = 0
+    workers: int = 1
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TuneRequest":
+        """Validate and canonicalize a raw payload dict."""
+        tuner = payload.get("tuner", "ecm")
+        if tuner not in TUNERS:
+            raise RequestError(
+                f"unknown tuner {tuner!r}; choose from {sorted(TUNERS)}"
+            )
+        workers = payload.get("workers", 1)
+        if not isinstance(workers, int) or workers < 1:
+            raise RequestError(
+                f"workers must be a positive int, got {workers!r}"
+            )
+        return cls(
+            stencil=_require_stencil(payload),
+            grid=_require_grid(payload, [48, 48, 64]),
+            machine=_require_machine(payload),
+            tuner=tuner,
+            cache_scale=_optional_scale(payload, "cache_scale", 1 / 32),
+            seed=_require_seed(payload),
+            workers=workers,
+        )
+
+    def to_payload(self) -> dict:
+        """Canonical dict form (``workers`` excluded: result-neutral)."""
+        return {
+            "stencil": self.stencil,
+            "grid": list(self.grid),
+            "machine": self.machine,
+            "tuner": self.tuner,
+            "cache_scale": self.cache_scale,
+            "seed": self.seed,
+        }
+
+
+#: Canonical ``rank`` parameter defaults.  Requests deviating from them
+#: get the deviation folded into the database identity below.
+_RANK_DEFAULT_CACHE_SCALE = 1 / 32
+_RANK_DEFAULT_SEED = 0
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    """One Offsite variant ranking for a (method, grid, machine)."""
+
+    method: str = "radau_iia"
+    stages: int = 4
+    corrector_steps: int = 3
+    grid: tuple[int, ...] = (16, 16, 32)
+    machine: str = "clx"
+    cache_scale: float | None = 1 / 32
+    block: tuple[int, ...] | str | None = None
+    validate: bool = True
+    seed: int = 0
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RankRequest":
+        """Validate and canonicalize a raw payload dict."""
+        family = payload.get("method", "radau_iia")
+        if family not in TABLEAU_FAMILIES:
+            raise RequestError(
+                f"unknown method family {family!r}; "
+                f"choose from {sorted(TABLEAU_FAMILIES)}"
+            )
+        stages = payload.get("stages", 4)
+        corrector = payload.get("corrector_steps", 3)
+        if not isinstance(stages, int) or stages < 1:
+            raise RequestError(
+                f"stages must be a positive int, got {stages!r}"
+            )
+        if not isinstance(corrector, int) or corrector < 1:
+            raise RequestError(
+                f"corrector_steps must be a positive int, got {corrector!r}"
+            )
+        grid = _require_grid(payload, [16, 16, 32])
+        validate = payload.get("validate", True)
+        if not isinstance(validate, bool):
+            raise RequestError(f"validate must be a bool, got {validate!r}")
+        return cls(
+            method=family,
+            stages=stages,
+            corrector_steps=corrector,
+            grid=grid,
+            machine=_require_machine(payload),
+            cache_scale=_optional_scale(
+                payload, "cache_scale", _RANK_DEFAULT_CACHE_SCALE
+            ),
+            block=_optional_block(payload, grid, allow_auto=True),
+            validate=validate,
+            seed=_require_seed(payload),
+        )
+
+    def to_payload(self) -> dict:
+        """The canonical dict form (service normalization output)."""
+        block: list[int] | str | None
+        if isinstance(self.block, tuple):
+            block = list(self.block)
+        else:
+            block = self.block
+        return {
+            "method": self.method,
+            "stages": self.stages,
+            "corrector_steps": self.corrector_steps,
+            "grid": list(self.grid),
+            "machine": self.machine,
+            "cache_scale": self.cache_scale,
+            "block": block,
+            "validate": self.validate,
+            "seed": self.seed,
+        }
+
+    def db_key_parts(self) -> tuple[str, str, str, tuple[int, ...]]:
+        """(method, ivp, machine, grid) identity for the database tier.
+
+        Every parameter that changes the ranking output is part of the
+        identity: non-default ``cache_scale``, ``block`` and ``seed``
+        are folded into the ivp string, so a record stored for one
+        parameterization can never be served to a request with another.
+        Canonical-default requests keep the plain ``gridAxBxC`` name.
+        """
+        method = f"{self.method}({self.stages})m{self.corrector_steps}"
+        ivp = "grid" + "x".join(map(str, self.grid))
+        qualifiers = []
+        if self.cache_scale != _RANK_DEFAULT_CACHE_SCALE:
+            qualifiers.append(
+                "csfull" if self.cache_scale is None
+                else f"cs{self.cache_scale:g}"
+            )
+        if self.block is not None:
+            qualifiers.append(
+                "bauto" if self.block == "auto"
+                else "b" + "x".join(map(str, self.block))
+            )
+        if self.seed != _RANK_DEFAULT_SEED:
+            qualifiers.append(f"s{self.seed}")
+        if qualifiers:
+            ivp += "@" + ",".join(qualifiers)
+        return method, ivp, self.machine, self.grid

@@ -5,12 +5,16 @@ experiments shrink grids *and* caches by :data:`CACHE_SCALE` together
 (documented in DESIGN.md): layer-condition cliffs, block-size optima
 and saturation behaviour all depend on the ratio of working set to
 cache size, which this transformation preserves.
+
+Machine construction routes through :func:`repro.engine.default_engine`
+— machines are frozen dataclasses, so every experiment shares the
+engine's cached, pre-scaled instances instead of rebuilding them.
 """
 
 from __future__ import annotations
 
+from repro.engine import default_engine
 from repro.machine.machine import Machine
-from repro.machine.presets import cascade_lake_sp, rome
 
 #: Factor by which every cache level (and the grids) are scaled down.
 CACHE_SCALE = 1.0 / 32.0
@@ -21,12 +25,12 @@ SEED = 20260707
 
 def clx() -> Machine:
     """Scaled Cascade Lake SP evaluation machine."""
-    return cascade_lake_sp().scaled_caches(CACHE_SCALE)
+    return default_engine().yasksite("clx", cache_scale=CACHE_SCALE).machine
 
 
 def rome_m() -> Machine:
     """Scaled AMD Rome evaluation machine."""
-    return rome().scaled_caches(CACHE_SCALE)
+    return default_engine().yasksite("rome", cache_scale=CACHE_SCALE).machine
 
 
 def machines() -> list[Machine]:

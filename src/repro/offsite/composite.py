@@ -9,6 +9,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
 from repro.cachesim.memo import resolve_traffic_cache, stream_key
 from repro.codegen.plan import KernelPlan
@@ -350,23 +351,30 @@ def measure_kernel(
     calls agree bit-for-bit for equal seeds.
     """
     lups = prod(grids.interior_shape)
-    cache = resolve_traffic_cache(traffic_cache)
-    traffic = None
-    key = None
-    if cache is not None:
-        key = _kernel_key(kernel, grids, plan, machine, dim, warmup)
-        traffic = cache.get(key)
-    if traffic is None:
-        hier = CacheHierarchy(machine, engine=engine)
-        if warmup:
-            for lines, writes in kernel_stream(kernel, grids, plan, dim):
-                hier.access_many(lines, writes)
-            hier.reset_counters()
-        for lines, writes in kernel_stream(kernel, grids, plan, dim):
-            hier.access_many(lines, writes)
-        traffic = hier.report(lups=lups)
+    with obs.span("cachesim.sweep") as sp:
+        cache = resolve_traffic_cache(traffic_cache)
+        traffic = None
+        key = None
         if cache is not None:
-            cache.put(key, traffic)
+            key = _kernel_key(kernel, grids, plan, machine, dim, warmup)
+            traffic = cache.get(key)
+            sp.add(**({"memo_hits": 1} if traffic is not None
+                      else {"memo_misses": 1}))
+        if traffic is None:
+            with obs.span("cachesim.replay") as rp:
+                hier = CacheHierarchy(machine, engine=engine)
+                rp.set(engine=hier.engine)
+                if warmup:
+                    for lines, writes in kernel_stream(
+                        kernel, grids, plan, dim
+                    ):
+                        hier.access_many(lines, writes)
+                    hier.reset_counters()
+                for lines, writes in kernel_stream(kernel, grids, plan, dim):
+                    hier.access_many(lines, writes)
+                traffic = hier.report(lups=lups)
+            if cache is not None:
+                cache.put(key, traffic)
 
     core = machine.core
     lanes = core.simd_lanes(8)

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass
 from math import prod
 
+from repro import obs
 from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan
 from repro.machine.machine import Machine
@@ -146,34 +147,36 @@ class OffsiteTuner:
         predicted: dict[str, tuple[float, float]] = {}
         final_kernel = _final_lc_kernel(s, dim, radius)
         final_plan = self._plan_for(final_kernel, grid_shape, dim)
-        for var in variants:
-            cycles = 0.0
-            mem_bytes = 0.0
-            for kernel, count in var.kernels:
-                pred = predict_kernel(
-                    kernel,
+        with obs.span("offsite.predict") as sp:
+            sp.add(variants=len(variants))
+            for var in variants:
+                cycles = 0.0
+                mem_bytes = 0.0
+                for kernel, count in var.kernels:
+                    pred = predict_kernel(
+                        kernel,
+                        grid_shape,
+                        self._plan_for(kernel, grid_shape, dim),
+                        self.machine,
+                        dim=dim,
+                        capacity_factor=self.capacity_factor,
+                    )
+                    cycles += pred.cycles_per_lup * count
+                    mem_bytes += pred.mem_bytes_per_lup * count
+                # m corrector iterations + the final b-combination sweep.
+                final_lc = predict_kernel(
+                    final_kernel,
                     grid_shape,
-                    self._plan_for(kernel, grid_shape, dim),
+                    final_plan,
                     self.machine,
                     dim=dim,
                     capacity_factor=self.capacity_factor,
                 )
-                cycles += pred.cycles_per_lup * count
-                mem_bytes += pred.mem_bytes_per_lup * count
-            # m corrector iterations + the final b-combination sweep.
-            final_lc = predict_kernel(
-                final_kernel,
-                grid_shape,
-                final_plan,
-                self.machine,
-                dim=dim,
-                capacity_factor=self.capacity_factor,
-            )
-            total_cycles = cycles * m + final_lc.cycles_per_lup
-            predicted[var.name] = (
-                total_cycles * lups / (self.machine.freq_ghz * 1e9),
-                mem_bytes,
-            )
+                total_cycles = cycles * m + final_lc.cycles_per_lup
+                predicted[var.name] = (
+                    total_cycles * lups / (self.machine.freq_ghz * 1e9),
+                    mem_bytes,
+                )
         predict_seconds = time.perf_counter() - t0
 
         measured: dict[str, float] = {}
@@ -181,27 +184,31 @@ class OffsiteTuner:
         traffic_cache = default_traffic_cache()
         hits0, misses0 = traffic_cache.hits, traffic_cache.misses
         if validate:
-            for i, var in enumerate(variants):
-                cycles = 0.0
-                names = self._grid_names(var)
-                grids = VariantGrids(names, grid_shape, halo=radius)
-                for kernel, count in var.kernels:
-                    cy, _ = measure_kernel(
-                        kernel, grids,
-                        self._plan_for(kernel, grid_shape, dim),
-                        self.machine, dim=dim, seed=seed + i,
+            with obs.span("offsite.measure") as sp:
+                sp.add(variants=len(variants))
+                for i, var in enumerate(variants):
+                    cycles = 0.0
+                    names = self._grid_names(var)
+                    grids = VariantGrids(names, grid_shape, halo=radius)
+                    for kernel, count in var.kernels:
+                        cy, _ = measure_kernel(
+                            kernel, grids,
+                            self._plan_for(kernel, grid_shape, dim),
+                            self.machine, dim=dim, seed=seed + i,
+                        )
+                        cycles += cy * count
+                    fg = VariantGrids(
+                        tuple(sorted(set(final_kernel.grids))), grid_shape,
+                        halo=radius,
                     )
-                    cycles += cy * count
-                fg = VariantGrids(
-                    tuple(sorted(set(final_kernel.grids))), grid_shape,
-                    halo=radius,
-                )
-                cy, _ = measure_kernel(
-                    final_kernel, fg, final_plan, self.machine,
-                    dim=dim, seed=seed + 100 + i,
-                )
-                total = cycles * m + cy
-                measured[var.name] = total * lups / (self.machine.freq_ghz * 1e9)
+                    cy, _ = measure_kernel(
+                        final_kernel, fg, final_plan, self.machine,
+                        dim=dim, seed=seed + 100 + i,
+                    )
+                    total = cycles * m + cy
+                    measured[var.name] = (
+                        total * lups / (self.machine.freq_ghz * 1e9)
+                    )
         measure_seconds = time.perf_counter() - t0
 
         timings = [

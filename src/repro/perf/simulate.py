@@ -18,6 +18,7 @@ from math import prod
 
 import numpy as np
 
+from repro import obs
 from repro.cachesim.driver import measure_sweep
 from repro.cachesim.hierarchy import TrafficReport
 from repro.codegen.plan import KernelPlan
@@ -120,16 +121,17 @@ def simulate_kernel(
     identical measurements for identical seeds.
     """
     plan = plan.clipped(grids.interior_shape)
-    traffic = measure_sweep(
-        spec, grids, plan, machine, warmup=warmup,
-        engine=engine, traffic_cache=traffic_cache,
-    )
-    t_exec = _exec_cycles_per_lup(spec, machine)
-    t_ports = _port_cycles_per_lup(spec, machine)
-    t_traffic = simulate_traffic_time(traffic, machine, n_cores=n_cores)
-    cycles = max(t_exec, t_ports + t_traffic)
-    rng = np.random.default_rng(seed)
-    cycles *= 1.0 + rng.normal(0.0, NOISE_SIGMA)
+    with obs.span("perf.simulate"):
+        traffic = measure_sweep(
+            spec, grids, plan, machine, warmup=warmup,
+            engine=engine, traffic_cache=traffic_cache,
+        )
+        t_exec = _exec_cycles_per_lup(spec, machine)
+        t_ports = _port_cycles_per_lup(spec, machine)
+        t_traffic = simulate_traffic_time(traffic, machine, n_cores=n_cores)
+        cycles = max(t_exec, t_ports + t_traffic)
+        rng = np.random.default_rng(seed)
+        cycles *= 1.0 + rng.normal(0.0, NOISE_SIGMA)
     return Measurement(
         spec_name=spec.name,
         machine_name=machine.name,

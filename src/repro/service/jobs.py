@@ -1,36 +1,45 @@
-"""Request payloads: validation, canonicalization and job execution.
+"""Service job adapters over the shared :mod:`repro.engine` layer.
 
-Each endpoint has a *normalizer* (fills defaults, validates types,
-returns a canonical dict — two requests meaning the same thing
-normalize identically, which is what request coalescing and the
-response cache key on) and a *job* (a pure top-level function taking
-the normalized payload and returning a JSON-ready dict, picklable so
-it runs unchanged on a thread or process pool).
+Each endpoint has a *normalizer* (a thin wrapper over the engine's
+request dataclasses: ``Request.from_payload(...).to_payload()`` fills
+defaults, validates, and returns the canonical dict — two requests
+meaning the same thing normalize identically, which is what request
+coalescing and the response cache key on) and a *job* (a pure
+top-level function taking the normalized payload and returning a
+JSON-ready dict, picklable so it runs unchanged on a thread or process
+pool).
 
 Jobs report the traffic-memoization ledger of their own run under a
 ``"traffic_cache"`` key, so the server can aggregate per-tier hit
 rates even when the memo lives in worker processes.  The ledger comes
-from the library result objects (``TunerResult``/``RankingReport``),
-which count their own lookups — never from diffing the process-global
-cache counters, which would cross-count concurrent jobs.
+from the engine result objects, which count their own lookups — never
+from diffing the process-global cache counters, which would
+cross-count concurrent jobs.
+
+:func:`run_traced_job` wraps any job with an :mod:`repro.obs` trace
+and returns ``{"result", "trace"}``; it runs *inside* the worker (a
+span tree cannot cross a process boundary), and the server unwraps the
+envelope so cached responses stay byte-identical to untraced ones.
 """
 
 from __future__ import annotations
 
 import hashlib
 
-from repro.autotune.search import TUNERS
-from repro.codegen.plan import KernelPlan
-from repro.core.yasksite import YaskSite
-from repro.machine.presets import PRESETS
-from repro.offsite.tuner import TABLEAU_FAMILIES, rank_variants
+from repro import obs
+from repro.engine import (
+    PredictRequest,
+    RankRequest,
+    RequestError,
+    TuneRequest,
+    default_engine,
+)
 from repro.service.serializers import (
     canonical_dumps,
-    prediction_to_dict,
-    ranking_report_to_dict,
-    tuner_result_to_dict,
+    predict_result_to_dict,
+    rank_result_to_dict,
+    tune_result_to_dict,
 )
-from repro.stencil.library import STENCIL_SUITE, get_stencil
 
 __all__ = [
     "JobError",
@@ -43,145 +52,28 @@ __all__ = [
     "tune_job",
     "rank_job",
     "rank_db_key_parts",
+    "run_traced_job",
 ]
 
-
-class JobError(ValueError):
-    """Invalid request payload (maps to HTTP 400)."""
-
-
-def _require_grid(payload: dict, default: list[int]) -> list[int]:
-    grid = payload.get("grid", default)
-    if (
-        not isinstance(grid, (list, tuple))
-        or not grid
-        or not all(isinstance(g, int) and g > 0 for g in grid)
-    ):
-        raise JobError(f"bad grid {grid!r}; expected a list of positive ints")
-    return [int(g) for g in grid]
-
-
-def _require_machine(payload: dict) -> str:
-    machine = payload.get("machine", "clx")
-    if not isinstance(machine, str) or machine.lower() not in PRESETS:
-        raise JobError(
-            f"unknown machine {machine!r}; choose from {sorted(PRESETS)}"
-        )
-    return machine.lower()
-
-
-def _require_stencil(payload: dict) -> str:
-    stencil = payload.get("stencil")
-    if stencil not in STENCIL_SUITE:
-        raise JobError(
-            f"unknown stencil {stencil!r}; choose from {sorted(STENCIL_SUITE)}"
-        )
-    return stencil
-
-
-def _optional_scale(payload: dict, key: str, default: float | None):
-    value = payload.get(key, default)
-    if value is None:
-        return None
-    if not isinstance(value, (int, float)) or value <= 0:
-        raise JobError(f"{key} must be a positive number, got {value!r}")
-    return float(value)
+#: Invalid request payload (maps to HTTP 400).  Alias of the engine's
+#: error type so ``except JobError`` keeps working for callers that
+#: predate the engine layer.
+JobError = RequestError
 
 
 def normalize_predict(payload: dict) -> dict:
     """Canonical form of a ``/predict`` request."""
-    grid = _require_grid(payload, [48, 48, 64])
-    block = payload.get("block")
-    if block is not None:
-        if (
-            not isinstance(block, (list, tuple))
-            or len(block) != len(grid)
-            or not all(isinstance(b, int) and b > 0 for b in block)
-        ):
-            raise JobError(f"bad block {block!r}; expected e.g. [8, 8, 64]")
-        block = [int(b) for b in block]
-    return {
-        "stencil": _require_stencil(payload),
-        "grid": grid,
-        "machine": _require_machine(payload),
-        "block": block,
-        "cache_scale": _optional_scale(payload, "cache_scale", None),
-        "capacity_factor": _optional_scale(payload, "capacity_factor", 1.0),
-    }
+    return PredictRequest.from_payload(payload).to_payload()
 
 
 def normalize_tune(payload: dict) -> dict:
     """Canonical form of a ``/tune`` request."""
-    tuner = payload.get("tuner", "ecm")
-    if tuner not in TUNERS:
-        raise JobError(
-            f"unknown tuner {tuner!r}; choose from {sorted(TUNERS)}"
-        )
-    seed = payload.get("seed", 0)
-    if not isinstance(seed, int):
-        raise JobError(f"seed must be an int, got {seed!r}")
-    return {
-        "stencil": _require_stencil(payload),
-        "grid": _require_grid(payload, [48, 48, 64]),
-        "machine": _require_machine(payload),
-        "tuner": tuner,
-        "cache_scale": _optional_scale(payload, "cache_scale", 1 / 32),
-        "seed": seed,
-    }
+    return TuneRequest.from_payload(payload).to_payload()
 
 
 def normalize_rank(payload: dict) -> dict:
     """Canonical form of a ``/rank`` request."""
-    family = payload.get("method", "radau_iia")
-    if family not in TABLEAU_FAMILIES:
-        raise JobError(
-            f"unknown method family {family!r}; "
-            f"choose from {sorted(TABLEAU_FAMILIES)}"
-        )
-    stages = payload.get("stages", 4)
-    corrector = payload.get("corrector_steps", 3)
-    if not isinstance(stages, int) or stages < 1:
-        raise JobError(f"stages must be a positive int, got {stages!r}")
-    if not isinstance(corrector, int) or corrector < 1:
-        raise JobError(
-            f"corrector_steps must be a positive int, got {corrector!r}"
-        )
-    block = payload.get("block")
-    grid = _require_grid(payload, [16, 16, 32])
-    if block is not None and block != "auto":
-        if (
-            not isinstance(block, (list, tuple))
-            or len(block) != len(grid)
-            or not all(isinstance(b, int) and b > 0 for b in block)
-        ):
-            raise JobError(
-                f"bad block {block!r}; expected 'auto', null or e.g. [8, 8, 32]"
-            )
-        block = [int(b) for b in block]
-    validate = payload.get("validate", True)
-    if not isinstance(validate, bool):
-        raise JobError(f"validate must be a bool, got {validate!r}")
-    seed = payload.get("seed", 0)
-    if not isinstance(seed, int):
-        raise JobError(f"seed must be an int, got {seed!r}")
-    return {
-        "method": family,
-        "stages": stages,
-        "corrector_steps": corrector,
-        "grid": grid,
-        "machine": _require_machine(payload),
-        "cache_scale": _optional_scale(payload, "cache_scale", 1 / 32),
-        "block": block,
-        "validate": validate,
-        "seed": seed,
-    }
-
-
-#: Canonical ``/rank`` parameter defaults (see :func:`normalize_rank`).
-#: Requests deviating from them get the deviation folded into the
-#: database identity below.
-_RANK_DEFAULT_CACHE_SCALE = 1 / 32
-_RANK_DEFAULT_SEED = 0
+    return RankRequest.from_payload(payload).to_payload()
 
 
 def rank_db_key_parts(payload: dict) -> tuple[str, str, str, tuple[int, ...]]:
@@ -189,34 +81,10 @@ def rank_db_key_parts(payload: dict) -> tuple[str, str, str, tuple[int, ...]]:
     request — the :class:`~repro.offsite.database.TuningKey` fields the
     warm database tier stores rankings under.
 
-    Every parameter that changes the ranking output is part of the
-    identity: non-default ``cache_scale``, ``block`` and ``seed`` are
-    folded into the ivp string, so a record stored for one
-    parameterization can never be served to a request with another.
-    Canonical-default requests keep the plain ``gridAxBxC`` name.
+    See :meth:`repro.engine.RankRequest.db_key_parts` for the folding
+    rules.
     """
-    method = (
-        f"{payload['method']}({payload['stages']})"
-        f"m{payload['corrector_steps']}"
-    )
-    grid = tuple(payload["grid"])
-    ivp = "grid" + "x".join(map(str, grid))
-    qualifiers = []
-    cache_scale = payload["cache_scale"]
-    if cache_scale != _RANK_DEFAULT_CACHE_SCALE:
-        qualifiers.append(
-            "csfull" if cache_scale is None else f"cs{cache_scale:g}"
-        )
-    block = payload["block"]
-    if block is not None:
-        qualifiers.append(
-            "bauto" if block == "auto" else "b" + "x".join(map(str, block))
-        )
-    if payload["seed"] != _RANK_DEFAULT_SEED:
-        qualifiers.append(f"s{payload['seed']}")
-    if qualifiers:
-        ivp += "@" + ",".join(qualifiers)
-    return method, ivp, payload["machine"], grid
+    return RankRequest.from_payload(payload).db_key_parts()
 
 
 # ----------------------------------------------------------------------
@@ -224,67 +92,20 @@ def rank_db_key_parts(payload: dict) -> tuple[str, str, str, tuple[int, ...]]:
 # ----------------------------------------------------------------------
 def predict_job(payload: dict) -> dict:
     """Analytic ECM prediction (no simulation, no traffic)."""
-    ys = YaskSite(
-        payload["machine"],
-        capacity_factor=payload["capacity_factor"],
-        cache_scale=payload["cache_scale"],
-    )
-    spec = get_stencil(payload["stencil"])
-    grid = tuple(payload["grid"])
-    if payload["block"] is not None:
-        plan = KernelPlan(block=tuple(payload["block"]))
-    else:
-        plan = ys.select_block(spec, grid).plan
-    pred = ys.predict(spec, grid, plan)
-    out = prediction_to_dict(pred, plan=plan)
-    out["grid"] = list(grid)
-    return out
+    result = default_engine().predict(PredictRequest.from_payload(payload))
+    return predict_result_to_dict(result)
 
 
 def tune_job(payload: dict) -> dict:
-    """Run a tuner; the pool provides the parallelism (inner workers=1).
-
-    The ``traffic_cache`` ledger is the :class:`TunerResult`'s own
-    per-run counters (already serialized by
-    :func:`tuner_result_to_dict`), so concurrent jobs on a shared memo
-    never count each other's lookups.
-    """
-    ys = YaskSite(payload["machine"], cache_scale=payload["cache_scale"])
-    spec = get_stencil(payload["stencil"])
-    res = ys.tune(
-        spec,
-        tuple(payload["grid"]),
-        tuner=payload["tuner"],
-        seed=payload["seed"],
-    )
-    out = tuner_result_to_dict(res)
-    out["stencil"] = payload["stencil"]
-    out["machine"] = payload["machine"]
-    out["grid"] = list(payload["grid"])
-    return out
+    """Run a tuner; the pool provides the parallelism (inner workers=1)."""
+    result = default_engine().tune(TuneRequest.from_payload(payload))
+    return tune_result_to_dict(result)
 
 
 def rank_job(payload: dict) -> dict:
     """Offsite variant ranking for one (method, grid, machine)."""
-    block = payload["block"]
-    if isinstance(block, list):
-        block = tuple(block)
-    _, ivp, _, _ = rank_db_key_parts(payload)
-    report = rank_variants(
-        payload["method"],
-        payload["stages"],
-        payload["corrector_steps"],
-        tuple(payload["grid"]),
-        payload["machine"],
-        cache_scale=payload["cache_scale"],
-        block=block,
-        validate=payload["validate"],
-        seed=payload["seed"],
-        ivp_name=ivp,
-    )
-    out = ranking_report_to_dict(report)
-    out["grid"] = list(payload["grid"])
-    return out
+    result = default_engine().rank(RankRequest.from_payload(payload))
+    return rank_result_to_dict(result)
 
 
 #: endpoint path → (normalizer, job body)
@@ -293,6 +114,24 @@ JOBS = {
     "/tune": (normalize_tune, tune_job),
     "/rank": (normalize_rank, rank_job),
 }
+
+
+def run_traced_job(endpoint: str, payload: dict) -> dict:
+    """Run ``endpoint``'s job under a trace; return result + span tree.
+
+    Top-level and driven by ``functools.partial(run_traced_job,
+    endpoint)`` so the wrapped job stays picklable for process pools.
+    The trace is recorded in the executing process — worker-side spans
+    cannot be stitched into a server-side trace across the pickle
+    boundary, so the whole request body is traced where it runs.
+    """
+    _, job = JOBS[endpoint]
+    trace = obs.start_trace(f"request:{endpoint}")
+    try:
+        result = job(payload)
+    finally:
+        root = trace.finish()
+    return {"result": result, "trace": root.to_dict()}
 
 
 def request_key(endpoint: str, normalized: dict) -> str:

@@ -94,6 +94,10 @@ class ServiceMetrics:
             "traffic": {"hits": 0, "misses": 0},
             "database": {"hits": 0, "misses": 0},
         }
+        # Per-stage wall-time attribution: request lifecycle stages
+        # (normalize/cache/execute) on every request, plus obs span
+        # aggregates folded in when a request ran traced.
+        self.stages: dict[str, dict] = {}
 
     def record_request(
         self, endpoint: str, outcome: str, seconds: float
@@ -114,6 +118,18 @@ class ServiceMetrics:
             ledger["hits"] += hits
             ledger["misses"] += misses
 
+    def record_stages(self, stage_seconds: dict[str, float]) -> None:
+        """Fold one request's per-stage wall times in (single lock)."""
+        if not stage_seconds:
+            return
+        with self._lock:
+            for name, seconds in stage_seconds.items():
+                entry = self.stages.get(name)
+                if entry is None:
+                    entry = self.stages[name] = {"count": 0, "total_s": 0.0}
+                entry["count"] += 1
+                entry["total_s"] += seconds
+
     @staticmethod
     def _hit_rate(ledger: dict) -> float | None:
         total = ledger["hits"] + ledger["misses"]
@@ -131,6 +147,14 @@ class ServiceMetrics:
                 "tiers": {
                     name: {**ledger, "hit_rate": self._hit_rate(ledger)}
                     for name, ledger in self.tiers.items()
+                },
+                "stages": {
+                    name: {
+                        "count": entry["count"],
+                        "total_s": entry["total_s"],
+                        "mean_ms": entry["total_s"] / entry["count"] * 1e3,
+                    }
+                    for name, entry in sorted(self.stages.items())
                 },
             }
         data.update(extra)

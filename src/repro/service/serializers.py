@@ -1,9 +1,18 @@
 """JSON serializers shared by the CLI (``--json``) and the service.
 
-Every serializer maps one library result object onto plain built-in
-types, so ``json.dumps`` works on the output and a service response is
+Every serializer maps one result object onto plain built-in types, so
+``json.dumps`` works on the output and a service response is
 byte-identical to what a direct library call would serialize to —
 the soak test asserts exactly that.
+
+Two families live here.  The ``*_result_*`` functions are the
+canonical serializers for the :mod:`repro.engine` result dataclasses
+(with ``*_result_from_dict`` inverses; the round-trip tests assert
+``from_dict(to_dict(x)) == x``).  The legacy functions
+(:func:`prediction_to_dict`, :func:`tuner_result_to_dict`,
+:func:`ranking_report_to_dict`) serialize the library-level objects
+directly and define the historical key orders the canonical family
+preserves.
 """
 
 from __future__ import annotations
@@ -13,6 +22,14 @@ import json
 from repro.autotune.search import TunerResult
 from repro.codegen.plan import KernelPlan
 from repro.ecm.model import EcmPrediction
+from repro.engine.results import (
+    CacheLedger,
+    PlanResult,
+    PredictResult,
+    RankResult,
+    TuneResult,
+    VariantTimingResult,
+)
 from repro.offsite.database import TuningRecord
 from repro.offsite.tuner import RankingReport
 
@@ -23,6 +40,14 @@ __all__ = [
     "tuner_result_to_dict",
     "ranking_report_to_dict",
     "tuning_record_to_dict",
+    "plan_result_to_dict",
+    "plan_result_from_dict",
+    "predict_result_to_dict",
+    "predict_result_from_dict",
+    "tune_result_to_dict",
+    "tune_result_from_dict",
+    "rank_result_to_dict",
+    "rank_result_from_dict",
 ]
 
 
@@ -117,6 +142,180 @@ def ranking_report_to_dict(report: RankingReport) -> dict:
             "misses": report.traffic_cache_misses,
         },
     }
+
+
+# ----------------------------------------------------------------------
+# Canonical serializers for the repro.engine result dataclasses.
+# Key orders replicate the legacy serializers above byte-for-byte
+# (json.dumps preserves insertion order, and the service's recorded
+# responses and the soak test depend on the exact bytes).
+# ----------------------------------------------------------------------
+def plan_result_to_dict(plan: PlanResult) -> dict:
+    """JSON form of an engine :class:`PlanResult`."""
+    return {
+        "block": list(plan.block),
+        "loop_order": list(plan.loop_order) if plan.loop_order else None,
+        "threads": plan.threads,
+        "wavefront": plan.wavefront,
+        "label": plan.label,
+    }
+
+
+def plan_result_from_dict(data: dict) -> PlanResult:
+    """Inverse of :func:`plan_result_to_dict`."""
+    return PlanResult(
+        block=tuple(data["block"]),
+        loop_order=tuple(data["loop_order"]) if data["loop_order"] else None,
+        threads=data["threads"],
+        wavefront=data["wavefront"],
+        label=data["label"],
+    )
+
+
+def predict_result_to_dict(res: PredictResult) -> dict:
+    """JSON form of an engine :class:`PredictResult`."""
+    return {
+        "stencil": res.stencil,
+        "machine": res.machine,
+        "plan": plan_result_to_dict(res.plan),
+        "ecm_notation": res.ecm_notation,
+        "t_ol_cycles": res.t_ol_cycles,
+        "t_nol_cycles": res.t_nol_cycles,
+        "t_data_cycles": list(res.t_data_cycles),
+        "t_ecm_cycles": res.t_ecm_cycles,
+        "regimes": list(res.regimes),
+        "cycles_per_lup": res.cycles_per_lup,
+        "mlups": res.mlups,
+        "mem_bytes_per_lup": res.mem_bytes_per_lup,
+        "freq_ghz": res.freq_ghz,
+        "grid": list(res.grid),
+    }
+
+
+def predict_result_from_dict(data: dict) -> PredictResult:
+    """Inverse of :func:`predict_result_to_dict`."""
+    return PredictResult(
+        stencil=data["stencil"],
+        machine=data["machine"],
+        plan=plan_result_from_dict(data["plan"]),
+        ecm_notation=data["ecm_notation"],
+        t_ol_cycles=data["t_ol_cycles"],
+        t_nol_cycles=data["t_nol_cycles"],
+        t_data_cycles=tuple(data["t_data_cycles"]),
+        t_ecm_cycles=data["t_ecm_cycles"],
+        regimes=tuple(data["regimes"]),
+        cycles_per_lup=data["cycles_per_lup"],
+        mlups=data["mlups"],
+        mem_bytes_per_lup=data["mem_bytes_per_lup"],
+        freq_ghz=data["freq_ghz"],
+        grid=tuple(data["grid"]),
+    )
+
+
+def tune_result_to_dict(res: TuneResult) -> dict:
+    """JSON form of an engine :class:`TuneResult`."""
+    return {
+        "tuner": res.tuner,
+        "best_plan": plan_result_to_dict(res.best_plan),
+        "best_mlups": res.best_mlups,
+        "variants_examined": res.variants_examined,
+        "variants_run": res.variants_run,
+        "simulated_run_seconds": res.simulated_run_seconds,
+        "workers": res.workers,
+        "traffic_cache": {
+            "hits": res.traffic_cache.hits,
+            "misses": res.traffic_cache.misses,
+        },
+        "stencil": res.stencil,
+        "machine": res.machine,
+        "grid": list(res.grid),
+    }
+
+
+def tune_result_from_dict(data: dict) -> TuneResult:
+    """Inverse of :func:`tune_result_to_dict`."""
+    return TuneResult(
+        tuner=data["tuner"],
+        best_plan=plan_result_from_dict(data["best_plan"]),
+        best_mlups=data["best_mlups"],
+        variants_examined=data["variants_examined"],
+        variants_run=data["variants_run"],
+        simulated_run_seconds=data["simulated_run_seconds"],
+        workers=data["workers"],
+        traffic_cache=CacheLedger(
+            hits=data["traffic_cache"]["hits"],
+            misses=data["traffic_cache"]["misses"],
+        ),
+        stencil=data["stencil"],
+        machine=data["machine"],
+        grid=tuple(data["grid"]),
+    )
+
+
+def rank_result_to_dict(res: RankResult) -> dict:
+    """JSON form of an engine :class:`RankResult`."""
+    return {
+        "method": res.method,
+        "ivp": res.ivp,
+        "machine": res.machine,
+        "timings": [
+            {
+                "variant": t.variant,
+                "predicted_s": t.predicted_s,
+                "measured_s": t.measured_s,
+                "error_pct": t.error_pct,
+                "sweeps_per_step": t.sweeps_per_step,
+                "mem_bytes_per_lup": t.mem_bytes_per_lup,
+            }
+            for t in res.timings
+        ],
+        "ranking": list(res.ranking),
+        "best_predicted": {
+            "variant": res.best_variant,
+            "predicted_s": res.best_predicted_s,
+        },
+        "kendall_tau": res.kendall_tau,
+        "top1_hit": res.top1_hit,
+        "predict_seconds": res.predict_seconds,
+        "measure_seconds": res.measure_seconds,
+        "traffic_cache": {
+            "hits": res.traffic_cache.hits,
+            "misses": res.traffic_cache.misses,
+        },
+        "grid": list(res.grid),
+    }
+
+
+def rank_result_from_dict(data: dict) -> RankResult:
+    """Inverse of :func:`rank_result_to_dict`."""
+    return RankResult(
+        method=data["method"],
+        ivp=data["ivp"],
+        machine=data["machine"],
+        timings=tuple(
+            VariantTimingResult(
+                variant=t["variant"],
+                predicted_s=t["predicted_s"],
+                measured_s=t["measured_s"],
+                error_pct=t["error_pct"],
+                sweeps_per_step=t["sweeps_per_step"],
+                mem_bytes_per_lup=t["mem_bytes_per_lup"],
+            )
+            for t in data["timings"]
+        ),
+        ranking=tuple(data["ranking"]),
+        best_variant=data["best_predicted"]["variant"],
+        best_predicted_s=data["best_predicted"]["predicted_s"],
+        kendall_tau=data["kendall_tau"],
+        top1_hit=data["top1_hit"],
+        predict_seconds=data["predict_seconds"],
+        measure_seconds=data["measure_seconds"],
+        traffic_cache=CacheLedger(
+            hits=data["traffic_cache"]["hits"],
+            misses=data["traffic_cache"]["misses"],
+        ),
+        grid=tuple(data["grid"]),
+    )
 
 
 def tuning_record_to_dict(record: TuningRecord) -> dict:

@@ -18,6 +18,7 @@ finish within ``drain_timeout_s``, then the pool shuts down.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import signal
 import time
@@ -26,7 +27,13 @@ from collections import OrderedDict
 from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
 from repro.service.batching import CoalescingDispatcher, Overloaded
 from repro.service.config import ServiceConfig
-from repro.service.jobs import JOBS, JobError, rank_db_key_parts, request_key
+from repro.service.jobs import (
+    JOBS,
+    JobError,
+    rank_db_key_parts,
+    request_key,
+    run_traced_job,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.serializers import tuning_record_to_dict
 
@@ -47,6 +54,20 @@ _STATUS_TEXT = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+def _fold_trace_stages(entry: dict, stages: dict[str, float]) -> None:
+    """Accumulate a span tree's per-name durations into ``stages``.
+
+    The root (``request:<endpoint>``) is skipped — its wall time is the
+    ``execute`` stage; descendants land under their span names, so
+    ``/metrics`` aggregates e.g. ``ecm.predict`` across traced requests.
+    """
+    for child in entry.get("children", ()):
+        stages[child["name"]] = (
+            stages.get(child["name"], 0.0) + child["duration_s"]
+        )
+        _fold_trace_stages(child, stages)
 
 
 class _HttpError(Exception):
@@ -278,24 +299,50 @@ class ReproService:
         """Resolve one POST through the cache tiers and the pool.
 
         Returns ``(outcome, http_status, response, extra_headers)``.
+        Stage wall times (normalize/cache/execute, plus span aggregates
+        for traced requests) are folded into ``/metrics`` on every exit
+        path with one batched call.
         """
+        stages: dict[str, float] = {}
+        try:
+            return await self._process_job_stages(endpoint, body, stages)
+        finally:
+            self.metrics.record_stages(stages)
+
+    async def _process_job_stages(
+        self, endpoint: str, body: bytes, stages: dict[str, float]
+    ) -> tuple[str, int, dict, dict[str, str] | None]:
         normalizer, job = JOBS[endpoint]
+        t_stage = time.perf_counter()
         try:
             payload = json.loads(body.decode() or "{}")
             if not isinstance(payload, dict):
                 raise JobError("payload must be a JSON object")
+            # The trace flag rides outside the normalized payload:
+            # traced and untraced requests share one cache/coalescing
+            # identity, so tracing can never fork the response space.
+            want_trace = bool(payload.get("trace"))
             normalized = normalizer(payload)
         except (ValueError, JobError) as exc:
             return "failed", 400, {"error": str(exc)}, None
+        finally:
+            stages["normalize"] = time.perf_counter() - t_stage
         key = request_key(endpoint, normalized)
 
-        def envelope(served: str, result: dict) -> dict:
-            return {"endpoint": endpoint, "served": served, "result": result}
+        def envelope(
+            served: str, result: dict, trace: dict | None = None
+        ) -> dict:
+            env = {"endpoint": endpoint, "served": served, "result": result}
+            if want_trace:
+                env["trace"] = trace
+            return env
 
+        t_stage = time.perf_counter()
         # Tier 1: in-process response LRU.
         cached = self.response_cache.get(key)
         if cached is not None:
             self.metrics.record_tier("response", hits=1)
+            stages["cache"] = time.perf_counter() - t_stage
             return "cache", 200, envelope("response-cache", cached), None
         self.metrics.record_tier("response", misses=1)
 
@@ -306,6 +353,7 @@ class ReproService:
             record = self.database.get(TuningKey(method, ivp, machine, grid))
             if record is not None:
                 self.metrics.record_tier("database", hits=1)
+                stages["cache"] = time.perf_counter() - t_stage
                 return (
                     "database",
                     200,
@@ -313,6 +361,7 @@ class ReproService:
                     None,
                 )
             self.metrics.record_tier("database", misses=1)
+        stages["cache"] = time.perf_counter() - t_stage
 
         # Coalesce + admit + batch onto the pool.  The completion hook
         # fills the caches before the in-flight key is released, so
@@ -336,11 +385,31 @@ class ReproService:
                     # success into a 500 for every coalesced waiter.
                     pass
 
+        if want_trace:
+            # The traced wrapper runs the job under an obs trace inside
+            # the worker and returns {"result", "trace"}.  It dispatches
+            # under a derived key so a traced run never hands its
+            # envelope to untraced coalesced waiters; on_result unwraps
+            # before filling the caches, keeping cached bytes identical
+            # to untraced responses.
+            dispatch_key = key + "#trace"
+            dispatch_job = functools.partial(run_traced_job, endpoint)
+
+            def on_wrapped(wrapped: dict) -> None:
+                on_result(wrapped["result"])
+
+            dispatch_hook = on_wrapped
+        else:
+            dispatch_key, dispatch_job, dispatch_hook = key, job, on_result
+
+        t_stage = time.perf_counter()
         try:
             mode, task = self.dispatcher.dispatch(
-                key, job, normalized, on_result=on_result
+                dispatch_key, dispatch_job, normalized,
+                on_result=dispatch_hook,
             )
         except Overloaded as exc:
+            stages["execute"] = time.perf_counter() - t_stage
             return (
                 "shed",
                 429,
@@ -368,6 +437,12 @@ class ReproService:
                 {"error": f"{type(exc).__name__}: {exc}"},
                 None,
             )
+        finally:
+            stages["execute"] = time.perf_counter() - t_stage
+        if want_trace:
+            trace = result["trace"]
+            _fold_trace_stages(trace, stages)
+            return mode, 200, envelope(mode, result["result"], trace), None
         return mode, 200, envelope(mode, result), None
 
     def _store_ranking(self, normalized: dict, result: dict) -> None:

@@ -130,3 +130,105 @@ class TestJsonOutput:
         assert out["tuner"] == "ecm" and out["variants_run"] == 1
         assert out["best_mlups"] > 0
         assert out["stencil"] == "3d7pt" and out["grid"] == [16, 16, 32]
+
+
+class TestRankCommand:
+    def test_rank_human_output(self, capsys):
+        assert main(
+            ["rank", "--grid", "8x8x16", "--no-validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "method  : PIRK[" in out
+        assert "ivp     : grid8x8x16" in out
+        assert "Variant ranking" in out
+        assert "best    :" in out
+        assert "tau" not in out  # no validation, no tau line
+
+    def test_rank_validated_prints_tau(self, capsys):
+        assert main(["rank", "--grid", "8x8x16"]) == 0
+        out = capsys.readouterr().out
+        assert "meas ms/step" in out
+        assert "tau     :" in out and "top1_hit" in out
+
+    def test_rank_json_matches_service_serializer(self, capsys):
+        import json
+
+        from repro.cachesim.memo import default_traffic_cache
+        from repro.service.jobs import normalize_rank, rank_job
+
+        argv = ["rank", "--grid", "8x8x16", "--no-validate", "--json"]
+        default_traffic_cache().clear()
+        assert main(argv) == 0
+        out = json.loads(capsys.readouterr().out)
+        default_traffic_cache().clear()
+        expected = rank_job(normalize_rank(
+            {"grid": [8, 8, 16], "validate": False}
+        ))
+        # predict_seconds is wall clock; drop it on both sides.
+        volatile = ("predict_seconds", "measure_seconds")
+        strip = lambda d: {k: v for k, v in d.items() if k not in volatile}
+        assert strip(out) == strip(expected)
+        assert list(out) == list(expected)
+
+    def test_rank_bad_block_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rank", "--block", "huge"])
+
+
+class TestTraceFlag:
+    def test_predict_trace_renders_span_tree_to_stderr(self, capsys):
+        argv = ["predict", "3d7pt", "--grid", "16x16x32", "--trace"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "perf    :" in captured.out  # stdout unchanged
+        err = captured.err
+        assert "cli:predict" in err
+        for name in ("engine.predict", "engine.yasksite",
+                     "blocking.select", "ecm.predict"):
+            assert name in err
+        assert "ms" in err
+
+    def test_predict_trace_json_emits_trace_to_stderr(self, capsys):
+        import json
+
+        argv = ["predict", "3d7pt", "--grid", "16x16x32",
+                "--trace", "--json"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        result = json.loads(captured.out)
+        assert result["grid"] == [16, 16, 32]
+        trace = json.loads(captured.err)
+        assert trace["name"] == "cli:predict"
+        names = {c["name"] for c in trace["children"]}
+        assert "engine.predict" in names
+
+    def test_tune_trace_names_tuner_and_cachesim(self, capsys):
+        argv = ["tune", "3d7pt", "--grid", "16x16x32",
+                "--tuner", "greedy", "--trace"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        for name in ("cli:tune", "engine.tune", "tuner.greedy",
+                     "tuner.evaluate", "cachesim.sweep"):
+            assert name in err
+
+    def test_trace_off_keeps_stderr_silent(self, capsys):
+        assert main(["predict", "3d7pt", "--grid", "16x16x32"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestExperimentJson:
+    def test_experiment_json_is_run_dict(self, capsys):
+        import json
+
+        assert main(["experiment", "t1", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "rows" in out
+
+
+class TestErrorPath:
+    def test_request_error_exits_2(self, capsys):
+        # Grid/block rank mismatch passes argparse but fails engine
+        # validation; main() maps RequestError onto exit code 2.
+        argv = ["predict", "3d7pt", "--grid", "16x16", "--block", "8x8x8"]
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,246 @@
+"""Tests for the repro.engine request/result/execution layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.engine import (
+    Engine,
+    PredictRequest,
+    RankRequest,
+    RequestError,
+    TuneRequest,
+    default_engine,
+    set_default_engine,
+)
+from repro.machine.presets import cascade_lake_sp
+
+
+# ----------------------------------------------------------------------
+# Request normalization
+# ----------------------------------------------------------------------
+def test_predict_request_defaults():
+    req = PredictRequest.from_payload({"stencil": "3d7pt"})
+    assert req.grid == (48, 48, 64)
+    assert req.machine == "clx"
+    assert req.block is None
+    assert req.cache_scale is None
+    assert req.capacity_factor == 1.0
+    assert req.to_payload() == {
+        "stencil": "3d7pt",
+        "grid": [48, 48, 64],
+        "machine": "clx",
+        "block": None,
+        "cache_scale": None,
+        "capacity_factor": 1.0,
+    }
+
+
+def test_predict_request_rejects_bad_payloads():
+    with pytest.raises(RequestError):
+        PredictRequest.from_payload({"stencil": "nope"})
+    with pytest.raises(RequestError):
+        PredictRequest.from_payload({"stencil": "3d7pt", "grid": [0, 4]})
+    with pytest.raises(RequestError):
+        PredictRequest.from_payload(
+            {"stencil": "3d7pt", "machine": "cray-1"}
+        )
+    with pytest.raises(RequestError):
+        PredictRequest.from_payload(
+            {"stencil": "3d7pt", "block": [8, 8]}  # wrong rank for 3-d grid
+        )
+    with pytest.raises(RequestError):
+        PredictRequest.from_payload({"stencil": "3d7pt", "cache_scale": -1})
+
+
+def test_tune_request_excludes_workers_from_payload():
+    req = TuneRequest.from_payload({"stencil": "3d7pt", "workers": 4})
+    assert req.workers == 4
+    assert "workers" not in req.to_payload()
+    # Two requests differing only in workers normalize identically.
+    other = TuneRequest.from_payload({"stencil": "3d7pt"})
+    assert req.to_payload() == other.to_payload()
+
+
+def test_tune_request_validates_tuner_and_workers():
+    with pytest.raises(RequestError):
+        TuneRequest.from_payload({"stencil": "3d7pt", "tuner": "magic"})
+    with pytest.raises(RequestError):
+        TuneRequest.from_payload({"stencil": "3d7pt", "workers": 0})
+    with pytest.raises(RequestError):
+        TuneRequest.from_payload({"stencil": "3d7pt", "seed": "x"})
+
+
+def test_rank_request_db_key_parts_fold_deviations():
+    base = RankRequest.from_payload({"grid": [8, 8, 16]})
+    method, ivp, machine, grid = base.db_key_parts()
+    assert method == "radau_iia(4)m3"
+    assert ivp == "grid8x8x16"
+    assert machine == "clx"
+    assert grid == (8, 8, 16)
+
+    deviant = RankRequest.from_payload(
+        {
+            "grid": [8, 8, 16],
+            "cache_scale": 1.0,
+            "block": "auto",
+            "seed": 7,
+        }
+    )
+    _, ivp, _, _ = deviant.db_key_parts()
+    assert ivp == "grid8x8x16@cs1,bauto,s7"
+
+    full = RankRequest.from_payload(
+        {"grid": [8, 8, 16], "cache_scale": None}
+    )
+    _, ivp, _, _ = full.db_key_parts()
+    assert ivp == "grid8x8x16@csfull"
+
+
+def test_rank_request_block_policies():
+    auto = RankRequest.from_payload({"block": "auto"})
+    assert auto.block == "auto"
+    explicit = RankRequest.from_payload({"block": [8, 8, 32]})
+    assert explicit.block == (8, 8, 32)
+    assert explicit.to_payload()["block"] == [8, 8, 32]
+    with pytest.raises(RequestError):
+        RankRequest.from_payload({"block": "weird"})
+    with pytest.raises(RequestError):
+        RankRequest.from_payload({"validate": "yes"})
+
+
+def test_requests_are_frozen_and_hashable():
+    a = PredictRequest.from_payload({"stencil": "3d7pt"})
+    b = PredictRequest.from_payload({"stencil": "3d7pt"})
+    assert a == b
+    assert hash(a) == hash(b)
+    with pytest.raises(AttributeError):
+        a.machine = "rome"
+
+
+# ----------------------------------------------------------------------
+# Engine execution
+# ----------------------------------------------------------------------
+def test_engine_yasksite_cache_shares_instances():
+    eng = Engine()
+    a = eng.yasksite("clx", cache_scale=1 / 32)
+    b = eng.yasksite("clx", cache_scale=1 / 32)
+    assert a is b
+    c = eng.yasksite("clx", cache_scale=1 / 16)
+    assert c is not a
+    d = eng.yasksite("clx", cache_scale=1 / 32, capacity_factor=0.5)
+    assert d is not a
+
+
+def test_engine_yasksite_machine_object_bypasses_cache():
+    eng = Engine()
+    machine = cascade_lake_sp()
+    a = eng.yasksite(machine)
+    b = eng.yasksite(machine)
+    assert a is not b
+    assert a.machine == machine
+
+
+def test_default_engine_is_process_wide():
+    set_default_engine(None)
+    try:
+        assert default_engine() is default_engine()
+        custom = Engine()
+        set_default_engine(custom)
+        assert default_engine() is custom
+    finally:
+        set_default_engine(None)
+
+
+def test_engine_predict_matches_direct_call():
+    eng = Engine()
+    req = PredictRequest.from_payload(
+        {"stencil": "3d7pt", "grid": [16, 16, 32]}
+    )
+    res = eng.predict(req)
+    assert res.stencil == "s3d7pt"
+    assert res.grid == (16, 16, 32)
+    assert res.mlups > 0
+    assert res.plan.block  # analytic selection chose a plan
+
+    ys = eng.yasksite("clx")
+    from repro.stencil.library import get_stencil
+
+    spec = get_stencil("3d7pt")
+    plan = ys.select_block(spec, (16, 16, 32)).plan
+    pred = ys.predict(spec, (16, 16, 32), plan)
+    assert res.mlups == pred.mlups
+    assert res.ecm_notation == pred.notation()
+
+
+def test_engine_tune_and_rank_return_typed_results():
+    eng = Engine()
+    tune = eng.tune(
+        TuneRequest.from_payload({"stencil": "3d7pt", "grid": [16, 16, 32]})
+    )
+    assert tune.tuner == "ecm"
+    assert tune.best_mlups > 0
+    assert tune.stencil == "3d7pt"
+    assert tune.grid == (16, 16, 32)
+
+    rank = eng.rank(
+        RankRequest.from_payload({"grid": [8, 8, 16], "validate": False})
+    )
+    assert rank.ivp == "grid8x8x16"
+    assert rank.best_variant in rank.ranking
+    assert rank.ranking[0] == rank.best_variant
+    assert all(t.measured_s is None for t in rank.timings)
+    assert rank.kendall_tau is None
+
+
+def test_engine_predict_trace_attribution():
+    """A traced predict attributes ≥90% of its wall time to spans.
+
+    The default grid keeps the run long enough that span bookkeeping
+    and scheduler jitter stay well under the 10% slack.
+    """
+    eng = Engine()
+    req = PredictRequest.from_payload(
+        {"stencil": "3d7pt", "grid": [48, 48, 64]}
+    )
+    trace = obs.start_trace("request:/predict")
+    eng.predict(req)
+    root = trace.finish()
+    names = {s.name for s in root.walk()}
+    assert {"engine.predict", "engine.yasksite",
+            "blocking.select", "ecm.predict"} <= names
+    predict_span = root.children[0]
+    assert predict_span.name == "engine.predict"
+    assert obs.coverage(predict_span) >= 0.90
+
+
+def test_engine_tune_trace_names_tuner_stages():
+    eng = Engine()
+    trace = obs.start_trace("request:/tune")
+    eng.tune(
+        TuneRequest.from_payload(
+            {"stencil": "3d7pt", "grid": [16, 16, 32], "tuner": "greedy"}
+        )
+    )
+    root = trace.finish()
+    names = {s.name for s in root.walk()}
+    assert {"engine.tune", "tuner.greedy", "tuner.evaluate",
+            "perf.simulate", "cachesim.sweep"} <= names
+    evaluate = [s for s in root.walk() if s.name == "tuner.evaluate"]
+    assert sum(s.counters.get("jobs", 0) for s in evaluate) > 0
+    sweeps = [s for s in root.walk() if s.name == "cachesim.sweep"]
+    ledger = sum(
+        s.counters.get("memo_hits", 0) + s.counters.get("memo_misses", 0)
+        for s in sweeps
+    )
+    assert ledger > 0
+
+
+def test_engine_rank_trace_names_offsite_stages():
+    eng = Engine()
+    trace = obs.start_trace("request:/rank")
+    eng.rank(RankRequest.from_payload({"grid": [8, 8, 16]}))
+    root = trace.finish()
+    names = {s.name for s in root.walk()}
+    assert {"engine.rank", "offsite.predict", "offsite.measure"} <= names

@@ -1,0 +1,161 @@
+"""Tests for the repro.obs span-tracing module."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracing(monkeypatch):
+    """Pin the ambient flag off; ambient tests re-enable it explicitly.
+
+    The flag is read from ``REPRO_TRACE`` once at import, so tests flip
+    the cached attribute rather than the environment.
+    """
+    monkeypatch.setattr(obs, "_AMBIENT", False)
+
+
+def test_span_is_noop_without_trace():
+    handle = obs.span("anything")
+    assert handle is obs._NULL_HANDLE
+    with handle as sp:
+        sp.add(x=1)
+        sp.set(k="v")
+    assert not obs.tracing_active()
+
+
+def test_trace_records_nested_spans():
+    trace = obs.start_trace("root")
+    assert obs.tracing_active()
+    with obs.span("outer") as outer:
+        outer.add(items=2)
+        with obs.span("inner"):
+            time.sleep(0.001)
+    root = trace.finish()
+    assert not obs.tracing_active()
+    assert root.name == "root"
+    assert [c.name for c in root.children] == ["outer"]
+    outer_span = root.children[0]
+    assert outer_span.counters == {"items": 2}
+    assert [c.name for c in outer_span.children] == ["inner"]
+    inner = outer_span.children[0]
+    assert inner.duration_s > 0
+    assert outer_span.duration_s >= inner.duration_s
+    assert root.duration_s >= outer_span.duration_s
+
+
+def test_counters_accumulate_and_attrs_overwrite():
+    trace = obs.start_trace("t")
+    with obs.span("s") as sp:
+        sp.add(hits=1)
+        sp.add(hits=2, misses=1)
+        sp.set(engine="scalar")
+        sp.set(engine="vector")
+    root = trace.finish()
+    span = root.children[0]
+    assert span.counters == {"hits": 3, "misses": 1}
+    assert span.attrs == {"engine": "vector"}
+
+
+def test_to_dict_aggregates_same_named_siblings():
+    trace = obs.start_trace("t")
+    for _ in range(3):
+        with obs.span("repeat") as sp:
+            sp.add(n=1)
+    with obs.span("other"):
+        pass
+    root = trace.finish()
+    entry = root.to_dict(aggregate=True)
+    names = [c["name"] for c in entry["children"]]
+    assert names == ["repeat", "other"]
+    repeat = entry["children"][0]
+    assert repeat["count"] == 3
+    assert repeat["counters"] == {"n": 3}
+    # Without aggregation every sibling survives individually.
+    flat = root.to_dict(aggregate=False)
+    assert [c["name"] for c in flat["children"]] == [
+        "repeat", "repeat", "repeat", "other",
+    ]
+
+
+def test_self_seconds_and_coverage():
+    trace = obs.start_trace("t")
+    with obs.span("parent"):
+        with obs.span("child"):
+            time.sleep(0.002)
+    root = trace.finish()
+    parent = root.children[0]
+    assert parent.self_seconds() == pytest.approx(
+        parent.duration_s - parent.children[0].duration_s
+    )
+    assert 0.0 <= obs.coverage(parent) <= 1.0
+    assert obs.coverage(parent) > 0.5  # nearly all time is in the child
+
+
+def test_span_exception_still_closes():
+    trace = obs.start_trace("t")
+    with pytest.raises(RuntimeError):
+        with obs.span("boom"):
+            raise RuntimeError("x")
+    root = trace.finish()
+    assert root.children[0].name == "boom"
+    assert root.children[0].duration_s >= 0
+    assert not obs.tracing_active()
+
+
+def test_ambient_env_trace(monkeypatch):
+    monkeypatch.setattr(obs, "_AMBIENT", True)
+    assert not obs.tracing_active()
+    with obs.span("ambient-root") as sp:
+        assert obs.tracing_active()
+        sp.add(n=1)
+        with obs.span("child"):
+            pass
+    assert not obs.tracing_active()
+    assert obs.last_trace is not None
+    assert obs.last_trace.name == "ambient-root"
+    assert obs.last_trace.counters == {"n": 1}
+    assert [c.name for c in obs.last_trace.children] == ["child"]
+
+
+def test_ambient_env_flag_parsing(monkeypatch):
+    for value, enabled in (("0", False), ("", False),
+                           ("1", True), ("yes", True)):
+        monkeypatch.setenv(obs.ENV_FLAG, value)
+        assert obs._env_enabled() is enabled
+    monkeypatch.delenv(obs.ENV_FLAG)
+    assert obs._env_enabled() is False
+    # The cached switch governs span(): off means the shared no-op.
+    assert obs.span("x") is obs._NULL_HANDLE
+
+
+def test_render_trace_tree():
+    trace = obs.start_trace("root")
+    with obs.span("stage") as sp:
+        sp.add(jobs=4)
+        sp.set(engine="vector")
+        with obs.span("leaf"):
+            pass
+    root = trace.finish()
+    text = obs.render_trace(root)
+    lines = text.splitlines()
+    assert "root" in lines[0]
+    assert any("stage" in line and "jobs=4" in line for line in lines)
+    assert any("engine=vector" in line for line in lines)
+    assert any("leaf" in line for line in lines)
+    assert all("ms" in line for line in lines)
+
+
+def test_walk_yields_depth_first():
+    trace = obs.start_trace("r")
+    with obs.span("a"):
+        with obs.span("b"):
+            pass
+    with obs.span("c"):
+        pass
+    root = trace.finish()
+    assert [s.name for s in root.walk()] == ["r", "a", "b", "c"]

@@ -1,0 +1,255 @@
+"""Round-trip tests for the canonical engine serializers.
+
+Two families of guarantees:
+
+* property-style round trips — every engine result dataclass survives
+  ``from_dict(to_dict(x)) == x`` unchanged (the dataclasses are frozen,
+  so equality is structural), across a randomized sample of field
+  values;
+* service parity — the service job functions produce bytes identical
+  to serializing a direct engine call, modulo the documented volatile
+  fields (wall-clock timings, process-global traffic-memo ledgers).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cachesim.memo import default_traffic_cache
+from repro.engine import (
+    CacheLedger,
+    Engine,
+    PlanResult,
+    PredictRequest,
+    PredictResult,
+    RankRequest,
+    RankResult,
+    TuneRequest,
+    TuneResult,
+    VariantTimingResult,
+)
+from repro.service import jobs, serializers
+
+#: Fields whose values depend on wall-clock time or on process-global
+#: memo state, never on the request (the soak test strips the same set).
+VOLATILE = ("predict_seconds", "measure_seconds", "traffic_cache")
+
+
+# ----------------------------------------------------------------------
+# Property-style round trips over randomized instances
+# ----------------------------------------------------------------------
+def _random_plan(rng: random.Random) -> PlanResult:
+    order = rng.choice([None, ("z", "y", "x"), ("y", "x", "z")])
+    return PlanResult(
+        block=tuple(rng.choice([4, 8, 16, 32]) for _ in range(3)),
+        loop_order=order,
+        threads=rng.randint(1, 64),
+        wavefront=rng.randint(0, 4),
+        label=f"plan-{rng.randint(0, 999)}",
+    )
+
+
+def _random_predict(rng: random.Random) -> PredictResult:
+    return PredictResult(
+        stencil=rng.choice(["s3d7pt", "sheat3d", "s2d5pt"]),
+        machine=rng.choice(["CascadeLakeSP", "Rome(x0.03125)"]),
+        plan=_random_plan(rng),
+        ecm_notation=f"{{{rng.random():.1f} || ...}}",
+        t_ol_cycles=rng.random() * 10,
+        t_nol_cycles=rng.random() * 10,
+        t_data_cycles=tuple(rng.random() * 5 for _ in range(3)),
+        t_ecm_cycles=rng.random() * 30,
+        regimes=("L1", "L2", "L3", "MEM")[: rng.randint(1, 4)],
+        cycles_per_lup=rng.random() * 4,
+        mlups=rng.random() * 4000,
+        mem_bytes_per_lup=rng.choice([8.0, 16.0, 24.0]),
+        freq_ghz=rng.choice([2.2, 2.6, 3.5]),
+        grid=tuple(rng.choice([16, 32, 48, 64]) for _ in range(3)),
+    )
+
+
+def _random_tune(rng: random.Random) -> TuneResult:
+    return TuneResult(
+        tuner=rng.choice(["ecm", "greedy", "exhaustive"]),
+        best_plan=_random_plan(rng),
+        best_mlups=rng.random() * 4000,
+        variants_examined=rng.randint(1, 500),
+        variants_run=rng.randint(1, 100),
+        simulated_run_seconds=rng.random(),
+        workers=rng.randint(1, 8),
+        traffic_cache=CacheLedger(
+            hits=rng.randint(0, 50), misses=rng.randint(0, 50)
+        ),
+        stencil="3d7pt",
+        machine="clx",
+        grid=(16, 16, 32),
+    )
+
+
+def _random_rank(rng: random.Random) -> RankResult:
+    n = rng.randint(2, 6)
+    timings = tuple(
+        VariantTimingResult(
+            variant=f"v{i}",
+            predicted_s=rng.random(),
+            measured_s=rng.choice([None, rng.random()]),
+            error_pct=rng.choice([None, rng.random() * 20]),
+            sweeps_per_step=rng.randint(1, 8),
+            mem_bytes_per_lup=rng.random() * 30,
+        )
+        for i in range(n)
+    )
+    ranking = tuple(
+        t.variant for t in sorted(timings, key=lambda t: t.predicted_s)
+    )
+    best = min(timings, key=lambda t: t.predicted_s)
+    return RankResult(
+        method="radau_iia(4)m3",
+        ivp="grid8x8x16",
+        machine="CascadeLakeSP(x0.03125)",
+        timings=timings,
+        ranking=ranking,
+        best_variant=best.variant,
+        best_predicted_s=best.predicted_s,
+        kendall_tau=rng.choice([None, rng.random()]),
+        top1_hit=rng.choice([None, True, False]),
+        predict_seconds=rng.random(),
+        measure_seconds=rng.choice([None, rng.random()]),
+        traffic_cache=CacheLedger(hits=rng.randint(0, 9), misses=0),
+        grid=(8, 8, 16),
+    )
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_plan_result_round_trip(seed):
+    plan = _random_plan(random.Random(seed))
+    data = serializers.plan_result_to_dict(plan)
+    assert serializers.plan_result_from_dict(data) == plan
+    json.dumps(data)  # JSON-safe
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_predict_result_round_trip(seed):
+    res = _random_predict(random.Random(seed))
+    data = serializers.predict_result_to_dict(res)
+    assert serializers.predict_result_from_dict(data) == res
+    # A second trip through actual JSON text is also lossless.
+    redata = json.loads(json.dumps(data))
+    assert serializers.predict_result_from_dict(redata) == res
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_tune_result_round_trip(seed):
+    res = _random_tune(random.Random(seed))
+    data = serializers.tune_result_to_dict(res)
+    assert serializers.tune_result_from_dict(data) == res
+    redata = json.loads(json.dumps(data))
+    assert serializers.tune_result_from_dict(redata) == res
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_rank_result_round_trip(seed):
+    res = _random_rank(random.Random(seed))
+    data = serializers.rank_result_to_dict(res)
+    assert serializers.rank_result_from_dict(data) == res
+    redata = json.loads(json.dumps(data))
+    assert serializers.rank_result_from_dict(redata) == res
+
+
+def test_real_engine_results_round_trip():
+    eng = Engine()
+    pred = eng.predict(
+        PredictRequest.from_payload({"stencil": "3d7pt", "grid": [16, 16, 32]})
+    )
+    data = serializers.predict_result_to_dict(pred)
+    assert serializers.predict_result_from_dict(data) == pred
+
+    tune = eng.tune(
+        TuneRequest.from_payload({"stencil": "3d7pt", "grid": [16, 16, 32]})
+    )
+    tdata = serializers.tune_result_to_dict(tune)
+    assert serializers.tune_result_from_dict(tdata) == tune
+
+    rank = eng.rank(RankRequest.from_payload({"grid": [8, 8, 16]}))
+    rdata = serializers.rank_result_to_dict(rank)
+    assert serializers.rank_result_from_dict(rdata) == rank
+
+
+# ----------------------------------------------------------------------
+# Service job outputs equal direct engine calls, bit for bit
+# ----------------------------------------------------------------------
+def _strip_volatile(data: dict) -> dict:
+    return {k: v for k, v in data.items() if k not in VOLATILE}
+
+
+def test_predict_job_equals_direct_engine_call():
+    payload = {"stencil": "3d7pt", "grid": [16, 16, 32]}
+    via_job = jobs.predict_job(jobs.normalize_predict(payload))
+    direct = serializers.predict_result_to_dict(
+        Engine().predict(PredictRequest.from_payload(payload))
+    )
+    assert json.dumps(via_job) == json.dumps(direct)
+
+
+def test_tune_job_equals_direct_engine_call():
+    payload = {"stencil": "3d7pt", "grid": [16, 16, 32]}
+    # The traffic memo is process-global: clear it before each compared
+    # run so both sides start from the same memo state.
+    default_traffic_cache().clear()
+    via_job = jobs.tune_job(jobs.normalize_tune(payload))
+    default_traffic_cache().clear()
+    direct = serializers.tune_result_to_dict(
+        Engine().tune(TuneRequest.from_payload(payload))
+    )
+    assert json.dumps(via_job) == json.dumps(direct)
+
+
+def test_rank_job_equals_direct_engine_call():
+    payload = {"grid": [8, 8, 16], "validate": False}
+    default_traffic_cache().clear()
+    via_job = jobs.rank_job(jobs.normalize_rank(payload))
+    default_traffic_cache().clear()
+    direct = serializers.rank_result_to_dict(
+        Engine().rank(RankRequest.from_payload(payload))
+    )
+    # predict_seconds is wall clock; everything else must be identical.
+    assert json.dumps(_strip_volatile(via_job)) == json.dumps(
+        _strip_volatile(direct)
+    )
+    assert via_job["traffic_cache"] == direct["traffic_cache"]
+    assert list(via_job) == list(direct)  # same key order
+
+
+def test_canonical_key_orders_match_legacy_serializers():
+    """Engine serializer bytes must keep the historical key orders."""
+    eng = Engine()
+    payload = {"stencil": "3d7pt", "grid": [16, 16, 32]}
+    pred = eng.predict(PredictRequest.from_payload(payload))
+    keys = list(serializers.predict_result_to_dict(pred))
+    assert keys == [
+        "stencil", "machine", "plan", "ecm_notation", "t_ol_cycles",
+        "t_nol_cycles", "t_data_cycles", "t_ecm_cycles", "regimes",
+        "cycles_per_lup", "mlups", "mem_bytes_per_lup", "freq_ghz",
+        "grid",
+    ]
+
+    tune = eng.tune(TuneRequest.from_payload(payload))
+    tkeys = list(serializers.tune_result_to_dict(tune))
+    assert tkeys == [
+        "tuner", "best_plan", "best_mlups", "variants_examined",
+        "variants_run", "simulated_run_seconds", "workers",
+        "traffic_cache", "stencil", "machine", "grid",
+    ]
+
+    rank = eng.rank(
+        RankRequest.from_payload({"grid": [8, 8, 16], "validate": False})
+    )
+    rkeys = list(serializers.rank_result_to_dict(rank))
+    assert rkeys == [
+        "method", "ivp", "machine", "timings", "ranking",
+        "best_predicted", "kendall_tau", "top1_hit", "predict_seconds",
+        "measure_seconds", "traffic_cache", "grid",
+    ]
