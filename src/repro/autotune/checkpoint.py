@@ -1,0 +1,197 @@
+"""Atomic checkpoint/resume for empirical tuner sweeps.
+
+A long exhaustive or greedy sweep periodically persists its completed
+``(job, measurement)`` pairs so a crashed or deadline-killed run can be
+resumed instead of redone.  Entries are keyed by the same
+content-addressed fingerprints the traffic memo uses (stencil geometry,
+grid placement, clipped plan, cache geometry) plus the per-job noise
+seed — so a checkpoint can only ever resupply a measurement the sweep
+would have recomputed bit-identically, and a checkpoint taken with a
+different seed, grid or machine simply never matches.
+
+The file is a checksummed :mod:`repro.util.crashsafe` envelope written
+atomically every ``interval`` completions: a crash mid-write leaves the
+previous checkpoint intact, and a corrupted file is quarantined and
+ignored rather than poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.cachesim.memo import (
+    content_digest,
+    report_from_dict,
+    report_to_dict,
+    sweep_key,
+)
+from repro.codegen.plan import KernelPlan
+from repro.grid.grid import GridSet
+from repro.machine.machine import Machine
+from repro.perf.simulate import Measurement
+from repro.stencil.spec import StencilSpec
+from repro.util import crashsafe
+
+__all__ = [
+    "JsonCheckpoint",
+    "TunerCheckpoint",
+    "tuner_fingerprint",
+    "measurement_to_dict",
+    "measurement_from_dict",
+]
+
+
+def measurement_to_dict(meas: Measurement) -> dict:
+    """JSON form of one simulated measurement."""
+    return {
+        "spec_name": meas.spec_name,
+        "machine_name": meas.machine_name,
+        "plan_label": meas.plan_label,
+        "cores": meas.cores,
+        "cycles_per_lup": meas.cycles_per_lup,
+        "freq_ghz": meas.freq_ghz,
+        "traffic": report_to_dict(meas.traffic),
+    }
+
+
+def measurement_from_dict(data: dict) -> Measurement:
+    """Inverse of :func:`measurement_to_dict`."""
+    return Measurement(
+        spec_name=data["spec_name"],
+        machine_name=data["machine_name"],
+        plan_label=data["plan_label"],
+        cores=int(data["cores"]),
+        cycles_per_lup=float(data["cycles_per_lup"]),
+        traffic=report_from_dict(data["traffic"]),
+        freq_ghz=float(data["freq_ghz"]),
+    )
+
+
+def tuner_fingerprint(
+    tuner: str,
+    spec: StencilSpec,
+    grids: GridSet,
+    machine: Machine,
+    seed: int,
+) -> str:
+    """Identity of one tuning run for checkpoint compatibility checks.
+
+    Job keys are already content-addressed, so a mismatched checkpoint
+    could never resupply a wrong measurement — the fingerprint exists so
+    an operator pointing ``--checkpoint`` at the wrong file gets a clean
+    fresh sweep instead of a file that silently accumulates two runs.
+    """
+    return content_digest(
+        {
+            "kind": "tuner-checkpoint",
+            "tuner": tuner,
+            "spec": spec.name,
+            "machine": machine.name,
+            "grid": list(grids.interior_shape),
+            "seed": seed,
+        }
+    )
+
+
+class JsonCheckpoint:
+    """Crash-safe key→JSON store with periodic atomic flushes.
+
+    The generic substrate: callers bring their own entry schema and
+    keying discipline (see :class:`TunerCheckpoint` for the autotune
+    sweeps, :class:`repro.offsite.tuner.OffsiteTuner` for variant
+    rankings).  Every ``interval`` puts the store flushes itself
+    atomically; call :meth:`flush` once more when the run finishes.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        fingerprint: str,
+        interval: int = 4,
+    ) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.interval = max(1, interval)
+        self._entries: dict[str, dict] = {}
+        self._dirty = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = crashsafe.load_envelope(self.path)
+        except FileNotFoundError:
+            return
+        except OSError:
+            return  # unreadable: resume from nothing, keep the file
+        except crashsafe.CorruptPayload:
+            crashsafe.quarantine(self.path)
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("fingerprint") != self.fingerprint
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            return  # a different run's checkpoint: ignore its entries
+        self._entries = dict(payload["entries"])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_raw(self, key: str):
+        """The stored JSON value for ``key``, if any."""
+        return self._entries.get(key)
+
+    def put_raw(self, key: str, value) -> None:
+        """Store a JSON value; flush every ``interval`` puts."""
+        self._entries[key] = value
+        self._dirty += 1
+        if self._dirty >= self.interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist all entries (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        crashsafe.dump_envelope(
+            self.path,
+            {"fingerprint": self.fingerprint, "entries": self._entries},
+        )
+        self._dirty = 0
+
+
+class TunerCheckpoint(JsonCheckpoint):
+    """Checkpoint of completed sweep measurements, keyed by job content."""
+
+    def job_key(
+        self,
+        spec: StencilSpec,
+        grids: GridSet,
+        plan: KernelPlan,
+        machine: Machine,
+        seed: int,
+    ) -> str:
+        """Content key of one tuner job (sweep identity + noise seed)."""
+        return content_digest(
+            {
+                "kind": "tuner-job",
+                "sweep": sweep_key(spec, grids, plan, machine, True),
+                "plan": plan.describe(),
+                "seed": seed,
+            }
+        )
+
+    def get(self, key: str) -> Measurement | None:
+        """A checkpointed measurement for ``key``, if one verifies."""
+        entry = self.get_raw(key)
+        if entry is None:
+            return None
+        try:
+            return measurement_from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            del self._entries[key]  # malformed entry: recompute
+            return None
+
+    def put(self, key: str, meas: Measurement) -> None:
+        """Record a completed measurement; flush every ``interval`` puts."""
+        self.put_raw(key, measurement_to_dict(meas))

@@ -24,11 +24,13 @@ import json
 import os
 from pathlib import Path
 
+from repro import faults
 from repro.cachesim.hierarchy import TrafficReport
 from repro.codegen.plan import KernelPlan
 from repro.grid.grid import GridSet
 from repro.machine.machine import Machine
 from repro.stencil.spec import StencilSpec
+from repro.util import crashsafe
 
 __all__ = [
     "TrafficCache",
@@ -37,6 +39,9 @@ __all__ = [
     "resolve_traffic_cache",
     "sweep_key",
     "stream_key",
+    "report_to_dict",
+    "report_from_dict",
+    "content_digest",
 ]
 
 #: Environment variable that makes the default cache disk-backed.
@@ -65,6 +70,12 @@ def _report_from_dict(rec: dict) -> TrafficReport:
     )
 
 
+# Public names for the record serializers: the tuner checkpoint layer
+# persists Measurement objects and reuses exactly this wire form.
+report_to_dict = _report_to_dict
+report_from_dict = _report_from_dict
+
+
 class TrafficCache:
     """Keyed store of traffic reports (in-memory, optionally on disk).
 
@@ -90,18 +101,40 @@ class TrafficCache:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.json"
 
+    def _disk_load(self, path: Path) -> dict | None:
+        """Read and verify one disk entry.
+
+        An unreadable file (including an injected ``memo.read`` fault)
+        is a plain miss — the file may be fine and I/O flaky, so it is
+        left in place.  A file that *parses wrong* or fails its
+        checksum is quarantined: it would stay wrong forever and shadow
+        every future write of the key.
+        """
+        try:
+            faults.check("memo.read")
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            # json.loads handles the decode: undecodable bytes parse
+            # wrong (UnicodeDecodeError is a ValueError) → quarantine.
+            data = json.loads(raw)
+            rec = crashsafe.unwrap(data) if crashsafe.is_envelope(data) else data
+            _report_from_dict(rec)  # validate before trusting
+        except (crashsafe.CorruptPayload, KeyError, TypeError, ValueError):
+            crashsafe.quarantine(path)
+            return None
+        return rec
+
     def get(self, key: str) -> TrafficReport | None:
         """Look up a report; return a fresh copy or ``None``."""
         rec = self._mem.get(key)
         if rec is None and self.disk_dir is not None:
-            path = self._disk_path(key)
-            if path.is_file():
-                try:
-                    rec = json.loads(path.read_text())
-                except (OSError, ValueError):
-                    rec = None
-                if rec is not None:
-                    self._mem[key] = rec
+            rec = self._disk_load(self._disk_path(key))
+            if rec is not None:
+                self._mem[key] = rec
         if rec is None:
             self.misses += 1
             return None
@@ -125,7 +158,8 @@ class TrafficCache:
                 f".{key}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
             )
             try:
-                tmp.write_text(json.dumps(rec))
+                faults.check("memo.write")
+                tmp.write_text(json.dumps(crashsafe.wrap(rec)))
                 os.replace(tmp, self._disk_path(key))
             except OSError:
                 try:
@@ -184,6 +218,10 @@ def resolve_traffic_cache(
 def _digest(payload: object) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+#: Public name for the content-addressing digest (checkpoint keys reuse it).
+content_digest = _digest
 
 
 def _spec_fingerprint(spec: StencilSpec) -> dict:

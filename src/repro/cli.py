@@ -126,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="processes for variant evaluation (empirical tuners)",
     )
+    tune.add_argument(
+        "--checkpoint",
+        default=None,
+        help="path of a crash-safe checkpoint file: completed variant "
+        "measurements are persisted there and resumed on rerun "
+        "(empirical tuners)",
+    )
     tune.add_argument("--json", action="store_true", help="emit JSON")
     tune.add_argument(
         "--trace",
@@ -156,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the simulated measurements (pure offline ranking)",
     )
     rank.add_argument("--seed", type=int, default=0)
+    rank.add_argument(
+        "--checkpoint",
+        default=None,
+        help="path of a crash-safe checkpoint file for the validation "
+        "measurements (resumed on rerun)",
+    )
     rank.add_argument("--json", action="store_true", help="emit JSON")
     rank.add_argument(
         "--trace",
@@ -220,6 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--db",
         default=None,
         help="path of the persistent tuning database (/rank warm tier)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive fresh-job failures before an endpoint's "
+        "circuit breaker opens",
+    )
+    serve.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    serve.add_argument(
+        "--no-degraded",
+        action="store_true",
+        help="refuse (503) instead of serving analytic degraded "
+        "answers while a breaker is open",
     )
 
     return parser
@@ -300,6 +332,12 @@ def cmd_tune(args: argparse.Namespace) -> int:
             "workers": args.workers,
         }
     )
+    if args.checkpoint:
+        # checkpoint is execution-only (never part of request identity,
+        # never read from remote payloads), so it rides constructor-side.
+        import dataclasses
+
+        request = dataclasses.replace(request, checkpoint=args.checkpoint)
     res = _traced(args, "cli:tune", lambda: default_engine().tune(request))
     if args.json:
         from repro.service.serializers import tune_result_to_dict
@@ -314,6 +352,22 @@ def cmd_tune(args: argparse.Namespace) -> int:
         f"traffic cache    : {res.traffic_cache.hits} hits / "
         f"{res.traffic_cache.misses} misses"
     )
+    if not res.recovery.clean:
+        rec = res.recovery
+        parts = [f"retried={rec.retried_jobs}"]
+        if rec.resumed_jobs:
+            parts.append(f"resumed={rec.resumed_jobs}")
+        if rec.failed_jobs:
+            parts.append(f"failed={len(rec.failed_jobs)}")
+        if rec.skipped_jobs:
+            parts.append(f"skipped={len(rec.skipped_jobs)}")
+        if rec.pool_restarts:
+            parts.append(f"pool_restarts={rec.pool_restarts}")
+        if rec.in_process_fallback:
+            parts.append("in_process_fallback")
+        if rec.degraded:
+            parts.append("DEGRADED")
+        print(f"recovery         : {' '.join(parts)}")
     print(f"best plan        : {res.best_plan.label}")
     print(f"best performance : {res.best_mlups:.1f} MLUP/s")
     return 0
@@ -337,6 +391,10 @@ def cmd_rank(args: argparse.Namespace) -> int:
             "seed": args.seed,
         }
     )
+    if args.checkpoint:
+        import dataclasses
+
+        request = dataclasses.replace(request, checkpoint=args.checkpoint)
     res = _traced(args, "cli:rank", lambda: default_engine().rank(request))
     if args.json:
         from repro.service.serializers import rank_result_to_dict
@@ -401,6 +459,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.timeout,
         drain_timeout_s=args.drain_timeout,
         db_path=args.db,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery_s=args.breaker_recovery,
+        degraded_mode=not args.no_degraded,
     )
     asyncio.run(serve(config))
     return 0

@@ -132,18 +132,29 @@ class YaskSite:
         tuner: str = "ecm",
         seed: int = 0,
         workers: int = 1,
+        deadline: float | None = None,
+        checkpoint: str | None = None,
+        validate: bool = True,
     ) -> TunerResult:
         """Run one of the tuners ("ecm", "exhaustive", "greedy").
 
         ``workers`` parallelises the empirical tuners' variant
         evaluations across processes; the result is identical to a
         serial run (the ECM tuner ignores it — there is nothing to
-        parallelise over).
+        parallelise over).  ``deadline`` (epoch seconds) makes the
+        empirical tuners stop starting new variant evaluations once
+        passed; ``checkpoint`` persists/resumes their completed
+        measurements; ``validate`` is the ECM tuner's single
+        validation-run switch.
         """
-        instance = make_tuner(tuner, workers=workers)
+        instance = make_tuner(
+            tuner, workers=workers, checkpoint=checkpoint, validate=validate
+        )
         grids = GridSet(spec, shape)
         with obs.span(f"tuner.{tuner}"):
-            return instance.tune(spec, grids, self.machine, seed=seed)
+            return instance.tune(
+                spec, grids, self.machine, seed=seed, deadline=deadline
+            )
 
     def predicted_scaling(
         self,

@@ -26,6 +26,7 @@ from repro.engine.results import (
     PlanResult,
     PredictResult,
     RankResult,
+    RecoveryLedger,
     TuneResult,
     VariantTimingResult,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "RankRequest",
     "PlanResult",
     "CacheLedger",
+    "RecoveryLedger",
     "PredictResult",
     "TuneResult",
     "VariantTimingResult",

@@ -96,7 +96,34 @@ class Engine:
                 tuner=request.tuner,
                 seed=request.seed,
                 workers=request.workers,
+                deadline=request.deadline,
+                checkpoint=request.checkpoint,
             )
+            return TuneResult.from_tuner_result(
+                res, request.stencil, request.machine, request.grid
+            )
+
+    def tune_analytic(self, request: TuneRequest) -> TuneResult:
+        """Degraded-mode tune: the ECM-guided analytic answer, no runs.
+
+        Used by the service when the tune backend's circuit breaker is
+        open — whatever tuner was requested, the analytic model picks
+        the block without executing a single variant, and the result is
+        marked degraded so the caller knows it got the fallback.
+        """
+        with obs.span("engine.tune_analytic"):
+            ys = self.yasksite(
+                request.machine, cache_scale=request.cache_scale
+            )
+            spec = get_stencil(request.stencil)
+            res = ys.tune(
+                spec,
+                request.grid,
+                tuner="ecm",
+                seed=request.seed,
+                validate=False,
+            )
+            res.degraded = True
             return TuneResult.from_tuner_result(
                 res, request.stencil, request.machine, request.grid
             )
@@ -119,6 +146,7 @@ class Engine:
                 validate=request.validate,
                 seed=request.seed,
                 ivp_name=ivp,
+                checkpoint=request.checkpoint,
             )
             return RankResult.from_report(report, request.grid)
 

@@ -150,6 +150,12 @@ class TuneRequest:
     ``workers`` parallelises empirical tuners' variant evaluation but
     never changes the result (the reduction is serial-identical), so it
     is deliberately *not* part of the canonical payload identity.
+    ``deadline`` (absolute ``time.time()`` epoch seconds) likewise rides
+    along without entering the identity: a successful run returns the
+    same result with or without one, and the service injects it *after*
+    computing cache/coalescing keys.  ``checkpoint`` is constructor-only
+    (never read from a payload) so a remote client cannot direct the
+    server to write files.
     """
 
     stencil: str
@@ -159,6 +165,8 @@ class TuneRequest:
     cache_scale: float | None = 1 / 32
     seed: int = 0
     workers: int = 1
+    deadline: float | None = None
+    checkpoint: str | None = None
 
     @classmethod
     def from_payload(cls, payload: dict) -> "TuneRequest":
@@ -173,6 +181,11 @@ class TuneRequest:
             raise RequestError(
                 f"workers must be a positive int, got {workers!r}"
             )
+        deadline = payload.get("deadline")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise RequestError(
+                f"deadline must be epoch seconds, got {deadline!r}"
+            )
         return cls(
             stencil=_require_stencil(payload),
             grid=_require_grid(payload, [48, 48, 64]),
@@ -181,10 +194,16 @@ class TuneRequest:
             cache_scale=_optional_scale(payload, "cache_scale", 1 / 32),
             seed=_require_seed(payload),
             workers=workers,
+            deadline=float(deadline) if deadline is not None else None,
         )
 
     def to_payload(self) -> dict:
-        """Canonical dict form (``workers`` excluded: result-neutral)."""
+        """Canonical dict form.
+
+        ``workers``, ``deadline`` and ``checkpoint`` are excluded:
+        they never change a successful result, so they must not fork
+        the cache/coalescing identity.
+        """
         return {
             "stencil": self.stencil,
             "grid": list(self.grid),
@@ -203,7 +222,11 @@ _RANK_DEFAULT_SEED = 0
 
 @dataclass(frozen=True)
 class RankRequest:
-    """One Offsite variant ranking for a (method, grid, machine)."""
+    """One Offsite variant ranking for a (method, grid, machine).
+
+    ``checkpoint`` is constructor-only (CLI ``--checkpoint``; never read
+    from a payload, never part of the canonical identity).
+    """
 
     method: str = "radau_iia"
     stages: int = 4
@@ -214,6 +237,7 @@ class RankRequest:
     block: tuple[int, ...] | str | None = None
     validate: bool = True
     seed: int = 0
+    checkpoint: str | None = None
 
     @classmethod
     def from_payload(cls, payload: dict) -> "RankRequest":

@@ -21,6 +21,7 @@ from repro.offsite.tuner import RankingReport
 __all__ = [
     "PlanResult",
     "CacheLedger",
+    "RecoveryLedger",
     "PredictResult",
     "TuneResult",
     "VariantTimingResult",
@@ -55,6 +56,31 @@ class CacheLedger:
 
     hits: int
     misses: int
+
+
+@dataclass(frozen=True)
+class RecoveryLedger:
+    """Fault-recovery accounting of one tuning run.
+
+    ``degraded`` means the result was produced from partial work (some
+    variant evaluations failed after retries or were skipped on
+    deadline); the remaining fields say exactly what was retried, lost,
+    restored from a checkpoint, or rescued by the in-process fallback.
+    A clean run is the all-defaults instance.
+    """
+
+    degraded: bool = False
+    retried_jobs: int = 0
+    failed_jobs: tuple[str, ...] = ()
+    skipped_jobs: tuple[str, ...] = ()
+    pool_restarts: int = 0
+    resumed_jobs: int = 0
+    in_process_fallback: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """Whether no recovery action was taken at all."""
+        return self == RecoveryLedger()
 
 
 @dataclass(frozen=True)
@@ -116,6 +142,7 @@ class TuneResult:
     stencil: str
     machine: str
     grid: tuple[int, ...]
+    recovery: RecoveryLedger = RecoveryLedger()
 
     @classmethod
     def from_tuner_result(
@@ -139,6 +166,15 @@ class TuneResult:
             stencil=stencil,
             machine=machine,
             grid=tuple(grid),
+            recovery=RecoveryLedger(
+                degraded=res.degraded,
+                retried_jobs=res.retried_jobs,
+                failed_jobs=tuple(res.failed_jobs),
+                skipped_jobs=tuple(res.skipped_jobs),
+                pool_restarts=res.pool_restarts,
+                resumed_jobs=res.resumed_jobs,
+                in_process_fallback=res.in_process_fallback,
+            ),
         )
 
 

@@ -1,0 +1,324 @@
+"""Deterministic, seeded fault injection behind named fault points.
+
+Production layers call :func:`check` at *fault points* — named places
+where a fault is plausible (a worker evaluating a tuner job, a disk
+read of the traffic memo, a tuning-database load).  When no plan is
+installed (the common case) the call is a single module-global read;
+the hardened paths pay essentially nothing.
+
+A :class:`FaultPlan` decides when a point *fires*.  Each point can be
+armed with one :class:`FaultSpec` carrying a trigger —
+
+``nth=K``
+    fire exactly on the K-th call of that point (1-based),
+``every=K``
+    fire on every K-th call,
+``probability=P`` (``p=P`` in the string form)
+    fire with probability ``P`` per call, from a private
+    ``random.Random`` seeded by ``seed`` and the point name, so a plan
+    replays identically run after run,
+``count=N``
+    stop after N firings (combines with the triggers above)
+
+— and a ``mode`` deciding what a firing does:
+
+``error``
+    raise :class:`FaultInjected` (the default),
+``oserror``
+    raise :class:`OSError`, for I/O paths that are expected to tolerate
+    disk failures,
+``exit``
+    terminate the process immediately via ``os._exit`` — the way to
+    kill a worker mid-sweep and exercise ``BrokenProcessPool`` paths.
+
+Plans are activated explicitly (:func:`install`, or the
+:func:`injected` context manager in tests) or ambiently by setting
+``REPRO_FAULTS`` before the process starts, e.g.::
+
+    REPRO_FAULTS="tuner.worker:nth=2:mode=exit;memo.read:p=0.2:seed=7"
+
+Every firing is counted in a process-wide ledger (:func:`counters`,
+surfaced by the service's ``/metrics``) and, when an :mod:`repro.obs`
+trace is recording, as a ``fault.<point>`` counter on the innermost
+open span — so traces show exactly where chaos hit.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro import obs
+
+__all__ = [
+    "ENV_FLAG",
+    "MODES",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "check",
+    "install",
+    "install_from_env",
+    "clear",
+    "active_plan",
+    "active_specs",
+    "injected",
+    "counters",
+    "reset_counters",
+]
+
+#: Environment variable carrying an ambient fault plan (read at import).
+ENV_FLAG = "REPRO_FAULTS"
+
+#: What a firing does: raise FaultInjected, raise OSError, or kill the
+#: process (``os._exit``) to simulate a crashed worker.
+MODES = ("error", "oserror", "exit")
+
+#: Exit status used by ``mode=exit`` firings (BSD's EX_SOFTWARE).
+EXIT_STATUS = 70
+
+
+class FaultInjected(RuntimeError):
+    """The error raised by an ``error``-mode fault firing."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Arming of one fault point (see the module docstring grammar)."""
+
+    point: str
+    probability: float | None = None
+    nth: int | None = None
+    every: int | None = None
+    count: int | None = None
+    mode: str = "error"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.point:
+            raise ValueError("fault point name must be non-empty")
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; choose from {MODES}"
+            )
+        if self.probability is not None and not (
+            0.0 <= self.probability <= 1.0
+        ):
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability!r}"
+            )
+        for name in ("nth", "every", "count"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value!r}")
+
+    @staticmethod
+    def parse(text: str) -> "FaultSpec":
+        """Parse one ``point:key=value:...`` clause."""
+        parts = [p.strip() for p in text.split(":") if p.strip()]
+        if not parts:
+            raise ValueError(f"empty fault spec in {text!r}")
+        point, kwargs = parts[0], {}
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad fault option {part!r} in {text!r}; "
+                    f"expected key=value"
+                )
+            key = key.strip().lower()
+            value = value.strip()
+            try:
+                if key in ("p", "probability"):
+                    kwargs["probability"] = float(value)
+                elif key in ("nth", "every", "count", "seed"):
+                    kwargs[key] = int(value)
+                elif key == "mode":
+                    kwargs["mode"] = value
+                else:
+                    raise ValueError(f"unknown fault option {key!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad fault spec {text!r}: {exc}") from None
+        return FaultSpec(point, **kwargs)
+
+
+class _PointState:
+    """Mutable trigger state of one armed point."""
+
+    __slots__ = ("spec", "calls", "fired", "rng")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.calls = 0
+        self.fired = 0
+        # Seeded per point so multi-point plans replay deterministically
+        # regardless of the interleaving of calls across points.
+        self.rng = random.Random(f"{spec.seed}:{spec.point}")
+
+
+class FaultPlan:
+    """A set of armed fault points with deterministic trigger state.
+
+    Thread-safe: the service evaluates jobs on a thread pool, and all
+    those threads may hit fault points concurrently.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec]) -> None:
+        self._lock = threading.Lock()
+        self._points: dict[str, _PointState] = {}
+        for spec in specs:
+            self._points[spec.point] = _PointState(spec)  # last wins
+
+    @staticmethod
+    def parse(text: str) -> "FaultPlan":
+        """Parse a ``;``-separated list of fault-spec clauses."""
+        specs = [
+            FaultSpec.parse(clause)
+            for clause in text.split(";")
+            if clause.strip()
+        ]
+        if not specs:
+            raise ValueError(f"no fault specs in {text!r}")
+        return FaultPlan(specs)
+
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """The armed specs (picklable; used to arm worker processes)."""
+        return tuple(state.spec for state in self._points.values())
+
+    def should_fire(self, point: str) -> FaultSpec | None:
+        """Record one call of ``point``; return its spec iff it fires."""
+        state = self._points.get(point)
+        if state is None:
+            return None
+        with self._lock:
+            state.calls += 1
+            spec = state.spec
+            if spec.count is not None and state.fired >= spec.count:
+                return None
+            if spec.nth is not None:
+                hit = state.calls == spec.nth
+            elif spec.every is not None:
+                hit = state.calls % spec.every == 0
+            else:
+                hit = True
+            if hit and spec.probability is not None:
+                hit = state.rng.random() < spec.probability
+            if not hit:
+                return None
+            state.fired += 1
+        return spec
+
+    def counters(self) -> dict[str, int]:
+        """Firings per point recorded by *this* plan."""
+        with self._lock:
+            return {
+                point: state.fired
+                for point, state in self._points.items()
+                if state.fired
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-wide plan + firing ledger
+# ----------------------------------------------------------------------
+_PLAN: FaultPlan | None = None
+_FIRED: dict[str, int] = {}
+_FIRED_LOCK = threading.Lock()
+
+
+def check(point: str) -> None:
+    """Fault point: no-op unless an installed plan fires ``point``.
+
+    A firing is counted (process ledger + the innermost open
+    :mod:`repro.obs` span) and then acted on per the spec's ``mode``.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    spec = plan.should_fire(point)
+    if spec is None:
+        return
+    with _FIRED_LOCK:
+        _FIRED[point] = _FIRED.get(point, 0) + 1
+    span = obs.current_span()
+    if span is not None:
+        span.add(**{f"fault.{point}": 1})
+    if spec.mode == "exit":
+        os._exit(EXIT_STATUS)
+    if spec.mode == "oserror":
+        raise OSError(f"injected I/O fault at {point!r}")
+    raise FaultInjected(point)
+
+
+def install(plan: FaultPlan | str | None) -> None:
+    """Activate ``plan`` process-wide (a string is parsed; None clears)."""
+    global _PLAN
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _PLAN = plan
+
+
+def install_from_env() -> FaultPlan | None:
+    """(Re-)install the plan described by ``REPRO_FAULTS``, if any."""
+    text = os.environ.get(ENV_FLAG, "")
+    install(FaultPlan.parse(text) if text else None)
+    return _PLAN
+
+
+def clear() -> None:
+    """Deactivate fault injection (plan off; the ledger is kept)."""
+    install(None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The installed plan, if any."""
+    return _PLAN
+
+
+def active_specs() -> tuple[FaultSpec, ...]:
+    """Specs of the installed plan (empty when injection is off).
+
+    Picklable — worker pools forward these so forked/spawned workers
+    arm the same points with *fresh* per-process trigger state.
+    """
+    plan = _PLAN
+    return plan.specs() if plan is not None else ()
+
+
+@contextmanager
+def injected(plan: FaultPlan | str) -> Iterator[FaultPlan]:
+    """Install a plan for the duration of a ``with`` block (tests)."""
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    previous = _PLAN
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def counters() -> dict[str, int]:
+    """Cumulative firings per point in this process (survives plan swaps)."""
+    with _FIRED_LOCK:
+        return dict(_FIRED)
+
+
+def reset_counters() -> None:
+    """Zero the process firing ledger (tests)."""
+    with _FIRED_LOCK:
+        _FIRED.clear()
+
+
+# Ambient activation: arm the plan described by the environment once at
+# import, mirroring obs's REPRO_TRACE handling (workers started with
+# ``spawn`` re-import this module and re-arm themselves).
+install_from_env()

@@ -46,6 +46,7 @@ __all__ = [
     "span",
     "start_trace",
     "current_trace",
+    "current_span",
     "tracing_active",
     "render_trace",
     "coverage",
@@ -265,6 +266,19 @@ def tracing_active() -> bool:
 def current_trace() -> Trace | None:
     """The trace recording in this context, if any."""
     return _ACTIVE.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of the active trace, if any.
+
+    Lets out-of-band layers (e.g. :mod:`repro.faults`) attach counters
+    to whatever region happens to be recording without opening a span
+    of their own.
+    """
+    trace = _ACTIVE.get()
+    if trace is None:
+        return None
+    return trace._stack[-1]
 
 
 def start_trace(name: str) -> Trace:

@@ -14,6 +14,9 @@ from dataclasses import asdict, dataclass, field
 from math import prod
 from pathlib import Path
 
+from repro import faults
+from repro.util import crashsafe
+
 
 @dataclass(frozen=True)
 class TuningKey:
@@ -122,17 +125,20 @@ class TuningDatabase:
     def write_records(
         path: str | Path, records: list[TuningRecord]
     ) -> None:
-        """Write a record snapshot as JSON (atomic temp-file + replace).
+        """Write a record snapshot as a checksummed envelope.
 
-        Safe against concurrent readers — the published file is always
-        a complete document — and against crashing mid-write.
+        Atomic temp-file + replace: safe against concurrent readers —
+        the published file is always a complete document — and against
+        crashing mid-write; the checksum lets :meth:`load` reject a
+        file corrupted after the fact.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         data = [r.to_json() for r in records]
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
         try:
-            tmp.write_text(json.dumps(data, indent=2) + "\n")
+            faults.check("db.save")
+            tmp.write_text(json.dumps(crashsafe.wrap(data), indent=2) + "\n")
             os.replace(tmp, path)
         except OSError:
             tmp.unlink(missing_ok=True)
@@ -140,18 +146,49 @@ class TuningDatabase:
 
     @staticmethod
     def load(path: str | Path) -> "TuningDatabase":
-        """Load a database previously written by :meth:`save`."""
+        """Load a database previously written by :meth:`save`.
+
+        Accepts both the checksummed-envelope form and the legacy plain
+        record list.  Any malformed content raises ``ValueError``
+        (missing files raise ``OSError`` as before).
+        """
+        faults.check("db.load")
+        text = Path(path).read_text()
+        data = json.loads(text)
+        if crashsafe.is_envelope(data):
+            data = crashsafe.unwrap(data)  # CorruptPayload is a ValueError
+        if not isinstance(data, list):
+            raise ValueError(
+                f"tuning database {path!s} is not a record list"
+            )
         db = TuningDatabase()
-        for item in json.loads(Path(path).read_text()):
-            db.put(TuningRecord.from_json(item))
+        try:
+            for item in data:
+                db.put(TuningRecord.from_json(item))
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"malformed tuning record in {path!s}: {exc}"
+            ) from None
         return db
 
     @staticmethod
     def load_or_empty(path: str | Path) -> "TuningDatabase":
-        """Load if ``path`` exists, else start empty (service warm tier)."""
-        if Path(path).is_file():
+        """Load if ``path`` is usable, else start empty (service warm tier).
+
+        A missing or unreadable file starts empty; a file that exists
+        but does not parse/verify is quarantined (renamed aside for the
+        operator) and the service starts empty instead of crashing or
+        serving garbage.
+        """
+        try:
             return TuningDatabase.load(path)
-        return TuningDatabase()
+        except FileNotFoundError:
+            return TuningDatabase()
+        except OSError:
+            return TuningDatabase()  # transient I/O: keep the file
+        except ValueError:
+            crashsafe.quarantine(path)
+            return TuningDatabase()
 
     # ------------------------------------------------------------------
     def record_report(self, report, grid: tuple[int, ...],

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from math import prod
 
 from repro import obs
-from repro.cachesim.memo import default_traffic_cache
+from repro.autotune.checkpoint import JsonCheckpoint
+from repro.cachesim.memo import content_digest, default_traffic_cache
 from repro.codegen.plan import KernelPlan
 from repro.machine.machine import Machine
 from repro.offsite.composite import (
@@ -59,6 +61,9 @@ class RankingReport:
     measure_seconds: float
     traffic_cache_hits: int = 0
     traffic_cache_misses: int = 0
+    #: Measurements restored from a checkpoint instead of re-run (not
+    #: serialized — a resumed run's report is otherwise identical).
+    resumed_variants: int = 0
 
     def best_predicted(self) -> VariantTiming:
         """The variant the tuner would deploy."""
@@ -122,6 +127,45 @@ class OffsiteTuner:
             names.update(kernel.grids)
         return tuple(sorted(names))
 
+    def _open_checkpoint(
+        self,
+        checkpoint,
+        method: PIRK,
+        grid_shape: tuple[int, ...],
+        dim: int,
+        radius: int,
+        seed: int,
+    ) -> JsonCheckpoint | None:
+        """Resolve a ``checkpoint`` argument (path or instance).
+
+        The fingerprint covers everything a measured step time depends
+        on, so a checkpoint from a different method/machine/grid/seed
+        run is ignored rather than resumed from.
+        """
+        if checkpoint is None or isinstance(checkpoint, JsonCheckpoint):
+            return checkpoint
+        if isinstance(checkpoint, (str, os.PathLike)):
+            fingerprint = content_digest(
+                {
+                    "kind": "offsite-checkpoint",
+                    "method": method.name,
+                    "machine": self.machine.name,
+                    "grid": list(grid_shape),
+                    "dim": dim,
+                    "radius": radius,
+                    "seed": seed,
+                    "block": list(self.block)
+                    if isinstance(self.block, tuple)
+                    else self.block,
+                    "capacity_factor": self.capacity_factor,
+                }
+            )
+            return JsonCheckpoint(checkpoint, fingerprint)
+        raise TypeError(
+            f"checkpoint must be a path or JsonCheckpoint, "
+            f"got {checkpoint!r}"
+        )
+
     def tune(
         self,
         method: PIRK,
@@ -131,11 +175,15 @@ class OffsiteTuner:
         radius: int = 1,
         seed: int = 0,
         ivp_name: str | None = None,
+        checkpoint=None,
     ) -> RankingReport:
         """Predict (and optionally measure) every variant; rank them.
 
         The step time of a variant is ``m`` corrector iterations plus
         the final b-combination sweep, all scaled by the grid size.
+        ``checkpoint`` (a path or :class:`JsonCheckpoint`) persists
+        per-variant measurements so an interrupted validation run can
+        resume; predictions are cheap and always recomputed.
         """
         dim = dim if dim is not None else len(grid_shape)
         s = method.stages
@@ -180,13 +228,25 @@ class OffsiteTuner:
         predict_seconds = time.perf_counter() - t0
 
         measured: dict[str, float] = {}
+        resumed = 0
         t0 = time.perf_counter()
         traffic_cache = default_traffic_cache()
         hits0, misses0 = traffic_cache.hits, traffic_cache.misses
         if validate:
+            cp = self._open_checkpoint(
+                checkpoint, method, grid_shape, dim, radius, seed
+            )
             with obs.span("offsite.measure") as sp:
                 sp.add(variants=len(variants))
                 for i, var in enumerate(variants):
+                    if cp is not None:
+                        entry = cp.get_raw(var.name)
+                        if isinstance(entry, dict) and isinstance(
+                            entry.get("seconds"), (int, float)
+                        ):
+                            measured[var.name] = float(entry["seconds"])
+                            resumed += 1
+                            continue
                     cycles = 0.0
                     names = self._grid_names(var)
                     grids = VariantGrids(names, grid_shape, halo=radius)
@@ -209,6 +269,14 @@ class OffsiteTuner:
                     measured[var.name] = (
                         total * lups / (self.machine.freq_ghz * 1e9)
                     )
+                    if cp is not None:
+                        cp.put_raw(
+                            var.name, {"seconds": measured[var.name]}
+                        )
+                if resumed:
+                    sp.add(resumed=resumed)
+            if cp is not None:
+                cp.flush()
         measure_seconds = time.perf_counter() - t0
 
         timings = [
@@ -239,6 +307,7 @@ class OffsiteTuner:
             measure_seconds=measure_seconds,
             traffic_cache_hits=traffic_cache.hits - hits0,
             traffic_cache_misses=traffic_cache.misses - misses0,
+            resumed_variants=resumed,
         )
 
 
@@ -278,6 +347,7 @@ def rank_variants(
     seed: int = 0,
     capacity_factor: float = 1.0,
     ivp_name: str | None = None,
+    checkpoint=None,
 ) -> RankingReport:
     """One-call Offsite ranking: build method + tuner, return the report.
 
@@ -300,6 +370,7 @@ def rank_variants(
         radius=radius,
         seed=seed,
         ivp_name=ivp_name,
+        checkpoint=checkpoint,
     )
 
 

@@ -1,0 +1,142 @@
+"""Per-backend circuit breaker for the service's fresh-execution path.
+
+A breaker watches consecutive fresh-job failures on one endpoint.
+After ``failure_threshold`` in a row it *opens*: the server stops
+sending work to the backend and (with ``degraded_mode``) answers from
+the analytic fallback instead.  After ``recovery_s`` the breaker turns
+*half-open* and lets exactly one probe request through — a success
+closes it again, a failure re-opens it for another ``recovery_s``.
+
+The class is a plain thread-safe state machine with an injectable
+clock; it knows nothing about HTTP so the unit tests can drive it
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        recovery_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        if recovery_s < 0:
+            raise ValueError("recovery_s must be >= 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive failures while closed
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._times_opened = 0
+
+    # -- queries --------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a fresh request proceed right now?
+
+        While open, the first call after ``recovery_s`` flips the
+        breaker half-open and is granted as the probe; concurrent
+        requests during the probe are refused.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.recovery_s:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # half-open: one probe at a time
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe would be allowed (0 if now)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0, self.recovery_s - (self._clock() - self._opened_at)
+            )
+
+    # -- transitions ----------------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._open_locked()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._open_locked()
+
+    def release_probe(self) -> None:
+        """Give back a granted probe whose request never ran fresh work
+        (it coalesced onto an in-flight task or was shed), so the next
+        request can probe instead of the breaker sticking half-open."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+
+    def force_open(self) -> None:
+        """Trip the breaker immediately (tests, operator action)."""
+        with self._lock:
+            self._open_locked()
+
+    def reset(self) -> None:
+        """Close and forget all failure history."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probe_in_flight = False
+
+    def _open_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probe_in_flight = False
+        self._times_opened += 1
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``/healthz`` and ``/metrics``."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_s": self.recovery_s,
+                "times_opened": self._times_opened,
+            }

@@ -64,7 +64,7 @@ class ServiceClient:
     # -- transport ------------------------------------------------------
     def _attempt(
         self, method: str, path: str, payload: dict | None
-    ) -> tuple[int, dict | str]:
+    ) -> tuple[int, dict | str, dict[str, str]]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
@@ -78,9 +78,30 @@ class ServiceClient:
                 decoded: dict | str = json.loads(raw)
             except ValueError:
                 decoded = raw
-            return resp.status, decoded
+            resp_headers = {k.lower(): v for k, v in resp.getheaders()}
+            return resp.status, decoded, resp_headers
         finally:
             conn.close()
+
+    def _retry_delay_s(
+        self, attempt: int, headers: dict[str, str] | None
+    ) -> float:
+        """Backoff before retry ``attempt``, honoring ``Retry-After``.
+
+        A parseable Retry-After (seconds form) from a 429/503 overrides
+        the exponential schedule — the server knows when capacity (or a
+        half-open breaker probe) comes back.  It is capped at
+        ``timeout_s`` so a confused server can't park the client, and a
+        malformed value falls back to the exponential schedule.
+        """
+        if headers:
+            retry_after = headers.get("retry-after")
+            if retry_after is not None:
+                try:
+                    return min(max(float(retry_after), 0.0), self.timeout_s)
+                except ValueError:
+                    pass  # HTTP-date or garbage: use the backoff schedule
+        return self.backoff_s * self.backoff_factor**attempt
 
     def request(
         self,
@@ -94,23 +115,24 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                status, body = self._attempt(method, path, payload)
+                status, body, headers = self._attempt(method, path, payload)
             except (ConnectionError, OSError, http.client.HTTPException):
                 if attempt >= budget:
                     raise
-                status, body = None, None  # transient transport failure
+                # transient transport failure
+                status, body, headers = None, None, None
             if status is not None:
                 if status < 400:
                     return body if isinstance(body, dict) else {"raw": body}
                 if status not in self.retry_statuses or attempt >= budget:
                     raise ServiceError(status, body)
-            time.sleep(self.backoff_s * self.backoff_factor**attempt)
+            time.sleep(self._retry_delay_s(attempt, headers))
             attempt += 1
 
     # -- endpoint wrappers ----------------------------------------------
     def healthz(self) -> dict:
         """``GET /healthz`` (no retries — health must be a point probe)."""
-        status, body = self._attempt("GET", "/healthz", None)
+        status, body, _ = self._attempt("GET", "/healthz", None)
         if isinstance(body, dict):
             return {"http_status": status, **body}
         return {"http_status": status, "raw": body}

@@ -49,6 +49,16 @@ class ServiceConfig:
     latency_reservoir:
         Samples kept per endpoint for the latency percentiles
         reported by ``/metrics``.
+    breaker_threshold:
+        Consecutive fresh-job failures on one endpoint before its
+        circuit breaker opens.
+    breaker_recovery_s:
+        How long an open breaker waits before letting one half-open
+        probe request through.
+    degraded_mode:
+        When an endpoint's breaker is open, serve the analytic
+        fallback (HTTP 200 with ``"degraded": true``) instead of
+        refusing with HTTP 503.
     """
 
     host: str = "127.0.0.1"
@@ -62,6 +72,9 @@ class ServiceConfig:
     db_path: str | None = None
     max_body_bytes: int = 1 << 20
     latency_reservoir: int = 2048
+    breaker_threshold: int = 5
+    breaker_recovery_s: float = 30.0
+    degraded_mode: bool = True
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -76,3 +89,7 @@ class ServiceConfig:
             raise ValueError("response_cache_size must be >= 0")
         if self.request_timeout_s <= 0 or self.drain_timeout_s < 0:
             raise ValueError("timeouts must be positive")
+        if self.breaker_threshold <= 0:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_recovery_s < 0:
+            raise ValueError("breaker_recovery_s must be >= 0")

@@ -24,9 +24,10 @@ envelope so cached responses stay byte-identical to untraced ones.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 
-from repro import obs
+from repro import faults, obs
 from repro.engine import (
     PredictRequest,
     RankRequest,
@@ -44,6 +45,7 @@ from repro.service.serializers import (
 __all__ = [
     "JobError",
     "JOBS",
+    "DEGRADED_JOBS",
     "request_key",
     "normalize_predict",
     "normalize_tune",
@@ -51,6 +53,9 @@ __all__ = [
     "predict_job",
     "tune_job",
     "rank_job",
+    "degraded_predict_job",
+    "degraded_tune_job",
+    "degraded_rank_job",
     "rank_db_key_parts",
     "run_traced_job",
 ]
@@ -92,18 +97,21 @@ def rank_db_key_parts(payload: dict) -> tuple[str, str, str, tuple[int, ...]]:
 # ----------------------------------------------------------------------
 def predict_job(payload: dict) -> dict:
     """Analytic ECM prediction (no simulation, no traffic)."""
+    faults.check("service.predict")
     result = default_engine().predict(PredictRequest.from_payload(payload))
     return predict_result_to_dict(result)
 
 
 def tune_job(payload: dict) -> dict:
     """Run a tuner; the pool provides the parallelism (inner workers=1)."""
+    faults.check("service.tune")
     result = default_engine().tune(TuneRequest.from_payload(payload))
     return tune_result_to_dict(result)
 
 
 def rank_job(payload: dict) -> dict:
     """Offsite variant ranking for one (method, grid, machine)."""
+    faults.check("service.rank")
     result = default_engine().rank(RankRequest.from_payload(payload))
     return rank_result_to_dict(result)
 
@@ -113,6 +121,39 @@ JOBS = {
     "/predict": (normalize_predict, predict_job),
     "/tune": (normalize_tune, tune_job),
     "/rank": (normalize_rank, rank_job),
+}
+
+
+# ----------------------------------------------------------------------
+# Degraded fallbacks (breaker open: analytic answers, no fault points,
+# run on the loop's thread executor — never on the suspect pool)
+# ----------------------------------------------------------------------
+def degraded_predict_job(payload: dict) -> dict:
+    """Prediction is already analytic; rerun it off the broken pool."""
+    result = default_engine().predict(PredictRequest.from_payload(payload))
+    return predict_result_to_dict(result)
+
+
+def degraded_tune_job(payload: dict) -> dict:
+    """ECM-guided analytic tune (no variant runs), marked degraded."""
+    result = default_engine().tune_analytic(TuneRequest.from_payload(payload))
+    return tune_result_to_dict(result)
+
+
+def degraded_rank_job(payload: dict) -> dict:
+    """Prediction-only ranking: validation runs are dropped."""
+    request = RankRequest.from_payload(payload)
+    if request.validate:
+        request = dataclasses.replace(request, validate=False)
+    result = default_engine().rank(request)
+    return rank_result_to_dict(result)
+
+
+#: endpoint path → breaker-open fallback body
+DEGRADED_JOBS = {
+    "/predict": degraded_predict_job,
+    "/tune": degraded_tune_job,
+    "/rank": degraded_rank_job,
 }
 
 

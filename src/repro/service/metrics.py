@@ -6,7 +6,8 @@ Every POST request resolves to exactly **one** outcome —
 ``coalesced``  joined an identical in-flight request's future
 ``database``   served by the warm Offsite tuning database (tier 3)
 ``fresh``      executed on the worker pool
-``shed``       refused by admission control (HTTP 429)
+``degraded``   breaker open — served by the analytic fallback
+``shed``       refused by admission control or an open breaker
 ``failed``     bad payload, job error or timeout
 
 so the per-endpoint outcome counts always sum to the request total;
@@ -20,7 +21,9 @@ from collections import deque
 
 __all__ = ["OUTCOMES", "LatencyReservoir", "EndpointStats", "ServiceMetrics"]
 
-OUTCOMES = ("cache", "coalesced", "database", "fresh", "shed", "failed")
+OUTCOMES = (
+    "cache", "coalesced", "database", "fresh", "degraded", "shed", "failed"
+)
 
 
 class LatencyReservoir:

@@ -27,6 +27,7 @@ from repro.engine.results import (
     PlanResult,
     PredictResult,
     RankResult,
+    RecoveryLedger,
     TuneResult,
     VariantTimingResult,
 )
@@ -42,6 +43,8 @@ __all__ = [
     "tuning_record_to_dict",
     "plan_result_to_dict",
     "plan_result_from_dict",
+    "recovery_ledger_to_dict",
+    "recovery_ledger_from_dict",
     "predict_result_to_dict",
     "predict_result_from_dict",
     "tune_result_to_dict",
@@ -102,6 +105,15 @@ def tuner_result_to_dict(res: TunerResult) -> dict:
         "traffic_cache": {
             "hits": res.traffic_cache_hits,
             "misses": res.traffic_cache_misses,
+        },
+        "recovery": {
+            "degraded": res.degraded,
+            "retried_jobs": res.retried_jobs,
+            "failed_jobs": list(res.failed_jobs),
+            "skipped_jobs": list(res.skipped_jobs),
+            "pool_restarts": res.pool_restarts,
+            "resumed_jobs": res.resumed_jobs,
+            "in_process_fallback": res.in_process_fallback,
         },
     }
 
@@ -229,11 +241,44 @@ def tune_result_to_dict(res: TuneResult) -> dict:
         "stencil": res.stencil,
         "machine": res.machine,
         "grid": list(res.grid),
+        "recovery": recovery_ledger_to_dict(res.recovery),
     }
 
 
+def recovery_ledger_to_dict(ledger: RecoveryLedger) -> dict:
+    """JSON form of a tuning run's fault-recovery accounting."""
+    return {
+        "degraded": ledger.degraded,
+        "retried_jobs": ledger.retried_jobs,
+        "failed_jobs": list(ledger.failed_jobs),
+        "skipped_jobs": list(ledger.skipped_jobs),
+        "pool_restarts": ledger.pool_restarts,
+        "resumed_jobs": ledger.resumed_jobs,
+        "in_process_fallback": ledger.in_process_fallback,
+    }
+
+
+def recovery_ledger_from_dict(data: dict | None) -> RecoveryLedger:
+    """Inverse of :func:`recovery_ledger_to_dict` (None → clean run)."""
+    if not data:
+        return RecoveryLedger()
+    return RecoveryLedger(
+        degraded=data.get("degraded", False),
+        retried_jobs=data.get("retried_jobs", 0),
+        failed_jobs=tuple(data.get("failed_jobs", ())),
+        skipped_jobs=tuple(data.get("skipped_jobs", ())),
+        pool_restarts=data.get("pool_restarts", 0),
+        resumed_jobs=data.get("resumed_jobs", 0),
+        in_process_fallback=data.get("in_process_fallback", False),
+    )
+
+
 def tune_result_from_dict(data: dict) -> TuneResult:
-    """Inverse of :func:`tune_result_to_dict`."""
+    """Inverse of :func:`tune_result_to_dict`.
+
+    Tolerates responses recorded before the recovery ledger existed
+    (a missing ``recovery`` key means a clean run).
+    """
     return TuneResult(
         tuner=data["tuner"],
         best_plan=plan_result_from_dict(data["best_plan"]),
@@ -249,6 +294,7 @@ def tune_result_from_dict(data: dict) -> TuneResult:
         stencil=data["stencil"],
         machine=data["machine"],
         grid=tuple(data["grid"]),
+        recovery=recovery_ledger_from_dict(data.get("recovery")),
     )
 
 

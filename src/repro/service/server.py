@@ -24,10 +24,13 @@ import signal
 import time
 from collections import OrderedDict
 
+from repro import faults
 from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
 from repro.service.batching import CoalescingDispatcher, Overloaded
+from repro.service.breaker import CircuitBreaker
 from repro.service.config import ServiceConfig
 from repro.service.jobs import (
+    DEGRADED_JOBS,
     JOBS,
     JobError,
     rank_db_key_parts,
@@ -116,6 +119,14 @@ class ReproService:
             self.database = TuningDatabase.load_or_empty(self.config.db_path)
         else:
             self.database = TuningDatabase()
+        self.breakers = {
+            path: CircuitBreaker(
+                path,
+                failure_threshold=self.config.breaker_threshold,
+                recovery_s=self.config.breaker_recovery_s,
+            )
+            for path in JOBS
+        }
         self._server: asyncio.base_events.Server | None = None
         self._stop_requested = asyncio.Event()
         self._active_requests = 0
@@ -242,6 +253,10 @@ class ReproService:
                 {
                     "status": "draining" if self.draining else "ok",
                     "uptime_s": self.uptime_s(),
+                    "breakers": {
+                        path_: breaker.state
+                        for path_, breaker in sorted(self.breakers.items())
+                    },
                 },
             )
             return
@@ -363,6 +378,57 @@ class ReproService:
             self.metrics.record_tier("database", misses=1)
         stages["cache"] = time.perf_counter() - t_stage
 
+        # Circuit breaker: a backend that keeps failing fresh jobs is
+        # taken out of rotation.  With degraded_mode the request is
+        # answered analytically on the loop's thread executor (the
+        # suspect pool is never touched) and marked degraded — the
+        # response is NOT cached, so a recovered backend serves real
+        # answers again immediately.  Without degraded_mode the
+        # request is refused with 503 + Retry-After.
+        breaker = self.breakers[endpoint]
+        if not breaker.allow():
+            if not self.config.degraded_mode:
+                retry_after = max(1, int(breaker.retry_after_s() + 0.999))
+                return (
+                    "shed",
+                    503,
+                    {
+                        "error": "circuit open",
+                        "endpoint": endpoint,
+                        "breaker": breaker.snapshot(),
+                    },
+                    {"Retry-After": str(retry_after)},
+                )
+            t_stage = time.perf_counter()
+            try:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    None, DEGRADED_JOBS[endpoint], normalized
+                )
+            except Exception as exc:
+                return (
+                    "failed",
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                    None,
+                )
+            finally:
+                stages["execute"] = time.perf_counter() - t_stage
+            env = envelope("degraded", result)
+            env["degraded"] = True
+            return "degraded", 200, env, None
+
+        # The job payload may carry execution-only hints the request
+        # identity must exclude: /tune gets the per-request deadline so
+        # the tuner inside the worker stops starting variants the
+        # server would time out on anyway.  Injected AFTER ``key`` is
+        # computed, so caching/coalescing identity is unchanged.
+        job_payload = normalized
+        if endpoint == "/tune":
+            job_payload = dict(normalized)
+            job_payload["deadline"] = (
+                time.time() + self.config.request_timeout_s
+            )
+
         # Coalesce + admit + batch onto the pool.  The completion hook
         # fills the caches before the in-flight key is released, so
         # identical late arrivals can never re-execute.
@@ -405,10 +471,11 @@ class ReproService:
         t_stage = time.perf_counter()
         try:
             mode, task = self.dispatcher.dispatch(
-                dispatch_key, dispatch_job, normalized,
+                dispatch_key, dispatch_job, job_payload,
                 on_result=dispatch_hook,
             )
         except Overloaded as exc:
+            breaker.release_probe()
             stages["execute"] = time.perf_counter() - t_stage
             return (
                 "shed",
@@ -416,11 +483,19 @@ class ReproService:
                 {"error": "overloaded", "detail": str(exc)},
                 {"Retry-After": "1"},
             )
+        # Only the request that actually dispatched fresh work reports
+        # to the breaker — coalesced waiters would multiply one backend
+        # failure into N breaker strikes.  A granted half-open probe
+        # that didn't run fresh work is handed back instead.
+        if mode != "fresh":
+            breaker.release_probe()
         try:
             result = await asyncio.wait_for(
                 asyncio.shield(task), self.config.request_timeout_s
             )
         except asyncio.TimeoutError:
+            if mode == "fresh":
+                breaker.record_failure()
             return (
                 "failed",
                 504,
@@ -431,6 +506,8 @@ class ReproService:
                 None,
             )
         except Exception as exc:  # job blew up in the worker
+            if mode == "fresh":
+                breaker.record_failure()
             return (
                 "failed",
                 500,
@@ -439,6 +516,8 @@ class ReproService:
             )
         finally:
             stages["execute"] = time.perf_counter() - t_stage
+        if mode == "fresh":
+            breaker.record_success()
         if want_trace:
             trace = result["trace"]
             _fold_trace_stages(trace, stages)
@@ -531,6 +610,11 @@ class ReproService:
                 "capacity": self.config.response_cache_size,
             },
             database={"records": len(self.database)},
+            breakers={
+                path: breaker.snapshot()
+                for path, breaker in sorted(self.breakers.items())
+            },
+            faults={"fired": faults.counters()},
         )
 
 

@@ -1,0 +1,138 @@
+"""Checksummed JSON envelopes and quarantine for crash-safe stores.
+
+Every persistent artifact (tuning database, disk traffic-memo entries,
+tuner checkpoints) is written as an *envelope*::
+
+    {"v": 1, "sha256": "<hex digest of the canonical payload>",
+     "payload": <the actual JSON document>}
+
+published atomically (unique temp file + ``os.replace``), so a reader
+never sees a torn file, and a flipped bit, truncated write or
+hand-edited file is detected by the checksum instead of being parsed
+into garbage.  Readers that find a bad file call :func:`quarantine` to
+rename it aside (``<name>.corrupt.<pid>.<n>``) — the evidence is kept
+for the operator, and the store recovers by regenerating the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from pathlib import Path
+
+__all__ = [
+    "CorruptPayload",
+    "checksum",
+    "wrap",
+    "unwrap",
+    "is_envelope",
+    "dump_envelope",
+    "load_envelope",
+    "quarantine",
+]
+
+#: Envelope format version.
+VERSION = 1
+
+_QUARANTINE_COUNTER = itertools.count()
+
+
+class CorruptPayload(ValueError):
+    """An envelope whose structure or checksum does not verify."""
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def checksum(payload: object) -> str:
+    """sha256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def wrap(payload: object) -> dict:
+    """Build the envelope dict for ``payload``."""
+    return {"v": VERSION, "sha256": checksum(payload), "payload": payload}
+
+
+def is_envelope(data: object) -> bool:
+    """Whether ``data`` has the envelope shape (checksum not verified)."""
+    return (
+        isinstance(data, dict)
+        and "payload" in data
+        and isinstance(data.get("sha256"), str)
+    )
+
+
+def unwrap(data: object) -> object:
+    """Verify an envelope and return its payload.
+
+    Raises :class:`CorruptPayload` on the wrong shape or a checksum
+    mismatch.
+    """
+    if not is_envelope(data):
+        raise CorruptPayload("not a checksummed envelope")
+    payload = data["payload"]
+    if checksum(payload) != data["sha256"]:
+        raise CorruptPayload("payload checksum mismatch")
+    return payload
+
+
+def dump_envelope(path: str | os.PathLike, payload: object) -> None:
+    """Atomically write ``payload`` as an envelope at ``path``.
+
+    A unique temp file in the same directory plus ``os.replace`` makes
+    the publish atomic even with concurrent writers — readers see the
+    old file or the new one, never a partial write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / (
+        f".{path.name}.{os.getpid()}.{next(_QUARANTINE_COUNTER)}.tmp"
+    )
+    try:
+        tmp.write_text(json.dumps(wrap(payload)))
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+
+
+def load_envelope(path: str | os.PathLike) -> object:
+    """Read and verify an envelope; return its payload.
+
+    Raises :class:`CorruptPayload` when the file exists but does not
+    parse/verify; ``OSError`` (e.g. ``FileNotFoundError``) propagates so
+    callers can distinguish "no file" from "bad file".
+    """
+    raw = Path(path).read_bytes()
+    try:
+        # json.loads handles the decode too, so undecodable bytes are
+        # CorruptPayload (UnicodeDecodeError is a ValueError) — a
+        # corrupted file, not an I/O failure.
+        data = json.loads(raw)
+    except ValueError as exc:
+        raise CorruptPayload(f"unparseable envelope: {exc}") from None
+    return unwrap(data)
+
+
+def quarantine(path: str | os.PathLike) -> Path | None:
+    """Rename a bad file aside; return its new path (None if it vanished).
+
+    The quarantine name is unique per process and call so repeated
+    corruption of the same path never destroys earlier evidence.
+    """
+    path = Path(path)
+    target = path.with_name(
+        f"{path.name}.corrupt.{os.getpid()}.{next(_QUARANTINE_COUNTER)}"
+    )
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target

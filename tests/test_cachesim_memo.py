@@ -167,3 +167,102 @@ class TestConcurrentDiskPuts:
             json.loads(path.read_text())  # every published file is whole
         fresh = TrafficCache(disk_dir=tmp_path)
         assert fresh.get(key).as_dict() == report.as_dict()
+
+
+class TestDiskCorruption:
+    """Bad disk entries: quarantined and recomputed, never trusted."""
+
+    def _entry_files(self, tmp_path):
+        return [
+            p for p in tmp_path.iterdir() if ".corrupt." not in p.name
+        ]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"\x01\xffgarbage bytes",
+            b'{"torn": ',
+            b'{"v": 1, "sha256": "doctored", "payload": {}}',
+            b'{"valid_json": "but not a traffic report"}',
+        ],
+    )
+    def test_bad_entry_quarantined_and_recomputed(
+        self, setting, tmp_path, payload
+    ):
+        spec, grids, plan, machine = setting
+        c1 = TrafficCache(disk_dir=tmp_path)
+        clean = measure_sweep(spec, grids, plan, machine, traffic_cache=c1)
+        (entry,) = self._entry_files(tmp_path)
+        entry.write_bytes(payload)
+
+        c2 = TrafficCache(disk_dir=tmp_path)
+        again = measure_sweep(spec, grids, plan, machine, traffic_cache=c2)
+        assert c2.hits == 0 and c2.misses == 1  # corrupt file ≠ a hit
+        assert again.as_dict() == clean.as_dict()
+        quarantined = list(tmp_path.glob("*.corrupt.*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == payload
+        # The recompute republished a good entry over the bad one.
+        c3 = TrafficCache(disk_dir=tmp_path)
+        measure_sweep(spec, grids, plan, machine, traffic_cache=c3)
+        assert c3.hits == 1
+
+    def test_injected_read_fault_is_miss_without_quarantine(
+        self, setting, tmp_path
+    ):
+        from repro import faults
+
+        spec, grids, plan, machine = setting
+        c1 = TrafficCache(disk_dir=tmp_path)
+        measure_sweep(spec, grids, plan, machine, traffic_cache=c1)
+
+        c2 = TrafficCache(disk_dir=tmp_path)
+        with faults.injected("memo.read:every=1:mode=oserror"):
+            measure_sweep(spec, grids, plan, machine, traffic_cache=c2)
+        assert c2.misses == 1
+        # Flaky I/O is not corruption: the (fine) file must survive.
+        assert not list(tmp_path.glob("*.corrupt.*"))
+        c3 = TrafficCache(disk_dir=tmp_path)
+        measure_sweep(spec, grids, plan, machine, traffic_cache=c3)
+        assert c3.hits == 1
+
+    def test_injected_write_fault_keeps_running(self, setting, tmp_path):
+        from repro import faults
+
+        spec, grids, plan, machine = setting
+        c1 = TrafficCache(disk_dir=tmp_path)
+        with faults.injected("memo.write:every=1:mode=oserror"):
+            res = measure_sweep(
+                spec, grids, plan, machine, traffic_cache=c1
+            )
+        assert res is not None  # persistence failure never fails the run
+        assert not self._entry_files(tmp_path)
+
+    def test_disk_entries_are_checksummed_envelopes(self, setting, tmp_path):
+        import json
+
+        from repro.util import crashsafe
+
+        spec, grids, plan, machine = setting
+        cache = TrafficCache(disk_dir=tmp_path)
+        measure_sweep(spec, grids, plan, machine, traffic_cache=cache)
+        (entry,) = self._entry_files(tmp_path)
+        data = json.loads(entry.read_text())
+        assert crashsafe.is_envelope(data)
+        assert data["sha256"] == crashsafe.checksum(data["payload"])
+
+    def test_legacy_plain_entry_still_served(self, setting, tmp_path):
+        import json
+
+        from repro.util import crashsafe
+
+        spec, grids, plan, machine = setting
+        cache = TrafficCache(disk_dir=tmp_path)
+        measure_sweep(spec, grids, plan, machine, traffic_cache=cache)
+        (entry,) = self._entry_files(tmp_path)
+        data = json.loads(entry.read_text())
+        entry.write_text(json.dumps(crashsafe.unwrap(data)))  # pre-envelope
+
+        c2 = TrafficCache(disk_dir=tmp_path)
+        measure_sweep(spec, grids, plan, machine, traffic_cache=c2)
+        assert c2.hits == 1 and c2.misses == 0

@@ -1,0 +1,214 @@
+"""Checkpoint/resume tests: tuner sweeps and Offsite rankings.
+
+The resume contract: a checkpointed rerun produces a result identical
+to the uninterrupted run (content-addressed keys make wrong reuse
+impossible), executes zero fresh variants when the checkpoint is
+complete, and survives corrupted or foreign checkpoint files by
+quarantining/ignoring them — never by crashing or silently reusing
+stale data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.autotune import ExhaustiveTuner, GreedyLineSearchTuner
+from repro.autotune.checkpoint import TunerCheckpoint, tuner_fingerprint
+from repro.grid import GridSet
+from repro.machine import cascade_lake_sp
+from repro.offsite.tuner import rank_variants
+from repro.stencil import get_stencil
+from repro.util import crashsafe
+
+SHAPE = (24, 24, 32)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def setting():
+    machine = cascade_lake_sp().scaled_caches(1 / 32)
+    spec = get_stencil("3d7pt")
+    grids = GridSet(spec, SHAPE)
+    return spec, grids, machine
+
+
+class TestTunerCheckpoint:
+    def test_full_resume_runs_nothing_fresh(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        first = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        assert path.exists()
+        assert first.resumed_jobs == 0
+
+        second = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        assert second.variants_run == 0
+        assert second.resumed_jobs == second.variants_examined
+        assert second.best_plan == first.best_plan
+        assert second.best_mlups == pytest.approx(first.best_mlups, abs=0)
+        assert second.trace == first.trace
+        assert second.simulated_run_seconds == 0.0
+
+    def test_partial_resume_after_crash(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        clean = ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+
+        # "Crash" the first attempt after a few completions: the
+        # injected fault exhausts retries from job 4 onward, but the
+        # completed measurements were checkpointed.
+        with faults.injected("tuner.eval:every=1:seed=0"):
+            with pytest.raises(Exception):
+                ExhaustiveTuner(checkpoint=str(path)).tune(
+                    spec, grids, machine, seed=1
+                )
+
+        cp = TunerCheckpoint(
+            path, tuner_fingerprint("exhaustive", spec, grids, machine, 1)
+        )
+        done_before = len(cp)
+
+        resumed = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        assert resumed.resumed_jobs == done_before
+        assert resumed.variants_run == (
+            resumed.variants_examined - done_before
+        )
+        assert resumed.best_plan == clean.best_plan
+        assert resumed.trace == clean.trace
+
+    def test_corrupt_checkpoint_quarantined(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        path.write_text('{"v": 1, "sha256": "doctored", "payload": {}}')
+        res = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        assert res.resumed_jobs == 0
+        assert res.variants_run == res.variants_examined
+        quarantined = list(tmp_path.glob("*.corrupt.*"))
+        assert len(quarantined) == 1
+
+    def test_garbage_bytes_quarantined(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        path.write_bytes(b"\x00\xffnot json at all")
+        res = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        assert res.resumed_jobs == 0
+        assert list(tmp_path.glob("*.corrupt.*"))
+
+    def test_different_seed_never_reuses(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        other = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=2
+        )
+        # Fingerprint mismatch: the seed=2 sweep starts from nothing.
+        assert other.resumed_jobs == 0
+        assert other.variants_run == other.variants_examined
+
+    def test_foreign_fingerprint_file_ignored_not_destroyed(
+        self, setting, tmp_path
+    ):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        crashsafe.dump_envelope(
+            path, {"fingerprint": "someone-elses-run", "entries": {"k": {}}}
+        )
+        res = ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        assert res.resumed_jobs == 0
+        # The file was valid (just foreign), so it must not be
+        # quarantined — only overwritten by this run's entries.
+        assert not list(tmp_path.glob("*.corrupt.*"))
+        payload = crashsafe.load_envelope(path)
+        assert payload["fingerprint"] == tuner_fingerprint(
+            "exhaustive", spec, grids, machine, 1
+        )
+
+    def test_greedy_full_resume(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "greedy.ckpt"
+        first = GreedyLineSearchTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=4
+        )
+        second = GreedyLineSearchTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=4
+        )
+        assert second.variants_run == 0
+        assert second.resumed_jobs == second.variants_examined
+        assert second.best_plan == first.best_plan
+        assert second.trace == first.trace
+
+    def test_checkpoint_file_is_checksummed_envelope(self, setting, tmp_path):
+        spec, grids, machine = setting
+        path = tmp_path / "sweep.ckpt"
+        ExhaustiveTuner(checkpoint=str(path)).tune(
+            spec, grids, machine, seed=1
+        )
+        raw = json.loads(path.read_text())
+        assert raw["v"] == crashsafe.VERSION
+        assert raw["sha256"] == crashsafe.checksum(raw["payload"])
+
+
+class TestOffsiteCheckpoint:
+    def test_rank_resume_skips_measurements(self, tmp_path):
+        machine = cascade_lake_sp()
+        path = tmp_path / "rank.ckpt"
+        kwargs = dict(
+            grid_shape=(8, 8, 16),
+            cache_scale=1 / 32,
+            validate=True,
+            seed=0,
+        )
+        first = rank_variants(
+            "radau_iia", 4, 3, machine=machine,
+            checkpoint=str(path), **kwargs
+        )
+        assert first.resumed_variants == 0
+        second = rank_variants(
+            "radau_iia", 4, 3, machine=machine,
+            checkpoint=str(path), **kwargs
+        )
+        assert second.resumed_variants == len(second.timings)
+        assert [t.variant for t in second.timings] == [
+            t.variant for t in first.timings
+        ]
+        assert [t.measured_s for t in second.timings] == [
+            t.measured_s for t in first.timings
+        ]
+
+    def test_rank_seed_mismatch_remeasures(self, tmp_path):
+        machine = cascade_lake_sp()
+        path = tmp_path / "rank.ckpt"
+        kwargs = dict(
+            grid_shape=(8, 8, 16), cache_scale=1 / 32, validate=True
+        )
+        rank_variants(
+            "radau_iia", 4, 3, machine=machine,
+            checkpoint=str(path), seed=0, **kwargs
+        )
+        other = rank_variants(
+            "radau_iia", 4, 3, machine=machine,
+            checkpoint=str(path), seed=1, **kwargs
+        )
+        assert other.resumed_variants == 0

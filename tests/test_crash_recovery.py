@@ -1,0 +1,192 @@
+"""Worker-crash and fault-recovery tests for the supervised tuners.
+
+Everything here drives the production recovery paths with the
+deterministic fault substrate (:mod:`repro.faults`): in-worker
+exceptions, whole-worker deaths (``mode=exit`` → ``BrokenProcessPool``),
+parent-side pool faults, retry exhaustion, and deadline-expired sweeps.
+The load-bearing invariant: whenever retries succeed, the winner is
+*identical* to a clean serial run; when they don't, the result is a
+well-ledgered partial instead of an exception that discards finished
+measurements.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.autotune import ExhaustiveTuner, GreedyLineSearchTuner
+from repro.autotune.search import TunerError, _evaluate_variants
+from repro.codegen.plan import candidate_plans
+from repro.grid import GridSet
+from repro.machine import cascade_lake_sp
+from repro.stencil import get_stencil
+
+SHAPE = (24, 24, 32)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def setting():
+    machine = cascade_lake_sp().scaled_caches(1 / 32)
+    spec = get_stencil("3d7pt")
+    grids = GridSet(spec, SHAPE)
+    return spec, grids, machine
+
+
+@pytest.fixture(scope="module")
+def clean_serial(setting):
+    spec, grids, machine = setting
+    return ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+
+
+# ----------------------------------------------------------------------
+# Serial-path recovery
+# ----------------------------------------------------------------------
+class TestSerialRecovery:
+    def test_retry_succeeds_identical_winner(self, setting, clean_serial):
+        spec, grids, machine = setting
+        with faults.injected("tuner.eval:nth=3:count=1"):
+            res = ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+        assert res.best_plan == clean_serial.best_plan
+        assert res.best_mlups == pytest.approx(
+            clean_serial.best_mlups, abs=0
+        )
+        assert res.trace == clean_serial.trace
+        assert res.retried_jobs == 1
+        assert not res.degraded and not res.failed_jobs
+
+    def test_retries_exhausted_yields_partial_result(
+        self, setting, clean_serial
+    ):
+        spec, grids, machine = setting
+        # The first three eval calls fail: job 1's initial attempt and
+        # both of its retries — retries exhausted on exactly one job.
+        with faults.injected("tuner.eval:every=1:count=3"):
+            res = ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+        assert res.degraded
+        assert len(res.failed_jobs) == 1
+        assert res.retried_jobs == 2  # DEFAULT_RETRIES
+        assert res.variants_run == res.variants_examined - 1
+        # The survivors' winner is the clean winner unless the clean
+        # winner itself was the killed variant.
+        surviving = dict(res.trace)
+        clean_best_label = clean_serial.best_plan.describe()
+        if clean_best_label in surviving:
+            assert res.best_plan == clean_serial.best_plan
+
+    def test_all_failures_raise_tuner_error(self, setting):
+        spec, grids, machine = setting
+        with faults.injected("tuner.eval:every=1"):
+            with pytest.raises(TunerError):
+                ExhaustiveTuner().tune(spec, grids, machine, seed=1)
+
+    def test_greedy_axis_survives_total_failure(self, setting):
+        spec, grids, machine = setting
+        clean = GreedyLineSearchTuner().tune(spec, grids, machine, seed=4)
+        with faults.injected("tuner.eval:nth=2:count=1"):
+            res = GreedyLineSearchTuner().tune(spec, grids, machine, seed=4)
+        assert res.best_plan == clean.best_plan
+        assert res.retried_jobs == 1
+
+
+# ----------------------------------------------------------------------
+# Pool-path recovery
+# ----------------------------------------------------------------------
+class TestPoolRecovery:
+    def test_worker_exception_retried(self, setting, clean_serial):
+        spec, grids, machine = setting
+        # Each worker arms a fresh plan: its 1st job fails once, then
+        # all retries land cleanly.
+        with faults.injected("tuner.worker:nth=1:count=1"):
+            res = ExhaustiveTuner(workers=2).tune(
+                spec, grids, machine, seed=1
+            )
+        assert res.best_plan == clean_serial.best_plan
+        assert res.trace == clean_serial.trace
+        assert res.retried_jobs >= 1
+        assert not res.degraded
+
+    def test_worker_death_requeues_and_matches_serial(
+        self, setting, clean_serial
+    ):
+        spec, grids, machine = setting
+        # Every worker process dies on its 2nd job (os._exit → the pool
+        # breaks); requeue + restart must still complete the sweep with
+        # the serial winner.
+        with faults.injected("tuner.worker:nth=2:mode=exit"):
+            res = ExhaustiveTuner(workers=2).tune(
+                spec, grids, machine, seed=1
+            )
+        assert res.best_plan == clean_serial.best_plan
+        assert res.best_mlups == pytest.approx(
+            clean_serial.best_mlups, abs=0
+        )
+        assert res.trace == clean_serial.trace
+        assert res.retried_jobs >= 1
+        assert res.pool_restarts >= 1
+        assert not res.degraded
+
+    def test_simulated_pool_break_on_submit(self, setting, clean_serial):
+        spec, grids, machine = setting
+        with faults.injected("tuner.pool:nth=1:count=1"):
+            res = ExhaustiveTuner(workers=2).tune(
+                spec, grids, machine, seed=1
+            )
+        assert res.best_plan == clean_serial.best_plan
+        assert res.trace == clean_serial.trace
+        assert res.pool_restarts == 1
+
+    def test_persistent_pool_break_falls_back_in_process(
+        self, setting, clean_serial
+    ):
+        spec, grids, machine = setting
+        with faults.injected("tuner.pool:every=1"):
+            res = ExhaustiveTuner(workers=2).tune(
+                spec, grids, machine, seed=1
+            )
+        assert res.in_process_fallback
+        assert res.pool_restarts == 3  # initial + max_pool_restarts
+        assert res.best_plan == clean_serial.best_plan
+        assert res.trace == clean_serial.trace
+        assert not res.degraded
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_expired_deadline_still_gets_first_measurement(self, setting):
+        spec, grids, machine = setting
+        jobs = [
+            (plan, 1 + i)
+            for i, plan in enumerate(
+                candidate_plans(spec, grids.interior_shape, machine)
+            )
+        ]
+        results, ledger = _evaluate_variants(
+            spec, grids, machine, jobs, deadline=time.time() - 10.0
+        )
+        # Progress guarantee: the first job ran despite the deadline
+        # being in the past; the rest were skipped and ledgered.
+        assert results[0] is not None
+        assert all(r is None for r in results[1:])
+        assert len(ledger.skipped_jobs) == len(jobs) - 1
+        assert ledger.degraded
+
+    def test_expired_deadline_tuner_result_is_ledgered(self, setting):
+        spec, grids, machine = setting
+        res = ExhaustiveTuner().tune(
+            spec, grids, machine, seed=1, deadline=time.time() - 10.0
+        )
+        assert res.degraded
+        assert res.variants_run == 1
+        assert len(res.skipped_jobs) == res.variants_examined - 1

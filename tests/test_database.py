@@ -1,5 +1,7 @@
 """Tuning-database tests."""
 
+import json
+
 import pytest
 
 from repro.machine import cascade_lake_sp
@@ -81,3 +83,58 @@ class TestDatabase:
         assert rec.best_variant in {"split", "fused_lc", "scatter", "gather"}
         assert len(rec.ranking) == 4
         assert db.lookup(rec.key) == rec
+
+
+class TestCrashSafety:
+    """load_or_empty must survive any bytes on disk (service warm tier)."""
+
+    def test_save_writes_checksummed_envelope(self, tmp_path):
+        from repro.util import crashsafe
+
+        db = TuningDatabase()
+        db.put(make_record())
+        path = tmp_path / "db.json"
+        db.save(path)
+        data = json.loads(path.read_text())
+        assert crashsafe.is_envelope(data)
+        assert data["sha256"] == crashsafe.checksum(data["payload"])
+
+    def test_legacy_plain_list_still_loads(self, tmp_path):
+        db = TuningDatabase()
+        db.put(make_record())
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps([r.to_json() for r in db.records()]))
+        loaded = TuningDatabase.load(path)
+        assert len(loaded) == 1
+
+    def test_load_or_empty_missing_file(self, tmp_path):
+        db = TuningDatabase.load_or_empty(tmp_path / "nope.json")
+        assert len(db) == 0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"\x00\xff\xfenot json",  # garbage bytes
+            b'{"truncated": ',  # torn write
+            b'"a bare string"',  # wrong JSON shape
+            b'{"v": 1, "sha256": "doctored", "payload": []}',  # bad sum
+            b'[{"not": "a record"}]',  # malformed record list
+        ],
+    )
+    def test_load_or_empty_quarantines_bad_files(self, tmp_path, payload):
+        path = tmp_path / "db.json"
+        path.write_bytes(payload)
+        db = TuningDatabase.load_or_empty(path)
+        assert len(db) == 0
+        assert not path.exists()  # renamed aside, not deleted
+        quarantined = list(tmp_path.glob("db.json.corrupt.*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == payload  # evidence kept
+
+    def test_save_load_round_trip_after_recovery(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_bytes(b"garbage")
+        db = TuningDatabase.load_or_empty(path)
+        db.put(make_record())
+        db.save(path)
+        assert len(TuningDatabase.load_or_empty(path)) == 1

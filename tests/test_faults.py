@@ -1,0 +1,164 @@
+"""Unit tests for the deterministic fault-injection substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.faults import FaultInjected, FaultPlan, FaultSpec
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """Every test starts and ends with injection off."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+def test_parse_minimal_spec():
+    spec = FaultSpec.parse("memo.read")
+    assert spec.point == "memo.read"
+    assert spec.mode == "error"
+    assert spec.probability is None and spec.nth is None
+
+
+def test_parse_full_spec():
+    spec = FaultSpec.parse("tuner.worker:nth=2:count=1:mode=exit:seed=9")
+    assert spec == FaultSpec(
+        "tuner.worker", nth=2, count=1, mode="exit", seed=9
+    )
+
+
+def test_parse_probability_aliases():
+    assert FaultSpec.parse("x:p=0.25").probability == 0.25
+    assert FaultSpec.parse("x:probability=0.25").probability == 0.25
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",  # no point name
+        "x:nth",  # missing =value
+        "x:nth=zero",  # non-integer
+        "x:p=1.5",  # out of range
+        "x:mode=explode",  # unknown mode
+        "x:frobnicate=1",  # unknown key
+        "x:nth=0",  # must be >= 1
+    ],
+)
+def test_parse_rejects_bad_specs(text):
+    with pytest.raises(ValueError):
+        FaultSpec.parse(text)
+
+
+def test_plan_parse_multiple_clauses():
+    plan = FaultPlan.parse("a.b:nth=1 ; c.d:every=2:mode=oserror")
+    points = {s.point: s for s in plan.specs()}
+    assert set(points) == {"a.b", "c.d"}
+    assert points["c.d"].mode == "oserror"
+
+
+# ----------------------------------------------------------------------
+# Trigger semantics
+# ----------------------------------------------------------------------
+def test_nth_fires_exactly_once():
+    plan = FaultPlan([FaultSpec("pt", nth=3)])
+    fired = [plan.should_fire("pt") is not None for _ in range(6)]
+    assert fired == [False, False, True, False, False, False]
+
+
+def test_every_fires_periodically():
+    plan = FaultPlan([FaultSpec("pt", every=2)])
+    fired = [plan.should_fire("pt") is not None for _ in range(6)]
+    assert fired == [False, True, False, True, False, True]
+
+
+def test_count_caps_firings():
+    plan = FaultPlan([FaultSpec("pt", every=1, count=2)])
+    fired = [plan.should_fire("pt") is not None for _ in range(5)]
+    assert fired == [True, True, False, False, False]
+    assert plan.counters() == {"pt": 2}
+
+
+def test_probability_is_deterministic_per_seed():
+    def run(seed):
+        plan = FaultPlan([FaultSpec("pt", probability=0.5, seed=seed)])
+        return [plan.should_fire("pt") is not None for _ in range(50)]
+
+    assert run(7) == run(7)  # replayable
+    assert any(run(7)) and not all(run(7))  # actually probabilistic
+    assert run(7) != run(8)  # seed matters
+
+
+def test_unarmed_point_never_fires():
+    plan = FaultPlan([FaultSpec("armed")])
+    assert plan.should_fire("other") is None
+
+
+# ----------------------------------------------------------------------
+# Process-wide check()/install()
+# ----------------------------------------------------------------------
+def test_check_noop_without_plan():
+    faults.check("anything")  # must not raise
+
+
+def test_check_raises_fault_injected():
+    with faults.injected("pt:nth=1"):
+        with pytest.raises(FaultInjected) as err:
+            faults.check("pt")
+        assert err.value.point == "pt"
+        faults.check("pt")  # nth=1 already consumed
+
+
+def test_check_oserror_mode():
+    with faults.injected("pt:mode=oserror"):
+        with pytest.raises(OSError):
+            faults.check("pt")
+
+
+def test_injected_restores_previous_plan():
+    faults.install("outer:nth=99")
+    with faults.injected("inner:nth=1"):
+        assert {s.point for s in faults.active_specs()} == {"inner"}
+    assert {s.point for s in faults.active_specs()} == {"outer"}
+
+
+def test_install_from_env(monkeypatch):
+    monkeypatch.setenv(faults.ENV_FLAG, "env.pt:every=1:mode=oserror")
+    plan = faults.install_from_env()
+    assert plan is not None
+    with pytest.raises(OSError):
+        faults.check("env.pt")
+    monkeypatch.delenv(faults.ENV_FLAG)
+    assert faults.install_from_env() is None
+
+
+def test_firing_ledger_accumulates():
+    faults.reset_counters()
+    with faults.injected("pt:every=1:count=2"):
+        for _ in range(3):
+            try:
+                faults.check("pt")
+            except FaultInjected:
+                pass
+    assert faults.counters()["pt"] == 2
+    faults.reset_counters()
+    assert faults.counters() == {}
+
+
+def test_firing_lands_on_innermost_span():
+    trace = obs.start_trace("chaos")
+    try:
+        with obs.span("inner"):
+            with faults.injected("pt:nth=1"):
+                with pytest.raises(FaultInjected):
+                    faults.check("pt")
+    finally:
+        root = trace.finish()
+    inner = root.to_dict()["children"][0]
+    assert inner["name"] == "inner"
+    assert inner["counters"]["fault.pt"] == 1

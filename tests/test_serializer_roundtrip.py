@@ -27,6 +27,7 @@ from repro.engine import (
     PredictResult,
     RankRequest,
     RankResult,
+    RecoveryLedger,
     TuneRequest,
     TuneResult,
     VariantTimingResult,
@@ -71,6 +72,22 @@ def _random_predict(rng: random.Random) -> PredictResult:
     )
 
 
+def _random_recovery(rng: random.Random) -> RecoveryLedger:
+    if rng.random() < 0.5:
+        return RecoveryLedger()  # the common, clean case
+    failed = tuple(f"b{i}" for i in range(rng.randint(0, 2)))
+    skipped = tuple(f"s{i}" for i in range(rng.randint(0, 2)))
+    return RecoveryLedger(
+        degraded=bool(failed or skipped),
+        retried_jobs=rng.randint(0, 5),
+        failed_jobs=failed,
+        skipped_jobs=skipped,
+        pool_restarts=rng.randint(0, 3),
+        resumed_jobs=rng.randint(0, 9),
+        in_process_fallback=rng.random() < 0.5,
+    )
+
+
 def _random_tune(rng: random.Random) -> TuneResult:
     return TuneResult(
         tuner=rng.choice(["ecm", "greedy", "exhaustive"]),
@@ -86,6 +103,7 @@ def _random_tune(rng: random.Random) -> TuneResult:
         stencil="3d7pt",
         machine="clx",
         grid=(16, 16, 32),
+        recovery=_random_recovery(rng),
     )
 
 
@@ -241,7 +259,7 @@ def test_canonical_key_orders_match_legacy_serializers():
     assert tkeys == [
         "tuner", "best_plan", "best_mlups", "variants_examined",
         "variants_run", "simulated_run_seconds", "workers",
-        "traffic_cache", "stencil", "machine", "grid",
+        "traffic_cache", "stencil", "machine", "grid", "recovery",
     ]
 
     rank = eng.rank(

@@ -1,0 +1,294 @@
+"""Circuit breaker, degraded mode and client Retry-After tests.
+
+The live-server tests run a thread-executor :class:`BackgroundServer`
+so injected fault plans (process-global state) are visible to the job
+threads, and drive the breaker with the ``service.tune`` fault point —
+the exact failure mode the breaker exists for: a backend that keeps
+blowing up fresh jobs.
+"""
+
+from __future__ import annotations
+
+import http.server
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.service.background import BackgroundServer
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.jobs import JOBS, normalize_tune, tune_job
+
+PAYLOAD = {"stencil": "3d7pt", "grid": [16, 16, 32]}
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _config(**overrides) -> ServiceConfig:
+    defaults = dict(port=0, executor="thread", workers=2)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# The breaker state machine (fake clock, no HTTP)
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        br = CircuitBreaker("t", failure_threshold=3, recovery_s=10.0)
+        for _ in range(2):
+            br.record_failure()
+        assert br.state == CLOSED and br.allow()
+        br.record_failure()
+        assert br.state == OPEN and not br.allow()
+
+    def test_success_resets_failure_streak(self):
+        br = CircuitBreaker("t", failure_threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == CLOSED  # never two *consecutive* failures
+
+    def test_half_open_single_probe_then_close(self):
+        now = [0.0]
+        br = CircuitBreaker(
+            "t", failure_threshold=1, recovery_s=5.0, clock=lambda: now[0]
+        )
+        br.record_failure()
+        assert not br.allow()
+        assert br.retry_after_s() == pytest.approx(5.0)
+        now[0] = 6.0
+        assert br.allow()  # the probe
+        assert br.state == HALF_OPEN
+        assert not br.allow()  # concurrent request during the probe
+        br.record_success()
+        assert br.state == CLOSED and br.allow()
+
+    def test_half_open_failure_reopens(self):
+        now = [0.0]
+        br = CircuitBreaker(
+            "t", failure_threshold=1, recovery_s=5.0, clock=lambda: now[0]
+        )
+        br.record_failure()
+        now[0] = 6.0
+        assert br.allow()
+        br.record_failure()
+        assert br.state == OPEN
+        assert not br.allow()  # a fresh recovery window started
+        assert br.snapshot()["times_opened"] == 2
+
+    def test_release_probe_allows_next_probe(self):
+        now = [0.0]
+        br = CircuitBreaker(
+            "t", failure_threshold=1, recovery_s=1.0, clock=lambda: now[0]
+        )
+        br.record_failure()
+        now[0] = 2.0
+        assert br.allow()
+        assert not br.allow()
+        br.release_probe()  # the probe coalesced / was shed
+        assert br.allow()
+
+    def test_force_open_and_reset(self):
+        br = CircuitBreaker("t")
+        br.force_open()
+        assert br.state == OPEN and not br.allow()
+        br.reset()
+        assert br.state == CLOSED and br.allow()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", recovery_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Breaker-open degraded service
+# ----------------------------------------------------------------------
+class TestDegradedService:
+    def test_tune_degrades_after_breaker_opens(self):
+        cfg = _config(breaker_threshold=2, breaker_recovery_s=300.0)
+        with faults.injected("service.tune:every=1"):
+            with BackgroundServer(cfg) as bg:
+                for _ in range(2):
+                    with pytest.raises(ServiceError) as err:
+                        bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+                    assert err.value.status == 500
+                env = bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+                assert env["served"] == "degraded"
+                assert env["degraded"] is True
+                result = env["result"]
+                assert result["tuner"] == "ecm"
+                assert result["recovery"]["degraded"] is True
+                assert result["variants_run"] == 0  # purely analytic
+
+                health = bg.client.healthz()
+                assert health["breakers"]["/tune"] == "open"
+                assert health["breakers"]["/predict"] == "closed"
+
+                metrics = bg.client.metrics()
+                tune_stats = metrics["endpoints"]["/tune"]
+                assert tune_stats["outcomes"]["degraded"] == 1
+                assert tune_stats["outcomes"]["failed"] == 2
+                assert metrics["breakers"]["/tune"]["state"] == "open"
+                assert metrics["breakers"]["/tune"]["times_opened"] == 1
+                assert metrics["faults"]["fired"]["service.tune"] >= 2
+
+    def test_degraded_responses_are_not_cached(self):
+        cfg = _config(breaker_threshold=1, breaker_recovery_s=300.0)
+        with BackgroundServer(cfg) as bg:
+            with faults.injected("service.tune:every=1"):
+                with pytest.raises(ServiceError):
+                    bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+                degraded = bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+                assert degraded["served"] == "degraded"
+            # Injection off and breaker forced shut: the same request
+            # must execute fresh (a cached degraded answer would be
+            # served from the LRU instead).
+            bg.service.breakers["/tune"].reset()
+            env = bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+            assert env["served"] == "fresh"
+            assert "degraded" not in env
+
+    def test_breaker_open_without_degraded_mode_returns_503(self):
+        cfg = _config(
+            breaker_threshold=1,
+            breaker_recovery_s=300.0,
+            degraded_mode=False,
+        )
+        with BackgroundServer(cfg) as bg:
+            with faults.injected("service.tune:every=1"):
+                with pytest.raises(ServiceError):
+                    bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+            with pytest.raises(ServiceError) as err:
+                bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+            assert err.value.status == 503
+            assert err.value.body["breaker"]["state"] == "open"
+
+    def test_half_open_probe_recovers_service(self):
+        cfg = _config(breaker_threshold=1, breaker_recovery_s=0.2)
+        with BackgroundServer(cfg) as bg:
+            with faults.injected("service.tune:every=1"):
+                with pytest.raises(ServiceError):
+                    bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+            assert bg.service.breakers["/tune"].state == "open"
+            time.sleep(0.25)
+            # Injection is off: the half-open probe succeeds and the
+            # breaker closes; the answer is a real fresh result.
+            env = bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+            assert env["served"] == "fresh"
+            assert bg.service.breakers["/tune"].state == "closed"
+
+    def test_tune_jobs_receive_server_deadline(self, monkeypatch):
+        seen: list = []
+        original = JOBS["/tune"]
+
+        def capture(payload: dict) -> dict:
+            seen.append(payload.get("deadline"))
+            return tune_job(payload)
+
+        monkeypatch.setitem(JOBS, "/tune", (normalize_tune, capture))
+        cfg = _config(request_timeout_s=90.0)
+        with BackgroundServer(cfg) as bg:
+            before = time.time()
+            bg.client.request("POST", "/tune", PAYLOAD, retries=0)
+        monkeypatch.setitem(JOBS, "/tune", original)
+        assert len(seen) == 1
+        # The injected deadline is (arrival + request_timeout_s).
+        assert seen[0] == pytest.approx(before + 90.0, abs=5.0)
+
+
+# ----------------------------------------------------------------------
+# Client Retry-After handling
+# ----------------------------------------------------------------------
+class _ScriptedHandler(http.server.BaseHTTPRequestHandler):
+    """Serves a scripted list of (status, headers, body) responses."""
+
+    script: list = []
+    hits: list = []
+
+    def do_POST(self):  # noqa: N802  (stdlib naming)
+        self.rfile.read(int(self.headers.get("Content-Length", 0)))
+        type(self).hits.append(time.monotonic())
+        status, headers, body = (
+            type(self).script.pop(0)
+            if type(self).script
+            else (200, {}, b"{}")
+        )
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # keep test output quiet
+        pass
+
+
+@pytest.fixture()
+def stub_server():
+    handler = type(
+        "Handler", (_ScriptedHandler,), {"script": [], "hits": []}
+    )
+    server = http.server.HTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1], handler
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+
+class TestClientRetryAfter:
+    def test_retry_after_overrides_backoff(self, stub_server):
+        port, handler = stub_server
+        handler.script[:] = [
+            (429, {"Retry-After": "0"}, b'{"error": "overloaded"}'),
+            (200, {}, b'{"ok": true}'),
+        ]
+        # Exponential backoff would sleep 30 s; Retry-After: 0 must win.
+        client = ServiceClient(port=port, retries=1, backoff_s=30.0)
+        t0 = time.monotonic()
+        assert client.request("POST", "/tune", {}) == {"ok": True}
+        assert time.monotonic() - t0 < 5.0
+        assert len(handler.hits) == 2
+
+    def test_retry_after_capped_at_timeout(self):
+        client = ServiceClient(timeout_s=0.5, backoff_s=0.1)
+        assert client._retry_delay_s(0, {"retry-after": "9999"}) == 0.5
+
+    def test_malformed_retry_after_falls_back_to_backoff(self):
+        client = ServiceClient(backoff_s=0.1, backoff_factor=2.0)
+        delay = client._retry_delay_s(
+            2, {"retry-after": "Wed, 21 Oct 2026 07:28:00 GMT"}
+        )
+        assert delay == pytest.approx(0.1 * 2.0**2)
+
+    def test_missing_header_uses_backoff(self):
+        client = ServiceClient(backoff_s=0.2, backoff_factor=2.0)
+        assert client._retry_delay_s(1, {}) == pytest.approx(0.4)
+        assert client._retry_delay_s(1, None) == pytest.approx(0.4)
+
+    def test_negative_retry_after_clamped_to_zero(self):
+        client = ServiceClient(backoff_s=0.1)
+        assert client._retry_delay_s(0, {"retry-after": "-3"}) == 0.0
+
+    def test_non_retryable_status_raises_immediately(self, stub_server):
+        port, handler = stub_server
+        handler.script[:] = [(500, {}, b'{"error": "boom"}')]
+        client = ServiceClient(port=port, retries=3, backoff_s=0.01)
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/tune", {})
+        assert err.value.status == 500
+        assert len(handler.hits) == 1
