@@ -1,0 +1,88 @@
+"""Standardized benchmark artifact records (``BENCH_*.json``).
+
+Every benchmark entry point emits one artifact with the same shape::
+
+    {
+        "name":      "perf_substrate",          # benchmark identity
+        "config":    {"quick": true, ...},      # what was run
+        "metrics":   {...},                     # what was measured
+        "timestamp": "2026-08-09T12:00:00Z",    # passed in by caller
+        "git_rev":   "abc1234",                 # repo state of the run
+    }
+
+so the perf gate (``benchmarks/perf_gate.py``) can diff a fresh run
+against a committed baseline without per-benchmark knowledge.  The
+timestamp is an argument, not a clock read inside the record builder:
+the benchmarks stay replayable, and two artifacts of the same rev
+differ only in timing metrics.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import subprocess
+
+__all__ = [
+    "git_rev", "make_artifact", "write_artifact", "load_artifact", "utc_now",
+]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Keys every artifact must carry, in emission order.
+SCHEMA_KEYS = ("name", "config", "metrics", "timestamp", "git_rev")
+
+
+def git_rev() -> str:
+    """Short git revision of the repo, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def utc_now() -> str:
+    """ISO-8601 UTC timestamp for callers that pass "now" in."""
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return now.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def make_artifact(
+    name: str, config: dict, metrics: dict, timestamp: str
+) -> dict:
+    """Build one schema-conforming artifact record."""
+    if not isinstance(timestamp, str) or not timestamp:
+        raise ValueError("timestamp must be passed in as a non-empty string")
+    return {
+        "name": name,
+        "config": dict(config),
+        "metrics": dict(metrics),
+        "timestamp": timestamp,
+        "git_rev": git_rev(),
+    }
+
+
+def write_artifact(path: str | pathlib.Path, artifact: dict) -> None:
+    """Write one artifact as pretty JSON (trailing newline, sorted keys
+    inside the payload sections, schema keys in canonical order)."""
+    missing = [key for key in SCHEMA_KEYS if key not in artifact]
+    if missing:
+        raise ValueError(f"artifact missing schema keys: {missing}")
+    ordered = {key: artifact[key] for key in SCHEMA_KEYS}
+    text = json.dumps(ordered, indent=2, sort_keys=False)
+    pathlib.Path(path).write_text(text + "\n")
+
+
+def load_artifact(path: str | pathlib.Path) -> dict:
+    """Read one artifact back, validating the schema keys."""
+    data = json.loads(pathlib.Path(path).read_text())
+    missing = [key for key in SCHEMA_KEYS if key not in data]
+    if missing:
+        raise ValueError(f"{path}: artifact missing schema keys: {missing}")
+    return data

@@ -4,27 +4,38 @@ Unlike the ``bench_f*``/``bench_t*`` files (which time the paper's
 *experiments*), this one times the simulator that powers them:
 
 * scalar vs. vectorized cache-replay engine on a blocked sweep
-  (``measure_sweep`` with ``engine="scalar"`` / ``"vector"``), and
-* cold vs. memoized ``simulate_kernel`` (traffic-cache hit path).
+  (``measure_sweep`` with ``engine="scalar"`` / ``"vector"``),
+* cold vs. memoized ``simulate_kernel`` (traffic-cache hit path), and
+* serial replay-only variant sweeps vs. the layer-condition fast path
+  (``predictor="auto"``: LC-exact serves + order-equivalence collapse
+  + shared sweep prefixes), asserting the measurements stay
+  bit-identical across predictors.
 
 Run standalone::
 
-    python benchmarks/bench_perf_substrate.py [--quick] [--json PATH]
+    python benchmarks/bench_perf_substrate.py [--quick] [--json PATH] \
+        [--artifact PATH] [--timestamp ISO]
 
 It prints a JSON record with the speedups; the vectorized engine is
-expected to be >= 3x on the blocked 3d7pt replay and the memoized path
->= 10x over a cold simulate_kernel.
+expected to be >= 3x on the blocked 3d7pt replay, the memoized path
+>= 10x over a cold simulate_kernel, and the predictor fast path >= 3x
+on the exhaustive sweeps (geomean).  ``--artifact`` additionally
+writes a standardized ``BENCH_perf_substrate.json`` record (see
+``benchmarks/artifact.py``) that the perf gate diffs against the
+committed baseline.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 
-from repro.cachesim import TrafficCache, measure_sweep
-from repro.codegen.plan import KernelPlan
+from repro.cachesim import TrafficCache, measure_sweep, prefix_stats
+from repro.cachesim.dispatch import predictor_counters
+from repro.codegen.plan import KernelPlan, candidate_plans
 from repro.grid.grid import GridSet
 from repro.machine.presets import cascade_lake_sp
 from repro.perf.simulate import simulate_kernel
@@ -37,6 +48,17 @@ CASES_FULL = [
 ]
 CASES_QUICK = [
     ("3d7pt", (32, 32, 64), (16, 16, 64)),
+]
+
+#: (stencil, grid shape) cases for the exhaustive variant sweeps.
+SWEEP_CASES_FULL = [
+    ("heat2d", (2048, 256)),
+    ("2d9pt_box", (2048, 256)),
+    ("3d7pt", (48, 48, 128)),
+]
+SWEEP_CASES_QUICK = [
+    ("heat2d", (1024, 256)),
+    ("3d7pt", (32, 32, 64)),
 ]
 
 
@@ -60,9 +82,11 @@ def bench_engines(quick: bool) -> list[dict]:
         plan = KernelPlan(block=block)
 
         def run(engine):
+            # predictor="simulate" keeps LC analysis out of the engine
+            # timing: this section compares replay engines only.
             return measure_sweep(
                 spec, grids, plan, machine,
-                engine=engine, traffic_cache=None,
+                engine=engine, traffic_cache=None, predictor="simulate",
             )
 
         r_scalar = run("scalar")
@@ -124,22 +148,147 @@ def bench_memoization(quick: bool) -> dict:
     }
 
 
+def bench_sweeps(quick: bool) -> dict:
+    """Serial replay-only exhaustive sweeps vs. the predictor fast path.
+
+    The serial baseline evaluates every candidate plan with
+    ``predictor="simulate"`` and no traffic memo — the pre-fast-path
+    cost of an exhaustive tune.  The fast path uses ``predictor="auto"``
+    with a fresh :class:`TrafficCache`, which layers the LC-exact serve,
+    the order-equivalence collapse and the shared sweep prefix.  Every
+    per-variant measurement must be bit-identical between the two runs
+    (the LC fast path is served only when provably exact, and noise is
+    seeded per variant), so winners agree by construction — asserted
+    anyway.
+    """
+    machine = cascade_lake_sp()
+    cases = SWEEP_CASES_QUICK if quick else SWEEP_CASES_FULL
+    rows = []
+    for name, shape in cases:
+        spec = get_stencil(name)
+        grids = GridSet(spec, shape)
+        plans = list(candidate_plans(spec, shape, machine))
+
+        t0 = time.perf_counter()
+        serial = [
+            simulate_kernel(
+                spec, grids, plan, machine, seed=i,
+                traffic_cache=None, predictor="simulate",
+            )
+            for i, plan in enumerate(plans)
+        ]
+        serial_s = time.perf_counter() - t0
+
+        cache = TrafficCache()
+        counters0 = predictor_counters().snapshot()
+        prefixes0 = prefix_stats()
+        t0 = time.perf_counter()
+        fast = [
+            simulate_kernel(
+                spec, grids, plan, machine, seed=i,
+                traffic_cache=cache, predictor="auto",
+            )
+            for i, plan in enumerate(plans)
+        ]
+        fast_s = time.perf_counter() - t0
+        counters1 = predictor_counters().snapshot()
+        prefixes1 = prefix_stats()
+
+        for plan, a, b in zip(plans, serial, fast):
+            if a.mlups != b.mlups or a.cycles_per_lup != b.cycles_per_lup:
+                raise AssertionError(
+                    f"{name} {plan}: fast-path measurement differs:"
+                    f" {a.mlups} vs {b.mlups} MLUPS"
+                )
+        winner = max(range(len(plans)), key=lambda i: serial[i].mlups)
+        rows.append(
+            {
+                "case": name,
+                "grid": list(shape),
+                "variants": len(plans),
+                "serial_s": round(serial_s, 4),
+                "fast_s": round(fast_s, 4),
+                "speedup": round(serial_s / fast_s, 2),
+                "winner_block": list(plans[winner].block),
+                "winner_mlups": round(serial[winner].mlups, 3),
+                "lc_served": (
+                    counters1["lc_served"] - counters0["lc_served"]
+                ),
+                "sim_served": (
+                    counters1["sim_served"] - counters0["sim_served"]
+                ),
+                "memo_hits": cache.hits,
+                "prefix_builds": prefixes1["builds"] - prefixes0["builds"],
+                "prefix_reuses": prefixes1["reuses"] - prefixes0["reuses"],
+            }
+        )
+    speedups = [row["speedup"] for row in rows]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    total_serial = sum(row["serial_s"] for row in rows)
+    total_fast = sum(row["fast_s"] for row in rows)
+    return {
+        "rows": rows,
+        "geomean_speedup": round(geomean, 2),
+        "total_speedup": round(total_serial / total_fast, 2),
+        "lc_fraction": round(
+            sum(r["lc_served"] for r in rows)
+            / max(1, sum(r["lc_served"] + r["sim_served"] for r in rows)),
+            3,
+        ),
+    }
+
+
 def run(quick: bool = True) -> dict:
     """Produce the substrate-performance record."""
     engines = bench_engines(quick)
     memo = bench_memoization(quick)
+    sweeps = bench_sweeps(quick)
     return {
         "quick": quick,
         "engine_speedups": engines,
         "memoization": memo,
-        "rows": engines + [memo],
+        "sweeps": sweeps,
+        "rows": engines + [memo] + sweeps["rows"],
     }
+
+
+def to_artifact(result: dict, timestamp: str) -> dict:
+    """Fold one :func:`run` record into the standard artifact schema."""
+    from artifact import make_artifact
+
+    return make_artifact(
+        name="perf_substrate",
+        config={"quick": result["quick"]},
+        metrics={
+            "engine_speedup_min": min(
+                r["speedup"] for r in result["engine_speedups"]
+            ),
+            "memoization_speedup": result["memoization"]["speedup"],
+            "sweep_geomean_speedup": result["sweeps"]["geomean_speedup"],
+            "sweep_total_speedup": result["sweeps"]["total_speedup"],
+            "sweep_lc_fraction": result["sweeps"]["lc_fraction"],
+            "detail": {
+                "engine_speedups": result["engine_speedups"],
+                "memoization": result["memoization"],
+                "sweeps": result["sweeps"],
+            },
+        },
+        timestamp=timestamp,
+    )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--json", default=None, help="also write JSON here")
+    parser.add_argument(
+        "--artifact", default=None,
+        help="write a standardized BENCH artifact record here",
+    )
+    parser.add_argument(
+        "--timestamp", default=None,
+        help="ISO timestamp recorded in the artifact (default: now)",
+    )
     args = parser.parse_args(argv)
     result = run(quick=args.quick)
     text = json.dumps(result, indent=2)
@@ -147,10 +296,18 @@ def main(argv=None) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
+    if args.artifact:
+        from artifact import utc_now, write_artifact
+
+        stamp = args.timestamp or utc_now()
+        write_artifact(args.artifact, to_artifact(result, stamp))
     worst = min(r["speedup"] for r in result["engine_speedups"])
     print(
         f"# vector engine >= {worst:.2f}x, "
-        f"memoized >= {result['memoization']['speedup']:.0f}x",
+        f"memoized >= {result['memoization']['speedup']:.0f}x, "
+        f"sweep fast path {result['sweeps']['geomean_speedup']:.2f}x "
+        f"geomean (lc fraction "
+        f"{result['sweeps']['lc_fraction']:.2f})",
         file=sys.stderr,
     )
     return 0

@@ -13,7 +13,12 @@ Times the HTTP service (``repro.service``) over a loopback socket:
 
 Run standalone::
 
-    python benchmarks/bench_service.py [--quick] [--json PATH]
+    python benchmarks/bench_service.py [--quick] [--json PATH] \
+        [--artifact PATH] [--timestamp ISO]
+
+``--artifact`` additionally writes a standardized
+``BENCH_service.json`` record (see ``benchmarks/artifact.py``) that
+the perf gate diffs against the committed baseline.
 
 ``--smoke`` instead exercises the ``python -m repro serve`` subprocess
 path (healthz -> predict -> metrics -> SIGTERM drain) and exits 0 on a
@@ -111,6 +116,11 @@ def bench_throughput(quick: bool) -> dict:
         "server_latency": endpoint["latency"],
         "outcomes": endpoint["outcomes"],
         "response_cache_hit_rate": snap["tiers"]["response"]["hit_rate"],
+        # Which traffic-predictor path served the fresh tune work.  At
+        # the benchmark's cache_scale the LC fast path honestly
+        # declines (scaled caches break its preconditions), so this
+        # records sim_served work — the gate only checks it is present.
+        "predictor": snap["predictor"],
     }
 
 
@@ -156,6 +166,29 @@ def run(quick: bool = True) -> dict:
     return {"quick": quick, "throughput": throughput, "load_shed": load_shed}
 
 
+def to_artifact(result: dict, timestamp: str) -> dict:
+    """Fold one :func:`run` record into the standard artifact schema."""
+    from artifact import make_artifact
+
+    throughput = result["throughput"]
+    return make_artifact(
+        name="service",
+        config={"quick": result["quick"], "cache_scale": SCALE},
+        metrics={
+            "warm_over_cold": throughput["warm_over_cold"],
+            "cold_rps": throughput["cold_rps"],
+            "warm_rps": throughput["warm_rps"],
+            "shed": result["load_shed"]["shed"],
+            "healthy_after": result["load_shed"]["healthy_after"],
+            "detail": {
+                "throughput": throughput,
+                "load_shed": result["load_shed"],
+            },
+        },
+        timestamp=timestamp,
+    )
+
+
 def smoke() -> int:
     """``python -m repro serve`` subprocess: predict, metrics, drain."""
     env = dict(os.environ)
@@ -199,6 +232,14 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--json", default=None, help="also write JSON here")
     parser.add_argument(
+        "--artifact", default=None,
+        help="write a standardized BENCH artifact record here",
+    )
+    parser.add_argument(
+        "--timestamp", default=None,
+        help="ISO timestamp recorded in the artifact (default: now)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run the serve-subprocess smoke instead of the benchmark",
     )
@@ -211,6 +252,11 @@ def main(argv=None) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
+    if args.artifact:
+        from artifact import utc_now, write_artifact
+
+        stamp = args.timestamp or utc_now()
+        write_artifact(args.artifact, to_artifact(result, stamp))
     ratio = result["throughput"]["warm_over_cold"]
     shed = result["load_shed"]["shed"]
     print(

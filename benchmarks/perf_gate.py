@@ -1,0 +1,123 @@
+"""Gate a fresh benchmark artifact against a committed baseline.
+
+Usage::
+
+    python benchmarks/perf_gate.py BASELINE.json CURRENT.json \
+        [--tolerance 0.5]
+
+Both files are standardized BENCH artifacts (see
+``benchmarks/artifact.py``); the artifact ``name`` selects the rule
+set.  The gate checks **relative** metrics only — speedups, ratios and
+fractions — never absolute wall times, so it is robust to slower CI
+hardware.  A ratio metric passes when it is at least
+
+    max(absolute_floor, tolerance * baseline_value)
+
+with a generous default tolerance of 0.5 (a genuine fast-path
+regression collapses these ratios toward 1x, far below half the
+baseline; ordinary machine noise does not).  Boolean and count-style
+guards (load shedding observed, server healthy, LC fraction nonzero)
+are checked exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from artifact import load_artifact
+
+#: name -> {metric: (absolute_floor, use_relative)}.  Relative metrics
+#: must also clear tolerance * baseline.
+RATIO_RULES = {
+    "perf_substrate": {
+        "engine_speedup_min": 3.0,
+        "memoization_speedup": 10.0,
+        "sweep_geomean_speedup": 3.0,
+        "sweep_total_speedup": 1.5,
+    },
+    "service": {
+        "warm_over_cold": 10.0,
+    },
+}
+
+#: name -> {metric: predicate description} checked exactly.
+GUARDS = {
+    "perf_substrate": {
+        "sweep_lc_fraction": lambda v: v > 0,
+    },
+    "service": {
+        "shed": lambda v: v >= 1,
+        "healthy_after": lambda v: v is True,
+    },
+}
+
+
+def gate(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty == pass)."""
+    failures: list[str] = []
+    name = current["name"]
+    if baseline["name"] != name:
+        return [
+            f"artifact mismatch: baseline {baseline['name']!r}"
+            f" vs current {name!r}"
+        ]
+    if name not in RATIO_RULES:
+        return [f"no gate rules for benchmark {name!r}"]
+    base_quick = baseline["config"].get("quick")
+    cur_quick = current["config"].get("quick")
+    if base_quick != cur_quick:
+        # Quick and full runs measure different case sets; their
+        # ratios are not comparable.
+        return [
+            f"config mismatch: baseline quick={base_quick}"
+            f" vs current quick={cur_quick}"
+        ]
+    for metric, floor in RATIO_RULES[name].items():
+        base = baseline["metrics"].get(metric)
+        cur = current["metrics"].get(metric)
+        if cur is None:
+            failures.append(f"{metric}: missing from current artifact")
+            continue
+        bound = floor if base is None else max(floor, tolerance * base)
+        if cur < bound:
+            failures.append(
+                f"{metric}: {cur} < {round(bound, 3)}"
+                f" (floor {floor}, baseline {base},"
+                f" tolerance {tolerance})"
+            )
+    for metric, predicate in GUARDS.get(name, {}).items():
+        cur = current["metrics"].get(metric)
+        if not predicate(cur):
+            failures.append(f"{metric}: guard failed (value {cur!r})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json artifact")
+    parser.add_argument("current", help="freshly produced artifact")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="fraction of the baseline ratio that must be retained",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_artifact(args.baseline)
+    current = load_artifact(args.current)
+    failures = gate(baseline, current, args.tolerance)
+    name = current["name"]
+    if failures:
+        for failure in failures:
+            print(f"PERF GATE FAIL [{name}]: {failure}", file=sys.stderr)
+        return 1
+    checked = sorted(RATIO_RULES[name]) + sorted(GUARDS.get(name, {}))
+    print(
+        f"perf gate ok [{name}]: {', '.join(checked)}"
+        f" (baseline rev {baseline['git_rev']},"
+        f" current rev {current['git_rev']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

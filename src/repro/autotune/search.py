@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro import faults, obs
 from repro.autotune.checkpoint import TunerCheckpoint, tuner_fingerprint
 from repro.blocking.spatial import analytic_block_selection
+from repro.cachesim.dispatch import PREDICTORS, predictor_counters
 from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan, candidate_plans
 from repro.grid.grid import GridSet
@@ -46,6 +47,12 @@ class EvalLedger:
     labels that were given up on (retries exhausted) or never attempted
     (deadline expired); ``resumed_jobs`` counts measurements restored
     from a checkpoint instead of re-run.
+
+    ``lc_served``/``sim_served`` count traffic reports produced by the
+    layer-condition fast path vs. the cache replay across the batch
+    (memo hits count in neither); ``lc_validation_mismatch`` counts
+    cross-checks (``REPRO_LC_VALIDATE=1``) where the LC answer diverged
+    from the simulator and the simulated report was served instead.
     """
 
     retried_jobs: int = 0
@@ -54,6 +61,9 @@ class EvalLedger:
     pool_restarts: int = 0
     resumed_jobs: int = 0
     in_process_fallback: bool = False
+    lc_served: int = 0
+    sim_served: int = 0
+    lc_validation_mismatch: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -70,6 +80,9 @@ class EvalLedger:
         self.in_process_fallback = (
             self.in_process_fallback or other.in_process_fallback
         )
+        self.lc_served += other.lc_served
+        self.sim_served += other.sim_served
+        self.lc_validation_mismatch += other.lc_validation_mismatch
 
 
 @dataclass
@@ -82,6 +95,9 @@ class TunerResult:
     machine; ``tuner_seconds`` is the actual time the tuner logic took.
     ``traffic_cache_hits``/``misses`` count traffic-memoization lookups
     during the run; ``workers`` records the degree of parallelism used.
+    ``lc_served``/``sim_served``/``lc_validation_mismatch`` break the
+    memo misses down by which predictor path produced the report (see
+    :class:`EvalLedger`).
 
     The recovery fields mirror :class:`EvalLedger`: ``degraded`` is True
     when the result was produced from partial work (some jobs failed or
@@ -108,6 +124,9 @@ class TunerResult:
     pool_restarts: int = 0
     resumed_jobs: int = 0
     in_process_fallback: bool = False
+    lc_served: int = 0
+    sim_served: int = 0
+    lc_validation_mismatch: int = 0
 
     def apply_ledger(self, ledger: EvalLedger) -> "TunerResult":
         """Stamp a batch ledger's accounting onto this result."""
@@ -118,6 +137,9 @@ class TunerResult:
         self.pool_restarts = ledger.pool_restarts
         self.resumed_jobs = ledger.resumed_jobs
         self.in_process_fallback = ledger.in_process_fallback
+        self.lc_served = ledger.lc_served
+        self.sim_served = ledger.sim_served
+        self.lc_validation_mismatch = ledger.lc_validation_mismatch
         return self
 
 
@@ -153,10 +175,12 @@ def _worker_init(
     extra_halo: int,
     machine: Machine,
     fault_specs: tuple = (),
+    predictor: str = "auto",
 ) -> None:
     _WORKER_STATE["spec"] = spec
     _WORKER_STATE["grids"] = GridSet(spec, interior_shape, extra_halo)
     _WORKER_STATE["machine"] = machine
+    _WORKER_STATE["predictor"] = predictor
     # Arm the parent's fault plan with fresh per-process trigger state —
     # explicit rather than inherited, so spawn behaves like fork and an
     # ``nth=K`` trigger means "this worker's K-th call" deterministically.
@@ -169,16 +193,34 @@ def _eval_one(
     plan: KernelPlan,
     machine: Machine,
     seed: int,
-) -> tuple[Measurement, int, int]:
-    """Evaluate one job, returning the traffic-memo lookup deltas too."""
+    predictor: str = "auto",
+) -> tuple[Measurement, int, int, tuple[int, int, int]]:
+    """Evaluate one job, returning the traffic-memo lookup deltas too.
+
+    The fourth element is the per-job delta of the process-wide
+    predictor counters ``(lc_served, sim_served, lc_validation_mismatch)``
+    — measured here so it rides back across the pool boundary with the
+    result instead of being lost in the worker process.
+    """
     faults.check("tuner.eval")
     cache = default_traffic_cache()
     h0, m0 = cache.hits, cache.misses
-    meas = simulate_kernel(spec, grids, plan, machine, seed=seed)
-    return meas, cache.hits - h0, cache.misses - m0
+    c0 = predictor_counters().snapshot()
+    meas = simulate_kernel(
+        spec, grids, plan, machine, seed=seed, predictor=predictor
+    )
+    c1 = predictor_counters().snapshot()
+    delta = (
+        c1["lc_served"] - c0["lc_served"],
+        c1["sim_served"] - c0["sim_served"],
+        c1["lc_validation_mismatch"] - c0["lc_validation_mismatch"],
+    )
+    return meas, cache.hits - h0, cache.misses - m0, delta
 
 
-def _worker_eval(job: tuple[KernelPlan, int]) -> tuple[Measurement, int, int]:
+def _worker_eval(
+    job: tuple[KernelPlan, int],
+) -> tuple[Measurement, int, int, tuple[int, int, int]]:
     plan, seed = job
     faults.check("tuner.worker")
     return _eval_one(
@@ -187,6 +229,7 @@ def _worker_eval(job: tuple[KernelPlan, int]) -> tuple[Measurement, int, int]:
         plan,
         _WORKER_STATE["machine"],
         seed,
+        predictor=_WORKER_STATE.get("predictor", "auto"),
     )
 
 
@@ -206,6 +249,7 @@ def _serial_fill(
     results: list,
     ledger: EvalLedger,
     on_complete,
+    predictor: str = "auto",
 ) -> None:
     """Run the ``todo`` jobs in this process, with retries and deadline.
 
@@ -222,7 +266,9 @@ def _serial_fill(
             continue
         while True:
             try:
-                res = _eval_one(spec, grids, plan, machine, seed)
+                res = _eval_one(
+                    spec, grids, plan, machine, seed, predictor=predictor
+                )
             except Exception:
                 attempts[i] = attempts.get(i, 0) + 1
                 if attempts[i] <= retries:
@@ -252,6 +298,7 @@ def _pool_fill(
     results: list,
     ledger: EvalLedger,
     on_complete,
+    predictor: str = "auto",
 ) -> None:
     """Supervised pool evaluation of the ``todo`` jobs.
 
@@ -267,6 +314,7 @@ def _pool_fill(
         extra_halo,
         machine,
         faults.active_specs(),
+        predictor,
     )
     restarts = 0
 
@@ -355,6 +403,7 @@ def _pool_fill(
                 _serial_fill(
                     spec, grids, machine, jobs, todo, attempts,
                     deadline, retries, results, ledger, on_complete,
+                    predictor=predictor,
                 )
                 return
         # A non-broken exit with work left means the deadline expired:
@@ -373,20 +422,26 @@ def _evaluate_variants(
     max_pool_restarts: int = DEFAULT_POOL_RESTARTS,
     precomputed: dict | None = None,
     on_complete=None,
+    predictor: str = "auto",
 ) -> tuple[list, EvalLedger]:
     """Evaluate ``(plan, seed)`` jobs, serially or in worker processes.
 
     Returns ``(results, ledger)``: ``results`` holds one
-    ``(measurement, cache_hit_delta, cache_miss_delta)`` tuple per job
-    in submission order — ``None`` where the job failed after retries or
-    was skipped on deadline — and ``ledger`` accounts for every
-    recovery action taken.  ``precomputed`` maps job indices to already
-    known results (checkpoint resume); ``on_complete(index, result)``
-    fires for each fresh completion (checkpoint write-out).
+    ``(measurement, cache_hit_delta, cache_miss_delta, predictor_delta)``
+    tuple per job in submission order — ``None`` where the job failed
+    after retries or was skipped on deadline — and ``ledger`` accounts
+    for every recovery action taken (including per-predictor serve
+    counts folded from the results).  ``precomputed`` maps job indices
+    to already known results (checkpoint resume); ``on_complete(index,
+    result)`` fires for each fresh completion (checkpoint write-out).
 
     The reduction over a fully successful ``results`` is independent of
     ``workers``, retries and pool restarts.
     """
+    if predictor not in PREDICTORS:
+        raise ValueError(
+            f"unknown predictor {predictor!r}; choose from {PREDICTORS}"
+        )
     ledger = EvalLedger()
     results: list = [None] * len(jobs)
     if precomputed:
@@ -404,6 +459,7 @@ def _evaluate_variants(
             _serial_fill(
                 spec, grids, machine, jobs, todo, attempts,
                 deadline, retries, results, ledger, on_complete,
+                predictor=predictor,
             )
         else:
             # Spans cannot cross process boundaries: the pool's wall
@@ -413,12 +469,23 @@ def _evaluate_variants(
                 spec, grids, machine, jobs, todo, attempts, workers,
                 deadline, retries, max_pool_restarts, results, ledger,
                 on_complete,
+                predictor=predictor,
             )
+        for entry in results:
+            if entry is None:
+                continue
+            lc, sim, mismatch = entry[3]
+            ledger.lc_served += lc
+            ledger.sim_served += sim
+            ledger.lc_validation_mismatch += mismatch
         for key, value in (
             ("retried", ledger.retried_jobs),
             ("failed", len(ledger.failed_jobs)),
             ("skipped", len(ledger.skipped_jobs)),
             ("pool_restarts", ledger.pool_restarts),
+            ("lc_served", ledger.lc_served),
+            ("sim_served", ledger.sim_served),
+            ("lc_mismatch", ledger.lc_validation_mismatch),
         ):
             if value:
                 sp.add(**{key: value})
@@ -461,7 +528,7 @@ def _checkpoint_hooks(
     for i, key in enumerate(keys):
         meas = cp.get(key)
         if meas is not None:
-            precomputed[i] = (meas, 0, 0)
+            precomputed[i] = (meas, 0, 0, (0, 0, 0))
 
     def on_complete(i: int, res) -> None:
         cp.put(keys[i], res[0])
@@ -474,6 +541,7 @@ def make_tuner(
     workers: int = 1,
     checkpoint=None,
     validate: bool = True,
+    predictor: str = "auto",
 ):
     """Construct a tuner by registry name (see :data:`TUNERS`).
 
@@ -481,7 +549,11 @@ def make_tuner(
     CLI and the service: ``workers`` and ``checkpoint`` are forwarded to
     the empirical tuners and ignored by the analytic one (nothing to
     parallelise or resume); ``validate`` is the analytic tuner's
-    single-validation-run switch.
+    single-validation-run switch.  ``predictor`` selects the traffic
+    predictor used for every variant evaluation (see
+    :func:`repro.cachesim.driver.measure_sweep`) — it changes *how*
+    reports are produced, never their values, so tuner winners are
+    identical across predictors.
     """
     try:
         cls = TUNERS[name]
@@ -490,8 +562,8 @@ def make_tuner(
             f"unknown tuner {name!r}; choose from {sorted(TUNERS)}"
         ) from None
     if name == "ecm":
-        return cls(validate=validate)
-    return cls(workers=workers, checkpoint=checkpoint)
+        return cls(validate=validate, predictor=predictor)
+    return cls(workers=workers, checkpoint=checkpoint, predictor=predictor)
 
 
 class ExhaustiveTuner:
@@ -507,9 +579,11 @@ class ExhaustiveTuner:
 
     name = "exhaustive"
 
-    def __init__(self, workers: int = 1, checkpoint=None):
+    def __init__(self, workers: int = 1, checkpoint=None,
+                 predictor: str = "auto"):
         self.workers = workers
         self.checkpoint = checkpoint
+        self.predictor = predictor
 
     def tune(
         self,
@@ -543,6 +617,7 @@ class ExhaustiveTuner:
             spec, grids, machine, jobs,
             workers=self.workers, deadline=deadline,
             precomputed=precomputed, on_complete=on_complete,
+            predictor=self.predictor,
         )
         if cp is not None:
             cp.flush()
@@ -551,7 +626,7 @@ class ExhaustiveTuner:
         for i, ((plan, _), entry) in enumerate(zip(jobs, results)):
             if entry is None:
                 continue
-            meas, dh, dm = entry
+            meas, dh, dm = entry[:3]
             if i not in resumed:
                 n_fresh += 1
                 sim_seconds += meas.runtime_seconds(lups) * 2  # warm-up+timed
@@ -589,9 +664,11 @@ class GreedyLineSearchTuner:
 
     name = "greedy"
 
-    def __init__(self, workers: int = 1, checkpoint=None):
+    def __init__(self, workers: int = 1, checkpoint=None,
+                 predictor: str = "auto"):
         self.workers = workers
         self.checkpoint = checkpoint
+        self.predictor = predictor
 
     def tune(
         self,
@@ -647,6 +724,7 @@ class GreedyLineSearchTuner:
                 spec, grids, machine, jobs,
                 workers=self.workers, deadline=deadline,
                 precomputed=precomputed, on_complete=on_complete,
+                predictor=self.predictor,
             )
             ledger.merge(axis_ledger)
             resumed = set(precomputed or ())
@@ -656,7 +734,7 @@ class GreedyLineSearchTuner:
             ):
                 if entry is None:
                     continue
-                meas, dh, dm = entry
+                meas, dh, dm = entry[:3]
                 n_examined += 1
                 if i not in resumed:
                     n_run += 1
@@ -704,9 +782,11 @@ class EcmGuidedTuner:
 
     name = "ecm"
 
-    def __init__(self, validate: bool = True, capacity_factor: float = 1.0):
+    def __init__(self, validate: bool = True, capacity_factor: float = 1.0,
+                 predictor: str = "auto"):
         self.validate = validate
         self.capacity_factor = capacity_factor
+        self.predictor = predictor
 
     def tune(
         self,
@@ -735,10 +815,11 @@ class EcmGuidedTuner:
             results, ledger = _evaluate_variants(
                 spec, grids, machine, [(choice.plan, seed)],
                 deadline=deadline,
+                predictor=self.predictor,
             )
             entry = results[0]
             if entry is not None:
-                meas, cache_hits, cache_misses = entry
+                meas, cache_hits, cache_misses = entry[:3]
                 n_run = 1
                 sim_seconds = meas.runtime_seconds(lups) * 2
                 mlups = meas.mlups

@@ -12,7 +12,20 @@ reproduction validates the paper's "no need to run the code" claim.
 from repro.cachesim.lru import SetAssocCache
 from repro.cachesim.fastlru import VectorCache
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
-from repro.cachesim.stream import sweep_stream, stream_stats
+from repro.cachesim.stream import (
+    SweepPrefix,
+    canonical_sweep_plan,
+    sweep_stream,
+    stream_stats,
+)
+from repro.cachesim.dispatch import (
+    PREDICTORS,
+    LcAnalysis,
+    PredictorError,
+    analyze_lc,
+    lc_traffic_report,
+    predictor_counters,
+)
 from repro.cachesim.memo import (
     TrafficCache,
     default_traffic_cache,
@@ -21,7 +34,11 @@ from repro.cachesim.memo import (
     stream_key,
     sweep_key,
 )
-from repro.cachesim.driver import measure_sweep, measure_stream
+from repro.cachesim.driver import (
+    measure_sweep,
+    measure_stream,
+    prefix_stats,
+)
 
 __all__ = [
     "SetAssocCache",
@@ -29,6 +46,14 @@ __all__ = [
     "CacheHierarchy",
     "TrafficReport",
     "TrafficCache",
+    "PREDICTORS",
+    "LcAnalysis",
+    "PredictorError",
+    "SweepPrefix",
+    "analyze_lc",
+    "canonical_sweep_plan",
+    "lc_traffic_report",
+    "predictor_counters",
     "default_traffic_cache",
     "set_default_traffic_cache",
     "resolve_traffic_cache",
@@ -38,4 +63,5 @@ __all__ = [
     "stream_stats",
     "measure_sweep",
     "measure_stream",
+    "prefix_stats",
 ]

@@ -7,10 +7,30 @@ from typing import Iterable
 
 import numpy as np
 
+from collections import OrderedDict
+
 from repro import obs
+from repro.cachesim.dispatch import (
+    PREDICTORS,
+    PredictorError,
+    analyze_lc,
+    predictor_counters,
+    validation_enabled,
+)
 from repro.cachesim.hierarchy import CacheHierarchy, TrafficReport
-from repro.cachesim.memo import TrafficCache, resolve_traffic_cache, sweep_key
-from repro.cachesim.stream import sweep_stream
+from repro.cachesim.memo import (
+    TrafficCache,
+    _grids_fingerprint,
+    _spec_fingerprint,
+    content_digest,
+    resolve_traffic_cache,
+    sweep_key,
+)
+from repro.cachesim.stream import (
+    SweepPrefix,
+    canonical_sweep_plan,
+    sweep_stream,
+)
 from repro.codegen.plan import KernelPlan
 from repro.grid.grid import GridSet
 from repro.machine.machine import Machine
@@ -31,6 +51,79 @@ def measure_stream(
     return hier.report(lups=lups)
 
 
+# --- shared stream prefixes ------------------------------------------------
+#
+# Tuner sweeps replay many plans against one (spec, grids): the per-variant
+# stream construction dominates once the vector engine made the replay
+# itself cheap.  A small per-process cache keeps the full-grid SweepPrefix
+# of the most recent grids alive across consecutive measure_sweep calls.
+
+_PREFIX_CACHE: OrderedDict[str, SweepPrefix] = OrderedDict()
+_PREFIX_CAP = 8
+_PREFIX_STATS = {"builds": 0, "reuses": 0}
+
+
+def prefix_stats() -> dict[str, int]:
+    """Build/reuse counts of the shared-prefix cache (this process)."""
+    return dict(_PREFIX_STATS)
+
+
+def _shared_prefix(spec: StencilSpec, grids: GridSet) -> SweepPrefix:
+    key = content_digest(
+        [_spec_fingerprint(spec), _grids_fingerprint(grids)]
+    )
+    prefix = _PREFIX_CACHE.get(key)
+    if prefix is not None:
+        _PREFIX_CACHE.move_to_end(key)
+        _PREFIX_STATS["reuses"] += 1
+        return prefix
+    prefix = SweepPrefix(spec, grids)
+    _PREFIX_CACHE[key] = prefix
+    _PREFIX_STATS["builds"] += 1
+    while len(_PREFIX_CACHE) > _PREFIX_CAP:
+        _PREFIX_CACHE.popitem(last=False)
+    return prefix
+
+
+def _replay_sweep(
+    spec: StencilSpec,
+    grids: GridSet,
+    plan: KernelPlan,
+    machine: Machine,
+    warmup: bool,
+    engine: str,
+) -> TrafficReport:
+    """Replay one sweep through the simulator (no memo, no dispatch)."""
+    with obs.span("cachesim.replay") as rp:
+        hier = CacheHierarchy(machine, engine=engine)
+        rp.set(engine=hier.engine)
+        prefix = None
+        if hier.engine == "vector":
+            candidate = _shared_prefix(spec, grids)
+            if candidate.supports(plan):
+                prefix = candidate
+        if prefix is not None:
+            rp.set(batch="prefix")
+            stream = lambda: prefix.stream(plan)  # noqa: E731
+        else:
+            # The vector engine wants block-sized mega-batches; the
+            # scalar loop is fastest on the small per-row batches.
+            batch = "block" if hier.engine == "vector" else "row"
+            stream = lambda: sweep_stream(  # noqa: E731
+                spec, grids, plan, batch=batch
+            )
+        if warmup:
+            # Addresses are name-bound, so a warm-up replay leaves
+            # exactly the footprint a steady pointer-swapping time loop
+            # would: the trailing working set of every involved array.
+            for lines, writes in stream():
+                hier.access_many(lines, writes)
+            hier.reset_counters()
+        for lines, writes in stream():
+            hier.access_many(lines, writes)
+        return hier.report(lups=prod(grids.interior_shape))
+
+
 def measure_sweep(
     spec: StencilSpec,
     grids: GridSet,
@@ -39,8 +132,9 @@ def measure_sweep(
     warmup: bool = True,
     engine: str = "auto",
     traffic_cache: TrafficCache | str | None = "default",
+    predictor: str = "auto",
 ) -> TrafficReport:
-    """Simulated cache traffic of one steady-state stencil sweep.
+    """Cache traffic of one steady-state stencil sweep.
 
     With ``warmup`` a full sweep is replayed first (without counting) so
     the measured sweep sees the warm state a time-stepping loop would —
@@ -51,8 +145,26 @@ def measure_sweep(
     memoized in ``traffic_cache`` (``"default"`` = the process-wide
     cache, ``None`` = off): the replay is deterministic, so identical
     configurations return the cached report without re-simulation.
+
+    ``predictor`` selects how the report is produced: ``"simulate"``
+    always replays, ``"lc"`` demands the analytic layer-condition fast
+    path (raising :class:`~repro.cachesim.dispatch.PredictorError` when
+    the analysis cannot certify exactness for this configuration), and
+    ``"auto"`` (default) serves analytically whenever the analysis is
+    provably exact and falls back to the replay otherwise.  LC-served
+    reports are bit-identical to the simulator's, so the predictor
+    never enters the memo key.  Set ``REPRO_LC_VALIDATE=1`` to
+    cross-check every LC answer against the replay.
     """
-    plan = plan.clipped(grids.interior_shape)
+    if predictor not in PREDICTORS:
+        raise ValueError(
+            f"unknown predictor {predictor!r}; choose from {PREDICTORS}"
+        )
+    # Collapse the plan to its stream-equivalence class representative:
+    # every variant in the class has the identical access stream, so
+    # the memo entry, the replay and the LC analysis are all shared.
+    plan = canonical_sweep_plan(grids.interior_shape, plan)
+    counters = predictor_counters()
     with obs.span("cachesim.sweep") as sp:
         cache = resolve_traffic_cache(traffic_cache)
         if cache is not None:
@@ -60,27 +172,41 @@ def measure_sweep(
             cached = cache.get(key)
             if cached is not None:
                 sp.add(memo_hits=1)
+                sp.set(served="memo")
                 return cached
             sp.add(memo_misses=1)
-        with obs.span("cachesim.replay") as rp:
-            hier = CacheHierarchy(machine, engine=engine)
-            rp.set(engine=hier.engine)
-            # The vector engine wants block-sized mega-batches; the scalar
-            # loop is fastest on the small per-row batches.
-            batch = "block" if hier.engine == "vector" else "row"
-            if warmup:
-                # Addresses are name-bound, so a warm-up replay leaves
-                # exactly the footprint a steady pointer-swapping time loop
-                # would: the trailing working set of every involved array.
-                for lines, writes in sweep_stream(
-                    spec, grids, plan, batch=batch
-                ):
-                    hier.access_many(lines, writes)
-                hier.reset_counters()
-            for lines, writes in sweep_stream(spec, grids, plan, batch=batch):
-                hier.access_many(lines, writes)
-            lups = prod(grids.interior_shape)
-            report = hier.report(lups=lups)
+        if predictor in ("auto", "lc"):
+            analysis = analyze_lc(spec, grids, plan, machine, warmup=warmup)
+            if analysis.exact:
+                report = analysis.report
+                if validation_enabled():
+                    simulated = _replay_sweep(
+                        spec, grids, plan, machine, warmup, engine
+                    )
+                    if (
+                        report.loads != simulated.loads
+                        or report.writebacks != simulated.writebacks
+                        or report.accesses != simulated.accesses
+                    ):
+                        counters.lc_validation_mismatch += 1
+                        report = simulated
+                if report is analysis.report:
+                    counters.lc_served += 1
+                    sp.set(served="lc")
+                else:
+                    counters.sim_served += 1
+                    sp.set(served="simulate")
+                if cache is not None:
+                    cache.put(key, report)
+                return report
+            if predictor == "lc":
+                raise PredictorError(
+                    f"layer-condition predictor declined for "
+                    f"{spec.name}/{plan.describe()}: {analysis.reason}"
+                )
+        counters.sim_served += 1
+        sp.set(served="simulate")
+        report = _replay_sweep(spec, grids, plan, machine, warmup, engine)
         if cache is not None:
             cache.put(key, report)
         return report

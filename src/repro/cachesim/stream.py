@@ -17,6 +17,7 @@ per-batch overheads.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from itertools import product
 from typing import Iterator
 
@@ -25,6 +26,36 @@ import numpy as np
 from repro.codegen.plan import KernelPlan
 from repro.grid.grid import GridSet
 from repro.stencil.spec import StencilSpec
+
+
+def canonical_sweep_plan(
+    interior_shape: tuple[int, ...], plan: KernelPlan
+) -> KernelPlan:
+    """Collapse a plan to the coarsest plan with the *same* access stream.
+
+    The sweep stream is fully determined by the execution order of grid
+    rows.  Rows inside a block run lexicographically, and when the only
+    split outer axis is the outermost one the block loop visits its
+    intervals in ascending order regardless of ``loop_order`` — so the
+    concatenated row order is exactly the unblocked lexicographic sweep.
+    Every such variant (all full-x 2D plans; 3D plans with full y) is
+    therefore stream-identical to the unblocked plan: canonicalizing
+    before memoization and replay lets tuner sweeps share one replay
+    across the whole equivalence class, bit-identically.
+    """
+    plan = plan.clipped(interior_shape)
+    dim = plan.dim
+    if plan.block[-1] != interior_shape[-1]:
+        return plan
+    if any(
+        plan.block[a] < interior_shape[a] for a in range(1, dim - 1)
+    ):
+        return plan
+    if plan.block == tuple(interior_shape) and plan.loop_order is None:
+        return plan
+    return replace(
+        plan, block=tuple(interior_shape), loop_order=None
+    )
 
 
 def _block_ranges(extent: int, block: int) -> list[tuple[int, int]]:
@@ -248,6 +279,124 @@ def _block_batch(
     lines = cols_flat[col_start[row_id] + col_idx] + chunk
     writes = col_idx == cc_r - 1
     return lines, writes
+
+
+#: Target accesses per mega-batch of :meth:`SweepPrefix.stream`.  Large
+#: enough to amortise the vector engine's per-batch fixed costs, small
+#: enough that the engine's sort keys stay within the 16-bit radix-sort
+#: range (see :func:`repro.cachesim.fastlru._narrow`).
+DEFAULT_PREFIX_OPS = 65_536
+
+
+class SweepPrefix:
+    """Shared access-stream geometry for many block variants.
+
+    Tuner sweeps evaluate dozens of plans against the *same*
+    ``(spec, grids)`` pair.  For plans whose innermost block spans the
+    full x extent, every variant touches exactly the same per-row
+    column/chunk geometry — only the *order* of rows differs.  This
+    class runs :func:`_block_geometry` once over the whole grid and
+    replays any such variant by gathering row ids in that variant's
+    block order, so stream construction is paid once per grid instead
+    of once per variant.
+
+    The replay engine is an exact LRU: its traffic counters depend only
+    on the access *sequence*, not on how the sequence is cut into
+    batches.  That lets :meth:`stream` coalesce rows across block
+    boundaries into mega-batches of roughly ``max_ops`` accesses while
+    staying bit-identical to the per-row and per-block generators.
+    """
+
+    def __init__(self, spec: StencilSpec, grids: GridSet) -> None:
+        self.spec = spec
+        self.grids = grids
+        shape = grids.interior_shape
+        halo = grids[spec.output].halo
+        read_offsets = [
+            (g, off) for g in spec.reads for off in sorted(spec.offsets[g])
+        ]
+        bounds = [(0, s) for s in shape]
+        cols_flat, col_start, cc, n_chunks, rows = _block_geometry(
+            bounds, halo, spec.dtype_bytes, 64, read_offsets, grids,
+            grids[spec.output].layout,
+        )
+        self._cols_flat = cols_flat
+        self._col_start = col_start.astype(np.int64)
+        self._cc = cc.astype(np.int64)
+        self._per_row = (cc * n_chunks).astype(np.int64)
+        self._outer_shape = tuple(shape[:-1])
+        self.rows = rows
+        self.accesses = int(self._per_row.sum())
+
+    def supports(self, plan: KernelPlan, z_range: tuple[int, int] | None = None) -> bool:
+        """Whether ``plan`` replays through this prefix bit-identically.
+
+        Requires the innermost block to span the full x extent (per-row
+        geometry is then block-independent) and no z restriction.
+        """
+        plan = plan.clipped(self.grids.interior_shape)
+        return (
+            z_range is None
+            and plan.block[-1] == self.grids.interior_shape[-1]
+        )
+
+    def _variant_rows(self, plan: KernelPlan) -> np.ndarray:
+        """Global row ids of one variant's sweep, in execution order."""
+        ids = []
+        for bounds in _sweep_blocks(self.spec, self.grids, plan, None):
+            axis_ranges = [
+                np.arange(b0, b1, dtype=np.int64) for b0, b1 in bounds[:-1]
+            ]
+            if axis_ranges:
+                mesh = np.meshgrid(*axis_ranges, indexing="ij")
+                ids.append(
+                    np.ravel_multi_index(
+                        [m.ravel() for m in mesh], self._outer_shape
+                    )
+                )
+            else:
+                ids.append(np.zeros(1, dtype=np.int64))
+        return np.concatenate(ids) if ids else np.zeros(0, dtype=np.int64)
+
+    def _expand(self, rids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the accesses of a run of rows (same arithmetic as
+        :func:`_block_batch`, gathered through the precomputed geometry)."""
+        per_row = self._per_row[rids]
+        total = int(per_row.sum())
+        row_pos = np.repeat(np.arange(len(rids)), per_row)
+        row_begin = np.concatenate(([0], np.cumsum(per_row)[:-1]))
+        local = np.arange(total, dtype=np.int64) - row_begin[row_pos]
+        cc_r = self._cc[rids][row_pos]
+        chunk = local // cc_r
+        col_idx = local - chunk * cc_r
+        lines = self._cols_flat[
+            self._col_start[rids][row_pos] + col_idx
+        ] + chunk
+        writes = col_idx == cc_r - 1
+        return lines, writes
+
+    def stream(
+        self, plan: KernelPlan, max_ops: int = DEFAULT_PREFIX_OPS
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield mega-batches of one variant's sweep.
+
+        The access sequence is exactly ``sweep_stream``'s; only the
+        batch boundaries differ (cut at row granularity, roughly every
+        ``max_ops`` accesses).
+        """
+        if not self.supports(plan):
+            raise ValueError(
+                f"plan {plan.describe()} does not replay through this "
+                f"prefix (needs full-x innermost block)"
+            )
+        rids = self._variant_rows(plan)
+        cum = np.concatenate(([0], np.cumsum(self._per_row[rids])))
+        i, n = 0, len(rids)
+        while i < n:
+            j = int(np.searchsorted(cum, cum[i] + max_ops, side="right")) - 1
+            j = max(j, i + 1)
+            yield self._expand(rids[i:j])
+            i = j
 
 
 def stream_stats(

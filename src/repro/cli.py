@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--machine", default="clx")
     pred.add_argument("--block", type=_parse_shape, default=None)
     pred.add_argument("--cache-scale", type=float, default=None)
+    pred.add_argument(
+        "--predictor",
+        choices=("auto", "lc", "simulate"),
+        default="auto",
+        help="traffic-predictor selection (accepted for interface "
+        "symmetry; prediction is purely analytic, so no traffic is "
+        "simulated either way)",
+    )
     pred.add_argument("--json", action="store_true", help="emit JSON")
     pred.add_argument(
         "--trace",
@@ -132,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="path of a crash-safe checkpoint file: completed variant "
         "measurements are persisted there and resumed on rerun "
         "(empirical tuners)",
+    )
+    tune.add_argument(
+        "--predictor",
+        choices=("auto", "lc", "simulate"),
+        default="auto",
+        help="traffic predictor for variant evaluation: 'auto' serves "
+        "the layer-condition fast path when provably exact (falling "
+        "back to the cache replay), 'simulate' always replays, 'lc' "
+        "fails when the fast path cannot certify exactness; winners "
+        "are identical across predictors, and the JSON ledger records "
+        "which path served each variant (traffic_cache.lc_served / "
+        "sim_served)",
     )
     tune.add_argument("--json", action="store_true", help="emit JSON")
     tune.add_argument(
@@ -168,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="path of a crash-safe checkpoint file for the validation "
         "measurements (resumed on rerun)",
+    )
+    rank.add_argument(
+        "--predictor",
+        choices=("auto", "lc", "simulate"),
+        default="auto",
+        help="traffic-predictor selection (accepted for interface "
+        "symmetry; ranking measures composite multi-sweep streams, "
+        "which always replay)",
     )
     rank.add_argument("--json", action="store_true", help="emit JSON")
     rank.add_argument(
@@ -330,6 +358,7 @@ def cmd_tune(args: argparse.Namespace) -> int:
             "tuner": args.tuner,
             "cache_scale": args.cache_scale,
             "workers": args.workers,
+            "predictor": args.predictor,
         }
     )
     if args.checkpoint:
@@ -352,6 +381,12 @@ def cmd_tune(args: argparse.Namespace) -> int:
         f"traffic cache    : {res.traffic_cache.hits} hits / "
         f"{res.traffic_cache.misses} misses"
     )
+    cache = res.traffic_cache
+    if cache.lc_served or cache.sim_served:
+        parts = [f"lc={cache.lc_served}", f"sim={cache.sim_served}"]
+        if cache.lc_validation_mismatch:
+            parts.append(f"MISMATCH={cache.lc_validation_mismatch}")
+        print(f"predictor        : {' '.join(parts)}")
     if not res.recovery.clean:
         rec = res.recovery
         parts = [f"retried={rec.retried_jobs}"]

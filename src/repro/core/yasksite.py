@@ -119,11 +119,19 @@ class YaskSite:
         plan: KernelPlan,
         seed: int = 0,
         grids: GridSet | None = None,
+        predictor: str = "auto",
     ) -> Measurement:
-        """Simulated measurement (exact cache replay) of one config."""
+        """Simulated measurement (exact cache replay) of one config.
+
+        ``predictor`` selects the traffic predictor (``"auto"``,
+        ``"lc"``, ``"simulate"``); LC-served traffic is bit-identical
+        to the replay, so the measurement itself never depends on it.
+        """
         if grids is None:
             grids = GridSet(spec, shape)
-        return simulate_kernel(spec, grids, plan, self.machine, seed=seed)
+        return simulate_kernel(
+            spec, grids, plan, self.machine, seed=seed, predictor=predictor
+        )
 
     def tune(
         self,
@@ -135,6 +143,7 @@ class YaskSite:
         deadline: float | None = None,
         checkpoint: str | None = None,
         validate: bool = True,
+        predictor: str = "auto",
     ) -> TunerResult:
         """Run one of the tuners ("ecm", "exhaustive", "greedy").
 
@@ -145,10 +154,14 @@ class YaskSite:
         empirical tuners stop starting new variant evaluations once
         passed; ``checkpoint`` persists/resumes their completed
         measurements; ``validate`` is the ECM tuner's single
-        validation-run switch.
+        validation-run switch.  ``predictor`` selects the traffic
+        predictor for every variant evaluation — winners are identical
+        across predictors (the LC fast path is served only when
+        provably exact).
         """
         instance = make_tuner(
-            tuner, workers=workers, checkpoint=checkpoint, validate=validate
+            tuner, workers=workers, checkpoint=checkpoint, validate=validate,
+            predictor=predictor,
         )
         grids = GridSet(spec, shape)
         with obs.span(f"tuner.{tuner}"):

@@ -98,6 +98,7 @@ class Engine:
                 workers=request.workers,
                 deadline=request.deadline,
                 checkpoint=request.checkpoint,
+                predictor=request.predictor,
             )
             return TuneResult.from_tuner_result(
                 res, request.stencil, request.machine, request.grid

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.autotune.search import TUNERS
+from repro.cachesim.dispatch import PREDICTORS
 from repro.machine.presets import PRESETS
 from repro.offsite.tuner import TABLEAU_FAMILIES
 from repro.stencil.library import STENCIL_SUITE
@@ -153,7 +154,11 @@ class TuneRequest:
     ``deadline`` (absolute ``time.time()`` epoch seconds) likewise rides
     along without entering the identity: a successful run returns the
     same result with or without one, and the service injects it *after*
-    computing cache/coalescing keys.  ``checkpoint`` is constructor-only
+    computing cache/coalescing keys.  ``predictor`` selects the traffic
+    predictor (``"auto"``/``"lc"``/``"simulate"``) — it changes only
+    *how* variant traffic is produced, never the winner, so it too
+    stays outside the identity (a response computed under one predictor
+    is byte-valid for every other).  ``checkpoint`` is constructor-only
     (never read from a payload) so a remote client cannot direct the
     server to write files.
     """
@@ -167,6 +172,7 @@ class TuneRequest:
     workers: int = 1
     deadline: float | None = None
     checkpoint: str | None = None
+    predictor: str = "auto"
 
     @classmethod
     def from_payload(cls, payload: dict) -> "TuneRequest":
@@ -186,6 +192,12 @@ class TuneRequest:
             raise RequestError(
                 f"deadline must be epoch seconds, got {deadline!r}"
             )
+        predictor = payload.get("predictor", "auto")
+        if predictor not in PREDICTORS:
+            raise RequestError(
+                f"unknown predictor {predictor!r}; "
+                f"choose from {list(PREDICTORS)}"
+            )
         return cls(
             stencil=_require_stencil(payload),
             grid=_require_grid(payload, [48, 48, 64]),
@@ -195,14 +207,15 @@ class TuneRequest:
             seed=_require_seed(payload),
             workers=workers,
             deadline=float(deadline) if deadline is not None else None,
+            predictor=predictor,
         )
 
     def to_payload(self) -> dict:
         """Canonical dict form.
 
-        ``workers``, ``deadline`` and ``checkpoint`` are excluded:
-        they never change a successful result, so they must not fork
-        the cache/coalescing identity.
+        ``workers``, ``deadline``, ``predictor`` and ``checkpoint`` are
+        excluded: they never change a successful result, so they must
+        not fork the cache/coalescing identity.
         """
         return {
             "stencil": self.stencil,

@@ -52,10 +52,21 @@ class PlanResult:
 
 @dataclass(frozen=True)
 class CacheLedger:
-    """Hit/miss counters of one cache (traffic-memo ledger)."""
+    """Hit/miss counters of one cache (traffic-memo ledger).
+
+    The predictor breakdown says which path produced the reports behind
+    the misses: ``lc_served`` analytically via the layer-condition fast
+    path, ``sim_served`` by cache replay, ``lc_validation_mismatch``
+    cross-checks where LC diverged and the replay was served instead.
+    All default to 0 so ledgers from paths without predictor dispatch
+    (e.g. rank's composite-stream measurements) stay valid.
+    """
 
     hits: int
     misses: int
+    lc_served: int = 0
+    sim_served: int = 0
+    lc_validation_mismatch: int = 0
 
 
 @dataclass(frozen=True)
@@ -161,7 +172,10 @@ class TuneResult:
             simulated_run_seconds=res.simulated_run_seconds,
             workers=res.workers,
             traffic_cache=CacheLedger(
-                res.traffic_cache_hits, res.traffic_cache_misses
+                res.traffic_cache_hits, res.traffic_cache_misses,
+                lc_served=res.lc_served,
+                sim_served=res.sim_served,
+                lc_validation_mismatch=res.lc_validation_mismatch,
             ),
             stencil=stencil,
             machine=machine,

@@ -112,19 +112,25 @@ def simulate_kernel(
     n_cores: int = 1,
     engine: str = "auto",
     traffic_cache="default",
+    predictor: str = "auto",
 ) -> Measurement:
     """Measure one sweep: exact cache replay + cycle accounting + noise.
 
     The traffic replay is memoized (see
     :func:`repro.cachesim.driver.measure_sweep`); the seeded noise is
     applied *after* the lookup, so cached and cold calls produce
-    identical measurements for identical seeds.
+    identical measurements for identical seeds.  ``predictor`` selects
+    how the traffic is produced (``"auto"``/``"lc"``/``"simulate"``);
+    LC-served traffic is bit-identical to the replay and the noise is
+    applied afterwards either way, so the measurement never depends on
+    the predictor that served it.
     """
     plan = plan.clipped(grids.interior_shape)
     with obs.span("perf.simulate"):
         traffic = measure_sweep(
             spec, grids, plan, machine, warmup=warmup,
             engine=engine, traffic_cache=traffic_cache,
+            predictor=predictor,
         )
         t_exec = _exec_cycles_per_lup(spec, machine)
         t_ports = _port_cycles_per_lup(spec, machine)

@@ -97,6 +97,14 @@ class ServiceMetrics:
             "traffic": {"hits": 0, "misses": 0},
             "database": {"hits": 0, "misses": 0},
         }
+        # Predictor-path ledger: which path produced the traffic
+        # reports behind fresh tune work (layer-condition fast path vs.
+        # cache replay; mismatches are LC cross-check divergences).
+        self.predictor = {
+            "lc_served": 0,
+            "sim_served": 0,
+            "lc_validation_mismatch": 0,
+        }
         # Per-stage wall-time attribution: request lifecycle stages
         # (normalize/cache/execute) on every request, plus obs span
         # aggregates folded in when a request ran traced.
@@ -120,6 +128,20 @@ class ServiceMetrics:
             ledger = self.tiers[tier]
             ledger["hits"] += hits
             ledger["misses"] += misses
+
+    def record_predictor(
+        self,
+        lc_served: int = 0,
+        sim_served: int = 0,
+        lc_validation_mismatch: int = 0,
+    ) -> None:
+        """Add one job's predictor-path serve counts."""
+        if not (lc_served or sim_served or lc_validation_mismatch):
+            return
+        with self._lock:
+            self.predictor["lc_served"] += lc_served
+            self.predictor["sim_served"] += sim_served
+            self.predictor["lc_validation_mismatch"] += lc_validation_mismatch
 
     def record_stages(self, stage_seconds: dict[str, float]) -> None:
         """Fold one request's per-stage wall times in (single lock)."""
@@ -150,6 +172,15 @@ class ServiceMetrics:
                 "tiers": {
                     name: {**ledger, "hit_rate": self._hit_rate(ledger)}
                     for name, ledger in self.tiers.items()
+                },
+                "predictor": {
+                    **self.predictor,
+                    "lc_fraction": self._hit_rate(
+                        {
+                            "hits": self.predictor["lc_served"],
+                            "misses": self.predictor["sim_served"],
+                        }
+                    ),
                 },
                 "stages": {
                     name: {

@@ -105,6 +105,9 @@ def tuner_result_to_dict(res: TunerResult) -> dict:
         "traffic_cache": {
             "hits": res.traffic_cache_hits,
             "misses": res.traffic_cache_misses,
+            "lc_served": res.lc_served,
+            "sim_served": res.sim_served,
+            "lc_validation_mismatch": res.lc_validation_mismatch,
         },
         "recovery": {
             "degraded": res.degraded,
@@ -237,6 +240,9 @@ def tune_result_to_dict(res: TuneResult) -> dict:
         "traffic_cache": {
             "hits": res.traffic_cache.hits,
             "misses": res.traffic_cache.misses,
+            "lc_served": res.traffic_cache.lc_served,
+            "sim_served": res.traffic_cache.sim_served,
+            "lc_validation_mismatch": res.traffic_cache.lc_validation_mismatch,
         },
         "stencil": res.stencil,
         "machine": res.machine,
@@ -277,8 +283,10 @@ def tune_result_from_dict(data: dict) -> TuneResult:
     """Inverse of :func:`tune_result_to_dict`.
 
     Tolerates responses recorded before the recovery ledger existed
-    (a missing ``recovery`` key means a clean run).
+    (a missing ``recovery`` key means a clean run) and before the
+    predictor breakdown existed (missing counters mean 0).
     """
+    cache = data["traffic_cache"]
     return TuneResult(
         tuner=data["tuner"],
         best_plan=plan_result_from_dict(data["best_plan"]),
@@ -288,8 +296,11 @@ def tune_result_from_dict(data: dict) -> TuneResult:
         simulated_run_seconds=data["simulated_run_seconds"],
         workers=data["workers"],
         traffic_cache=CacheLedger(
-            hits=data["traffic_cache"]["hits"],
-            misses=data["traffic_cache"]["misses"],
+            hits=cache["hits"],
+            misses=cache["misses"],
+            lc_served=cache.get("lc_served", 0),
+            sim_served=cache.get("sim_served", 0),
+            lc_validation_mismatch=cache.get("lc_validation_mismatch", 0),
         ),
         stencil=data["stencil"],
         machine=data["machine"],

@@ -336,7 +336,12 @@ class ReproService:
             # The trace flag rides outside the normalized payload:
             # traced and untraced requests share one cache/coalescing
             # identity, so tracing can never fork the response space.
+            # The predictor hint works the same way — validated during
+            # normalization but excluded from the canonical payload, so
+            # a response computed under one predictor serves them all
+            # (LC-served traffic is bit-identical to the replay's).
             want_trace = bool(payload.get("trace"))
+            requested_predictor = payload.get("predictor")
             normalized = normalizer(payload)
         except (ValueError, JobError) as exc:
             return "failed", 400, {"error": str(exc)}, None
@@ -428,6 +433,8 @@ class ReproService:
             job_payload["deadline"] = (
                 time.time() + self.config.request_timeout_s
             )
+            if requested_predictor is not None:
+                job_payload["predictor"] = requested_predictor
 
         # Coalesce + admit + batch onto the pool.  The completion hook
         # fills the caches before the in-flight key is released, so
@@ -440,6 +447,13 @@ class ReproService:
                     "traffic",
                     hits=int(ledger.get("hits", 0)),
                     misses=int(ledger.get("misses", 0)),
+                )
+                self.metrics.record_predictor(
+                    lc_served=int(ledger.get("lc_served", 0)),
+                    sim_served=int(ledger.get("sim_served", 0)),
+                    lc_validation_mismatch=int(
+                        ledger.get("lc_validation_mismatch", 0)
+                    ),
                 )
             if endpoint == "/rank":
                 try:

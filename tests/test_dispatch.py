@@ -1,0 +1,263 @@
+"""Layer-condition fast path: exactness property + service identity.
+
+The dispatch layer (:mod:`repro.cachesim.dispatch`) may serve a sweep's
+traffic report analytically instead of replaying it — but only when the
+layer-condition analysis certifies exactness.  These tests pin the
+contract down:
+
+* wherever ``analyze_lc`` claims ``exact``, the synthesized report is
+  **bit-identical** to the replay (swept across the stencil library and
+  every machine preset),
+* declines are honest (the suite contains both exact serves and
+  declines, each with a reason),
+* ``predictor="lc"`` raises on declined configurations instead of
+  silently approximating,
+* the ``predictor`` choice never enters the service's cache identity —
+  requests differing only in predictor coalesce onto one cache entry
+  with identical scientific content.
+"""
+
+import pytest
+
+from repro.cachesim import TrafficCache, measure_sweep
+from repro.cachesim.dispatch import (
+    PREDICTORS,
+    PredictorError,
+    analyze_lc,
+    predictor_counters,
+)
+from repro.cachesim.stream import canonical_sweep_plan
+from repro.codegen.plan import KernelPlan, candidate_plans
+from repro.engine.requests import RequestError, TuneRequest
+from repro.grid.grid import GridSet
+from repro.machine.presets import PRESETS, get_machine
+from repro.stencil.library import STENCIL_SUITE, get_stencil
+
+#: Grids with clear layer-condition margins on the full-size presets.
+#: Smaller grids land in the "window fits but eviction is not certain"
+#: ambiguous zone, where the analysis (correctly) declines everything.
+GRID_BY_DIM = {2: (2048, 256), 3: (48, 48, 128)}
+
+MACHINES = tuple(sorted(PRESETS))
+
+
+def _grid_for(spec):
+    return GRID_BY_DIM[spec.dim]
+
+
+class TestLcExactness:
+    """analyze_lc.exact ==> report identical to the replay."""
+
+    @pytest.mark.parametrize("machine_name", MACHINES)
+    @pytest.mark.parametrize("name", STENCIL_SUITE)
+    def test_exact_claims_match_replay(self, name, machine_name):
+        spec = get_stencil(name)
+        machine = get_machine(machine_name)
+        shape = _grid_for(spec)
+        grids = GridSet(spec, shape)
+        plan = KernelPlan(block=shape)  # the canonical unblocked plan
+        analysis = analyze_lc(spec, grids, plan, machine)
+        if not analysis.exact:
+            assert analysis.reason  # declines must say why
+            pytest.skip(f"honest decline: {analysis.reason}")
+        replay = measure_sweep(
+            spec, grids, plan, machine,
+            traffic_cache=None, predictor="simulate",
+        )
+        assert analysis.report.as_dict() == replay.as_dict()
+        assert analysis.report.loads == replay.loads
+        assert analysis.report.writebacks == replay.writebacks
+        assert analysis.report.accesses == replay.accesses
+
+    def test_suite_has_both_serves_and_declines(self):
+        """The property above must not be vacuous: the library sweep
+        contains exact serves AND honest declines on clx."""
+        machine = get_machine("clx")
+        outcomes = {"exact": 0, "declined": 0}
+        for name in STENCIL_SUITE:
+            spec = get_stencil(name)
+            shape = _grid_for(spec)
+            plan = KernelPlan(block=shape)
+            analysis = analyze_lc(spec, GridSet(spec, shape), plan, machine)
+            outcomes["exact" if analysis.exact else "declined"] += 1
+        assert outcomes["exact"] >= 3, outcomes
+        assert outcomes["declined"] >= 1, outcomes
+
+    def test_blocked_plans_decline(self):
+        """Middle-axis-blocked 3D plans are replay territory."""
+        spec = get_stencil("3d7pt")
+        shape = (32, 32, 96)
+        plan = KernelPlan(block=(32, 8, 96))
+        analysis = analyze_lc(spec, GridSet(spec, shape), plan, get_machine("clx"))
+        assert not analysis.exact
+        assert "blocked" in analysis.reason
+
+    def test_order_equivalent_plans_share_the_canonical_form(self):
+        """Every clipped full-x plan with unblocked middle axes collapses
+        to the unblocked plan; genuinely blocked plans do not."""
+        spec = get_stencil("heat2d")
+        shape = (2048, 256)
+        for plan in candidate_plans(spec, shape, get_machine("clx")):
+            canon = canonical_sweep_plan(shape, plan.clipped(shape))
+            if tuple(plan.clipped(shape).block) == shape:
+                assert tuple(canon.block) == shape
+        blocked = KernelPlan(block=(16, 8, 96)).clipped((32, 32, 96))
+        assert tuple(canonical_sweep_plan((32, 32, 96), blocked).block) != (
+            32, 32, 96,
+        )
+
+
+class TestPredictorModes:
+    def test_lc_mode_raises_on_declined_config(self):
+        spec = get_stencil("3d7pt")
+        shape = (32, 32, 96)
+        grids = GridSet(spec, shape)
+        plan = KernelPlan(block=(32, 8, 96))  # blocked -> declined
+        with pytest.raises(PredictorError):
+            measure_sweep(
+                spec, grids, plan, get_machine("clx"),
+                traffic_cache=None, predictor="lc",
+            )
+
+    def test_invalid_predictor_rejected(self):
+        spec = get_stencil("heat2d")
+        grids = GridSet(spec, (64, 128))
+        with pytest.raises(ValueError):
+            measure_sweep(
+                spec, grids, KernelPlan(block=(64, 128)),
+                get_machine("clx"), predictor="oracle",
+            )
+
+    def test_counters_track_served_paths(self):
+        spec = get_stencil("heat2d")
+        shape = (2048, 256)
+        grids = GridSet(spec, shape)
+        plan = KernelPlan(block=shape)
+        machine = get_machine("clx")
+        counters = predictor_counters()
+        base = counters.snapshot()
+        measure_sweep(
+            spec, grids, plan, machine,
+            traffic_cache=None, predictor="auto",
+        )
+        after_lc = counters.snapshot()
+        assert after_lc["lc_served"] == base["lc_served"] + 1
+        measure_sweep(
+            spec, grids, plan, machine,
+            traffic_cache=None, predictor="simulate",
+        )
+        after_sim = counters.snapshot()
+        assert after_sim["sim_served"] == after_lc["sim_served"] + 1
+        assert after_sim["lc_validation_mismatch"] == base[
+            "lc_validation_mismatch"
+        ]
+
+    def test_validation_mode_cross_checks(self, monkeypatch):
+        """REPRO_LC_VALIDATE=1 replays behind every LC serve; a clean
+        sweep records zero mismatches."""
+        monkeypatch.setenv("REPRO_LC_VALIDATE", "1")
+        spec = get_stencil("heat2d")
+        shape = (2048, 256)
+        grids = GridSet(spec, shape)
+        counters = predictor_counters()
+        base = counters.snapshot()
+        measure_sweep(
+            spec, grids, KernelPlan(block=shape), get_machine("clx"),
+            traffic_cache=None, predictor="auto",
+        )
+        snap = counters.snapshot()
+        assert snap["lc_served"] == base["lc_served"] + 1
+        assert snap["lc_validation_mismatch"] == base[
+            "lc_validation_mismatch"
+        ]
+
+    def test_predictor_outside_memo_identity(self):
+        """LC-served and replayed reports share one memo entry."""
+        spec = get_stencil("heat2d")
+        shape = (2048, 256)
+        grids = GridSet(spec, shape)
+        plan = KernelPlan(block=shape)
+        machine = get_machine("clx")
+        cache = TrafficCache()
+        lc = measure_sweep(
+            spec, grids, plan, machine,
+            traffic_cache=cache, predictor="auto",
+        )
+        assert cache.misses == 1
+        sim = measure_sweep(
+            spec, grids, plan, machine,
+            traffic_cache=cache, predictor="simulate",
+        )
+        assert cache.hits == 1  # served from the LC-filled memo entry
+        assert lc.as_dict() == sim.as_dict()
+
+
+class TestRequestIdentity:
+    """``predictor`` is run accounting, not request identity."""
+
+    def test_predictor_validated_then_excluded_from_payload(self):
+        req = TuneRequest.from_payload(
+            {"stencil": "3d7pt", "predictor": "simulate"}
+        )
+        assert req.predictor == "simulate"
+        assert "predictor" not in req.to_payload()
+
+    def test_default_is_auto(self):
+        req = TuneRequest.from_payload({"stencil": "3d7pt"})
+        assert req.predictor == "auto"
+
+    def test_invalid_predictor_rejected(self):
+        with pytest.raises(RequestError):
+            TuneRequest.from_payload(
+                {"stencil": "3d7pt", "predictor": "oracle"}
+            )
+
+    def test_all_declared_predictors_accepted(self):
+        for predictor in PREDICTORS:
+            req = TuneRequest.from_payload(
+                {"stencil": "3d7pt", "predictor": predictor}
+            )
+            assert req.predictor == predictor
+
+
+class TestServiceIdentity:
+    """Live server: predictor stays outside the response-cache key."""
+
+    def test_cross_predictor_requests_share_one_cache_entry(self):
+        from repro.service.background import BackgroundServer
+        from repro.service.client import ServiceError
+        from repro.service.config import ServiceConfig
+
+        base = {
+            "stencil": "3d7pt", "grid": [16, 16, 32],
+            "tuner": "exhaustive", "cache_scale": 1 / 32,
+        }
+        cfg = ServiceConfig(port=0, executor="thread", workers=2)
+        with BackgroundServer(cfg) as bg:
+            first = bg.client.tune(**base, predictor="simulate")
+            assert first["served"] == "fresh"
+            second = bg.client.tune(**base, predictor="auto")
+            assert second["served"] == "response-cache"
+            # Identical scientific content: one entry served both.
+            assert second["result"]["best_plan"] == (
+                first["result"]["best_plan"]
+            )
+            assert second["result"]["best_mlups"] == (
+                first["result"]["best_mlups"]
+            )
+            # /metrics exposes the predictor ledger.
+            snap = bg.metrics_snapshot()
+            predictor = snap["predictor"]
+            assert set(predictor) >= {
+                "lc_served", "sim_served", "lc_validation_mismatch",
+                "lc_fraction",
+            }
+            assert predictor["sim_served"] >= 1  # scaled caches decline
+            assert predictor["lc_validation_mismatch"] == 0
+            # Invalid predictor is a 400 at normalization.
+            with pytest.raises(ServiceError) as err:
+                bg.client.request(
+                    "POST", "/tune", {**base, "predictor": "oracle"},
+                )
+            assert err.value.status == 400
+            assert bg.client.healthz()["status"] == "ok"
