@@ -25,7 +25,11 @@ from dataclasses import dataclass, field
 from repro import faults, obs
 from repro.autotune.checkpoint import TunerCheckpoint, tuner_fingerprint
 from repro.blocking.spatial import analytic_block_selection
-from repro.cachesim.dispatch import PREDICTORS, predictor_counters
+from repro.cachesim.dispatch import (
+    PREDICTORS,
+    PredictorError,
+    predictor_counters,
+)
 from repro.cachesim.memo import default_traffic_cache
 from repro.codegen.plan import KernelPlan, candidate_plans
 from repro.grid.grid import GridSet
@@ -257,6 +261,12 @@ def _serial_fill(
     (completed here or restored from a checkpoint): a request must not
     time out into an empty result when running the first job would give
     it a usable one.
+
+    :class:`~repro.cachesim.dispatch.PredictorError` propagates
+    immediately: a forced ``predictor="lc"`` declining a variant is
+    deterministic, so retrying it is pointless and swallowing it would
+    silently turn the sweep into a degraded partial search with a
+    potentially different winner.
     """
     progress = any(r is not None for r in results)
     for i in sorted(todo):
@@ -269,6 +279,8 @@ def _serial_fill(
                 res = _eval_one(
                     spec, grids, plan, machine, seed, predictor=predictor
                 )
+            except PredictorError:
+                raise
             except Exception:
                 attempts[i] = attempts.get(i, 0) + 1
                 if attempts[i] <= retries:
@@ -305,7 +317,9 @@ def _pool_fill(
     Per-job futures with bounded retries; a broken pool (worker death,
     injected ``tuner.pool`` fault) requeues its lost jobs into a fresh
     pool, and after ``max_pool_restarts`` restarts the remainder runs
-    in-process so the sweep always completes.
+    in-process so the sweep always completes.  A worker-side
+    :class:`~repro.cachesim.dispatch.PredictorError` is deterministic
+    (see :func:`_serial_fill`) and propagates without retries.
     """
     extra_halo = grids.output.halo - spec.radius
     initargs = (
@@ -367,6 +381,8 @@ def _pool_fill(
                     except BrokenExecutor:
                         broken = True
                         continue
+                    except PredictorError:
+                        raise
                     except Exception:
                         attempts[i] = attempts.get(i, 0) + 1
                         if attempts[i] <= retries:
@@ -436,7 +452,12 @@ def _evaluate_variants(
     result)`` fires for each fresh completion (checkpoint write-out).
 
     The reduction over a fully successful ``results`` is independent of
-    ``workers``, retries and pool restarts.
+    ``workers``, retries and pool restarts.  A
+    :class:`~repro.cachesim.dispatch.PredictorError` (forced
+    ``predictor="lc"`` on a variant the analysis declines) is raised
+    rather than ledgered: it is deterministic, so the batch could only
+    ever complete degraded, with a winner the other predictors might
+    not pick.
     """
     if predictor not in PREDICTORS:
         raise ValueError(
@@ -551,9 +572,13 @@ def make_tuner(
     parallelise or resume); ``validate`` is the analytic tuner's
     single-validation-run switch.  ``predictor`` selects the traffic
     predictor used for every variant evaluation (see
-    :func:`repro.cachesim.driver.measure_sweep`) — it changes *how*
-    reports are produced, never their values, so tuner winners are
-    identical across predictors.
+    :func:`repro.cachesim.driver.measure_sweep`): under ``"auto"`` and
+    ``"simulate"`` reports are bit-identical, so tuner winners match
+    exactly.  Forcing ``"lc"`` raises
+    :class:`~repro.cachesim.dispatch.PredictorError` as soon as any
+    variant is declined — tuner sweeps include blocked variants the
+    analysis never certifies, so a forced-lc tune fails loudly instead
+    of returning a degraded partial winner.
     """
     try:
         cls = TUNERS[name]

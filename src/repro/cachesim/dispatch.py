@@ -35,6 +35,7 @@ batched replay engine instead.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -75,24 +76,36 @@ class PredictorError(ValueError):
 
 
 class PredictorCounters:
-    """Process-wide predictor-path counters (surfaced in ``/metrics``)."""
+    """Process-wide predictor-path counters (surfaced in ``/metrics``).
+
+    Increments go through :meth:`incr` so concurrent in-process callers
+    (threaded ``measure_sweep``) cannot drop counts: a bare ``+=`` on an
+    attribute is a read-modify-write that loses updates under races.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.lc_served = 0
         self.sim_served = 0
         self.lc_validation_mismatch = 0
+
+    def incr(self, field: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + n)
 
     def snapshot(self) -> dict[str, int]:
-        return {
-            "lc_served": self.lc_served,
-            "sim_served": self.sim_served,
-            "lc_validation_mismatch": self.lc_validation_mismatch,
-        }
+        with self._lock:
+            return {
+                "lc_served": self.lc_served,
+                "sim_served": self.sim_served,
+                "lc_validation_mismatch": self.lc_validation_mismatch,
+            }
 
     def reset(self) -> None:
-        self.lc_served = 0
-        self.sim_served = 0
-        self.lc_validation_mismatch = 0
+        with self._lock:
+            self.lc_served = 0
+            self.sim_served = 0
+            self.lc_validation_mismatch = 0
 
 
 _COUNTERS = PredictorCounters()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from math import prod
 from typing import Iterable
 
@@ -57,7 +58,11 @@ def measure_stream(
 # stream construction dominates once the vector engine made the replay
 # itself cheap.  A small per-process cache keeps the full-grid SweepPrefix
 # of the most recent grids alive across consecutive measure_sweep calls.
+# The lock covers every LRU mutation so threaded callers cannot corrupt
+# the OrderedDict; the (expensive, deterministic) prefix build runs
+# outside it — a racing duplicate build is wasted work, never wrong.
 
+_PREFIX_LOCK = threading.Lock()
 _PREFIX_CACHE: OrderedDict[str, SweepPrefix] = OrderedDict()
 _PREFIX_CAP = 8
 _PREFIX_STATS = {"builds": 0, "reuses": 0}
@@ -65,23 +70,26 @@ _PREFIX_STATS = {"builds": 0, "reuses": 0}
 
 def prefix_stats() -> dict[str, int]:
     """Build/reuse counts of the shared-prefix cache (this process)."""
-    return dict(_PREFIX_STATS)
+    with _PREFIX_LOCK:
+        return dict(_PREFIX_STATS)
 
 
 def _shared_prefix(spec: StencilSpec, grids: GridSet) -> SweepPrefix:
     key = content_digest(
         [_spec_fingerprint(spec), _grids_fingerprint(grids)]
     )
-    prefix = _PREFIX_CACHE.get(key)
-    if prefix is not None:
-        _PREFIX_CACHE.move_to_end(key)
-        _PREFIX_STATS["reuses"] += 1
-        return prefix
+    with _PREFIX_LOCK:
+        prefix = _PREFIX_CACHE.get(key)
+        if prefix is not None:
+            _PREFIX_CACHE.move_to_end(key)
+            _PREFIX_STATS["reuses"] += 1
+            return prefix
     prefix = SweepPrefix(spec, grids)
-    _PREFIX_CACHE[key] = prefix
-    _PREFIX_STATS["builds"] += 1
-    while len(_PREFIX_CACHE) > _PREFIX_CAP:
-        _PREFIX_CACHE.popitem(last=False)
+    with _PREFIX_LOCK:
+        _PREFIX_CACHE[key] = prefix
+        _PREFIX_STATS["builds"] += 1
+        while len(_PREFIX_CACHE) > _PREFIX_CAP:
+            _PREFIX_CACHE.popitem(last=False)
     return prefix
 
 
@@ -188,13 +196,13 @@ def measure_sweep(
                         or report.writebacks != simulated.writebacks
                         or report.accesses != simulated.accesses
                     ):
-                        counters.lc_validation_mismatch += 1
+                        counters.incr("lc_validation_mismatch")
                         report = simulated
                 if report is analysis.report:
-                    counters.lc_served += 1
+                    counters.incr("lc_served")
                     sp.set(served="lc")
                 else:
-                    counters.sim_served += 1
+                    counters.incr("sim_served")
                     sp.set(served="simulate")
                 if cache is not None:
                     cache.put(key, report)
@@ -204,7 +212,7 @@ def measure_sweep(
                     f"layer-condition predictor declined for "
                     f"{spec.name}/{plan.describe()}: {analysis.reason}"
                 )
-        counters.sim_served += 1
+        counters.incr("sim_served")
         sp.set(served="simulate")
         report = _replay_sweep(spec, grids, plan, machine, warmup, engine)
         if cache is not None:

@@ -143,15 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument(
         "--predictor",
-        choices=("auto", "lc", "simulate"),
+        choices=("auto", "simulate"),
         default="auto",
         help="traffic predictor for variant evaluation: 'auto' serves "
         "the layer-condition fast path when provably exact (falling "
-        "back to the cache replay), 'simulate' always replays, 'lc' "
-        "fails when the fast path cannot certify exactness; winners "
-        "are identical across predictors, and the JSON ledger records "
-        "which path served each variant (traffic_cache.lc_served / "
-        "sim_served)",
+        "back to the cache replay), 'simulate' always replays; both "
+        "produce bit-identical reports, so winners match exactly, and "
+        "the JSON ledger records which path served each variant "
+        "(traffic_cache.lc_served / sim_served).  'lc' is tune-invalid: "
+        "tuner sweeps include blocked variants the analysis never "
+        "certifies, so forcing it could only fail",
     )
     tune.add_argument("--json", action="store_true", help="emit JSON")
     tune.add_argument(

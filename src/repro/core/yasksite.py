@@ -155,9 +155,12 @@ class YaskSite:
         passed; ``checkpoint`` persists/resumes their completed
         measurements; ``validate`` is the ECM tuner's single
         validation-run switch.  ``predictor`` selects the traffic
-        predictor for every variant evaluation — winners are identical
-        across predictors (the LC fast path is served only when
-        provably exact).
+        predictor for every variant evaluation — ``"auto"`` and
+        ``"simulate"`` produce bit-identical reports, so winners match
+        exactly; forcing ``"lc"`` raises ``PredictorError`` on the
+        first variant the analysis declines (tuner sweeps always
+        contain blocked variants it never certifies) instead of
+        silently degrading the search.
         """
         instance = make_tuner(
             tuner, workers=workers, checkpoint=checkpoint, validate=validate,

@@ -155,10 +155,15 @@ class TuneRequest:
     along without entering the identity: a successful run returns the
     same result with or without one, and the service injects it *after*
     computing cache/coalescing keys.  ``predictor`` selects the traffic
-    predictor (``"auto"``/``"lc"``/``"simulate"``) — it changes only
-    *how* variant traffic is produced, never the winner, so it too
-    stays outside the identity (a response computed under one predictor
-    is byte-valid for every other).  ``checkpoint`` is constructor-only
+    predictor: ``"auto"`` and ``"simulate"`` produce bit-identical
+    reports for every variant (the LC fast path serves only what it
+    proves exact), so the winner is predictor-independent and the knob
+    stays outside the identity.  ``"lc"`` is *rejected* for tune: a
+    tuner sweep includes blocked variants the layer-condition analysis
+    declines by design, so a forced-lc tune can only fail or return a
+    degraded partial search whose winner differs — admitting it under
+    the shared predictor-free identity would let one request poison the
+    response cache for all others.  ``checkpoint`` is constructor-only
     (never read from a payload) so a remote client cannot direct the
     server to write files.
     """
@@ -197,6 +202,14 @@ class TuneRequest:
             raise RequestError(
                 f"unknown predictor {predictor!r}; "
                 f"choose from {list(PREDICTORS)}"
+            )
+        if predictor == "lc":
+            raise RequestError(
+                "predictor 'lc' is not valid for tune: tuner sweeps "
+                "include blocked variants the layer-condition analysis "
+                "never certifies, so a forced-lc tune cannot complete; "
+                "use 'auto' (LC fast path where provably exact) or "
+                "'simulate'"
             )
         return cls(
             stencil=_require_stencil(payload),

@@ -337,9 +337,11 @@ class ReproService:
             # traced and untraced requests share one cache/coalescing
             # identity, so tracing can never fork the response space.
             # The predictor hint works the same way — validated during
-            # normalization but excluded from the canonical payload, so
-            # a response computed under one predictor serves them all
-            # (LC-served traffic is bit-identical to the replay's).
+            # normalization but excluded from the canonical payload.
+            # That sharing is sound only because normalization rejects
+            # predictor="lc" for /tune (see TuneRequest): the admitted
+            # modes ("auto"/"simulate") produce bit-identical reports,
+            # so a response computed under one serves them all.
             want_trace = bool(payload.get("trace"))
             requested_predictor = payload.get("predictor")
             normalized = normalizer(payload)
@@ -440,7 +442,17 @@ class ReproService:
         # fills the caches before the in-flight key is released, so
         # identical late arrivals can never re-execute.
         def on_result(result: dict) -> None:
-            self.response_cache.put(key, result)
+            # Degraded results (partial searches after exhausted retries,
+            # skipped jobs, or a failed validation run) are served to the
+            # waiters that shared the in-flight run but never pinned in
+            # the response cache: an identical later request deserves a
+            # clean recomputation, not somebody else's degraded answer.
+            recovery = result.get("recovery")
+            degraded = bool(result.get("degraded")) or (
+                isinstance(recovery, dict) and recovery.get("degraded")
+            )
+            if not degraded:
+                self.response_cache.put(key, result)
             ledger = result.get("traffic_cache")
             if isinstance(ledger, dict):
                 self.metrics.record_tier(

@@ -11,10 +11,14 @@ contract down:
 * declines are honest (the suite contains both exact serves and
   declines, each with a reason),
 * ``predictor="lc"`` raises on declined configurations instead of
-  silently approximating,
-* the ``predictor`` choice never enters the service's cache identity —
-  requests differing only in predictor coalesce onto one cache entry
-  with identical scientific content.
+  silently approximating, and a forced-lc *tune* fails fast (the
+  declined variants would otherwise silently degrade the search and
+  move the winner),
+* the admitted tune predictors (``auto``/``simulate``) never enter the
+  service's cache identity — requests differing only in predictor
+  coalesce onto one cache entry with identical scientific content —
+  while ``lc`` is rejected at normalization so it can never poison the
+  shared entry.
 """
 
 import pytest
@@ -128,6 +132,36 @@ class TestPredictorModes:
                 get_machine("clx"), predictor="oracle",
             )
 
+    def test_forced_lc_tune_fails_fast(self):
+        """A forced-lc tuner raises on the first declined variant
+        instead of silently returning a degraded partial winner."""
+        from repro.autotune.search import ExhaustiveTuner
+
+        spec = get_stencil("3d7pt")
+        grids = GridSet(spec, (16, 16, 32))
+        with pytest.raises(PredictorError):
+            ExhaustiveTuner(predictor="lc").tune(
+                spec, grids, get_machine("clx")
+            )
+
+    def test_forced_lc_decline_is_not_retried(self):
+        """The deterministic PredictorError must bypass the generic
+        retry path: zero retries burnt, nothing ledgered as failed."""
+        from repro.autotune.search import EvalLedger, _serial_fill
+
+        spec = get_stencil("3d7pt")
+        grids = GridSet(spec, (16, 16, 32))
+        jobs = [(KernelPlan(block=(16, 4, 32)), 0)]  # blocked -> declined
+        ledger = EvalLedger()
+        results = [None]
+        with pytest.raises(PredictorError):
+            _serial_fill(
+                spec, grids, get_machine("clx"), jobs, {0}, {}, None,
+                2, results, ledger, None, predictor="lc",
+            )
+        assert ledger.retried_jobs == 0
+        assert ledger.failed_jobs == []
+
     def test_counters_track_served_paths(self):
         spec = get_stencil("heat2d")
         shape = (2048, 256)
@@ -212,12 +246,22 @@ class TestRequestIdentity:
                 {"stencil": "3d7pt", "predictor": "oracle"}
             )
 
-    def test_all_declared_predictors_accepted(self):
-        for predictor in PREDICTORS:
+    def test_simulate_and_auto_accepted(self):
+        for predictor in ("auto", "simulate"):
+            assert predictor in PREDICTORS
             req = TuneRequest.from_payload(
                 {"stencil": "3d7pt", "predictor": predictor}
             )
             assert req.predictor == predictor
+
+    def test_lc_rejected_for_tune(self):
+        """predictor='lc' would deterministically degrade the sweep
+        (blocked variants are always declined) and, excluded from the
+        identity, poison the shared response cache — reject it."""
+        with pytest.raises(RequestError, match="lc"):
+            TuneRequest.from_payload(
+                {"stencil": "3d7pt", "predictor": "lc"}
+            )
 
 
 class TestServiceIdentity:
@@ -258,6 +302,14 @@ class TestServiceIdentity:
             with pytest.raises(ServiceError) as err:
                 bg.client.request(
                     "POST", "/tune", {**base, "predictor": "oracle"},
+                )
+            assert err.value.status == 400
+            # So is a forced-lc tune: it could only fail or degrade,
+            # and the degraded winner must never enter the shared
+            # predictor-free cache entry.
+            with pytest.raises(ServiceError) as err:
+                bg.client.request(
+                    "POST", "/tune", {**base, "predictor": "lc"},
                 )
             assert err.value.status == 400
             assert bg.client.healthz()["status"] == "ok"

@@ -159,6 +159,32 @@ class TestDegradedService:
             assert env["served"] == "fresh"
             assert "degraded" not in env
 
+    def test_partial_search_results_are_not_cached(self):
+        """A degraded result from the *normal* path (retries exhausted
+        on some variants, breaker closed) is served to its requester
+        but never pinned in the response LRU: the next identical
+        request recomputes cleanly, and the clean answer is cached."""
+        # A grid no other test tunes: the shared traffic memo must not
+        # be pre-warmed (or warm for others) by this degraded search.
+        payload = {"stencil": "3d7pt", "grid": [16, 16, 48],
+                   "tuner": "exhaustive"}
+        with BackgroundServer(_config()) as bg:
+            # First eval call + both its retries fail: exactly one job
+            # is lost, the tune completes degraded.
+            with faults.injected("tuner.eval:every=1:count=3"):
+                env = bg.client.request("POST", "/tune", payload, retries=0)
+            assert env["served"] == "fresh"
+            assert env["result"]["recovery"]["degraded"] is True
+            # Injection off: identical request must re-execute (a
+            # cached degraded answer would come from the LRU)...
+            env2 = bg.client.request("POST", "/tune", payload, retries=0)
+            assert env2["served"] == "fresh"
+            assert env2["result"]["recovery"]["degraded"] is False
+            # ...and the clean result is the one that gets cached.
+            env3 = bg.client.request("POST", "/tune", payload, retries=0)
+            assert env3["served"] == "response-cache"
+            assert env3["result"]["recovery"]["degraded"] is False
+
     def test_breaker_open_without_degraded_mode_returns_503(self):
         cfg = _config(
             breaker_threshold=1,
