@@ -1,0 +1,317 @@
+"""Load-generate against the sharded fabric vs one process.
+
+A zipfian-popularity, mixed-endpoint workload (predict / tune / rank)
+is replayed against (a) one single-process service and (b) a 3-shard
+fabric behind the consistent-hash router, in three phases:
+
+* **warmup** — every distinct payload once (fills the response caches
+  and runs the tune jobs fresh through the job ledger),
+* **sustained** — N zipf-sampled requests from concurrent clients; the
+  measured RPS and client p50/p95/p99 are the headline numbers,
+* **burst** — a spike of distinct cold payloads with ``retries=0``;
+  shed (HTTP 429) and degraded responses are *reported as rates*, not
+  asserted, because whether a burst sheds depends on queue headroom.
+
+After the fabric run the job ledger must be fully drained (no pending
+tune job without a published result) and every shard still healthy —
+those are the gate's exact guards.  The RPS comparisons are gated
+**relative to a committed baseline from the same box**
+(``benchmarks/baselines/BENCH_fabric_load.json``): on a single-core
+host the fabric cannot win by parallelism, so the honest check is that
+neither topology regressed, not a cross-machine absolute.
+
+Run standalone::
+
+    python benchmarks/bench_fabric_load.py [--quick] [--json PATH] \
+        [--artifact PATH] [--timestamp ISO]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.autotune.jobs import JobLedger
+from repro.fabric import BackgroundFabric, FabricConfig
+from repro.service.background import BackgroundServer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+
+SCALE = 1 / 32  # shrink caches so the exact simulation stays fast
+ZIPF_EXPONENT = 1.1
+SEED = 20260809
+
+
+def build_workload(quick: bool) -> list[dict]:
+    """Distinct request payloads, most-popular first (zipf rank 1..n)."""
+    stencils = ("3d7pt", "heat3d") if quick else ("3d7pt", "heat3d",
+                                                  "3d27pt", "3d25pt")
+    grids = ([16, 16, 32], [16, 32, 32]) if quick else (
+        [16, 16, 32], [16, 32, 32], [24, 24, 32], [32, 32, 32])
+    work: list[dict] = []
+    for s in stencils:
+        for g in grids:
+            work.append({"path": "/predict",
+                         "payload": {"stencil": s, "grid": list(g),
+                                     "cache_scale": SCALE}})
+    for method in ("radau_iia", "lobatto_iiia"):
+        work.append({"path": "/rank",
+                     "payload": {"method": method, "grid": [16, 16, 32],
+                                 "cache_scale": SCALE, "validate": False}})
+    for s in stencils[:2]:
+        work.append({"path": "/tune",
+                     "payload": {"stencil": s, "grid": [16, 16, 32],
+                                 "tuner": "ecm", "cache_scale": SCALE}})
+    return work
+
+
+def zipf_schedule(n_requests: int, n_items: int, seed: int) -> list[int]:
+    """Zipf-popularity item indices (rank r drawn ∝ 1/r^s), seeded."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_EXPONENT for rank in range(n_items)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total)
+    schedule = []
+    for _ in range(n_requests):
+        u = rng.random()
+        idx = next(i for i, c in enumerate(cumulative) if u <= c)
+        schedule.append(idx)
+    return schedule
+
+
+def _percentiles_ms(samples: list[float]) -> dict:
+    ordered = sorted(samples)
+
+    def pct(q: float) -> float:
+        idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+        return round(ordered[idx] * 1e3, 3)
+
+    return {"p50_ms": pct(0.50), "p95_ms": pct(0.95), "p99_ms": pct(0.99)}
+
+
+def _fire(client: ServiceClient, item: dict) -> tuple[float, str]:
+    """One request; returns (latency_s, outcome-tag)."""
+    t0 = time.perf_counter()
+    try:
+        response = client.request("POST", item["path"], item["payload"])
+    except ServiceError as err:
+        return time.perf_counter() - t0, f"http_{err.status}"
+    except Exception:
+        return time.perf_counter() - t0, "transport_error"
+    tag = response.get("served", "ok")
+    if response.get("degraded"):
+        tag = "degraded"
+    return time.perf_counter() - t0, tag
+
+
+def drive(host: str, port: int, quick: bool) -> dict:
+    """The three load phases against one target address."""
+    workload = build_workload(quick)
+    n_sustained = 240 if quick else 1200
+    concurrency = 8
+    client = ServiceClient(host=host, port=port, retries=2)
+
+    # -- warmup: every payload once (tunes run fresh exactly here) ----
+    t0 = time.perf_counter()
+    for item in workload:
+        client.request("POST", item["path"], item["payload"])
+    warmup_s = time.perf_counter() - t0
+
+    # -- sustained: zipf-sampled mixed traffic, concurrent clients ----
+    schedule = [workload[i] for i in
+                zipf_schedule(n_sustained, len(workload), SEED)]
+    outcomes: dict[str, int] = {}
+    latencies: list[float] = []
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for latency, tag in pool.map(lambda it: _fire(client, it), schedule):
+            latencies.append(latency)
+            outcomes[tag] = outcomes.get(tag, 0) + 1
+    sustained_s = time.perf_counter() - t0
+
+    # -- burst: a spike of distinct cold predicts, no retries ---------
+    burst_n = 24 if quick else 48
+    burst_items = [
+        {"path": "/predict",
+         "payload": {"stencil": "3d7pt",
+                     "grid": [8 + 2 * (i % 12), 16, 32 + 16 * (i // 12)],
+                     "cache_scale": SCALE}}
+        for i in range(burst_n)
+    ]
+    burst_client = ServiceClient(host=host, port=port, retries=0)
+    burst_outcomes: dict[str, int] = {}
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=burst_n) as pool:
+        for _, tag in pool.map(
+            lambda it: _fire(burst_client, it), burst_items
+        ):
+            burst_outcomes[tag] = burst_outcomes.get(tag, 0) + 1
+    burst_s = time.perf_counter() - t0
+
+    shed = burst_outcomes.get("http_429", 0)
+    degraded = (outcomes.get("degraded", 0)
+                + burst_outcomes.get("degraded", 0))
+    errors = sum(
+        count for tag, count in {**outcomes, **burst_outcomes}.items()
+        if tag in ("http_500", "http_504", "transport_error")
+    )
+    return {
+        "distinct_payloads": len(workload),
+        "warmup_s": round(warmup_s, 4),
+        "sustained_requests": n_sustained,
+        "sustained_s": round(sustained_s, 4),
+        "sustained_rps": round(n_sustained / sustained_s, 1),
+        "latency": _percentiles_ms(latencies),
+        "outcomes": outcomes,
+        "burst_requests": burst_n,
+        "burst_s": round(burst_s, 4),
+        "burst_outcomes": burst_outcomes,
+        "shed": shed,
+        "shed_rate": round(shed / burst_n, 4),
+        "degraded": degraded,
+        "degraded_rate": round(
+            degraded / (n_sustained + burst_n), 4
+        ),
+        "errors": errors,
+    }
+
+
+def run(quick: bool = True) -> dict:
+    # Single process first (its numbers are the comparison base).
+    with BackgroundServer(
+        ServiceConfig(port=0, executor="thread", workers=2)
+    ) as single:
+        single_report = drive(single.config.host, single.port, quick)
+        single_healthy = single.client.healthz()["http_status"] == 200
+
+    fabric_dir = Path(tempfile.mkdtemp(prefix="bench-fabric-"))
+    config = FabricConfig(
+        fabric_dir=str(fabric_dir),
+        port=0,
+        shards=3,
+        executor="thread",
+        workers=1,
+        probe_interval_s=0.5,
+        steal_interval_s=0.2,
+    )
+    with BackgroundFabric(config) as fabric:
+        fabric_report = drive(config.host, fabric.port, quick)
+        # Every enqueued tune job must have a published result: a
+        # pending job here would be work the fabric lost track of.
+        ledger = JobLedger(fabric_dir / "jobs")
+        deadline = time.time() + 15.0
+        pending = ledger.pending()
+        while pending and time.time() < deadline:
+            time.sleep(0.2)
+            pending = ledger.pending()
+        health = fabric.client.healthz()
+        fabric_healthy = (
+            health["http_status"] == 200
+            and all(info["up"] for info in health["shards"].values())
+        )
+    return {
+        "quick": quick,
+        "single": single_report,
+        "fabric": fabric_report,
+        "single_healthy_after": single_healthy,
+        "fabric_healthy_after": fabric_healthy,
+        "lost_jobs": len(pending),
+        "fabric_over_single": round(
+            fabric_report["sustained_rps"]
+            / single_report["sustained_rps"],
+            3,
+        ),
+    }
+
+
+def to_artifact(result: dict, timestamp: str) -> dict:
+    """Fold one :func:`run` record into the standard artifact schema."""
+    from artifact import make_artifact
+
+    return make_artifact(
+        name="fabric_load",
+        config={
+            "quick": result["quick"],
+            "cache_scale": SCALE,
+            "shards": 3,
+            "zipf_exponent": ZIPF_EXPONENT,
+        },
+        metrics={
+            "fabric_rps": result["fabric"]["sustained_rps"],
+            "single_rps": result["single"]["sustained_rps"],
+            "fabric_over_single": result["fabric_over_single"],
+            "fabric_p99_ms": result["fabric"]["latency"]["p99_ms"],
+            "shed_rate": result["fabric"]["shed_rate"],
+            "degraded_rate": result["fabric"]["degraded_rate"],
+            "errors": (result["fabric"]["errors"]
+                       + result["single"]["errors"]),
+            "lost_jobs": result["lost_jobs"],
+            "healthy_after": (result["fabric_healthy_after"]
+                              and result["single_healthy_after"]),
+            "detail": {
+                "single": result["single"],
+                "fabric": result["fabric"],
+            },
+        },
+        timestamp=timestamp,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", default=None, help="also write JSON here")
+    parser.add_argument(
+        "--artifact", default=None,
+        help="write a standardized BENCH artifact record here",
+    )
+    parser.add_argument(
+        "--timestamp", default=None,
+        help="ISO timestamp recorded in the artifact (default: now)",
+    )
+    args = parser.parse_args(argv)
+    result = run(quick=args.quick)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+    if args.artifact:
+        from artifact import utc_now, write_artifact
+
+        stamp = args.timestamp or utc_now()
+        write_artifact(args.artifact, to_artifact(result, stamp))
+    print(
+        f"# single {result['single']['sustained_rps']} rps, "
+        f"fabric {result['fabric']['sustained_rps']} rps "
+        f"({result['fabric_over_single']}x), "
+        f"shed_rate={result['fabric']['shed_rate']}, "
+        f"lost_jobs={result['lost_jobs']}, "
+        f"healthy_after={result['fabric_healthy_after']}",
+        file=sys.stderr,
+    )
+    if result["lost_jobs"]:
+        print("FAIL: fabric lost tune jobs", file=sys.stderr)
+        return 1
+    if not (result["fabric_healthy_after"]
+            and result["single_healthy_after"]):
+        print("FAIL: a target was unhealthy after the load", file=sys.stderr)
+        return 1
+    if result["fabric"]["errors"] or result["single"]["errors"]:
+        print("FAIL: hard errors during the load", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

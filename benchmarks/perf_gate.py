@@ -39,6 +39,13 @@ RATIO_RULES = {
     "service": {
         "warm_over_cold": 10.0,
     },
+    # The fabric adds a router hop, so on a single-core box its warm
+    # RPS trails one process; the honest gate is "did not regress
+    # relative to the committed same-box baseline", not an absolute.
+    "fabric_load": {
+        "fabric_rps": 25.0,
+        "fabric_over_single": 0.1,
+    },
 }
 
 #: name -> {metric: predicate description} checked exactly.
@@ -48,6 +55,11 @@ GUARDS = {
     },
     "service": {
         "shed": lambda v: v >= 1,
+        "healthy_after": lambda v: v is True,
+    },
+    "fabric_load": {
+        "errors": lambda v: v == 0,
+        "lost_jobs": lambda v: v == 0,
         "healthy_after": lambda v: v is True,
     },
 }

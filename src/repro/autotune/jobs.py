@@ -1,0 +1,223 @@
+"""Content-addressed tune-job ledger with lease/steal distribution.
+
+The fabric distributes long ``/tune`` jobs through a shared directory
+of small crash-safe files, one trio per job key (the service's
+``request_key`` content hash, so identical requests are one job)::
+
+    <dir>/<key>.job      the job record: endpoint + normalized payload
+    <dir>/<key>.lease    who is executing it, their pid, and an expiry
+    <dir>/<key>.result   the finished JSON result (terminal state)
+    <dir>/<key>.ckpt     the tuner checkpoint (partial measurements)
+
+All four are written through :mod:`repro.util.crashsafe` (checksummed
+envelopes, atomic replace) except ``.ckpt``, which *is* the PR-5
+:class:`~repro.autotune.checkpoint.TunerCheckpoint` file — the fabric
+reuses the checkpoint substrate unchanged as its resumable-progress
+ledger.
+
+**Leases are an efficiency device, not a correctness device.**  Every
+job is deterministic and content-addressed: two executors racing the
+same key produce bit-identical results and their ``.result`` writes
+are idempotent.  The lease only keeps the common case from paying
+duplicated work.  A lease is *adoptable* (stealable) when it is past
+its expiry **or** its recorded pid is no longer alive on this host —
+so a SIGKILLed shard's jobs free up immediately, not after a timeout.
+
+The steal path: an idle shard (or a rerouted request for the same key)
+finds the job adoptable, rewrites the lease with itself as owner,
+opens the checkpoint and resumes from whatever measurements the dead
+owner flushed, then publishes ``.result``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.util import crashsafe
+
+__all__ = ["JobLedger"]
+
+#: Lease-file schema marker (the envelope already carries its own
+#: format version; this guards the payload shape).
+_LEASE_SCHEMA = 1
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live (non-zombie) process on this host.
+
+    ``os.kill(pid, 0)`` alone is not enough: a SIGKILLed shard stays a
+    zombie until its parent reaps it, and in that window its jobs must
+    already be adoptable — the process will never run again.  On Linux
+    ``/proc/<pid>/stat`` exposes the state field; elsewhere the signal
+    probe is the best available answer.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_bytes()
+        # "<pid> (<comm>) <state> ..." — comm may contain spaces/parens,
+        # so parse from the *last* closing paren.
+        state = stat.rsplit(b")", 1)[1].split()[0]
+        if state == b"Z":
+            return False  # zombie: will never run again
+    except (OSError, IndexError):
+        pass  # no procfs: trust the signal probe
+    return True
+
+
+class JobLedger:
+    """One directory of distributable, resumable tune jobs."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+    def job_path(self, key: str) -> Path:
+        return self.root / f"{key}.job"
+
+    def lease_path(self, key: str) -> Path:
+        return self.root / f"{key}.lease"
+
+    def result_path(self, key: str) -> Path:
+        return self.root / f"{key}.result"
+
+    def checkpoint_path(self, key: str) -> Path:
+        return self.root / f"{key}.ckpt"
+
+    # -- job records ----------------------------------------------------
+    def enqueue(self, key: str, endpoint: str, payload: dict) -> None:
+        """Record one job (idempotent: identical key ⇒ identical record)."""
+        path = self.job_path(key)
+        if path.exists():
+            return
+        crashsafe.dump_envelope(
+            path, {"key": key, "endpoint": endpoint, "payload": payload}
+        )
+
+    def job(self, key: str) -> dict | None:
+        """The job record for ``key``, if one verifies."""
+        return self._read(self.job_path(key))
+
+    def result(self, key: str) -> dict | None:
+        """The finished result for ``key``, if any (terminal state)."""
+        entry = self._read(self.result_path(key))
+        if entry is None or not isinstance(entry.get("result"), dict):
+            return None
+        return entry["result"]
+
+    def complete(self, key: str, owner: str, result: dict) -> None:
+        """Publish ``result`` and drop the lease.
+
+        Idempotent and race-safe: racing executors publish identical
+        content (jobs are deterministic), so last-write-wins is fine.
+        """
+        crashsafe.dump_envelope(
+            self.result_path(key), {"owner": owner, "result": result}
+        )
+        try:
+            self.lease_path(key).unlink()
+        except OSError:
+            pass
+
+    def result_owner(self, key: str) -> str | None:
+        """Who published the result (shard-death drill forensics)."""
+        entry = self._read(self.result_path(key))
+        return entry.get("owner") if isinstance(entry, dict) else None
+
+    # -- leases ---------------------------------------------------------
+    def claim(self, key: str, owner: str, ttl_s: float) -> bool:
+        """Take (or steal) the execution lease on ``key``.
+
+        Returns ``True`` when this caller now holds the lease: either
+        no lease existed, the caller already held it (re-claim extends
+        it), or the previous lease was adoptable (expired / dead pid).
+        ``False`` means a *live* owner is working the job — poll for
+        the result instead of duplicating the run.
+        """
+        lease = self._read(self.lease_path(key))
+        if lease is not None and not self._adoptable(lease):
+            if lease.get("owner") != owner:
+                return False
+        crashsafe.dump_envelope(
+            self.lease_path(key),
+            {
+                "schema": _LEASE_SCHEMA,
+                "owner": owner,
+                "pid": os.getpid(),
+                "expires": time.time() + ttl_s,
+            },
+        )
+        return True
+
+    def lease(self, key: str) -> dict | None:
+        """The current lease record, if one verifies."""
+        return self._read(self.lease_path(key))
+
+    @staticmethod
+    def _adoptable(lease: dict) -> bool:
+        """Whether a lease may be stolen (expired or owner pid dead)."""
+        try:
+            expires = float(lease.get("expires", 0.0))
+            pid = int(lease.get("pid", 0))
+        except (TypeError, ValueError):
+            return True  # malformed lease: treat as abandoned
+        if time.time() >= expires:
+            return True
+        return not _pid_alive(pid)
+
+    # -- scanning -------------------------------------------------------
+    def pending(self) -> list[str]:
+        """Keys with a job record but no published result."""
+        keys = []
+        try:
+            entries = list(self.root.iterdir())
+        except OSError:
+            return []
+        for path in entries:
+            if path.suffix != ".job":
+                continue
+            key = path.stem
+            if not self.result_path(key).exists():
+                keys.append(key)
+        return sorted(keys)
+
+    def adoptable(self) -> list[dict]:
+        """Pending job records whose lease is absent or stealable.
+
+        The work-stealing scan: each record still carries the full
+        normalized payload, so any shard can execute it from the
+        ledger alone.
+        """
+        jobs = []
+        for key in self.pending():
+            lease = self._read(self.lease_path(key))
+            if lease is not None and not self._adoptable(lease):
+                continue
+            record = self.job(key)
+            if record is not None:
+                jobs.append(record)
+        return jobs
+
+    # -- internals ------------------------------------------------------
+    def _read(self, path: Path) -> dict | None:
+        """A verified envelope payload, else None (corrupt ⇒ quarantine)."""
+        try:
+            payload = crashsafe.load_envelope(path)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None  # transient I/O: treat as absent
+        except crashsafe.CorruptPayload:
+            crashsafe.quarantine(path)
+            return None
+        return payload if isinstance(payload, dict) else None

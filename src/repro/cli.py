@@ -282,6 +282,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse (503) instead of serving analytic degraded "
         "answers while a breaker is open",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run a sharded fabric with this many shard processes "
+        "behind a consistent-hash router (0 = single process)",
+    )
+    serve.add_argument(
+        "--fabric-dir",
+        default=None,
+        help="fabric state directory (segmented database, job ledger, "
+        "port files); required with --shards",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help="fabric tune-job lease TTL in seconds",
+    )
+    serve.add_argument(
+        "--steal-interval",
+        type=float,
+        default=0.5,
+        help="idle-shard work-stealing scan period in seconds "
+        "(fabric mode)",
+    )
+
+    fabric = sub.add_parser(
+        "fabric", help="inspect or maintain a running/settled fabric"
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+    status = fabric_sub.add_parser(
+        "status", help="print a router's health + metric fan-in"
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=8750)
+    status.add_argument("--json", action="store_true", help="emit JSON")
+    compact = fabric_sub.add_parser(
+        "compact",
+        help="merge a fabric's database segments into the base segment",
+    )
+    compact.add_argument(
+        "--db-dir",
+        required=True,
+        help="the fabric's segmented database directory (<fabric_dir>/db)",
+    )
+    compact.add_argument("--json", action="store_true", help="emit JSON")
 
     return parser
 
@@ -485,6 +532,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.config import ServiceConfig
     from repro.service.server import serve
 
+    if args.shards:
+        from repro.fabric import FabricConfig, serve_fabric
+
+        if not args.fabric_dir:
+            print("error: --shards requires --fabric-dir", file=sys.stderr)
+            return 2
+        if args.db:
+            print(
+                "error: --db is single-process only; the fabric uses a "
+                "segmented database under --fabric-dir",
+                file=sys.stderr,
+            )
+            return 2
+        fabric_config = FabricConfig(
+            fabric_dir=args.fabric_dir,
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            workers=args.workers,
+            executor=args.executor,
+            queue_limit=args.queue_limit,
+            response_cache_size=args.cache_size,
+            request_timeout_s=args.timeout,
+            drain_timeout_s=args.drain_timeout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_recovery_s=args.breaker_recovery,
+            degraded_mode=not args.no_degraded,
+            lease_ttl_s=args.lease_ttl,
+            steal_interval_s=args.steal_interval,
+        )
+        asyncio.run(serve_fabric(fabric_config))
+        return 0
+
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -503,6 +583,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fabric(args: argparse.Namespace) -> int:
+    if args.fabric_command == "compact":
+        from repro.util.segdb import SegmentedTuningDatabase
+
+        report = SegmentedTuningDatabase.compact(args.db_dir)
+        if args.json:
+            print(json.dumps(report, indent=2))
+            return 0
+        print(f"records          : {report['records']}")
+        print(f"segments merged  : {report['segments_merged']}")
+        print(f"segments removed : {report['segments_removed']}")
+        if report["segments_skipped"]:
+            print(
+                "segments skipped : "
+                + ", ".join(report["segments_skipped"])
+                + " (newer schema)"
+            )
+        return 0
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    health = client.healthz()
+    metrics = client.metrics() if health.get("http_status") != 0 else {}
+    if args.json:
+        print(json.dumps({"healthz": health, "metrics": metrics}, indent=2))
+        return 0
+    print(f"router  : http://{args.host}:{args.port}  "
+          f"status={health.get('status')}")
+    for member, info in sorted(health.get("shards", {}).items()):
+        state = "up" if info.get("up") else "DOWN"
+        print(f"shard {member} : {state}  port={info.get('port')}")
+    aggregate = metrics.get("aggregate", {})
+    if aggregate:
+        print(f"requests: {aggregate.get('requests', 0)}  "
+              f"steal={aggregate.get('steal')}")
+    return 0 if health.get("status") in ("ok", "degraded") else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -519,6 +638,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_rank(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "fabric":
+            return cmd_fabric(args)
         return cmd_experiment(args)
     except RequestError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -20,6 +20,7 @@ from repro.engine.requests import (
     RankRequest,
     RequestError,
     TuneRequest,
+    shard_key,
 )
 from repro.engine.results import (
     CacheLedger,
@@ -39,6 +40,7 @@ __all__ = [
     "PredictRequest",
     "TuneRequest",
     "RankRequest",
+    "shard_key",
     "PlanResult",
     "CacheLedger",
     "RecoveryLedger",

@@ -14,6 +14,7 @@ recorded service responses stay valid across the refactor.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.autotune.search import TUNERS
@@ -27,6 +28,7 @@ __all__ = [
     "PredictRequest",
     "TuneRequest",
     "RankRequest",
+    "shard_key",
 ]
 
 
@@ -321,6 +323,22 @@ class RankRequest:
             "seed": self.seed,
         }
 
+    def shard_key(self) -> str:
+        """Routing identity for the fabric (see :func:`shard_key`).
+
+        Rank requests shard by their *database* identity, not the full
+        request payload: requests that differ only in ``validate``
+        share one warm :class:`~repro.offsite.database.TuningKey`
+        record, so co-locating them puts the database-tier hit on the
+        same shard that stored the ranking.  (The per-shard response
+        LRU still keys on the full identity, so a ``validate=true``
+        response is never served for ``validate=false``.)
+        """
+        method, ivp, machine, grid = self.db_key_parts()
+        return (
+            f"rank|{method}|{ivp}|{machine}|" + "x".join(map(str, grid))
+        )
+
     def db_key_parts(self) -> tuple[str, str, str, tuple[int, ...]]:
         """(method, ivp, machine, grid) identity for the database tier.
 
@@ -348,3 +366,44 @@ class RankRequest:
         if qualifiers:
             ivp += "@" + ",".join(qualifiers)
         return method, ivp, self.machine, self.grid
+
+
+# ----------------------------------------------------------------------
+# Fabric shard-key extraction
+# ----------------------------------------------------------------------
+#: endpoint path → request class (both "/tune" and "tune" accepted).
+_SHARD_REQUESTS = {
+    "predict": PredictRequest,
+    "tune": TuneRequest,
+    "rank": RankRequest,
+}
+
+
+def shard_key(endpoint: str, payload: dict) -> str:
+    """Stable cache-identity string for consistent-hash routing.
+
+    The fabric router and every shard must agree, from the *raw* client
+    payload, on which shard owns a request — otherwise coalescing and
+    the per-shard response LRU fracture.  This is the single shared
+    definition: the payload runs through the same ``from_payload``
+    normalization the shard's cache identity uses, so two payloads
+    meaning the same thing always land on the same shard, and
+    execution-only knobs (``trace``, ``predictor``, ``workers``,
+    ``deadline``) never fork the route.  ``/rank`` shards by its
+    database identity (see :meth:`RankRequest.shard_key`) so warm
+    database-tier hits stay local to the shard that stored them.
+
+    Raises :class:`RequestError` on an invalid payload, which a router
+    maps to HTTP 400 without touching any shard.
+    """
+    name = endpoint.lstrip("/")
+    cls = _SHARD_REQUESTS.get(name)
+    if cls is None:
+        raise RequestError(f"no shardable endpoint {endpoint!r}")
+    request = cls.from_payload(payload)
+    if isinstance(request, RankRequest):
+        return request.shard_key()
+    canonical = json.dumps(
+        request.to_payload(), sort_keys=True, separators=(",", ":")
+    )
+    return f"{name}|{canonical}"

@@ -1,0 +1,34 @@
+"""``repro.fabric``: the sharded multi-process tuning fabric.
+
+One front **router** process accepts the existing HTTP API and shards
+requests across N **shard** server processes by cache identity —
+consistent hashing (:class:`HashRing`) over the same normalization the
+engine computes (:func:`repro.engine.shard_key`), so request
+coalescing and the per-shard response LRU stay exactly as effective as
+in single-process mode.  Shards persist tuning records through the
+segmented multi-process database (:mod:`repro.util.segdb`) and
+distribute long ``/tune`` jobs through the content-addressed job
+ledger (:mod:`repro.autotune.jobs`): a killed shard's in-flight jobs
+are *adopted* by survivors (router reroute + idle-shard work stealing)
+and resumed from their checkpoints instead of being lost.
+
+Entry points: ``python -m repro serve --shards N`` brings a fabric up;
+:class:`BackgroundFabric` hosts one in-process for tests and
+benchmarks.
+"""
+
+from repro.fabric.background import BackgroundFabric
+from repro.fabric.config import FabricConfig
+from repro.fabric.proc import FabricSupervisor, ShardProcess
+from repro.fabric.ring import HashRing
+from repro.fabric.router import FabricRouter, serve_fabric
+
+__all__ = [
+    "BackgroundFabric",
+    "FabricConfig",
+    "FabricRouter",
+    "FabricSupervisor",
+    "HashRing",
+    "ShardProcess",
+    "serve_fabric",
+]

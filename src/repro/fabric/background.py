@@ -1,0 +1,127 @@
+"""Host a whole fabric in-process (tests, benchmarks, smoke runs).
+
+The shards are *real* OS processes (they must be, for the SIGKILL
+drill and for genuine multi-process database/ledger semantics); only
+the router's asyncio loop runs on a daemon thread in the calling
+process, mirroring :class:`~repro.service.background.BackgroundServer`.
+Use as a context manager::
+
+    config = FabricConfig(fabric_dir=str(tmp), port=0, shards=3)
+    with BackgroundFabric(config) as fabric:
+        fabric.client.predict(stencil="3d7pt")
+        fabric.kill_shard(1)          # the drill
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import Future
+
+from repro.fabric.config import FabricConfig
+from repro.fabric.proc import FabricSupervisor
+from repro.fabric.router import FabricRouter
+from repro.service.client import ServiceClient
+
+__all__ = ["BackgroundFabric"]
+
+
+class BackgroundFabric:
+    """Shard processes + a thread-hosted router, torn down together."""
+
+    def __init__(self, config: FabricConfig) -> None:
+        self.config = config
+        self.supervisor = FabricSupervisor(config)
+        self.router: FabricRouter | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._stopped: Future | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, timeout_s: float = 60.0) -> "BackgroundFabric":
+        """Start shards, then the router; blocks until routable."""
+        ports = self.supervisor.start_all(timeout_s=timeout_s)
+        started: Future = Future()
+        self._stopped = Future()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def run() -> None:
+                router = FabricRouter(
+                    self.config, ports, supervisor=self.supervisor
+                )
+                self.router = router
+                try:
+                    port = await router.start()
+                    started.set_result(port)
+                except BaseException as exc:
+                    started.set_exception(exc)
+                    return
+                await router.wait_stopped()
+
+            try:
+                loop.run_until_complete(run())
+                self._stopped.set_result(None)
+            except BaseException as exc:
+                if not self._stopped.done():
+                    self._stopped.set_exception(exc)
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-fabric-router", daemon=True
+        )
+        self._thread.start()
+        try:
+            self.port = started.result(timeout=timeout_s)
+        except BaseException:
+            self.supervisor.stop_all()
+            raise
+        return self
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        """Drain the router, join its thread, stop every shard."""
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_drain)
+            except RuntimeError:
+                pass
+        if self._stopped is not None:
+            try:
+                self._stopped.result(timeout=timeout_s)
+            except Exception:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+        self.supervisor.stop_all()
+
+    def __enter__(self) -> "BackgroundFabric":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- conveniences ---------------------------------------------------
+    @property
+    def client(self) -> ServiceClient:
+        """A client bound to the router."""
+        assert self.port is not None, "fabric not started"
+        return ServiceClient(host=self.config.host, port=self.port)
+
+    def shard_client(self, index: int) -> ServiceClient:
+        """A client bound directly to one shard (bypasses the router)."""
+        port = self.supervisor.ports()[index]
+        return ServiceClient(host=self.config.host, port=port)
+
+    def kill_shard(self, index: int, sig: int = signal.SIGKILL) -> int:
+        """Send ``sig`` to shard ``index``; returns the signalled pid."""
+        shard = self.supervisor.shards[index]
+        pid = shard.pid
+        shard.kill(sig)
+        shard.join(timeout_s=10.0)
+        return pid if pid is not None else -1

@@ -1,0 +1,97 @@
+"""Configuration of one fabric: router + N shard processes.
+
+One frozen dataclass carries the topology knobs (shard count, ring
+vnodes, probe cadence, restart policy) plus the per-shard service
+knobs the supervisor copies into every shard's
+:class:`~repro.service.config.ServiceConfig`.  The CLI (``python -m
+repro serve --shards N``) maps its flags onto these fields; tests
+construct the dataclass directly with ``port=0`` and a tmp
+``fabric_dir``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.ring import DEFAULT_VNODES
+
+__all__ = ["FabricConfig"]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """All tunables of one fabric.
+
+    Parameters
+    ----------
+    fabric_dir:
+        Shared state directory.  The supervisor creates three
+        subdirectories under it: ``db/`` (segmented tuning database,
+        :mod:`repro.util.segdb`), ``jobs/`` (tune-job ledger,
+        :mod:`repro.autotune.jobs`) and ``ports/`` (one file per shard
+        announcing its ephemeral port).
+    host, port:
+        Router bind address; ``port=0`` picks an ephemeral port.
+        Shards always bind ephemeral ports on ``host`` and announce
+        them through ``ports/``.
+    shards:
+        Number of shard server processes.
+    vnodes:
+        Virtual nodes per shard on the consistent-hash ring.
+    probe_interval_s:
+        Router health-probe period per shard.
+    probe_timeout_s:
+        Socket timeout of one health probe / forwarded request connect.
+    restart_shards:
+        Whether the router's probe loop asks the supervisor to restart
+        a dead shard (tests that drill adoption disable this so the
+        *surviving* shards must finish the dead shard's jobs).
+    max_restarts:
+        Per-shard restart budget; a shard past it stays down.
+    workers, executor, queue_limit, response_cache_size,
+    request_timeout_s, drain_timeout_s, breaker_threshold,
+    breaker_recovery_s, degraded_mode:
+        Copied into every shard's ServiceConfig (same meanings).
+    lease_ttl_s, steal_interval_s:
+        Job-ledger lease TTL and idle work-stealing period, copied to
+        every shard (see :class:`~repro.service.config.ServiceConfig`).
+    shard_faults:
+        Optional per-shard fault plans for chaos drills:
+        ``((index, "<REPRO_FAULTS grammar>"), ...)``.  Only the named
+        shards are armed — the shard-death drill kills exactly the
+        job's owner and leaves the adopters clean.
+    """
+
+    fabric_dir: str
+    host: str = "127.0.0.1"
+    port: int = 8750
+    shards: int = 3
+    vnodes: int = DEFAULT_VNODES
+    probe_interval_s: float = 1.0
+    probe_timeout_s: float = 5.0
+    restart_shards: bool = True
+    max_restarts: int = 3
+    workers: int = 1
+    executor: str = "thread"
+    queue_limit: int = 64
+    response_cache_size: int = 1024
+    request_timeout_s: float = 120.0
+    drain_timeout_s: float = 10.0
+    breaker_threshold: int = 5
+    breaker_recovery_s: float = 30.0
+    degraded_mode: bool = True
+    lease_ttl_s: float = 60.0
+    steal_interval_s: float = 0.5
+    shard_faults: tuple[tuple[int, str], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.fabric_dir:
+            raise ValueError("fabric_dir is required")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        if self.probe_interval_s <= 0 or self.probe_timeout_s <= 0:
+            raise ValueError("probe intervals must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")

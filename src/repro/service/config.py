@@ -59,6 +59,26 @@ class ServiceConfig:
         When an endpoint's breaker is open, serve the analytic
         fallback (HTTP 200 with ``"degraded": true``) instead of
         refusing with HTTP 503.
+    shard_id:
+        Fabric shard identity of this server (``None`` outside a
+        fabric).  Surfaced on ``/healthz`` and as the ``shard``
+        dimension of ``/metrics`` so a router fan-in can tell shard
+        gauges apart instead of letting them shadow each other.
+    db_dir:
+        Directory of the segmented multi-process tuning database
+        (:mod:`repro.util.segdb`).  Mutually exclusive with
+        ``db_path``; requires ``shard_id``.
+    job_dir:
+        Directory of the fabric's tune-job ledger
+        (:mod:`repro.autotune.jobs`).  When set, ``/tune`` jobs are
+        enqueued as content-addressed resumable units with a lease,
+        checkpointed, and publishable/stealable by peer shards.
+    lease_ttl_s:
+        Seconds a tune-job lease stays unstealable while its owner's
+        pid is alive (a dead pid is adoptable immediately).
+    steal_interval_s:
+        Period of the idle-shard work-stealing scan over ``job_dir``
+        (0 disables stealing; rerouted requests still adopt).
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +95,11 @@ class ServiceConfig:
     breaker_threshold: int = 5
     breaker_recovery_s: float = 30.0
     degraded_mode: bool = True
+    shard_id: int | None = None
+    db_dir: str | None = None
+    job_dir: str | None = None
+    lease_ttl_s: float = 60.0
+    steal_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -93,3 +118,11 @@ class ServiceConfig:
             raise ValueError("breaker_threshold must be positive")
         if self.breaker_recovery_s < 0:
             raise ValueError("breaker_recovery_s must be >= 0")
+        if self.db_dir is not None and self.db_path is not None:
+            raise ValueError("db_dir and db_path are mutually exclusive")
+        if self.db_dir is not None and self.shard_id is None:
+            raise ValueError("db_dir (segmented database) requires shard_id")
+        if self.lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
+        if self.steal_interval_s < 0:
+            raise ValueError("steal_interval_s must be >= 0")

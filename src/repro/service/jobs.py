@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
+import time
 
 from repro import faults, obs
 from repro.engine import (
@@ -103,10 +105,77 @@ def predict_job(payload: dict) -> dict:
 
 
 def tune_job(payload: dict) -> dict:
-    """Run a tuner; the pool provides the parallelism (inner workers=1)."""
+    """Run a tuner; the pool provides the parallelism (inner workers=1).
+
+    When the executing shard injected fabric keys (``job_dir`` /
+    ``job_key`` — execution-only, added server-side *after* the cache
+    identity is computed, so a remote client can never plant them
+    through normalization), the job runs through the distributable
+    ledger path instead: enqueue + lease + checkpointed execution +
+    published result.
+    """
     faults.check("service.tune")
+    if "job_dir" in payload:
+        return _fabric_tune_job(payload)
     result = default_engine().tune(TuneRequest.from_payload(payload))
     return tune_result_to_dict(result)
+
+
+#: Execution-only keys the shard server injects into a fabric tune
+#: payload; they never enter the job record's stored identity payload.
+_FABRIC_EXEC_KEYS = ("job_dir", "job_key", "lease_ttl_s", "deadline",
+                     "predictor")
+
+
+def _fabric_tune_job(payload: dict) -> dict:
+    """One ``/tune`` as a content-addressed, resumable, stealable unit.
+
+    Lifecycle (see :mod:`repro.autotune.jobs`): a published result for
+    the key is returned as-is (bit-identical by construction — another
+    shard finished or adopted the job); otherwise the job is enqueued,
+    the lease claimed (stolen from a dead owner if need be), and the
+    tuner runs with its checkpoint parked next to the job record so a
+    later adopter resumes instead of recomputing.  While a *live* peer
+    holds the lease, this executor polls for the published result
+    rather than duplicating the run.  Degraded results (partial
+    searches) are returned to the caller but never published: a
+    published entry is terminal and must be the clean answer.
+    """
+    from repro.autotune.jobs import JobLedger
+
+    work = dict(payload)
+    job_dir = work.pop("job_dir")
+    job_key = work.pop("job_key")
+    lease_ttl_s = float(work.pop("lease_ttl_s", 60.0))
+    ledger = JobLedger(job_dir)
+    done = ledger.result(job_key)
+    if done is not None:
+        return done
+    record_payload = {
+        k: v for k, v in work.items() if k not in _FABRIC_EXEC_KEYS
+    }
+    ledger.enqueue(job_key, "/tune", record_payload)
+    owner = f"shard-pid-{os.getpid()}"
+    deadline = work.get("deadline")
+    while not ledger.claim(job_key, owner, ttl_s=lease_ttl_s):
+        done = ledger.result(job_key)
+        if done is not None:
+            return done
+        if deadline is not None and time.time() >= deadline:
+            raise TimeoutError(
+                f"tune job {job_key[:12]} leased elsewhere past deadline"
+            )
+        time.sleep(0.05)
+    faults.check("fabric.shard.tune")
+    request = TuneRequest.from_payload(work)
+    request = dataclasses.replace(
+        request, checkpoint=str(ledger.checkpoint_path(job_key))
+    )
+    result = tune_result_to_dict(default_engine().tune(request))
+    if result.get("recovery", {}).get("degraded"):
+        return result  # serve it, but never publish a degraded terminal
+    ledger.complete(job_key, owner, result)
+    return result
 
 
 def rank_job(payload: dict) -> dict:

@@ -115,7 +115,16 @@ class ReproService:
         self.metrics = ServiceMetrics(self.config.latency_reservoir)
         self.dispatcher = CoalescingDispatcher(self.config)
         self.response_cache = _LruCache(self.config.response_cache_size)
-        if self.config.db_path:
+        if self.config.db_dir:
+            # Fabric mode: the segmented multi-process store.  Each
+            # shard writes only its own segment; peers' records are
+            # merged in on (rate-limited) lookup misses.
+            from repro.util.segdb import SegmentedTuningDatabase
+
+            self.database: TuningDatabase = SegmentedTuningDatabase(
+                self.config.db_dir, self.config.shard_id
+            )
+        elif self.config.db_path:
             self.database = TuningDatabase.load_or_empty(self.config.db_path)
         else:
             self.database = TuningDatabase()
@@ -132,6 +141,8 @@ class ReproService:
         self._active_requests = 0
         self._db_dirty = False
         self._db_save_task: asyncio.Task | None = None
+        self._steal_task: asyncio.Task | None = None
+        self.steal_counters = {"scans": 0, "adopted": 0}
         self.read_timeout_s = _READ_TIMEOUT_S
         self._started_at: float | None = None
         self.port: int | None = None
@@ -145,6 +156,10 @@ class ReproService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self.config.job_dir and self.config.steal_interval_s > 0:
+            self._steal_task = asyncio.get_running_loop().create_task(
+                self._steal_loop()
+            )
         return self.port
 
     def request_drain(self) -> None:
@@ -160,6 +175,13 @@ class ReproService:
     async def stop(self, drain: bool = True) -> None:
         """Close the listener, optionally drain in-flight work, tear down."""
         self.draining = True
+        if self._steal_task is not None:
+            self._steal_task.cancel()
+            try:
+                await self._steal_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._steal_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -253,6 +275,7 @@ class ReproService:
                 {
                     "status": "draining" if self.draining else "ok",
                     "uptime_s": self.uptime_s(),
+                    "shard": self.config.shard_id,
                     "breakers": {
                         path_: breaker.state
                         for path_, breaker in sorted(self.breakers.items())
@@ -437,6 +460,16 @@ class ReproService:
             )
             if requested_predictor is not None:
                 job_payload["predictor"] = requested_predictor
+            if self.config.job_dir:
+                # Fabric mode: run the tune through the shared job
+                # ledger (enqueue + lease + checkpoint + publish) so a
+                # peer shard can adopt it if this process dies.  These
+                # keys are execution-only like the deadline above — a
+                # remote client can never plant them, normalization
+                # strips unknown keys before ``key`` is computed.
+                job_payload["job_dir"] = self.config.job_dir
+                job_payload["job_key"] = key
+                job_payload["lease_ttl_s"] = self.config.lease_ttl_s
 
         # Coalesce + admit + batch onto the pool.  The completion hook
         # fills the caches before the in-flight key is released, so
@@ -581,7 +614,7 @@ class ReproService:
         writes on a thread, re-checking the dirty flag so bursts of
         rankings coalesce into few writes.
         """
-        if not self.config.db_path:
+        if not (self.config.db_path or self.config.db_dir):
             return
         self._db_dirty = True
         if self._db_save_task is None or self._db_save_task.done():
@@ -593,14 +626,18 @@ class ReproService:
         loop = asyncio.get_running_loop()
         while self._db_dirty:
             self._db_dirty = False
-            records = self.database.records()  # snapshot on the loop
+            if self.config.db_dir:
+                # Segmented store: persist only this shard's records,
+                # into this shard's own segment file (single writer).
+                records = self.database.snapshot_for_persist()
+                writer = self.database.persist_snapshot
+                args = (records,)
+            else:
+                records = self.database.records()  # snapshot on the loop
+                writer = TuningDatabase.write_records
+                args = (self.config.db_path, records)
             try:
-                await loop.run_in_executor(
-                    None,
-                    TuningDatabase.write_records,
-                    self.config.db_path,
-                    records,
-                )
+                await loop.run_in_executor(None, writer, *args)
             except OSError:
                 pass  # persistence failure must not fail requests
 
@@ -615,10 +652,76 @@ class ReproService:
             except asyncio.TimeoutError:
                 pass
 
+    # -- work stealing --------------------------------------------------
+    async def _steal_loop(self) -> None:
+        """Adopt abandoned tune jobs from the shared ledger when idle.
+
+        Every ``steal_interval_s`` an idle shard (no pending dispatcher
+        work) scans ``job_dir`` for jobs whose lease is absent, expired
+        or held by a dead pid, and runs them through the normal
+        dispatcher path.  The job body re-claims the lease itself (the
+        scan is advisory — a peer may win the race, in which case the
+        body polls for the published result instead of recomputing).
+        Adopted runs resume from the dead owner's checkpoint, and their
+        results warm this shard's response cache so a rerouted client
+        retry is a cache hit.
+        """
+        from repro.autotune.jobs import JobLedger
+
+        ledger = JobLedger(self.config.job_dir)
+        job = JOBS["/tune"][1]
+        loop = asyncio.get_running_loop()
+        while not self.draining:
+            await asyncio.sleep(self.config.steal_interval_s)
+            if self.draining or self.dispatcher.pending > 0:
+                continue
+            self.steal_counters["scans"] += 1
+            try:
+                records = await loop.run_in_executor(None, ledger.adoptable)
+            except Exception:
+                continue
+            for record in records:
+                if self.draining or self.dispatcher.pending > 0:
+                    break
+                key = record.get("key")
+                payload = record.get("payload")
+                if not isinstance(key, str) or not isinstance(payload, dict):
+                    continue
+                job_payload = dict(payload)
+                job_payload["deadline"] = (
+                    time.time() + self.config.request_timeout_s
+                )
+                job_payload["job_dir"] = self.config.job_dir
+                job_payload["job_key"] = key
+                job_payload["lease_ttl_s"] = self.config.lease_ttl_s
+
+                def on_adopted(result: dict, key: str = key) -> None:
+                    recovery = result.get("recovery")
+                    degraded = bool(result.get("degraded")) or (
+                        isinstance(recovery, dict)
+                        and recovery.get("degraded")
+                    )
+                    if not degraded:
+                        self.response_cache.put(key, result)
+
+                try:
+                    mode, task = self.dispatcher.dispatch(
+                        key, job, job_payload, on_result=on_adopted
+                    )
+                except Overloaded:
+                    break  # shard got busy mid-scan; client work first
+                if mode == "fresh":
+                    self.steal_counters["adopted"] += 1
+                try:
+                    await asyncio.shield(task)
+                except Exception:
+                    pass  # adoption failure: job stays pending for peers
+
     def metrics_snapshot(self) -> dict:
         """The ``/metrics`` document."""
         return self.metrics.snapshot(
             uptime_s=self.uptime_s(),
+            shard=self.config.shard_id,
             draining=self.draining,
             queue={
                 "depth": self.dispatcher.queue_depth,
@@ -640,6 +743,7 @@ class ReproService:
                 path: breaker.snapshot()
                 for path, breaker in sorted(self.breakers.items())
             },
+            steal=dict(self.steal_counters),
             faults={"fired": faults.counters()},
         )
 

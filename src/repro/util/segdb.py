@@ -1,0 +1,303 @@
+"""Segmented multi-process persistence for the tuning database.
+
+The single-file :class:`~repro.offsite.database.TuningDatabase` is
+atomic but single-writer: N shard processes rewriting one JSON file
+would last-write-win each other's records away.  The segmented store
+gives every shard its **own** segment file under one directory::
+
+    <root>/segment-base.json     # compacted history (lowest precedence)
+    <root>/segment-0.json        # shard 0's records (single writer)
+    <root>/segment-1.json        # shard 1's records
+    ...
+
+Each segment is a checksummed :mod:`repro.util.crashsafe` envelope
+whose payload carries a schema version::
+
+    {"schema": 1, "shard": "0", "records": [<TuningRecord JSON>, ...]}
+
+Writes stay single-writer-per-file (each shard atomically rewrites only
+its own segment), so the store is multi-process safe without locks.
+Reads merge all segments — base first, then shard segments in name
+order, own records last — so a shard sees records its peers persisted
+(consistent-hash routing makes cross-shard keys rare: they appear only
+after membership churn remaps keys).  Segment reloads are mtime-driven
+and rate-limited, so the steady state costs a few ``stat`` calls.
+
+:meth:`SegmentedTuningDatabase.compact` merges every segment into
+``segment-base.json`` and removes the merged inputs, re-checking each
+input's mtime before unlinking so a shard that rewrote its segment
+mid-compaction never loses the newer records (the stale copy folded
+into base is shadowed on the next load, since base has the lowest
+merge precedence).
+
+Schema versioning: a segment with a *newer* schema than this build
+understands is skipped (reported in :meth:`skipped_segments`), never
+quarantined — a rolling upgrade must not destroy the new build's data.
+A corrupt envelope is quarantined exactly like the single-file store.
+Legacy plain record lists (the pre-segmented format) load as schema 0.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.offsite.database import TuningDatabase, TuningRecord
+from repro.util import crashsafe
+
+__all__ = ["SEGMENT_SCHEMA", "SegmentedTuningDatabase"]
+
+#: Schema version written by this build.
+SEGMENT_SCHEMA = 1
+
+#: Compacted-history segment name (lowest merge precedence).
+BASE_SEGMENT = "segment-base.json"
+
+
+def _segment_name(shard: str) -> str:
+    return f"segment-{shard}.json"
+
+
+def _load_segment_records(path: Path, skipped: list[str]) -> list[TuningRecord]:
+    """Records of one segment; quarantine corrupt, skip newer-schema."""
+    try:
+        payload = crashsafe.load_envelope(path)
+    except FileNotFoundError:
+        return []
+    except OSError:
+        return []  # transient I/O: keep the file, merge without it
+    except crashsafe.CorruptPayload:
+        crashsafe.quarantine(path)
+        return []
+    parsed = _parse_segment(payload)
+    if parsed is None:
+        crashsafe.quarantine(path)
+        return []
+    schema, raw_records = parsed
+    if schema > SEGMENT_SCHEMA:
+        skipped.append(path.name)  # newer build's data: never touch
+        return []
+    records = []
+    for item in raw_records:
+        try:
+            records.append(TuningRecord.from_json(item))
+        except (KeyError, TypeError, ValueError):
+            continue  # one bad record must not drop the segment
+    return records
+
+
+def _parse_segment(payload: object) -> tuple[int, list] | None:
+    """(schema, records) of one verified envelope payload, else None.
+
+    Legacy plain record lists are schema 0; a dict needs integer
+    ``schema`` and list ``records``.  ``None`` marks a malformed (not
+    merely newer) payload.
+    """
+    if isinstance(payload, list):
+        return 0, payload
+    if (
+        isinstance(payload, dict)
+        and isinstance(payload.get("schema"), int)
+        and isinstance(payload.get("records"), list)
+    ):
+        return payload["schema"], payload["records"]
+    return None
+
+
+class SegmentedTuningDatabase(TuningDatabase):
+    """A :class:`TuningDatabase` backed by per-shard segment files.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the segment files (created on first write).
+    shard:
+        This process's shard identity; only ``segment-<shard>.json``
+        is ever written by this instance.
+    refresh_interval_s:
+        Minimum seconds between directory re-scans on a lookup miss
+        (0 re-scans on every miss — used by tests).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        shard: int | str,
+        refresh_interval_s: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.root = Path(root)
+        self.shard = str(shard)
+        self.refresh_interval_s = refresh_interval_s
+        self._own: dict[str, TuningRecord] = {}
+        self._seen: dict[str, tuple[float, int]] = {}  # name -> (mtime, size)
+        self._skipped: list[str] = []
+        self._last_refresh = float("-inf")
+        self.refresh(force=True)
+
+    # -- merge/read -----------------------------------------------------
+    def skipped_segments(self) -> list[str]:
+        """Segment names skipped for carrying a newer schema."""
+        return list(self._skipped)
+
+    def _segment_paths(self) -> list[Path]:
+        """All segments, in merge-precedence order (own shard last)."""
+        try:
+            names = sorted(
+                p.name
+                for p in self.root.iterdir()
+                if p.name.startswith("segment-") and p.name.endswith(".json")
+            )
+        except OSError:
+            return []
+        own = _segment_name(self.shard)
+        ordered = [n for n in names if n == BASE_SEGMENT]
+        ordered += [n for n in names if n not in (BASE_SEGMENT, own)]
+        if own in names:
+            ordered.append(own)
+        return [self.root / name for name in ordered]
+
+    def refresh(self, force: bool = False) -> bool:
+        """Re-merge segments whose mtime/size changed; True if reloaded.
+
+        Rate-limited by ``refresh_interval_s`` unless ``force``.  A
+        segment another process rewrote (or a brand-new peer segment)
+        is picked up here; this instance's own unsaved puts always
+        survive the merge (they are overlaid last).
+        """
+        now = time.monotonic()
+        if not force and now - self._last_refresh < self.refresh_interval_s:
+            return False
+        self._last_refresh = now
+        paths = self._segment_paths()
+        stats: dict[str, tuple[float, int]] = {}
+        for path in paths:
+            try:
+                st = path.stat()
+                stats[path.name] = (st.st_mtime, st.st_size)
+            except OSError:
+                continue
+        if not force and stats == self._seen:
+            return False
+        merged: dict[str, TuningRecord] = {}
+        skipped: list[str] = []
+        for path in paths:
+            if path.name not in stats:
+                continue
+            for record in _load_segment_records(path, skipped):
+                merged[record.key.to_str()] = record
+        # Unsaved local puts win over anything read from disk.
+        merged.update(self._own)
+        self._records = merged
+        self._seen = stats
+        self._skipped = skipped
+        return True
+
+    def get(self, key):
+        """Exact lookup, re-merging peer segments on a (rate-limited) miss."""
+        record = super().get(key)
+        if record is None and self.refresh():
+            record = super().get(key)
+        return record
+
+    def lookup(self, key):
+        """Nearest-grid lookup over the freshest merged view."""
+        self.refresh()
+        return super().lookup(key)
+
+    # -- write ----------------------------------------------------------
+    def put(self, record: TuningRecord) -> None:
+        """Insert/replace a record; it becomes part of this shard's segment."""
+        super().put(record)
+        self._own[record.key.to_str()] = record
+
+    def own_records(self) -> list[TuningRecord]:
+        """Snapshot of the records this shard owns (persistence unit)."""
+        return list(self._own.values())
+
+    def snapshot_for_persist(self) -> list[TuningRecord]:
+        """What :meth:`persist_snapshot` should be handed (own records
+        only — peers' records live in *their* segments)."""
+        return self.own_records()
+
+    def persist_snapshot(self, records: list[TuningRecord]) -> None:
+        """Atomically (re)write this shard's segment with ``records``.
+
+        Runs on a writer thread in the service; safe because only this
+        shard ever writes ``segment-<shard>.json`` and the publish is
+        an atomic replace.
+        """
+        crashsafe.dump_envelope(
+            self.root / _segment_name(self.shard),
+            {
+                "schema": SEGMENT_SCHEMA,
+                "shard": self.shard,
+                "records": [r.to_json() for r in records],
+            },
+        )
+
+    def save(self, path=None) -> None:
+        """Persist this shard's segment (``path`` is ignored; the root
+        directory fixed at construction is the only write target)."""
+        self.persist_snapshot(self.own_records())
+
+    # -- compaction -----------------------------------------------------
+    @staticmethod
+    def compact(root: str | os.PathLike) -> dict:
+        """Merge all segments into ``segment-base.json``; report counts.
+
+        Safe against concurrent writers: an input whose mtime changed
+        between the merge read and the unlink is kept (its fresher
+        records shadow the base copy on every load, because base has
+        the lowest merge precedence).  Newer-schema segments are left
+        untouched.
+        """
+        root = Path(root)
+        merged: dict[str, TuningRecord] = {}
+        inputs: list[tuple[Path, float]] = []
+        skipped: list[str] = []
+        names = sorted(
+            p.name
+            for p in (root.iterdir() if root.is_dir() else [])
+            if p.name.startswith("segment-") and p.name.endswith(".json")
+        )
+        ordered = [n for n in names if n == BASE_SEGMENT]
+        ordered += [n for n in names if n != BASE_SEGMENT]
+        for name in ordered:
+            path = root / name
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            before = len(skipped)
+            for record in _load_segment_records(path, skipped):
+                merged[record.key.to_str()] = record
+            if len(skipped) > before:
+                continue  # newer schema: not an input, never unlinked
+            inputs.append((path, mtime))
+        crashsafe.dump_envelope(
+            root / BASE_SEGMENT,
+            {
+                "schema": SEGMENT_SCHEMA,
+                "shard": "base",
+                "records": [r.to_json() for r in merged.values()],
+            },
+        )
+        removed = 0
+        for path, mtime in inputs:
+            if path.name == BASE_SEGMENT:
+                continue  # just rewritten
+            try:
+                if path.stat().st_mtime != mtime:
+                    continue  # rewritten mid-compaction: keep the file
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return {
+            "records": len(merged),
+            "segments_merged": len(inputs),
+            "segments_removed": removed,
+            "segments_skipped": skipped,
+        }

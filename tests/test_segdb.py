@@ -1,0 +1,170 @@
+"""Segmented multi-process tuning database: merge precedence,
+refresh, compaction, schema versioning, corruption handling."""
+
+from repro.offsite.database import TuningKey, TuningRecord
+from repro.util import crashsafe
+from repro.util.segdb import (
+    BASE_SEGMENT,
+    SEGMENT_SCHEMA,
+    SegmentedTuningDatabase,
+)
+
+
+def record(grid=(16, 16, 32), variant="A", pred=1.0):
+    return TuningRecord(
+        key=TuningKey("radau_iia", "heat3d", "clx", tuple(grid)),
+        best_variant=variant,
+        block=(8, 8, 32),
+        predicted_s_per_step=pred,
+        ranking=[variant],
+    )
+
+
+def open_shard(root, shard):
+    # refresh_interval_s=0: every miss re-scans, so tests never sleep.
+    return SegmentedTuningDatabase(root, shard, refresh_interval_s=0.0)
+
+
+class TestSingleShard:
+    def test_put_save_reload(self, tmp_path):
+        db = open_shard(tmp_path, 0)
+        db.put(record())
+        db.save()
+        assert (tmp_path / "segment-0.json").exists()
+        again = open_shard(tmp_path, 0)
+        assert again.get(record().key).best_variant == "A"
+
+    def test_save_writes_only_own_segment(self, tmp_path):
+        a = open_shard(tmp_path, 0)
+        a.put(record(variant="A"))
+        a.save()
+        b = open_shard(tmp_path, 1)
+        b.put(record(grid=(24, 24, 32), variant="B"))
+        b.save()
+        # Shard 1's segment contains only shard 1's record.
+        payload = crashsafe.load_envelope(tmp_path / "segment-1.json")
+        assert payload["shard"] == "1"
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["best_variant"] == "B"
+
+
+class TestCrossShardVisibility:
+    def test_peer_records_appear_after_refresh(self, tmp_path):
+        writer = open_shard(tmp_path, 0)
+        reader = open_shard(tmp_path, 1)
+        assert reader.get(record().key) is None
+        writer.put(record())
+        writer.save()
+        # The miss triggers a re-scan (interval 0) that merges peer 0.
+        assert reader.get(record().key).best_variant == "A"
+
+    def test_own_unsaved_puts_win_over_peer_segments(self, tmp_path):
+        peer = open_shard(tmp_path, 0)
+        peer.put(record(variant="PEER"))
+        peer.save()
+        mine = open_shard(tmp_path, 1)
+        mine.put(record(variant="MINE"))  # unsaved
+        mine.refresh(force=True)
+        assert mine.get(record().key).best_variant == "MINE"
+
+    def test_lookup_refreshes(self, tmp_path):
+        writer = open_shard(tmp_path, 0)
+        writer.put(record())
+        writer.save()
+        reader = open_shard(tmp_path, 1)
+        hit = reader.lookup(
+            TuningKey("radau_iia", "heat3d", "clx", (17, 17, 33))
+        )
+        # Nearest-grid fallback over the freshly merged peer segment.
+        assert hit is not None and hit.key.grid == (16, 16, 32)
+
+
+class TestCompaction:
+    def test_compact_merges_and_removes(self, tmp_path):
+        for shard in range(3):
+            db = open_shard(tmp_path, shard)
+            db.put(record(grid=(16 + shard, 16, 32), variant=f"V{shard}"))
+            db.save()
+        report = SegmentedTuningDatabase.compact(tmp_path)
+        assert report["records"] == 3
+        assert report["segments_removed"] == 3
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [BASE_SEGMENT]
+        merged = open_shard(tmp_path, 0)
+        assert len(merged) == 3
+
+    def test_shard_segment_shadows_stale_base(self, tmp_path):
+        db = open_shard(tmp_path, 0)
+        db.put(record(variant="OLD"))
+        db.save()
+        SegmentedTuningDatabase.compact(tmp_path)
+        db2 = open_shard(tmp_path, 0)
+        db2.put(record(variant="NEW"))
+        db2.save()
+        fresh = open_shard(tmp_path, 1)
+        assert fresh.get(record().key).best_variant == "NEW"
+
+    def test_compact_empty_dir(self, tmp_path):
+        report = SegmentedTuningDatabase.compact(tmp_path / "nowhere")
+        assert report["records"] == 0
+
+
+class TestSchemaVersioning:
+    def test_newer_schema_is_skipped_not_quarantined(self, tmp_path):
+        crashsafe.dump_envelope(
+            tmp_path / "segment-9.json",
+            {"schema": SEGMENT_SCHEMA + 1, "shard": "9", "records": []},
+        )
+        db = open_shard(tmp_path, 0)
+        assert db.skipped_segments() == ["segment-9.json"]
+        assert (tmp_path / "segment-9.json").exists()  # never destroyed
+
+    def test_compact_never_unlinks_newer_schema(self, tmp_path):
+        crashsafe.dump_envelope(
+            tmp_path / "segment-9.json",
+            {"schema": SEGMENT_SCHEMA + 1, "shard": "9", "records": []},
+        )
+        report = SegmentedTuningDatabase.compact(tmp_path)
+        assert report["segments_skipped"] == ["segment-9.json"]
+        assert (tmp_path / "segment-9.json").exists()
+
+    def test_legacy_record_list_loads_as_schema_zero(self, tmp_path):
+        crashsafe.dump_envelope(
+            tmp_path / "segment-old.json", [record().to_json()]
+        )
+        db = open_shard(tmp_path, 0)
+        assert db.get(record().key) is not None
+
+
+class TestCorruption:
+    def test_corrupt_segment_is_quarantined(self, tmp_path):
+        (tmp_path / "segment-0.json").write_text("{definitely not json")
+        db = open_shard(tmp_path, 1)
+        assert len(db) == 0
+        assert not (tmp_path / "segment-0.json").exists()
+        assert list(tmp_path.glob("*.corrupt*"))
+
+    def test_one_bad_record_does_not_drop_the_segment(self, tmp_path):
+        crashsafe.dump_envelope(
+            tmp_path / "segment-0.json",
+            {
+                "schema": SEGMENT_SCHEMA,
+                "shard": "0",
+                "records": [{"nope": 1}, record().to_json()],
+            },
+        )
+        db = open_shard(tmp_path, 1)
+        assert len(db) == 1
+
+
+class TestRefreshRateLimit:
+    def test_interval_suppresses_rescan(self, tmp_path):
+        db = SegmentedTuningDatabase(tmp_path, 0, refresh_interval_s=3600)
+        peer = open_shard(tmp_path, 1)
+        peer.put(record())
+        peer.save()
+        # Within the interval the miss stays a miss...
+        assert db.get(record().key) is None
+        # ...but a forced refresh sees it.
+        db.refresh(force=True)
+        assert db.get(record().key) is not None
