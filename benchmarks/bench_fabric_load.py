@@ -12,6 +12,12 @@ fabric behind the consistent-hash router, in three phases:
   shed (HTTP 429) and degraded responses are *reported as rates*, not
   asserted, because whether a burst sheds depends on queue headroom.
 
+A fourth phase (``bench_cost_isolation``) turns cost routing on against
+a single-process server: greedy tune sweeps saturate the dedicated
+expensive queue while cheap analytic predicts are latency-probed — the
+cheap p95 must not collapse (``cheap_isolation_ratio``), and the cheap
+lane must never shed.
+
 After the fabric run the job ledger must be fully drained (no pending
 tune job without a published result) and every shard still healthy —
 those are the gate's exact guards.  The RPS comparisons are gated
@@ -165,6 +171,16 @@ def drive(host: str, port: int, quick: bool) -> dict:
         count for tag, count in {**outcomes, **burst_outcomes}.items()
         if tag in ("http_500", "http_504", "transport_error")
     )
+    # Per-tier hit ratios from the unified store ledger.  The fabric
+    # router nests its fan-in under "aggregate"; a single process
+    # reports the same tier shape at the top level.
+    body = client.metrics()
+    tiers = body.get("aggregate", body).get("tiers", {})
+    tier_hit_rates = {
+        name: ledger.get("hit_rate") for name, ledger in tiers.items()
+    }
+    served_approx = (outcomes.get("approximate", 0)
+                     + burst_outcomes.get("approximate", 0))
     return {
         "distinct_payloads": len(workload),
         "warmup_s": round(warmup_s, 4),
@@ -183,6 +199,87 @@ def drive(host: str, port: int, quick: bool) -> dict:
             degraded / (n_sustained + burst_n), 4
         ),
         "errors": errors,
+        "tier_hit_rates": tier_hit_rates,
+        "approximate_served": served_approx,
+        "approx_serve_rate": round(
+            served_approx / (n_sustained + burst_n), 4
+        ),
+    }
+
+
+def bench_cost_isolation(quick: bool) -> dict:
+    """Cheap-lane latency while the expensive queue is saturated.
+
+    With cost routing on and a dedicated one-worker expensive pool,
+    multi-second greedy tune sweeps are parked on their own queue; the
+    cheap lane (analytic predicts) must keep serving at its idle
+    latency.  Reported as ``cheap_isolation_ratio`` = idle p95 /
+    saturated p95 — near 1.0 when isolation holds, collapsing toward 0
+    if expensive work blocks the cheap lane.
+    """
+    n_cheap = 24 if quick else 64
+    cfg = ServiceConfig(
+        port=0,
+        executor="thread",
+        workers=4,
+        queue_limit=256,
+        cost_routing=True,
+        cost_threshold_s=1e-3,
+        expensive_workers=1,
+        expensive_queue_limit=8,
+    )
+    tune_items = [
+        {"stencil": s, "grid": [24, 24, 32], "machine": m,
+         "tuner": "greedy", "cache_scale": SCALE}
+        for s in ("3d7pt", "heat3d") for m in ("clx", "rome")
+    ]
+
+    def cheap_p95(client: ServiceClient, z: int) -> float:
+        # A per-phase depth axis keeps every payload distinct from the
+        # other phase's, so both phases do fresh (uncached) work.
+        samples = []
+        for i in range(n_cheap):
+            payload = {"stencil": "3d7pt",
+                       "grid": [8 + 2 * (i % 12), 16 + 2 * (i // 12), z],
+                       "cache_scale": SCALE, "exact": True}
+            t0 = time.perf_counter()
+            client.request("POST", "/predict", payload)
+            samples.append(time.perf_counter() - t0)
+        return _percentiles_ms(samples)["p95_ms"]
+
+    with BackgroundServer(cfg) as bg:
+        client = ServiceClient(port=bg.port)
+        idle_p95_ms = cheap_p95(client, 32)
+        with ThreadPoolExecutor(max_workers=len(tune_items)) as pool:
+            futures = [
+                pool.submit(client.request, "POST", "/tune", item)
+                for item in tune_items
+            ]
+            # Wait until the expensive queue actually has work parked.
+            deadline = time.time() + 10.0
+            while time.time() < deadline:
+                if (bg.service.dispatcher.queue_snapshot()["expensive"]
+                        ["pending"] >= 2):
+                    break
+                time.sleep(0.005)
+            saturated_p95_ms = cheap_p95(client, 48)
+            expensive_pending = (
+                bg.service.dispatcher.queue_snapshot()["expensive"]["pending"]
+            )
+            for f in futures:
+                f.result(timeout=300)
+        queues = bg.metrics_snapshot()["queues"]
+    return {
+        "cheap_requests": n_cheap,
+        "expensive_jobs": len(tune_items),
+        "expensive_pending_during_probe": expensive_pending,
+        "cheap_p95_idle_ms": idle_p95_ms,
+        "cheap_p95_saturated_ms": saturated_p95_ms,
+        "cheap_isolation_ratio": round(
+            idle_p95_ms / saturated_p95_ms, 4
+        ) if saturated_p95_ms else None,
+        "cheap_shed": queues["cheap"]["shed"],
+        "expensive_shed": queues["expensive"]["shed"],
     }
 
 
@@ -219,10 +316,12 @@ def run(quick: bool = True) -> dict:
             health["http_status"] == 200
             and all(info["up"] for info in health["shards"].values())
         )
+    cost = bench_cost_isolation(quick)
     return {
         "quick": quick,
         "single": single_report,
         "fabric": fabric_report,
+        "cost": cost,
         "single_healthy_after": single_healthy,
         "fabric_healthy_after": fabric_healthy,
         "lost_jobs": len(pending),
@@ -258,9 +357,12 @@ def to_artifact(result: dict, timestamp: str) -> dict:
             "lost_jobs": result["lost_jobs"],
             "healthy_after": (result["fabric_healthy_after"]
                               and result["single_healthy_after"]),
+            "cheap_isolation_ratio": result["cost"]["cheap_isolation_ratio"],
+            "approx_serve_rate": result["fabric"]["approx_serve_rate"],
             "detail": {
                 "single": result["single"],
                 "fabric": result["fabric"],
+                "cost": result["cost"],
             },
         },
         timestamp=timestamp,
@@ -296,12 +398,17 @@ def main(argv=None) -> int:
         f"fabric {result['fabric']['sustained_rps']} rps "
         f"({result['fabric_over_single']}x), "
         f"shed_rate={result['fabric']['shed_rate']}, "
+        f"cheap_isolation={result['cost']['cheap_isolation_ratio']}, "
         f"lost_jobs={result['lost_jobs']}, "
         f"healthy_after={result['fabric_healthy_after']}",
         file=sys.stderr,
     )
     if result["lost_jobs"]:
         print("FAIL: fabric lost tune jobs", file=sys.stderr)
+        return 1
+    if result["cost"]["cheap_shed"]:
+        print("FAIL: cheap lane shed while only the expensive queue "
+              "was saturated", file=sys.stderr)
         return 1
     if not (result["fabric_healthy_after"]
             and result["single_healthy_after"]):

@@ -38,6 +38,11 @@ RATIO_RULES = {
     },
     "service": {
         "warm_over_cold": 10.0,
+        # Warm passes re-serve a fixed payload set from the response
+        # tier, so its hit ratio is workload-determined (~0.9); a
+        # regression here means the response tier stopped admitting or
+        # serving.
+        "warm_response_hit_rate": 0.75,
     },
     # The fabric adds a router hop, so on a single-core box its warm
     # RPS trails one process; the honest gate is "did not regress
@@ -56,11 +61,19 @@ GUARDS = {
     "service": {
         "shed": lambda v: v >= 1,
         "healthy_after": lambda v: v is True,
+        # The near-match drill probes nearby grids against warmed
+        # supports; a zero serve rate means the approximate tier is
+        # dead.
+        "approx_serve_rate": lambda v: v is not None and v > 0,
     },
     "fabric_load": {
         "errors": lambda v: v == 0,
         "lost_jobs": lambda v: v == 0,
         "healthy_after": lambda v: v is True,
+        # Cheap p95 with the expensive queue saturated vs idle.  Very
+        # lenient (timing-noise-proof): isolation has failed outright
+        # when cheap latency blows up by more than ~20x.
+        "cheap_isolation_ratio": lambda v: v is not None and v > 0.05,
     },
 }
 

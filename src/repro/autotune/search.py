@@ -68,6 +68,13 @@ class EvalLedger:
     lc_served: int = 0
     sim_served: int = 0
     lc_validation_mismatch: int = 0
+    # Per-tier traffic-memo breakdown (unified store ledger: a disk hit
+    # is distinguishable from a memory hit; disk misses are overall
+    # misses).  Zeros when no disk tier is configured.
+    mem_hits: int = 0
+    mem_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -87,6 +94,10 @@ class EvalLedger:
         self.lc_served += other.lc_served
         self.sim_served += other.sim_served
         self.lc_validation_mismatch += other.lc_validation_mismatch
+        self.mem_hits += other.mem_hits
+        self.mem_misses += other.mem_misses
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
 
 
 @dataclass
@@ -131,6 +142,10 @@ class TunerResult:
     lc_served: int = 0
     sim_served: int = 0
     lc_validation_mismatch: int = 0
+    traffic_mem_hits: int = 0
+    traffic_mem_misses: int = 0
+    traffic_disk_hits: int = 0
+    traffic_disk_misses: int = 0
 
     def apply_ledger(self, ledger: EvalLedger) -> "TunerResult":
         """Stamp a batch ledger's accounting onto this result."""
@@ -144,6 +159,10 @@ class TunerResult:
         self.lc_served = ledger.lc_served
         self.sim_served = ledger.sim_served
         self.lc_validation_mismatch = ledger.lc_validation_mismatch
+        self.traffic_mem_hits = ledger.mem_hits
+        self.traffic_mem_misses = ledger.mem_misses
+        self.traffic_disk_hits = ledger.disk_hits
+        self.traffic_disk_misses = ledger.disk_misses
         return self
 
 
@@ -198,17 +217,23 @@ def _eval_one(
     machine: Machine,
     seed: int,
     predictor: str = "auto",
-) -> tuple[Measurement, int, int, tuple[int, int, int]]:
+) -> tuple[
+    Measurement, int, int, tuple[int, int, int], tuple[int, int, int, int]
+]:
     """Evaluate one job, returning the traffic-memo lookup deltas too.
 
     The fourth element is the per-job delta of the process-wide
     predictor counters ``(lc_served, sim_served, lc_validation_mismatch)``
     — measured here so it rides back across the pool boundary with the
-    result instead of being lost in the worker process.
+    result instead of being lost in the worker process.  The fifth is
+    the per-tier traffic-memo delta ``(mem_hits, mem_misses, disk_hits,
+    disk_misses)``, splitting the overall lookups by which store tier
+    served them.
     """
     faults.check("tuner.eval")
     cache = default_traffic_cache()
     h0, m0 = cache.hits, cache.misses
+    t0 = cache.tier_counts()
     c0 = predictor_counters().snapshot()
     meas = simulate_kernel(
         spec, grids, plan, machine, seed=seed, predictor=predictor
@@ -219,12 +244,16 @@ def _eval_one(
         c1["sim_served"] - c0["sim_served"],
         c1["lc_validation_mismatch"] - c0["lc_validation_mismatch"],
     )
-    return meas, cache.hits - h0, cache.misses - m0, delta
+    t1 = cache.tier_counts()
+    tiers = tuple(b - a for a, b in zip(t0, t1))
+    return meas, cache.hits - h0, cache.misses - m0, delta, tiers
 
 
 def _worker_eval(
     job: tuple[KernelPlan, int],
-) -> tuple[Measurement, int, int, tuple[int, int, int]]:
+) -> tuple[
+    Measurement, int, int, tuple[int, int, int], tuple[int, int, int, int]
+]:
     plan, seed = job
     faults.check("tuner.worker")
     return _eval_one(
@@ -499,6 +528,12 @@ def _evaluate_variants(
             ledger.lc_served += lc
             ledger.sim_served += sim
             ledger.lc_validation_mismatch += mismatch
+            if len(entry) > 4:  # older checkpoints lack the tier split
+                mh, mm, dh, dm = entry[4]
+                ledger.mem_hits += mh
+                ledger.mem_misses += mm
+                ledger.disk_hits += dh
+                ledger.disk_misses += dm
         for key, value in (
             ("retried", ledger.retried_jobs),
             ("failed", len(ledger.failed_jobs)),
@@ -549,7 +584,7 @@ def _checkpoint_hooks(
     for i, key in enumerate(keys):
         meas = cp.get(key)
         if meas is not None:
-            precomputed[i] = (meas, 0, 0, (0, 0, 0))
+            precomputed[i] = (meas, 0, 0, (0, 0, 0), (0, 0, 0, 0))
 
     def on_complete(i: int, res) -> None:
         cp.put(keys[i], res[0])

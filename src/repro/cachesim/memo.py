@@ -19,18 +19,18 @@ changes simulated measurements.
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
 import os
+import threading
 from pathlib import Path
 
-from repro import faults
 from repro.cachesim.hierarchy import TrafficReport
 from repro.codegen.plan import KernelPlan
 from repro.grid.grid import GridSet
 from repro.machine.machine import Machine
 from repro.stencil.spec import StencilSpec
-from repro.util import crashsafe
+from repro.store.stack import TierStack
+from repro.store.tier import DiskJsonTier, LruTier
 
 __all__ = [
     "TrafficCache",
@@ -76,69 +76,100 @@ report_to_dict = _report_to_dict
 report_from_dict = _report_from_dict
 
 
+#: Tier names the traffic memo reports itself under in the unified
+#: store ledger (``/metrics`` ``tiers`` section).
+MEMORY_TIER = "traffic-memory"
+DISK_TIER = "traffic-disk"
+
+
 class TrafficCache:
     """Keyed store of traffic reports (in-memory, optionally on disk).
 
+    Internally a :class:`~repro.store.stack.TierStack` of an unbounded
+    :class:`~repro.store.tier.LruTier` (memory) over an optional
+    :class:`~repro.store.tier.DiskJsonTier` (one crash-safe JSON file
+    per key, quarantine-on-corrupt) — disk hits are promoted into
+    memory, and each tier keeps its own hit/miss ledger so ``/metrics``
+    can tell warm-disk serving apart from warm-memory serving.
+
     ``get`` returns a *fresh* :class:`TrafficReport` copy on every hit,
     so callers may mutate the result (e.g. stamp ``lups``) without
-    corrupting the cache.  ``hits``/``misses`` count lookups, which is
-    what the tuners surface as their cost accounting.
+    corrupting the cache.  ``hits``/``misses`` count overall lookups
+    (hit in *any* tier vs. missed everywhere), which is what the tuners
+    surface as their cost accounting.
+
+    Thread-safe: one lock covers the lookup/promote/count sequence, so
+    threaded in-process callers (the server's degraded-mode thread
+    path, thread-executor service pools) can share one instance without
+    dropping counts or corrupting the memory dict.
     """
 
     def __init__(self, disk_dir: str | os.PathLike | None = None) -> None:
-        self._mem: dict[str, dict] = {}
+        self._lock = threading.Lock()
+        self._mem = LruTier(MEMORY_TIER, capacity=None)
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
-        if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-        self._tmp_counter = itertools.count()
+        self._disk = (
+            DiskJsonTier(
+                DISK_TIER,
+                self.disk_dir,
+                validator=_report_from_dict,  # validate before trusting
+                read_fault="memo.read",
+                write_fault="memo.write",
+            )
+            if self.disk_dir is not None
+            else None
+        )
+        # ``is not None``, not truthiness: tiers define __len__, so an
+        # *empty* disk tier is falsy but very much present.
+        tiers = [self._mem] + ([self._disk] if self._disk is not None else [])
+        self._stack = TierStack(tiers)
 
     def __len__(self) -> int:
         return len(self._mem)
 
-    def _disk_path(self, key: str) -> Path:
-        assert self.disk_dir is not None
-        return self.disk_dir / f"{key}.json"
+    # -- ledger views ---------------------------------------------------
+    @property
+    def hits(self) -> int:
+        """Lookups served by any tier (memory or promoted disk)."""
+        hits = self._mem.ledger.hits
+        if self._disk is not None:
+            hits += self._disk.ledger.hits
+        return hits
 
-    def _disk_load(self, path: Path) -> dict | None:
-        """Read and verify one disk entry.
+    @property
+    def misses(self) -> int:
+        """Lookups no tier could serve (the last tier's misses)."""
+        last = self._disk if self._disk is not None else self._mem
+        return last.ledger.misses
 
-        An unreadable file (including an injected ``memo.read`` fault)
-        is a plain miss — the file may be fine and I/O flaky, so it is
-        left in place.  A file that *parses wrong* or fails its
-        checksum is quarantined: it would stay wrong forever and shadow
-        every future write of the key.
+    def tier_counts(self) -> tuple[int, int, int, int]:
+        """``(mem_hits, mem_misses, disk_hits, disk_misses)`` totals.
+
+        Memory misses include lookups the disk tier then served; disk
+        misses are overall misses.  Cheap enough for the tuners' hot
+        per-variant delta accounting.
         """
-        try:
-            faults.check("memo.read")
-            raw = path.read_bytes()
-        except FileNotFoundError:
-            return None
-        except OSError:
-            return None
-        try:
-            # json.loads handles the decode: undecodable bytes parse
-            # wrong (UnicodeDecodeError is a ValueError) → quarantine.
-            data = json.loads(raw)
-            rec = crashsafe.unwrap(data) if crashsafe.is_envelope(data) else data
-            _report_from_dict(rec)  # validate before trusting
-        except (crashsafe.CorruptPayload, KeyError, TypeError, ValueError):
-            crashsafe.quarantine(path)
-            return None
-        return rec
+        mem = self._mem.ledger
+        if self._disk is None:
+            return mem.hits, mem.misses, 0, 0
+        disk = self._disk.ledger
+        return mem.hits, mem.misses, disk.hits, disk.misses
 
+    def tier_stats(self) -> dict:
+        """Per-tier ledger snapshots in the unified store shape."""
+        return self._stack.stats()
+
+    # -- lookups --------------------------------------------------------
     def get(self, key: str) -> TrafficReport | None:
-        """Look up a report; return a fresh copy or ``None``."""
-        rec = self._mem.get(key)
-        if rec is None and self.disk_dir is not None:
-            rec = self._disk_load(self._disk_path(key))
-            if rec is not None:
-                self._mem[key] = rec
+        """Look up a report; return a fresh copy or ``None``.
+
+        A disk hit is promoted into the memory tier (one disk hit, one
+        memory miss on the per-tier ledgers; one overall hit).
+        """
+        with self._lock:
+            rec = self._stack.get(key)
         if rec is None:
-            self.misses += 1
             return None
-        self.hits += 1
         return _report_from_dict(rec)
 
     def put(self, key: str, report: TrafficReport) -> None:
@@ -152,26 +183,16 @@ class TrafficCache:
         harmless — all writers store the same deterministic report.
         """
         rec = _report_to_dict(report)
-        self._mem[key] = rec
-        if self.disk_dir is not None:
-            tmp = self.disk_dir / (
-                f".{key}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
-            )
-            try:
-                faults.check("memo.write")
-                tmp.write_text(json.dumps(crashsafe.wrap(rec)))
-                os.replace(tmp, self._disk_path(key))
-            except OSError:
-                try:
-                    tmp.unlink(missing_ok=True)
-                except OSError:
-                    pass
+        with self._lock:
+            self._stack.put(key, rec)
 
     def clear(self) -> None:
         """Drop all in-memory entries and reset the counters."""
-        self._mem.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._mem.clear()
+            self._mem.ledger.reset()
+            if self._disk is not None:
+                self._disk.ledger.reset()
 
 
 _default_cache: TrafficCache | None = None

@@ -308,6 +308,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="idle-shard work-stealing scan period in seconds "
         "(fabric mode)",
     )
+    serve.add_argument(
+        "--cost-routing",
+        action="store_true",
+        help="classify jobs by analytic cost at admission and route "
+        "them to separate cheap/expensive queues",
+    )
+    serve.add_argument(
+        "--cost-threshold",
+        type=float,
+        default=0.25,
+        help="estimated job seconds at which a job classes as expensive",
+    )
+    serve.add_argument(
+        "--cheap-queue-limit",
+        type=int,
+        default=None,
+        help="admission bound of the cheap queue (default: --queue-limit)",
+    )
+    serve.add_argument(
+        "--expensive-queue-limit",
+        type=int,
+        default=None,
+        help="admission bound of the expensive queue "
+        "(default: --queue-limit)",
+    )
+    serve.add_argument(
+        "--cheap-timeout",
+        type=float,
+        default=None,
+        help="cheap-queue request deadline in seconds (default: --timeout)",
+    )
+    serve.add_argument(
+        "--expensive-timeout",
+        type=float,
+        default=None,
+        help="expensive-queue request deadline in seconds "
+        "(default: --timeout)",
+    )
+    serve.add_argument(
+        "--expensive-workers",
+        type=int,
+        default=None,
+        help="dedicated pool slots for the expensive queue "
+        "(default: share the main pool)",
+    )
+    serve.add_argument(
+        "--approx",
+        action="store_true",
+        help="serve near-match approximate answers (interpolated from "
+        "stored exact results; responses carry approximate+confidence)",
+    )
+    serve.add_argument(
+        "--approx-confidence",
+        type=float,
+        default=0.75,
+        help="minimum confidence an approximate answer needs; below "
+        "it the request computes exactly",
+    )
+    serve.add_argument(
+        "--approx-capacity",
+        type=int,
+        default=512,
+        help="exact observations retained as interpolation support",
+    )
+
+    store = sub.add_parser(
+        "store", help="inspect the unified store tier stack"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats",
+        help="print a running server's per-tier ledger table "
+        "(hits/misses/puts/evictions/hit-rate)",
+    )
+    store_stats.add_argument("--host", default="127.0.0.1")
+    store_stats.add_argument("--port", type=int, default=8753)
+    store_stats.add_argument("--json", action="store_true", help="emit JSON")
 
     fabric = sub.add_parser(
         "fabric", help="inspect or maintain a running/settled fabric"
@@ -561,6 +638,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             degraded_mode=not args.no_degraded,
             lease_ttl_s=args.lease_ttl,
             steal_interval_s=args.steal_interval,
+            cost_routing=args.cost_routing,
+            cost_threshold_s=args.cost_threshold,
+            cheap_queue_limit=args.cheap_queue_limit,
+            expensive_queue_limit=args.expensive_queue_limit,
+            cheap_timeout_s=args.cheap_timeout,
+            expensive_timeout_s=args.expensive_timeout,
+            expensive_workers=args.expensive_workers,
+            approx_enabled=args.approx,
+            approx_confidence=args.approx_confidence,
+            approx_capacity=args.approx_capacity,
         )
         asyncio.run(serve_fabric(fabric_config))
         return 0
@@ -578,8 +665,57 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_recovery_s=args.breaker_recovery,
         degraded_mode=not args.no_degraded,
+        cost_routing=args.cost_routing,
+        cost_threshold_s=args.cost_threshold,
+        cheap_queue_limit=args.cheap_queue_limit,
+        expensive_queue_limit=args.expensive_queue_limit,
+        cheap_timeout_s=args.cheap_timeout,
+        expensive_timeout_s=args.expensive_timeout,
+        expensive_workers=args.expensive_workers,
+        approx_enabled=args.approx,
+        approx_confidence=args.approx_confidence,
+        approx_capacity=args.approx_capacity,
     )
     asyncio.run(serve(config))
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """``repro store stats``: one server's unified tier-ledger table."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    metrics = client.metrics()
+    tiers = metrics.get("tiers", {})
+    # A fabric router reports per-shard snapshots + an aggregate; fall
+    # back to the aggregate's tier table so one command covers both.
+    if not tiers:
+        tiers = metrics.get("aggregate", {}).get("tiers", {})
+    if args.json:
+        print(json.dumps(
+            {"tiers": tiers, "queues": metrics.get("queues", {})}, indent=2
+        ))
+        return 0
+    rows = []
+    for name, ledger in sorted(tiers.items()):
+        rate = ledger.get("hit_rate")
+        rows.append({
+            "tier": name,
+            "hits": ledger.get("hits", 0),
+            "misses": ledger.get("misses", 0),
+            "puts": ledger.get("puts", 0),
+            "evictions": ledger.get("evictions", 0),
+            "size": ledger.get("size", ""),
+            "hit_rate": f"{rate:.3f}" if rate is not None else "-",
+        })
+    print(format_table(rows, title="Store tiers"))
+    queues = metrics.get("queues", {})
+    for cls, gauges in sorted(queues.items()):
+        print(
+            f"queue {cls:<10}: pending={gauges.get('pending', 0)} "
+            f"limit={gauges.get('limit', 0)} shed={gauges.get('shed', 0)} "
+            f"deadline_s={gauges.get('deadline_s')}"
+        )
     return 0
 
 
@@ -638,6 +774,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_rank(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "store":
+            return cmd_store(args)
         if args.command == "fabric":
             return cmd_fabric(args)
         return cmd_experiment(args)

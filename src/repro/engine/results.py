@@ -60,6 +60,12 @@ class CacheLedger:
     cross-checks where LC diverged and the replay was served instead.
     All default to 0 so ledgers from paths without predictor dispatch
     (e.g. rank's composite-stream measurements) stay valid.
+
+    ``memory_hits``/``memory_misses``/``disk_hits``/``disk_misses``
+    split the overall lookups by which store tier served them (the
+    traffic memo is a memory LRU over an optional disk tier); all zero
+    when the producing path predates the split or has no disk tier
+    configured.
     """
 
     hits: int
@@ -67,6 +73,10 @@ class CacheLedger:
     lc_served: int = 0
     sim_served: int = 0
     lc_validation_mismatch: int = 0
+    memory_hits: int = 0
+    memory_misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -176,6 +186,10 @@ class TuneResult:
                 lc_served=res.lc_served,
                 sim_served=res.sim_served,
                 lc_validation_mismatch=res.lc_validation_mismatch,
+                memory_hits=res.traffic_mem_hits,
+                memory_misses=res.traffic_mem_misses,
+                disk_hits=res.traffic_disk_hits,
+                disk_misses=res.traffic_disk_misses,
             ),
             stencil=stencil,
             machine=machine,
@@ -254,7 +268,11 @@ class RankResult:
             predict_seconds=report.predict_seconds,
             measure_seconds=report.measure_seconds,
             traffic_cache=CacheLedger(
-                report.traffic_cache_hits, report.traffic_cache_misses
+                report.traffic_cache_hits, report.traffic_cache_misses,
+                memory_hits=report.traffic_mem_hits,
+                memory_misses=report.traffic_mem_misses,
+                disk_hits=report.traffic_disk_hits,
+                disk_misses=report.traffic_disk_misses,
             ),
             grid=tuple(grid),
         )

@@ -55,6 +55,17 @@ class FabricConfig:
     lease_ttl_s, steal_interval_s:
         Job-ledger lease TTL and idle work-stealing period, copied to
         every shard (see :class:`~repro.service.config.ServiceConfig`).
+    cost_routing, cost_threshold_s, cheap_queue_limit,
+    expensive_queue_limit, cheap_timeout_s, expensive_timeout_s,
+    expensive_workers:
+        Cost-aware admission knobs, copied to every shard.  The router
+        forwards request bodies verbatim, so classification happens on
+        the owning shard.
+    approx_enabled, approx_confidence, approx_capacity:
+        Near-match approximate tier knobs, copied to every shard.  The
+        support sets are per-shard; consistent-hash routing keeps a
+        request family on one shard, so its observations concentrate
+        where its lookups land.
     shard_faults:
         Optional per-shard fault plans for chaos drills:
         ``((index, "<REPRO_FAULTS grammar>"), ...)``.  Only the named
@@ -82,6 +93,16 @@ class FabricConfig:
     degraded_mode: bool = True
     lease_ttl_s: float = 60.0
     steal_interval_s: float = 0.5
+    cost_routing: bool = False
+    cost_threshold_s: float = 0.25
+    cheap_queue_limit: int | None = None
+    expensive_queue_limit: int | None = None
+    cheap_timeout_s: float | None = None
+    expensive_timeout_s: float | None = None
+    expensive_workers: int | None = None
+    approx_enabled: bool = False
+    approx_confidence: float = 0.75
+    approx_capacity: int = 512
     shard_faults: tuple[tuple[int, str], ...] | None = None
 
     def __post_init__(self) -> None:

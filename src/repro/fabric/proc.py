@@ -55,6 +55,16 @@ def shard_service_config(config: FabricConfig, index: int) -> ServiceConfig:
         job_dir=str(root / "jobs"),
         lease_ttl_s=config.lease_ttl_s,
         steal_interval_s=config.steal_interval_s,
+        cost_routing=config.cost_routing,
+        cost_threshold_s=config.cost_threshold_s,
+        cheap_queue_limit=config.cheap_queue_limit,
+        expensive_queue_limit=config.expensive_queue_limit,
+        cheap_timeout_s=config.cheap_timeout_s,
+        expensive_timeout_s=config.expensive_timeout_s,
+        expensive_workers=config.expensive_workers,
+        approx_enabled=config.approx_enabled,
+        approx_confidence=config.approx_confidence,
+        approx_capacity=config.approx_capacity,
     )
 
 

@@ -61,6 +61,12 @@ class RankingReport:
     measure_seconds: float
     traffic_cache_hits: int = 0
     traffic_cache_misses: int = 0
+    #: Per-store-tier split of the lookups above (memory LRU over the
+    #: optional disk tier); zeros when no disk tier is configured.
+    traffic_mem_hits: int = 0
+    traffic_mem_misses: int = 0
+    traffic_disk_hits: int = 0
+    traffic_disk_misses: int = 0
     #: Measurements restored from a checkpoint instead of re-run (not
     #: serialized — a resumed run's report is otherwise identical).
     resumed_variants: int = 0
@@ -232,6 +238,7 @@ class OffsiteTuner:
         t0 = time.perf_counter()
         traffic_cache = default_traffic_cache()
         hits0, misses0 = traffic_cache.hits, traffic_cache.misses
+        tiers0 = traffic_cache.tier_counts()
         if validate:
             cp = self._open_checkpoint(
                 checkpoint, method, grid_shape, dim, radius, seed
@@ -296,6 +303,10 @@ class OffsiteTuner:
             meas_order = sorted(measured, key=lambda v: measured[v])
             tau = kendall_tau(pred_order, meas_order)
             top1 = pred_order[0] == meas_order[0]
+        tiers1 = traffic_cache.tier_counts()
+        mem_h, mem_m, disk_h, disk_m = (
+            b - a for a, b in zip(tiers0, tiers1)
+        )
         return RankingReport(
             method=method.name,
             ivp=ivp_name or f"grid{grid_shape}",
@@ -307,6 +318,10 @@ class OffsiteTuner:
             measure_seconds=measure_seconds,
             traffic_cache_hits=traffic_cache.hits - hits0,
             traffic_cache_misses=traffic_cache.misses - misses0,
+            traffic_mem_hits=mem_h,
+            traffic_mem_misses=mem_m,
+            traffic_disk_hits=disk_h,
+            traffic_disk_misses=disk_m,
             resumed_variants=resumed,
         )
 

@@ -83,6 +83,21 @@ def _port_cycles_per_lup(spec: StencilSpec, machine: Machine) -> float:
     return cycles_per_vec / lanes
 
 
+def analytic_cycles_per_lup(spec: StencilSpec, machine: Machine) -> float:
+    """In-core cycles-per-update floor, with no traffic simulation.
+
+    ``max(T_exec, T_ports)`` — the part of the performance model that
+    is pure arithmetic over the stencil expression and the core
+    description.  Used by the service's cost-aware admission to price a
+    job in microseconds without touching the cache simulator the job
+    itself would run.
+    """
+    return max(
+        _exec_cycles_per_lup(spec, machine),
+        _port_cycles_per_lup(spec, machine),
+    )
+
+
 def simulate_traffic_time(
     traffic: TrafficReport,
     machine: Machine,

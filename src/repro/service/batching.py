@@ -7,9 +7,15 @@ identical request *joins* the running task instead of re-executing it
 (coalescing).  Heterogeneous requests batch naturally — each fresh job
 is one pool item, and the pool's ``workers`` slots drain the queue.
 
-Admission control is a bounded count of fresh in-flight jobs: beyond
-``queue_limit`` the dispatcher sheds (the server turns that into HTTP
-429) instead of letting the queue grow without bound.
+Admission control is a bounded count of fresh in-flight jobs *per
+queue class*: cost-aware routing (``config.cost_routing``) splits
+admissions into a ``cheap`` and an ``expensive`` queue with their own
+limits and deadlines, so a burst of multi-second tune sweeps saturates
+its own queue instead of shedding microsecond predictions.  With
+routing off everything rides the ``cheap`` queue under the legacy
+``queue_limit`` — behavior is byte-identical to the single-queue
+dispatcher.  Beyond a class's limit the dispatcher sheds (the server
+turns that into HTTP 429).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Awaitable, Callable
 
 from repro.service.config import ServiceConfig
+from repro.service.cost import JOB_CLASSES
 
 __all__ = ["Overloaded", "CoalescingDispatcher"]
 
@@ -38,42 +45,88 @@ class CoalescingDispatcher:
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         self._executor: Executor | None = None
+        self._expensive_executor: Executor | None = None
         self._inflight: dict[str, asyncio.Task] = {}
-        self._pending = 0  # fresh jobs admitted and not yet finished
+        # Fresh jobs admitted and not yet finished, per queue class.
+        self._class_pending = {cls: 0 for cls in JOB_CLASSES}
+        self._class_shed = {cls: 0 for cls in JOB_CLASSES}
 
     # -- gauges ---------------------------------------------------------
     @property
     def pending(self) -> int:
         """Fresh jobs admitted and not yet finished (running + queued)."""
-        return self._pending
+        return sum(self._class_pending.values())
 
     @property
     def busy(self) -> int:
-        """Pool slots currently occupied (bounded by ``workers``)."""
-        return min(self._pending, self.config.workers)
+        """Pool slots currently occupied (bounded by the pool sizes)."""
+        cheap = min(self._class_pending["cheap"], self.config.workers)
+        expensive = self._class_pending["expensive"]
+        if self.config.expensive_workers is not None:
+            return cheap + min(expensive, self.config.expensive_workers)
+        # Shared pool: both classes compete for the same slots.
+        return min(self.pending, self.config.workers)
 
     @property
     def queue_depth(self) -> int:
         """Jobs admitted but waiting for a free pool slot."""
-        return max(0, self._pending - self.config.workers)
+        return max(0, self.pending - self.busy)
 
     @property
     def utilization(self) -> float:
-        """Busy fraction of the pool in [0, 1]."""
-        return self.busy / self.config.workers
+        """Busy fraction of the pools in [0, 1]."""
+        slots = self.config.workers + (self.config.expensive_workers or 0)
+        return self.busy / slots
+
+    def queue_snapshot(self) -> dict:
+        """Per-class queue gauges for ``/metrics``.
+
+        Always two classes; with routing off the ``expensive`` row is
+        all-idle (everything admits as ``cheap``), so dashboards keep a
+        stable schema either way.
+        """
+        snapshot = {}
+        for cls in JOB_CLASSES:
+            pending = self._class_pending[cls]
+            workers = self._class_workers(cls)
+            snapshot[cls] = {
+                "pending": pending,
+                "depth": max(0, pending - workers),
+                "limit": self.config.class_queue_limit(cls),
+                "shed": self._class_shed[cls],
+                "deadline_s": self.config.class_timeout_s(cls),
+                "workers": workers,
+            }
+        return snapshot
+
+    def _class_workers(self, job_class: str) -> int:
+        if (
+            job_class == "expensive"
+            and self.config.expensive_workers is not None
+        ):
+            return self.config.expensive_workers
+        return self.config.workers
 
     # -- lifecycle ------------------------------------------------------
-    def _ensure_executor(self) -> Executor:
+    def _make_executor(self, workers: int) -> Executor:
+        if self.config.executor == "process":
+            return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+
+    def _ensure_executor(self, job_class: str = "cheap") -> Executor:
+        if (
+            job_class == "expensive"
+            and self.config.expensive_workers is not None
+        ):
+            if self._expensive_executor is None:
+                self._expensive_executor = self._make_executor(
+                    self.config.expensive_workers
+                )
+            return self._expensive_executor
         if self._executor is None:
-            if self.config.executor == "process":
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.config.workers
-                )
-            else:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.config.workers,
-                    thread_name_prefix="repro-service",
-                )
+            self._executor = self._make_executor(self.config.workers)
         return self._executor
 
     async def drain(self, timeout: float) -> bool:
@@ -85,10 +138,12 @@ class CoalescingDispatcher:
         return not pending
 
     def shutdown(self) -> None:
-        """Tear the pool down (cancels jobs still queued inside it)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        """Tear the pools down (cancels jobs still queued inside them)."""
+        for attr in ("_executor", "_expensive_executor"):
+            executor = getattr(self, attr)
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                setattr(self, attr, None)
 
     # -- dispatch -------------------------------------------------------
     def dispatch(
@@ -97,11 +152,12 @@ class CoalescingDispatcher:
         fn: Callable[[dict], dict],
         payload: dict,
         on_result: Callable[[dict], None] | None = None,
+        job_class: str = "cheap",
     ) -> tuple[str, Awaitable[dict]]:
         """Route one request; returns ``("coalesced"|"fresh", awaitable)``.
 
-        Raises :class:`Overloaded` when a fresh job would exceed the
-        admission bound.  ``on_result`` runs on the loop with a
+        Raises :class:`Overloaded` when a fresh job would exceed its
+        class's admission bound.  ``on_result`` runs on the loop with a
         successful result *before* the key leaves the in-flight map —
         populate response caches there, so a request can never slip
         between job completion and cache fill and re-execute.  Awaiters
@@ -109,17 +165,21 @@ class CoalescingDispatcher:
         per-request timeout does not cancel the shared job other
         waiters ride on.
         """
+        if job_class not in self._class_pending:
+            raise ValueError(f"unknown job class {job_class!r}")
         task = self._inflight.get(key)
         if task is not None:
             return "coalesced", task
-        if self._pending >= self.config.queue_limit:
+        limit = self.config.class_queue_limit(job_class)
+        if self._class_pending[job_class] >= limit:
+            self._class_shed[job_class] += 1
             raise Overloaded(
-                f"{self._pending} jobs in flight (limit "
-                f"{self.config.queue_limit})"
+                f"{self._class_pending[job_class]} jobs in flight "
+                f"(limit {limit})"
             )
-        self._pending += 1
+        self._class_pending[job_class] += 1
         task = asyncio.get_running_loop().create_task(
-            self._run(key, fn, payload, on_result)
+            self._run(key, fn, payload, on_result, job_class)
         )
         # Consume exceptions even if every waiter timed out first.
         task.add_done_callback(lambda t: t.cancelled() or t.exception())
@@ -132,15 +192,16 @@ class CoalescingDispatcher:
         fn: Callable[[dict], dict],
         payload: dict,
         on_result: Callable[[dict], None] | None,
+        job_class: str,
     ) -> dict:
         try:
             loop = asyncio.get_running_loop()
             result = await loop.run_in_executor(
-                self._ensure_executor(), fn, payload
+                self._ensure_executor(job_class), fn, payload
             )
             if on_result is not None:
                 on_result(result)
             return result
         finally:
-            self._pending -= 1
+            self._class_pending[job_class] -= 1
             self._inflight.pop(key, None)

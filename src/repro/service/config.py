@@ -79,6 +79,34 @@ class ServiceConfig:
     steal_interval_s:
         Period of the idle-shard work-stealing scan over ``job_dir``
         (0 disables stealing; rerouted requests still adopt).
+    cost_routing:
+        Cost-aware admission: classify each fresh job at admission by
+        an analytic ECM cost estimate and route it to the ``cheap`` or
+        ``expensive`` queue, each with its own admission bound and
+        deadline.  Off by default — with routing off everything runs
+        through the ``cheap`` queue with the legacy ``queue_limit`` and
+        ``request_timeout_s``, byte-identical to the pre-split server.
+    cost_threshold_s:
+        Estimated job seconds at or above which a job is classed
+        expensive.
+    cheap_queue_limit, expensive_queue_limit:
+        Per-class admission bounds (``None`` → ``queue_limit``).
+    cheap_timeout_s, expensive_timeout_s:
+        Per-class request deadlines (``None`` → ``request_timeout_s``).
+    expensive_workers:
+        Pool slots dedicated to the expensive queue (``None`` → share
+        the main pool).  A separate pool keeps saturated tune work from
+        starving cheap predictions of executor slots.
+    approx_enabled:
+        Serve near-match approximate answers (interpolated from stored
+        exact observations for the same request family with a nearby
+        grid).  Responses carry ``"approximate": true`` + a numeric
+        confidence; clients opt out per request with ``"exact": true``.
+    approx_confidence:
+        Minimum confidence an interpolated answer needs; below it the
+        request falls through to exact computation.
+    approx_capacity:
+        Exact observations retained as interpolation support.
     """
 
     host: str = "127.0.0.1"
@@ -100,6 +128,16 @@ class ServiceConfig:
     job_dir: str | None = None
     lease_ttl_s: float = 60.0
     steal_interval_s: float = 0.0
+    cost_routing: bool = False
+    cost_threshold_s: float = 0.25
+    cheap_queue_limit: int | None = None
+    expensive_queue_limit: int | None = None
+    cheap_timeout_s: float | None = None
+    expensive_timeout_s: float | None = None
+    expensive_workers: int | None = None
+    approx_enabled: bool = False
+    approx_confidence: float = 0.75
+    approx_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -126,3 +164,36 @@ class ServiceConfig:
             raise ValueError("lease_ttl_s must be positive")
         if self.steal_interval_s < 0:
             raise ValueError("steal_interval_s must be >= 0")
+        if self.cost_threshold_s <= 0:
+            raise ValueError("cost_threshold_s must be positive")
+        for name in ("cheap_queue_limit", "expensive_queue_limit"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("cheap_timeout_s", "expensive_timeout_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.expensive_workers is not None and self.expensive_workers <= 0:
+            raise ValueError("expensive_workers must be positive")
+        if not 0.0 < self.approx_confidence <= 1.0:
+            raise ValueError("approx_confidence must be in (0, 1]")
+        if self.approx_capacity < 0:
+            raise ValueError("approx_capacity must be >= 0")
+
+    # -- per-class views (cost-aware admission) -------------------------
+    def class_queue_limit(self, job_class: str) -> int:
+        """Admission bound of one queue class."""
+        if self.cost_routing and job_class == "expensive":
+            return self.expensive_queue_limit or self.queue_limit
+        if self.cost_routing and job_class == "cheap":
+            return self.cheap_queue_limit or self.queue_limit
+        return self.queue_limit
+
+    def class_timeout_s(self, job_class: str) -> float:
+        """Request deadline of one queue class."""
+        if self.cost_routing and job_class == "expensive":
+            return self.expensive_timeout_s or self.request_timeout_s
+        if self.cost_routing and job_class == "cheap":
+            return self.cheap_timeout_s or self.request_timeout_s
+        return self.request_timeout_s

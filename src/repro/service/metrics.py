@@ -2,16 +2,25 @@
 
 Every POST request resolves to exactly **one** outcome —
 
-``cache``      served by the in-process LRU response cache (tier 1)
-``coalesced``  joined an identical in-flight request's future
-``database``   served by the warm Offsite tuning database (tier 3)
-``fresh``      executed on the worker pool
-``degraded``   breaker open — served by the analytic fallback
-``shed``       refused by admission control or an open breaker
-``failed``     bad payload, job error or timeout
+``cache``        served by the in-process LRU response cache (tier 1)
+``coalesced``    joined an identical in-flight request's future
+``database``     served by the warm Offsite tuning database (tier 3)
+``approximate``  interpolated from the near-match store tier
+``fresh``        executed on the worker pool
+``degraded``     breaker open — served by the analytic fallback
+``shed``         refused by admission control or an open breaker
+``failed``       bad payload, job error or timeout
 
 so the per-endpoint outcome counts always sum to the request total;
 the soak test asserts that invariant through ``/metrics``.
+
+Tier ledgers come from the unified ``repro.store`` substrate: a tier
+either *reports itself* (an attached :class:`~repro.store.tier.Tier`
+whose own ledger is snapshotted) or is *recorded into* (counts arriving
+with results, e.g. the traffic memo deltas a tuner job carries back
+from its worker process).  Both shapes merge into one
+``{"hits", "misses", "puts", "evictions", "hit_rate"}`` row per tier,
+and ``hit_rate`` is ``None`` — never 0.0 — for an untouched tier.
 """
 
 from __future__ import annotations
@@ -19,11 +28,34 @@ from __future__ import annotations
 import threading
 from collections import deque
 
-__all__ = ["OUTCOMES", "LatencyReservoir", "EndpointStats", "ServiceMetrics"]
+__all__ = [
+    "OUTCOMES",
+    "TIER_NAMES",
+    "LatencyReservoir",
+    "EndpointStats",
+    "ServiceMetrics",
+]
 
 OUTCOMES = (
-    "cache", "coalesced", "database", "fresh", "degraded", "shed", "failed"
+    "cache", "coalesced", "database", "approximate", "fresh", "degraded",
+    "shed", "failed",
 )
+
+#: Tiers pre-registered on every server so ``/metrics`` always exposes
+#: the full ledger table (all-zero rows for idle tiers) and the fabric
+#: fan-in can sum shard snapshots without schema drift.  ``traffic`` is
+#: the combined memo ledger kept for dashboard continuity;
+#: ``traffic-memory``/``traffic-disk`` split it by serving tier.
+TIER_NAMES = (
+    "response",
+    "traffic",
+    "traffic-memory",
+    "traffic-disk",
+    "database",
+    "approx",
+)
+
+_LEDGER_FIELDS = ("hits", "misses", "puts", "evictions")
 
 
 class LatencyReservoir:
@@ -90,13 +122,13 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._reservoir = reservoir
         self.endpoints: dict[str, EndpointStats] = {}
-        # Tiered-cache ledgers: response LRU (1), traffic memo (2),
-        # tuning database (3).
+        # Recorded tier counts (arriving with results); attached tiers
+        # report their own ledgers and are merged in at snapshot time.
         self.tiers = {
-            "response": {"hits": 0, "misses": 0},
-            "traffic": {"hits": 0, "misses": 0},
-            "database": {"hits": 0, "misses": 0},
+            name: {field: 0 for field in _LEDGER_FIELDS}
+            for name in TIER_NAMES
         }
+        self._attached: dict[str, object] = {}
         # Predictor-path ledger: which path produced the traffic
         # reports behind fresh tune work (layer-condition fast path vs.
         # cache replay; mismatches are LC cross-check divergences).
@@ -122,12 +154,37 @@ class ServiceMetrics:
                 )
             stats.record(outcome, seconds)
 
-    def record_tier(self, tier: str, hits: int = 0, misses: int = 0) -> None:
-        """Add to one cache tier's hit/miss ledger."""
+    def record_tier(
+        self,
+        tier: str,
+        hits: int = 0,
+        misses: int = 0,
+        puts: int = 0,
+        evictions: int = 0,
+    ) -> None:
+        """Add to one tier's recorded ledger (unknown names register)."""
         with self._lock:
-            ledger = self.tiers[tier]
+            ledger = self.tiers.setdefault(
+                tier, {field: 0 for field in _LEDGER_FIELDS}
+            )
             ledger["hits"] += hits
             ledger["misses"] += misses
+            ledger["puts"] += puts
+            ledger["evictions"] += evictions
+
+    def attach_tier(self, name: str, tier) -> None:
+        """Register a live :class:`~repro.store.tier.Tier`.
+
+        Its own ledger is read at every snapshot and summed with any
+        recorded counts under the same name, so a tier the server
+        consults directly (response LRU, database adapter, near-match)
+        needs no per-request ``record_tier`` bookkeeping.
+        """
+        with self._lock:
+            self._attached[name] = tier
+            self.tiers.setdefault(
+                name, {field: 0 for field in _LEDGER_FIELDS}
+            )
 
     def record_predictor(
         self,
@@ -160,6 +217,21 @@ class ServiceMetrics:
         total = ledger["hits"] + ledger["misses"]
         return ledger["hits"] / total if total else None
 
+    def _tier_rows(self) -> dict:
+        """Recorded + attached ledgers merged into one table (locked)."""
+        rows = {}
+        for name, ledger in self.tiers.items():
+            row = {field: ledger[field] for field in _LEDGER_FIELDS}
+            tier = self._attached.get(name)
+            if tier is not None:
+                stats = tier.stats()
+                for field in _LEDGER_FIELDS:
+                    row[field] += int(stats.get(field, 0))
+                row["size"] = stats.get("size", 0)
+            row["hit_rate"] = self._hit_rate(row)
+            rows[name] = row
+        return rows
+
     def snapshot(self, **extra: object) -> dict:
         """JSON-ready state; ``extra`` merges server-owned gauges in
         (queue depth, pool utilization, uptime, ...)."""
@@ -169,10 +241,7 @@ class ServiceMetrics:
                     path: stats.snapshot()
                     for path, stats in sorted(self.endpoints.items())
                 },
-                "tiers": {
-                    name: {**ledger, "hit_rate": self._hit_rate(ledger)}
-                    for name, ledger in self.tiers.items()
-                },
+                "tiers": self._tier_rows(),
                 "predictor": {
                     **self.predictor,
                     "lc_fraction": self._hit_rate(

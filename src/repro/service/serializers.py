@@ -108,6 +108,10 @@ def tuner_result_to_dict(res: TunerResult) -> dict:
             "lc_served": res.lc_served,
             "sim_served": res.sim_served,
             "lc_validation_mismatch": res.lc_validation_mismatch,
+            "memory_hits": res.traffic_mem_hits,
+            "memory_misses": res.traffic_mem_misses,
+            "disk_hits": res.traffic_disk_hits,
+            "disk_misses": res.traffic_disk_misses,
         },
         "recovery": {
             "degraded": res.degraded,
@@ -155,6 +159,10 @@ def ranking_report_to_dict(report: RankingReport) -> dict:
         "traffic_cache": {
             "hits": report.traffic_cache_hits,
             "misses": report.traffic_cache_misses,
+            "memory_hits": report.traffic_mem_hits,
+            "memory_misses": report.traffic_mem_misses,
+            "disk_hits": report.traffic_disk_hits,
+            "disk_misses": report.traffic_disk_misses,
         },
     }
 
@@ -243,6 +251,10 @@ def tune_result_to_dict(res: TuneResult) -> dict:
             "lc_served": res.traffic_cache.lc_served,
             "sim_served": res.traffic_cache.sim_served,
             "lc_validation_mismatch": res.traffic_cache.lc_validation_mismatch,
+            "memory_hits": res.traffic_cache.memory_hits,
+            "memory_misses": res.traffic_cache.memory_misses,
+            "disk_hits": res.traffic_cache.disk_hits,
+            "disk_misses": res.traffic_cache.disk_misses,
         },
         "stencil": res.stencil,
         "machine": res.machine,
@@ -301,6 +313,10 @@ def tune_result_from_dict(data: dict) -> TuneResult:
             lc_served=cache.get("lc_served", 0),
             sim_served=cache.get("sim_served", 0),
             lc_validation_mismatch=cache.get("lc_validation_mismatch", 0),
+            memory_hits=cache.get("memory_hits", 0),
+            memory_misses=cache.get("memory_misses", 0),
+            disk_hits=cache.get("disk_hits", 0),
+            disk_misses=cache.get("disk_misses", 0),
         ),
         stencil=data["stencil"],
         machine=data["machine"],
@@ -338,6 +354,10 @@ def rank_result_to_dict(res: RankResult) -> dict:
         "traffic_cache": {
             "hits": res.traffic_cache.hits,
             "misses": res.traffic_cache.misses,
+            "memory_hits": res.traffic_cache.memory_hits,
+            "memory_misses": res.traffic_cache.memory_misses,
+            "disk_hits": res.traffic_cache.disk_hits,
+            "disk_misses": res.traffic_cache.disk_misses,
         },
         "grid": list(res.grid),
     }
@@ -370,6 +390,10 @@ def rank_result_from_dict(data: dict) -> RankResult:
         traffic_cache=CacheLedger(
             hits=data["traffic_cache"]["hits"],
             misses=data["traffic_cache"]["misses"],
+            memory_hits=data["traffic_cache"].get("memory_hits", 0),
+            memory_misses=data["traffic_cache"].get("memory_misses", 0),
+            disk_hits=data["traffic_cache"].get("disk_hits", 0),
+            disk_misses=data["traffic_cache"].get("disk_misses", 0),
         ),
         grid=tuple(data["grid"]),
     )

@@ -22,13 +22,13 @@ import functools
 import json
 import signal
 import time
-from collections import OrderedDict
 
 from repro import faults
 from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
 from repro.service.batching import CoalescingDispatcher, Overloaded
 from repro.service.breaker import CircuitBreaker
 from repro.service.config import ServiceConfig
+from repro.service.cost import classify
 from repro.service.jobs import (
     DEGRADED_JOBS,
     JOBS,
@@ -39,6 +39,7 @@ from repro.service.jobs import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.serializers import tuning_record_to_dict
+from repro.store import DatabaseTier, LruTier, NearMatchTier
 
 __all__ = ["ReproService", "serve"]
 
@@ -82,29 +83,10 @@ class _HttpError(Exception):
         self.message = message
 
 
-class _LruCache:
-    """Tiny insertion-evicting LRU for JSON-ready response dicts."""
-
-    def __init__(self, capacity: int) -> None:
-        self.capacity = capacity
-        self._data: OrderedDict[str, dict] = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def get(self, key: str) -> dict | None:
-        value = self._data.get(key)
-        if value is not None:
-            self._data.move_to_end(key)
-        return value
-
-    def put(self, key: str, value: dict) -> None:
-        if self.capacity <= 0:
-            return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+#: The response cache is a plain :class:`~repro.store.tier.LruTier`
+#: from the unified store substrate; the alias keeps the historical
+#: name importable.
+_LruCache = LruTier
 
 
 class ReproService:
@@ -114,7 +96,10 @@ class ReproService:
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics(self.config.latency_reservoir)
         self.dispatcher = CoalescingDispatcher(self.config)
-        self.response_cache = _LruCache(self.config.response_cache_size)
+        self.response_cache = LruTier(
+            "response", capacity=self.config.response_cache_size
+        )
+        self.metrics.attach_tier("response", self.response_cache)
         if self.config.db_dir:
             # Fabric mode: the segmented multi-process store.  Each
             # shard writes only its own segment; peers' records are
@@ -128,6 +113,16 @@ class ReproService:
             self.database = TuningDatabase.load_or_empty(self.config.db_path)
         else:
             self.database = TuningDatabase()
+        # The warm database serves through its tier adapter (uniform
+        # ledger); persistence keeps talking to the wrapped object.
+        self.database_tier = DatabaseTier(self.database)
+        self.metrics.attach_tier("database", self.database_tier)
+        self.approx_tier: NearMatchTier | None = None
+        if self.config.approx_enabled:
+            self.approx_tier = NearMatchTier(
+                "approx", capacity=self.config.approx_capacity
+            )
+            self.metrics.attach_tier("approx", self.approx_tier)
         self.breakers = {
             path: CircuitBreaker(
                 path,
@@ -367,6 +362,14 @@ class ReproService:
             # so a response computed under one serves them all.
             want_trace = bool(payload.get("trace"))
             requested_predictor = payload.get("predictor")
+            # "exact": true opts this request out of the near-match
+            # approximate tier.  Like trace/predictor it is
+            # execution-only: exact and approximable requests share one
+            # cache/coalescing identity (both are satisfied by the
+            # exact answer; only the serving path differs).
+            want_exact = payload.get("exact", False)
+            if not isinstance(want_exact, bool):
+                raise JobError('"exact" must be a boolean')
             normalized = normalizer(payload)
         except (ValueError, JobError) as exc:
             return "failed", 400, {"error": str(exc)}, None
@@ -383,21 +386,21 @@ class ReproService:
             return env
 
         t_stage = time.perf_counter()
-        # Tier 1: in-process response LRU.
+        # Tier 1: in-process response LRU (its own ledger is attached
+        # to /metrics — no per-request bookkeeping here).
         cached = self.response_cache.get(key)
         if cached is not None:
-            self.metrics.record_tier("response", hits=1)
             stages["cache"] = time.perf_counter() - t_stage
             return "cache", 200, envelope("response-cache", cached), None
-        self.metrics.record_tier("response", misses=1)
 
         # Tier 3: the warm Offsite tuning database (/rank lookups;
         # validated rankings always recompute measurements).
         if endpoint == "/rank" and not normalized["validate"]:
             method, ivp, machine, grid = rank_db_key_parts(normalized)
-            record = self.database.get(TuningKey(method, ivp, machine, grid))
+            record = self.database_tier.get(
+                TuningKey(method, ivp, machine, grid)
+            )
             if record is not None:
-                self.metrics.record_tier("database", hits=1)
                 stages["cache"] = time.perf_counter() - t_stage
                 return (
                     "database",
@@ -405,7 +408,24 @@ class ReproService:
                     envelope("database", tuning_record_to_dict(record)),
                     None,
                 )
-            self.metrics.record_tier("database", misses=1)
+
+        # Near-match approximate tier: an interpolated answer from
+        # stored exact observations of the same request family with a
+        # nearby grid.  Never consulted when the client sent
+        # ``"exact": true``; declines (falls through to exact work)
+        # below the configured confidence.  The answer is served but
+        # NEVER written into any exact tier.
+        if self.approx_tier is not None and not want_exact:
+            served = self.approx_tier.lookup(
+                endpoint, normalized, self.config.approx_confidence
+            )
+            if served is not None:
+                result, confidence = served
+                stages["cache"] = time.perf_counter() - t_stage
+                env = envelope("approximate", result)
+                env["approximate"] = True
+                env["confidence"] = confidence
+                return "approximate", 200, env, None
         stages["cache"] = time.perf_counter() - t_stage
 
         # Circuit breaker: a backend that keeps failing fresh jobs is
@@ -447,6 +467,17 @@ class ReproService:
             env["degraded"] = True
             return "degraded", 200, env, None
 
+        # Cost-aware admission: price the job analytically and route it
+        # to its queue class.  With routing off everything is "cheap"
+        # under the legacy queue_limit/request_timeout_s, so behavior
+        # is identical to the single-queue server.
+        job_class = "cheap"
+        if self.config.cost_routing:
+            job_class, _est = classify(
+                endpoint, normalized, self.config.cost_threshold_s
+            )
+        timeout_s = self.config.class_timeout_s(job_class)
+
         # The job payload may carry execution-only hints the request
         # identity must exclude: /tune gets the per-request deadline so
         # the tuner inside the worker stops starting variants the
@@ -455,9 +486,7 @@ class ReproService:
         job_payload = normalized
         if endpoint == "/tune":
             job_payload = dict(normalized)
-            job_payload["deadline"] = (
-                time.time() + self.config.request_timeout_s
-            )
+            job_payload["deadline"] = time.time() + timeout_s
             if requested_predictor is not None:
                 job_payload["predictor"] = requested_predictor
             if self.config.job_dir:
@@ -486,12 +515,33 @@ class ReproService:
             )
             if not degraded:
                 self.response_cache.put(key, result)
+                # Exact, non-degraded results become interpolation
+                # support for the near-match tier.  Approximate answers
+                # never reach this hook (they are served before
+                # dispatch), so the support set stays exact-only.
+                if self.approx_tier is not None:
+                    try:
+                        self.approx_tier.observe(endpoint, normalized, result)
+                    except Exception:
+                        pass  # advisory tier: never fail the request
             ledger = result.get("traffic_cache")
             if isinstance(ledger, dict):
                 self.metrics.record_tier(
                     "traffic",
                     hits=int(ledger.get("hits", 0)),
                     misses=int(ledger.get("misses", 0)),
+                )
+                # Per-store-tier split of the same lookups (memory LRU
+                # over the optional disk tier inside the workers).
+                self.metrics.record_tier(
+                    "traffic-memory",
+                    hits=int(ledger.get("memory_hits", 0)),
+                    misses=int(ledger.get("memory_misses", 0)),
+                )
+                self.metrics.record_tier(
+                    "traffic-disk",
+                    hits=int(ledger.get("disk_hits", 0)),
+                    misses=int(ledger.get("disk_misses", 0)),
                 )
                 self.metrics.record_predictor(
                     lc_served=int(ledger.get("lc_served", 0)),
@@ -531,7 +581,7 @@ class ReproService:
         try:
             mode, task = self.dispatcher.dispatch(
                 dispatch_key, dispatch_job, job_payload,
-                on_result=dispatch_hook,
+                on_result=dispatch_hook, job_class=job_class,
             )
         except Overloaded as exc:
             breaker.release_probe()
@@ -550,7 +600,7 @@ class ReproService:
             breaker.release_probe()
         try:
             result = await asyncio.wait_for(
-                asyncio.shield(task), self.config.request_timeout_s
+                asyncio.shield(task), timeout_s
             )
         except asyncio.TimeoutError:
             if mode == "fresh":
@@ -560,7 +610,7 @@ class ReproService:
                 504,
                 {
                     "error": "timeout",
-                    "timeout_s": self.config.request_timeout_s,
+                    "timeout_s": timeout_s,
                 },
                 None,
             )
@@ -593,7 +643,7 @@ class ReproService:
             block = (0,) * len(grid)  # sentinel: per-kernel analytic choice
         else:
             block = grid
-        self.database.put(
+        self.database_tier.put(
             TuningRecord(
                 key=TuningKey(method, ivp, machine, grid),
                 best_variant=result["best_predicted"]["variant"],
@@ -727,6 +777,11 @@ class ReproService:
                 "depth": self.dispatcher.queue_depth,
                 "pending": self.dispatcher.pending,
                 "limit": self.config.queue_limit,
+            },
+            queues=self.dispatcher.queue_snapshot(),
+            approx={
+                "enabled": self.config.approx_enabled,
+                "min_confidence": self.config.approx_confidence,
             },
             pool={
                 "workers": self.config.workers,

@@ -1,0 +1,31 @@
+"""Pluggable tier-stack store substrate.
+
+One protocol (:class:`Tier`), one ledger shape (:class:`TierLedger`),
+one composer (:class:`TierStack`) — every cache/persistence layer in
+the repo (response LRU, traffic memo memory+disk, tuning database,
+checkpoints, the near-match approximate tier) is a tier on this
+substrate, and every metrics surface reads the same ``stats()`` shape.
+"""
+
+from repro.store.adapters import CheckpointTier, DatabaseTier
+from repro.store.approx import (
+    INTERPOLATED_FIELDS,
+    NearMatchTier,
+    grid_confidence,
+)
+from repro.store.stack import TierStack, admit_all
+from repro.store.tier import DiskJsonTier, LruTier, Tier, TierLedger
+
+__all__ = [
+    "Tier",
+    "TierLedger",
+    "LruTier",
+    "DiskJsonTier",
+    "TierStack",
+    "admit_all",
+    "DatabaseTier",
+    "CheckpointTier",
+    "NearMatchTier",
+    "grid_confidence",
+    "INTERPOLATED_FIELDS",
+]

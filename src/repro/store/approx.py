@@ -1,0 +1,237 @@
+"""Near-match approximate tier: interpolated answers with a confidence.
+
+The Offsite paper's move — model-driven answers standing in for exact
+measurement — applied to serving: for the *same* request family (same
+stencil/tuner/machine/every non-grid parameter) with a *nearby* grid,
+an answer interpolated from stored exact observations is often good
+enough, and it costs microseconds instead of a full simulation.
+
+The contract (enforced here and by the server wiring):
+
+* every served answer carries ``"approximate": true`` and a numeric
+  ``"confidence"`` in (0, 1];
+* confidence is the grid-proximity bound
+  ``1 - max_i |g_i - n_i| / max(g_i, n_i)`` to the nearest supporting
+  observation — an exact-grid re-serve is 1.0, a grid twice as large
+  is 0.5;
+* below the caller's threshold the tier declines (a ledger miss) and
+  the request falls through to exact computation;
+* only *exact, non-degraded* results are ever observed — approximate
+  answers are never fed back, so the support set cannot drift;
+* the tier never writes into any exact tier (the server simply never
+  puts its answers anywhere).
+
+Whitelisted numeric fields are linearly interpolated in grid *volume*
+between the two nearest observations (one-sided extrapolation clamps
+to nearest — extrapolating a performance model past its support is how
+confident nonsense gets served); everything else is copied from the
+nearest observation, with ``grid`` rewritten to the requested one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from math import prod
+
+from repro.store.tier import Tier
+
+__all__ = ["NearMatchTier", "grid_confidence", "INTERPOLATED_FIELDS"]
+
+#: endpoint → result fields interpolated linearly in grid volume.
+#: ``t_data_cycles`` is a per-level list and interpolates elementwise.
+INTERPOLATED_FIELDS = {
+    "/predict": (
+        "t_ol_cycles",
+        "t_nol_cycles",
+        "t_ecm_cycles",
+        "cycles_per_lup",
+        "mlups",
+        "mem_bytes_per_lup",
+        "t_data_cycles",
+    ),
+    "/tune": (
+        "best_mlups",
+        "simulated_run_seconds",
+    ),
+}
+
+
+def grid_confidence(
+    grid: tuple[int, ...], near: tuple[int, ...]
+) -> float:
+    """Proximity bound in [0, 1]: 1.0 iff identical, 0.0 at the far end.
+
+    Per-axis relative distance, worst axis wins — a request that is
+    close in two axes but doubled in the third is a 0.5, not a 0.83:
+    stencil traffic is dominated by the worst-blocked axis, so the
+    bound must be too.
+    """
+    if len(grid) != len(near):
+        return 0.0
+    worst = max(
+        abs(g - n) / max(g, n) for g, n in zip(grid, near)
+    ) if grid else 1.0
+    return 1.0 - worst
+
+
+def _family_key(endpoint: str, normalized: dict) -> str:
+    """Identity of one request family: everything except the grid."""
+    rest = {k: v for k, v in normalized.items() if k != "grid"}
+    return json.dumps(
+        {"endpoint": endpoint, "payload": rest},
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+def _interpolate(base: float, other: float, weight: float) -> float:
+    return base * (1.0 - weight) + other * weight
+
+
+class NearMatchTier(Tier):
+    """Bounded store of exact observations served by interpolation.
+
+    ``capacity`` bounds total observations across all families;
+    eviction is LRU over families (the least recently *served or
+    observed* family goes first).
+    """
+
+    def __init__(
+        self, name: str = "approx", capacity: int = 512
+    ) -> None:
+        super().__init__(name)
+        self.capacity = max(0, capacity)
+        self._lock = threading.Lock()
+        # family key → {grid tuple: exact result dict}
+        self._families: OrderedDict[str, dict[tuple[int, ...], dict]] = (
+            OrderedDict()
+        )
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- observation (exact results only; the server gates) ------------
+    def observe(self, endpoint: str, normalized: dict, result: dict) -> None:
+        """Record one exact result as interpolation support.
+
+        The caller must pass only exact, non-degraded results; a result
+        already marked approximate is refused here as a second line of
+        defense (feeding interpolations back would compound error
+        silently).
+        """
+        if endpoint not in INTERPOLATED_FIELDS or self.capacity <= 0:
+            return
+        if result.get("approximate"):
+            return
+        grid = normalized.get("grid")
+        if not isinstance(grid, (list, tuple)) or not grid:
+            return
+        key = _family_key(endpoint, normalized)
+        # Deep copy through JSON: the stored support must not alias the
+        # response dict the server may still hand to waiters.
+        stored = json.loads(json.dumps(result))
+        with self._lock:
+            family = self._families.get(key)
+            if family is None:
+                family = self._families[key] = {}
+            self._families.move_to_end(key)
+            if tuple(grid) not in family:
+                self._count += 1
+            family[tuple(grid)] = stored
+            evicted = 0
+            while self._count > self.capacity and len(self._families) > 1:
+                _, dropped = self._families.popitem(last=False)
+                self._count -= len(dropped)
+                evicted += len(dropped)
+        self.ledger.record_put()
+        if evicted:
+            self.ledger.record_eviction(evicted)
+
+    # -- serving --------------------------------------------------------
+    def get(self, key):
+        """Tier-protocol get is exact-family only; prefer lookup()."""
+        raise NotImplementedError(
+            "NearMatchTier serves via lookup(endpoint, normalized, "
+            "min_confidence)"
+        )
+
+    def put(self, key, value) -> None:
+        raise NotImplementedError(
+            "NearMatchTier stores via observe(endpoint, normalized, result)"
+        )
+
+    def lookup(
+        self, endpoint: str, normalized: dict, min_confidence: float
+    ) -> tuple[dict, float] | None:
+        """Interpolated ``(result, confidence)`` or ``None``.
+
+        ``None`` (a ledger miss) when the family is unknown, the grids
+        have a different rank, or the best achievable confidence is
+        below ``min_confidence`` — the server then falls back to exact
+        computation.
+        """
+        if endpoint not in INTERPOLATED_FIELDS:
+            return None
+        grid = tuple(normalized.get("grid", ()))
+        key = _family_key(endpoint, normalized)
+        with self._lock:
+            family = self._families.get(key)
+            if family:
+                self._families.move_to_end(key)
+            candidates = [
+                (g, res)
+                for g, res in (family or {}).items()
+                if len(g) == len(grid)
+            ]
+        if not candidates:
+            self.ledger.record_miss()
+            return None
+        scored = sorted(
+            ((grid_confidence(grid, g), g, res) for g, res in candidates),
+            key=lambda t: t[0],
+            reverse=True,
+        )
+        confidence, near_grid, near_res = scored[0]
+        if confidence < min_confidence or confidence <= 0.0:
+            self.ledger.record_miss()
+            return None
+        result = json.loads(json.dumps(near_res))
+        target_vol = prod(grid)
+        near_vol = prod(near_grid)
+        # Second support point for linear interpolation in volume: the
+        # best-confidence candidate on the *other side* of the target
+        # volume.  Without one (pure extrapolation) the nearest
+        # observation is served as-is — clamping, not extrapolating.
+        other = next(
+            (
+                (g, res)
+                for _, g, res in scored[1:]
+                if (prod(g) - target_vol) * (near_vol - target_vol) < 0
+            ),
+            None,
+        )
+        if other is not None and near_vol != target_vol:
+            other_vol = prod(other[0])
+            weight = (target_vol - near_vol) / (other_vol - near_vol)
+            for field in INTERPOLATED_FIELDS[endpoint]:
+                a, b = near_res.get(field), other[1].get(field)
+                if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                    result[field] = _interpolate(float(a), float(b), weight)
+                elif (
+                    isinstance(a, list)
+                    and isinstance(b, list)
+                    and len(a) == len(b)
+                    and all(isinstance(v, (int, float)) for v in a + b)
+                ):
+                    result[field] = [
+                        _interpolate(float(x), float(y), weight)
+                        for x, y in zip(a, b)
+                    ]
+        if "grid" in result:
+            result["grid"] = list(grid)
+        result["approximate"] = True
+        result["confidence"] = confidence
+        self.ledger.record_hit()
+        return result, confidence

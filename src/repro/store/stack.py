@@ -1,0 +1,94 @@
+"""TierStack: ordered tiers + admission predicates + hit promotion.
+
+A stack composes tiers fastest-first.  ``get`` walks down until a tier
+hits, then promotes the value into every faster tier above it (the
+traffic memo's disk→memory promotion, generalized).  ``put`` offers the
+value to every tier whose *admission predicate* accepts it — the
+predicate is where serving policy lives as data instead of scattered
+``if``\\ s: "degraded results never enter the response cache" and
+"approximate results never enter an exact tier" are both one-line
+predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.store.tier import Tier
+
+__all__ = ["TierStack", "admit_all"]
+
+
+def admit_all(key, value) -> bool:
+    """The default admission predicate: store everything."""
+    return True
+
+
+class TierStack:
+    """Ordered composition of tiers with per-tier admission.
+
+    Parameters
+    ----------
+    tiers:
+        Fastest-first sequence of :class:`Tier` instances.
+    admit:
+        Optional ``{tier_name: predicate(key, value) -> bool}``.  A
+        tier without an entry admits everything.  Predicates gate
+        *writes only* — reads always consult every tier, because a
+        value another writer admitted is still valid to serve.
+    """
+
+    def __init__(
+        self,
+        tiers: list[Tier] | tuple[Tier, ...],
+        admit: dict[str, Callable[[object, object], bool]] | None = None,
+    ) -> None:
+        if not tiers:
+            raise ValueError("a TierStack needs at least one tier")
+        names = [t.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names in stack: {names}")
+        self.tiers: tuple[Tier, ...] = tuple(tiers)
+        self.admit = dict(admit or {})
+
+    def __len__(self) -> int:
+        return len(self.tiers[0])
+
+    def tier(self, name: str) -> Tier:
+        """The member tier called ``name`` (KeyError if absent)."""
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tier {name!r} in stack")
+
+    def get(self, key):
+        """First hit walking fastest→slowest; promotes on the way back.
+
+        Each tier counts its own hit/miss, so the per-tier ledgers
+        stay meaningful: a memory miss served by disk is one memory
+        miss *and* one disk hit.
+        """
+        for depth, tier in enumerate(self.tiers):
+            value = tier.get(key)
+            if value is None:
+                continue
+            for upper in self.tiers[:depth]:
+                if self.admit.get(upper.name, admit_all)(key, value):
+                    upper.put(key, value)
+            return value
+        return None
+
+    def put(self, key, value) -> None:
+        """Offer the value to every tier that admits it."""
+        for tier in self.tiers:
+            if self.admit.get(tier.name, admit_all)(key, value):
+                tier.put(key, value)
+
+    def stats(self) -> dict:
+        """``{tier_name: tier.stats()}`` for every member."""
+        return {tier.name: tier.stats() for tier in self.tiers}
+
+    def close(self) -> None:
+        """Close every member tier (flush checkpoints etc.)."""
+        for tier in self.tiers:
+            tier.close()

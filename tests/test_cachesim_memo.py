@@ -266,3 +266,52 @@ class TestDiskCorruption:
         c2 = TrafficCache(disk_dir=tmp_path)
         measure_sweep(spec, grids, plan, machine, traffic_cache=c2)
         assert c2.hits == 1 and c2.misses == 0
+
+
+class TestConcurrentAccess:
+    def test_threaded_get_put_keeps_ledger_consistent(self, setting):
+        """Regression: unsynchronized get/put used to race on the
+        memory dict and drop ledger counts under thread-pool tuners."""
+        import threading
+
+        spec, grids, plan, machine = setting
+        cache = TrafficCache()
+        report = measure_sweep(
+            spec, grids, plan, machine, traffic_cache=cache
+        )
+        cache.clear()
+
+        n_threads, n_iters = 8, 50
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(n_iters):
+                    key = f"k{tid}-{i}"
+                    assert cache.get(key) is None  # guaranteed miss
+                    cache.put(key, report)
+                    got = cache.get(key)  # guaranteed hit
+                    assert got is not None
+                    assert got.as_dict() == report.as_dict()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        total = n_threads * n_iters
+        # Every lookup counted exactly once: one miss + one hit per
+        # iteration, nothing lost to racing increments.
+        assert cache.hits == total
+        assert cache.misses == total
+        assert len(cache) == total
+        mem_hits, mem_misses, disk_hits, disk_misses = cache.tier_counts()
+        assert mem_hits == total and mem_misses == total
+        assert disk_hits == 0 and disk_misses == 0

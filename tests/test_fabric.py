@@ -187,6 +187,43 @@ class TestMetricsFanIn:
         )
         assert agg["requests"] == total >= 1
 
+    def test_tier_ledger_arithmetic(self, fabric):
+        fabric.client.predict(**PREDICT)
+        metrics = fabric.client.metrics()
+        tiers = metrics["aggregate"]["tiers"]
+        # Every aggregate tier counter is exactly the sum of the shard
+        # snapshots — the ledger shape is uniform, so fan-in is plain
+        # addition, never estimation.
+        for name, ledger in tiers.items():
+            for field in ("hits", "misses", "puts", "evictions"):
+                shard_sum = sum(
+                    snap.get("tiers", {}).get(name, {}).get(field, 0)
+                    for snap in metrics["shards"].values()
+                )
+                assert ledger[field] == shard_sum, (name, field)
+        # The response tier saw the predict above on some shard.
+        response = tiers["response"]
+        assert response["hits"] + response["misses"] >= 1
+        assert response["hit_rate"] is not None
+        # An untouched tier reports hit_rate None, not 0.0: nobody ever
+        # looked, which is a different state from missing every time.
+        untouched = [
+            name for name, ledger in tiers.items()
+            if ledger["hits"] + ledger["misses"] == 0
+        ]
+        assert untouched, "expected at least one untouched tier"
+        for name in untouched:
+            assert tiers[name]["hit_rate"] is None, name
+
+    def test_queue_classes_aggregate(self, fabric):
+        metrics = fabric.client.metrics()
+        queues = metrics["aggregate"]["queues"]
+        assert set(queues) == {"cheap", "expensive"}
+        for row in queues.values():
+            for field in ("pending", "depth", "limit", "shed", "workers"):
+                assert isinstance(row[field], int)
+            assert row["deadline_s"] > 0
+
 
 @pytest.mark.slow
 class TestShardLoss:

@@ -1,0 +1,238 @@
+"""Live-server drills of the store stack: approximate serving + cost
+routing.
+
+These hit a real :class:`BackgroundServer` over HTTP, mirroring the
+soak-test harness: the near-match tier must serve nearby grids with an
+honest confidence, decline below threshold, honor ``"exact": true``
+verbatim, and never leak an approximate answer into any exact tier;
+cost-aware admission must shed a saturated expensive queue without
+touching the cheap one.
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.service.jobs as jobs
+from repro.service.background import BackgroundServer
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+
+SCALE = 1 / 32  # shrink caches so exact simulation stays fast
+
+BASE = {"stencil": "3d7pt", "grid": [16, 16, 32], "cache_scale": SCALE}
+#: |28-32|/32 = 0.125 off on the worst axis → confidence 0.875.
+NEAR = dict(BASE, grid=[16, 16, 28])
+#: |128-32|/128 = 0.75 off → confidence 0.25, below every threshold here.
+FAR = dict(BASE, grid=[16, 16, 128])
+
+
+def _cfg(**kwargs) -> ServiceConfig:
+    defaults = dict(
+        port=0,
+        executor="thread",
+        workers=4,
+        queue_limit=256,
+        request_timeout_s=120.0,
+        drain_timeout_s=30.0,
+    )
+    defaults.update(kwargs)
+    return ServiceConfig(**defaults)
+
+
+def _approx_cfg(**kwargs) -> ServiceConfig:
+    return _cfg(approx_enabled=True, approx_confidence=0.6, **kwargs)
+
+
+class TestApproximateServing:
+    def test_nearby_grid_served_approximate(self):
+        with BackgroundServer(_approx_cfg()) as bg:
+            client = bg.client
+            warm = client.predict(**BASE)
+            assert warm["served"] == "fresh"
+            env = client.predict(**NEAR)
+            snap = bg.metrics_snapshot()
+
+        assert env["served"] == "approximate"
+        assert env["approximate"] is True
+        assert isinstance(env["confidence"], float)
+        assert 0.0 < env["confidence"] <= 1.0
+        result = env["result"]
+        assert result["approximate"] is True
+        assert result["confidence"] == env["confidence"]
+        assert result["grid"] == [16, 16, 28]
+        assert snap["tiers"]["approx"]["hits"] == 1
+        assert snap["endpoints"]["/predict"]["outcomes"]["approximate"] == 1
+        assert snap["approx"] == {"enabled": True, "min_confidence": 0.6}
+
+    def test_exact_flag_never_touches_approx_tier(self):
+        with BackgroundServer(_approx_cfg()) as bg:
+            client = bg.client
+            # Warm with exact too: a plain warm request would itself
+            # consult the (empty) approx tier and record a miss.
+            client.predict(exact=True, **BASE)
+            env = client.predict(exact=True, **NEAR)
+            snap = bg.metrics_snapshot()
+
+        assert env["served"] == "fresh"
+        assert "approximate" not in env
+        assert "approximate" not in env["result"]
+        approx = snap["tiers"]["approx"]
+        # Never consulted: no hit AND no miss (puts are the exact
+        # observations feeding the support set — those are fine).
+        assert approx["hits"] == 0 and approx["misses"] == 0
+        assert approx["puts"] >= 1
+
+    def test_below_confidence_falls_back_to_exact(self):
+        with BackgroundServer(_approx_cfg()) as bg:
+            client = bg.client
+            client.predict(**BASE)
+            env = client.predict(**FAR)
+            snap = bg.metrics_snapshot()
+
+        assert env["served"] == "fresh"
+        assert "approximate" not in env
+        assert "approximate" not in env["result"]
+        assert snap["tiers"]["approx"]["misses"] >= 1
+        assert snap["tiers"]["approx"]["hits"] == 0
+
+    def test_approximate_never_enters_exact_tiers(self):
+        with BackgroundServer(_approx_cfg()) as bg:
+            client = bg.client
+            client.predict(**BASE)
+            # Served approximately twice: were the first answer cached
+            # into the response tier, the repeat would come back as
+            # "cache".
+            assert client.predict(**NEAR)["served"] == "approximate"
+            assert client.predict(**NEAR)["served"] == "approximate"
+            # Forcing exact computes fresh and caches the real answer…
+            exact_env = client.predict(exact=True, **NEAR)
+            assert exact_env["served"] == "fresh"
+            # …which then shadows the approximate path (response cache
+            # is consulted first, and it only ever holds exact answers).
+            cached_env = client.predict(**NEAR)
+
+        assert cached_env["served"] == "response-cache"
+        assert "approximate" not in cached_env["result"]
+        assert (
+            cached_env["result"]["mlups"] == exact_env["result"]["mlups"]
+        )
+
+    def test_disabled_by_default(self):
+        with BackgroundServer(_cfg()) as bg:
+            client = bg.client
+            client.predict(**BASE)
+            env = client.predict(**NEAR)
+            snap = bg.metrics_snapshot()
+
+        assert env["served"] == "fresh"
+        approx = snap["tiers"]["approx"]
+        assert all(approx[k] == 0 for k in ("hits", "misses", "puts"))
+        assert snap["approx"]["enabled"] is False
+
+    def test_exact_must_be_boolean(self):
+        with BackgroundServer(_approx_cfg()) as bg:
+            client = ServiceClient(port=bg.port, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.request(
+                    "POST", "/predict", dict(BASE, exact="yes")
+                )
+        assert err.value.status == 400
+
+
+class TestCostRouting:
+    def test_queue_schema_in_metrics(self):
+        cfg = _cfg(
+            cost_routing=True,
+            cost_threshold_s=0.5,
+            cheap_queue_limit=64,
+            expensive_queue_limit=2,
+            cheap_timeout_s=10.0,
+            expensive_timeout_s=300.0,
+            expensive_workers=1,
+        )
+        with BackgroundServer(cfg) as bg:
+            body = bg.client.metrics()
+        queues = body["queues"]
+        assert set(queues) == {"cheap", "expensive"}
+        for row in queues.values():
+            assert {"pending", "depth", "limit", "shed", "deadline_s",
+                    "workers"} <= set(row)
+        assert queues["cheap"]["limit"] == 64
+        assert queues["cheap"]["deadline_s"] == 10.0
+        assert queues["expensive"]["limit"] == 2
+        assert queues["expensive"]["deadline_s"] == 300.0
+        assert queues["expensive"]["workers"] == 1
+
+    def test_routing_off_keeps_legacy_limits(self):
+        with BackgroundServer(_cfg()) as bg:
+            queues = bg.metrics_snapshot()["queues"]
+        for row in queues.values():
+            assert row["limit"] == 256
+            assert row["deadline_s"] == 120.0
+
+    def test_expensive_saturation_spares_cheap(self, monkeypatch):
+        release = threading.Event()
+        real_tune = jobs.tune_job
+
+        def gated_tune(payload):
+            release.wait(timeout=30)
+            return real_tune(payload)
+
+        monkeypatch.setitem(
+            jobs.JOBS, "/tune", (jobs.normalize_tune, gated_tune)
+        )
+        cfg = _cfg(
+            cost_routing=True,
+            cost_threshold_s=1e-6,
+            expensive_queue_limit=1,
+            expensive_workers=1,
+        )
+        tunes = [
+            {"stencil": "3d7pt", "grid": [16, 16, 32], "machine": machine,
+             "tuner": "greedy", "cache_scale": SCALE}
+            for machine in ("clx", "rome")
+        ]
+        try:
+            with BackgroundServer(cfg) as bg:
+                raw = ServiceClient(port=bg.port, retries=0)
+                with ThreadPoolExecutor(max_workers=1) as pool:
+                    first = pool.submit(
+                        raw.request, "POST", "/tune", tunes[0]
+                    )
+                    # Wait until the first tune is parked on the
+                    # expensive queue, so the shed below is
+                    # deterministic.
+                    deadline = time.monotonic() + 15
+                    while (
+                        bg.service.dispatcher.queue_snapshot()["expensive"][
+                            "pending"
+                        ] < 1
+                    ):
+                        if time.monotonic() > deadline:
+                            pytest.fail("tune never reached the queue")
+                        time.sleep(0.005)
+                    # A second expensive job sheds at its own limit…
+                    with pytest.raises(ServiceError) as err:
+                        raw.request("POST", "/tune", tunes[1])
+                    assert err.value.status == 429
+                    # …while the cheap class still serves immediately.
+                    env = raw.request(
+                        "POST", "/predict",
+                        {"stencil": "3d7pt", "grid": [8, 16, 32],
+                         "cache_scale": SCALE},
+                    )
+                    assert env["served"] == "fresh"
+                    release.set()
+                    first.result(timeout=60)
+                snap = bg.metrics_snapshot()
+        finally:
+            release.set()
+
+        queues = snap["queues"]
+        assert queues["expensive"]["shed"] == 1
+        assert queues["cheap"]["shed"] == 0
+        outcomes = snap["endpoints"]["/tune"]["outcomes"]
+        assert outcomes["shed"] == 1

@@ -1,0 +1,301 @@
+"""Unit tests of the unified ``repro.store`` tier substrate.
+
+Covers the ledger shape (hit_rate honestly None while untouched), the
+two building-block tiers, the stack's promotion/admission semantics,
+the database/checkpoint adapters, and the near-match approximate tier's
+confidence + interpolation contract.
+"""
+
+import threading
+
+import pytest
+
+from repro.autotune.checkpoint import JsonCheckpoint
+from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
+from repro.store import (
+    CheckpointTier,
+    DatabaseTier,
+    DiskJsonTier,
+    LruTier,
+    NearMatchTier,
+    TierStack,
+    grid_confidence,
+)
+from repro.store.tier import TierLedger
+
+
+class TestTierLedger:
+    def test_counts_and_snapshot(self):
+        ledger = TierLedger()
+        assert ledger.hit_rate is None  # untouched ≠ 0.0
+        ledger.record_hit()
+        ledger.record_miss(3)
+        ledger.record_put(2)
+        ledger.record_eviction()
+        snap = ledger.snapshot()
+        assert snap == {
+            "hits": 1, "misses": 3, "puts": 2, "evictions": 1,
+            "hit_rate": 0.25,
+        }
+
+    def test_reset(self):
+        ledger = TierLedger()
+        ledger.record_hit()
+        ledger.reset()
+        assert ledger.snapshot()["hits"] == 0
+        assert ledger.hit_rate is None
+
+
+class TestLruTier:
+    def test_hit_miss_and_eviction_accounting(self):
+        tier = LruTier("t", capacity=2)
+        assert tier.get("a") is None
+        tier.put("a", 1)
+        tier.put("b", 2)
+        assert tier.get("a") == 1  # refreshes recency
+        tier.put("c", 3)  # evicts b (LRU)
+        assert tier.get("b") is None
+        assert tier.get("a") == 1
+        snap = tier.stats()
+        assert snap["hits"] == 2 and snap["misses"] == 2
+        assert snap["puts"] == 3 and snap["evictions"] == 1
+        assert snap["size"] == 2
+
+    def test_zero_capacity_stores_nothing(self):
+        tier = LruTier("t", capacity=0)
+        tier.put("a", 1)
+        assert len(tier) == 0 and tier.stats()["puts"] == 0
+
+    def test_peek_bypasses_ledger_and_recency(self):
+        tier = LruTier("t")
+        tier.put("a", 1)
+        assert tier.peek("a") == 1 and tier.peek("b") is None
+        snap = tier.stats()
+        assert snap["hits"] == 0 and snap["misses"] == 0
+
+
+class TestDiskJsonTier:
+    def test_roundtrip_and_missing(self, tmp_path):
+        tier = DiskJsonTier("d", tmp_path)
+        assert tier.get("k") is None
+        tier.put("k", {"x": 1})
+        assert tier.get("k") == {"x": 1}
+        assert len(tier) == 1
+        snap = tier.stats()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["puts"] == 1
+
+    def test_corrupt_file_quarantined(self, tmp_path):
+        tier = DiskJsonTier("d", tmp_path)
+        tier.path_for("bad").write_text("{ not json")
+        assert tier.get("bad") is None
+        assert not tier.path_for("bad").exists()
+        assert list(tmp_path.glob("bad.json.corrupt.*"))
+
+    def test_validator_failure_quarantines(self, tmp_path):
+        def validator(rec):
+            if "required" not in rec:
+                raise ValueError("bad record")
+
+        tier = DiskJsonTier("d", tmp_path, validator=validator)
+        tier.put("k", {"other": 1})
+        assert tier.get("k") is None
+        assert not tier.path_for("k").exists()
+
+
+class TestTierStack:
+    def test_promotion_counts_per_tier(self, tmp_path):
+        mem = LruTier("mem")
+        disk = DiskJsonTier("disk", tmp_path)
+        stack = TierStack([mem, disk])
+        stack.put("k", {"v": 1})
+        # Fresh memory: hit in mem, disk untouched by the lookup.
+        assert stack.get("k") == {"v": 1}
+        # Drop memory; the next get is a mem miss + disk hit + promote.
+        mem.clear()
+        assert stack.get("k") == {"v": 1}
+        assert mem.ledger.misses == 1 and disk.ledger.hits == 1
+        # Promoted: served from memory again.
+        assert stack.get("k") == {"v": 1}
+        assert mem.ledger.hits == 2
+
+    def test_admission_predicate_gates_puts(self):
+        a = LruTier("a")
+        b = LruTier("b")
+        stack = TierStack(
+            [a, b], admit={"a": lambda key, value: value.get("clean", False)}
+        )
+        stack.put("x", {"clean": False})
+        assert a.peek("x") is None and b.peek("x") is not None
+        stack.put("y", {"clean": True})
+        assert a.peek("y") is not None
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TierStack([LruTier("t"), LruTier("t")])
+        with pytest.raises(ValueError):
+            TierStack([])
+
+    def test_stats_shape(self, tmp_path):
+        stack = TierStack([LruTier("mem"), DiskJsonTier("disk", tmp_path)])
+        stats = stack.stats()
+        assert set(stats) == {"mem", "disk"}
+        for row in stats.values():
+            assert {"hits", "misses", "puts", "evictions", "hit_rate",
+                    "size"} <= set(row)
+
+
+def _record(grid=(8, 8, 16)) -> TuningRecord:
+    return TuningRecord(
+        key=TuningKey("pirk", "heat", "clx", tuple(grid)),
+        best_variant="v0",
+        block=(4, 4, 8),
+        predicted_s_per_step=1e-3,
+        ranking=["v0", "v1"],
+    )
+
+
+class TestAdapters:
+    def test_database_tier_ledgers_lookups(self):
+        tier = DatabaseTier(TuningDatabase())
+        record = _record()
+        assert tier.get(record.key) is None
+        tier.put(record)
+        assert tier.get(record.key) is record
+        assert tier.lookup(record.key) is record
+        snap = tier.stats()
+        assert snap["hits"] == 2 and snap["misses"] == 1
+        assert snap["puts"] == 1 and snap["size"] == 1
+
+    def test_checkpoint_tier(self, tmp_path):
+        cp = JsonCheckpoint(tmp_path / "cp.json", "fp", interval=100)
+        tier = CheckpointTier(cp)
+        assert tier.get("job") is None
+        tier.put("job", {"cycles": 2.5})
+        assert tier.get("job") == {"cycles": 2.5}
+        tier.close()  # flushes
+        resumed = JsonCheckpoint(tmp_path / "cp.json", "fp")
+        assert resumed.get_raw("job") == {"cycles": 2.5}
+        snap = tier.stats()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+
+def _predict_result(grid, mlups=100.0) -> dict:
+    return {
+        "stencil": "3d7pt",
+        "grid": list(grid),
+        "mlups": mlups,
+        "cycles_per_lup": 1e4 / mlups,
+        "notes": "exact",
+    }
+
+
+def _normalized(grid) -> dict:
+    return {
+        "stencil": "3d7pt",
+        "grid": list(grid),
+        "machine": "clx",
+        "block": None,
+        "cache_scale": 1.0,
+        "capacity_factor": 1.0,
+    }
+
+
+class TestGridConfidence:
+    def test_identity_and_bounds(self):
+        assert grid_confidence((8, 8, 8), (8, 8, 8)) == 1.0
+        assert grid_confidence((8, 8), (8, 8, 8)) == 0.0  # rank mismatch
+        # Worst axis wins: doubling one axis halves confidence.
+        assert grid_confidence((8, 8, 16), (8, 8, 8)) == pytest.approx(0.5)
+        assert grid_confidence((9, 8, 8), (8, 8, 8)) > 0.85
+
+
+class TestNearMatchTier:
+    def test_exact_grid_reserve_confidence_one(self):
+        tier = NearMatchTier()
+        tier.observe("/predict", _normalized((8, 8, 8)),
+                     _predict_result((8, 8, 8)))
+        served = tier.lookup("/predict", _normalized((8, 8, 8)), 0.9)
+        assert served is not None
+        result, confidence = served
+        assert confidence == 1.0
+        assert result["approximate"] is True
+        assert result["confidence"] == 1.0
+        assert tier.ledger.hits == 1
+
+    def test_interpolates_between_supports(self):
+        tier = NearMatchTier()
+        tier.observe("/predict", _normalized((8, 8, 8)),
+                     _predict_result((8, 8, 8), mlups=100.0))
+        tier.observe("/predict", _normalized((8, 8, 16)),
+                     _predict_result((8, 8, 16), mlups=200.0))
+        served = tier.lookup("/predict", _normalized((8, 8, 12)), 0.5)
+        assert served is not None
+        result, confidence = served
+        # Interpolated strictly between the two supports, grid rewritten.
+        assert 100.0 < result["mlups"] < 200.0
+        assert result["grid"] == [8, 8, 12]
+        assert 0.0 < confidence < 1.0
+        # Non-whitelisted fields copy from the nearest support.
+        assert result["notes"] == "exact"
+
+    def test_below_threshold_declines(self):
+        tier = NearMatchTier()
+        tier.observe("/predict", _normalized((8, 8, 8)),
+                     _predict_result((8, 8, 8)))
+        assert tier.lookup("/predict", _normalized((8, 8, 64)), 0.9) is None
+        assert tier.ledger.misses == 1
+
+    def test_different_family_never_served(self):
+        tier = NearMatchTier()
+        tier.observe("/predict", _normalized((8, 8, 8)),
+                     _predict_result((8, 8, 8)))
+        other = dict(_normalized((8, 8, 8)), machine="rome")
+        assert tier.lookup("/predict", other, 0.1) is None
+
+    def test_refuses_approximate_support(self):
+        tier = NearMatchTier()
+        poisoned = dict(_predict_result((8, 8, 8)), approximate=True)
+        tier.observe("/predict", _normalized((8, 8, 8)), poisoned)
+        assert len(tier) == 0
+
+    def test_capacity_evicts_lru_family(self):
+        tier = NearMatchTier(capacity=2)
+        for machine in ("clx", "rome", "tx2"):
+            norm = dict(_normalized((8, 8, 8)), machine=machine)
+            tier.observe("/predict", norm, _predict_result((8, 8, 8)))
+        assert len(tier) <= 2
+        assert tier.ledger.evictions >= 1
+
+    def test_stored_support_does_not_alias_response(self):
+        tier = NearMatchTier()
+        result = _predict_result((8, 8, 8))
+        tier.observe("/predict", _normalized((8, 8, 8)), result)
+        result["mlups"] = -1.0  # caller mutates its response afterwards
+        served = tier.lookup("/predict", _normalized((8, 8, 8)), 0.9)
+        assert served[0]["mlups"] == 100.0
+
+    def test_threadsafe_observe_lookup(self):
+        tier = NearMatchTier(capacity=64)
+        errors = []
+
+        def hammer(machine):
+            try:
+                norm = dict(_normalized((8, 8, 8)), machine=machine)
+                for _ in range(50):
+                    tier.observe(
+                        "/predict", norm, _predict_result((8, 8, 8))
+                    )
+                    tier.lookup("/predict", norm, 0.5)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"m{i}",))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
