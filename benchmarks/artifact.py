@@ -25,7 +25,8 @@ import pathlib
 import subprocess
 
 __all__ = [
-    "git_rev", "make_artifact", "write_artifact", "load_artifact", "utc_now",
+    "git_rev", "make_artifact", "write_artifact", "write_artifact_dir",
+    "load_artifact", "utc_now",
 ]
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -77,6 +78,30 @@ def write_artifact(path: str | pathlib.Path, artifact: dict) -> None:
     ordered = {key: artifact[key] for key in SCHEMA_KEYS}
     text = json.dumps(ordered, indent=2, sort_keys=False)
     pathlib.Path(path).write_text(text + "\n")
+
+
+def write_artifact_dir(
+    directory: str | pathlib.Path, artifact: dict
+) -> pathlib.Path:
+    """Accumulate one artifact into ``directory`` for trend analysis.
+
+    The filename embeds the artifact's identity, variant, timestamp
+    and revision — ``BENCH_<name>_<variant>_<timestamp>_<rev>.json`` —
+    so a soak directory collects runs across commits without
+    collisions (a quick and a full run of one commit in the same
+    second are distinct files) and ``benchmarks/trend.py`` can fold
+    them into a trajectory.  Returns the written path.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = artifact["timestamp"].replace(":", "").replace("-", "")
+    variant = "quick" if artifact["config"].get("quick") else "full"
+    path = directory / (
+        f"BENCH_{artifact['name']}_{variant}_{stamp}"
+        f"_{artifact['git_rev']}.json"
+    )
+    write_artifact(path, artifact)
+    return path
 
 
 def load_artifact(path: str | pathlib.Path) -> dict:

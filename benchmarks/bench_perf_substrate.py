@@ -289,6 +289,11 @@ def main(argv=None) -> int:
         "--timestamp", default=None,
         help="ISO timestamp recorded in the artifact (default: now)",
     )
+    parser.add_argument(
+        "--artifact-dir", default=None,
+        help="accumulate a timestamped BENCH artifact into this "
+        "directory (trajectory input for benchmarks/trend.py)",
+    )
     args = parser.parse_args(argv)
     result = run(quick=args.quick)
     text = json.dumps(result, indent=2)
@@ -296,11 +301,15 @@ def main(argv=None) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
-    if args.artifact:
-        from artifact import utc_now, write_artifact
+    if args.artifact or args.artifact_dir:
+        from artifact import utc_now, write_artifact, write_artifact_dir
 
         stamp = args.timestamp or utc_now()
-        write_artifact(args.artifact, to_artifact(result, stamp))
+        record = to_artifact(result, stamp)
+        if args.artifact:
+            write_artifact(args.artifact, record)
+        if args.artifact_dir:
+            write_artifact_dir(args.artifact_dir, record)
     worst = min(r["speedup"] for r in result["engine_speedups"])
     print(
         f"# vector engine >= {worst:.2f}x, "

@@ -308,6 +308,11 @@ def main(argv=None) -> int:
         help="ISO timestamp recorded in the artifact (default: now)",
     )
     parser.add_argument(
+        "--artifact-dir", default=None,
+        help="accumulate a timestamped BENCH artifact into this "
+        "directory (trajectory input for benchmarks/trend.py)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run the serve-subprocess smoke instead of the benchmark",
     )
@@ -320,11 +325,15 @@ def main(argv=None) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
-    if args.artifact:
-        from artifact import utc_now, write_artifact
+    if args.artifact or args.artifact_dir:
+        from artifact import utc_now, write_artifact, write_artifact_dir
 
         stamp = args.timestamp or utc_now()
-        write_artifact(args.artifact, to_artifact(result, stamp))
+        record = to_artifact(result, stamp)
+        if args.artifact:
+            write_artifact(args.artifact, record)
+        if args.artifact_dir:
+            write_artifact_dir(args.artifact_dir, record)
     ratio = result["throughput"]["warm_over_cold"]
     shed = result["load_shed"]["shed"]
     approx_rate = result["approx"]["approx_serve_rate"]

@@ -78,17 +78,33 @@ GUARDS = {
 }
 
 
-def gate(baseline: dict, current: dict, tolerance: float) -> list[str]:
-    """Return a list of failure messages (empty == pass)."""
+def gate(
+    baseline: dict,
+    current: dict,
+    tolerance: float,
+    missing: str = "warn",
+) -> tuple[list[str], list[str]]:
+    """Check ``current`` against ``baseline``.
+
+    Returns ``(failures, warnings)``.  A rule whose baseline value is
+    absent can no longer be skipped silently: with ``missing="warn"``
+    (the default) the metric is still checked against its absolute
+    floor and the hole is reported as a warning; with
+    ``missing="fail"`` it is a failure — use that once a baseline has
+    been committed with the full metric set.
+    """
+    if missing not in ("warn", "fail"):
+        raise ValueError(f"missing must be 'warn' or 'fail', got {missing!r}")
     failures: list[str] = []
+    warnings: list[str] = []
     name = current["name"]
     if baseline["name"] != name:
         return [
             f"artifact mismatch: baseline {baseline['name']!r}"
             f" vs current {name!r}"
-        ]
-    if name not in RATIO_RULES:
-        return [f"no gate rules for benchmark {name!r}"]
+        ], warnings
+    if name not in RATIO_RULES and name not in GUARDS:
+        return [f"no gate rules for benchmark {name!r}"], warnings
     base_quick = baseline["config"].get("quick")
     cur_quick = current["config"].get("quick")
     if base_quick != cur_quick:
@@ -97,13 +113,23 @@ def gate(baseline: dict, current: dict, tolerance: float) -> list[str]:
         return [
             f"config mismatch: baseline quick={base_quick}"
             f" vs current quick={cur_quick}"
-        ]
-    for metric, floor in RATIO_RULES[name].items():
+        ], warnings
+    for metric, floor in RATIO_RULES.get(name, {}).items():
         base = baseline["metrics"].get(metric)
         cur = current["metrics"].get(metric)
         if cur is None:
             failures.append(f"{metric}: missing from current artifact")
             continue
+        if base is None:
+            message = (
+                f"{metric}: absent from baseline"
+                f" (rev {baseline.get('git_rev', '?')}) —"
+                f" checked against absolute floor {floor} only;"
+                f" re-commit the baseline to restore the relative gate"
+            )
+            (failures if missing == "fail" else warnings).append(message)
+            if missing == "fail":
+                continue
         bound = floor if base is None else max(floor, tolerance * base)
         if cur < bound:
             failures.append(
@@ -112,10 +138,20 @@ def gate(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f" tolerance {tolerance})"
             )
     for metric, predicate in GUARDS.get(name, {}).items():
+        if metric not in current["metrics"]:
+            message = f"{metric}: guard target absent from current artifact"
+            (failures if missing == "fail" else warnings).append(message)
+            continue
         cur = current["metrics"].get(metric)
-        if not predicate(cur):
+        try:
+            ok = predicate(cur)
+        except TypeError:
+            # A predicate like ``v >= 1`` crashes on None/strings; an
+            # uncomparable value is a failed guard, not a crashed gate.
+            ok = False
+        if not ok:
             failures.append(f"{metric}: guard failed (value {cur!r})")
-    return failures
+    return failures, warnings
 
 
 def main(argv=None) -> int:
@@ -126,19 +162,32 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=0.5,
         help="fraction of the baseline ratio that must be retained",
     )
+    parser.add_argument(
+        "--missing", choices=("warn", "fail"), default="warn",
+        help="what an absent baseline metric / guard target does: "
+        "'warn' (default) lists the hole and falls back to the "
+        "absolute floor; 'fail' fails the gate",
+    )
     args = parser.parse_args(argv)
     baseline = load_artifact(args.baseline)
     current = load_artifact(args.current)
-    failures = gate(baseline, current, args.tolerance)
+    failures, warnings = gate(
+        baseline, current, args.tolerance, missing=args.missing
+    )
     name = current["name"]
+    for warning in warnings:
+        print(f"PERF GATE WARN [{name}]: {warning}", file=sys.stderr)
     if failures:
         for failure in failures:
             print(f"PERF GATE FAIL [{name}]: {failure}", file=sys.stderr)
         return 1
-    checked = sorted(RATIO_RULES[name]) + sorted(GUARDS.get(name, {}))
+    checked = sorted(RATIO_RULES.get(name, {})) + sorted(GUARDS.get(name, {}))
+    summary = f"perf gate ok [{name}]: {', '.join(checked)}"
+    if warnings:
+        summary += f" ({len(warnings)} warning(s) above)"
     print(
-        f"perf gate ok [{name}]: {', '.join(checked)}"
-        f" (baseline rev {baseline['git_rev']},"
+        summary
+        + f" (baseline rev {baseline['git_rev']},"
         f" current rev {current['git_rev']})"
     )
     return 0

@@ -1,0 +1,192 @@
+"""Fold a directory of BENCH artifacts into per-metric trajectories.
+
+Usage::
+
+    python benchmarks/trend.py ARTIFACT_DIR [--name service]
+        [--metric warm_rps --metric warm_over_cold] [--json]
+
+Both bench drivers accumulate timestamped artifacts with
+``--artifact-dir`` (see ``benchmarks/artifact.write_artifact_dir``);
+CI uploads the same files as workflow artifacts.  This tool reads every
+``BENCH_*.json`` in the directory, orders runs by timestamp, and prints
+one trajectory table per benchmark name: each row is a run (timestamp,
+commit, config), each metric column carries the value plus its delta
+vs the previous run of the *same* benchmark — so a soak across commits
+reads as a story, not a pile of JSON.
+
+Quick and full runs of one benchmark measure different case sets, so
+they are tracked as separate trajectories (the ``variant`` column).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from artifact import SCHEMA_KEYS
+
+__all__ = ["collect", "trajectories", "render"]
+
+
+def collect(directory: str | pathlib.Path) -> list[dict]:
+    """Load every parseable ``BENCH_*.json`` under ``directory``.
+
+    Unparseable or non-conforming files are skipped loudly (a warning
+    per file on stderr) — a soak directory must never die to one
+    truncated write.
+    """
+    artifacts: list[dict] = []
+    directory = pathlib.Path(directory)
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+            missing = [key for key in SCHEMA_KEYS if key not in data]
+            if missing:
+                raise ValueError(f"missing schema keys: {missing}")
+        except (OSError, ValueError) as exc:
+            print(f"trend: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        artifacts.append(data)
+    return artifacts
+
+
+def _variant(artifact: dict) -> str:
+    return "quick" if artifact["config"].get("quick") else "full"
+
+
+def trajectories(
+    artifacts: list[dict],
+    name: str | None = None,
+    metrics: list[str] | None = None,
+) -> dict[str, list[dict]]:
+    """Group artifacts into per-benchmark trajectories with deltas.
+
+    Returns ``{"<name>/<variant>": [row, ...]}`` where each row is
+    ``{"timestamp", "git_rev", "metrics": {metric: {"value", "delta"}}}``
+    ordered by timestamp; ``delta`` is ``value - previous_value`` for
+    numeric metrics (``None`` on the first run and non-numeric values).
+    """
+    groups: dict[str, list[dict]] = {}
+    for artifact in artifacts:
+        if name is not None and artifact["name"] != name:
+            continue
+        key = f"{artifact['name']}/{_variant(artifact)}"
+        groups.setdefault(key, []).append(artifact)
+    out: dict[str, list[dict]] = {}
+    for key, runs in sorted(groups.items()):
+        runs.sort(key=lambda a: a["timestamp"])
+        names: list[str] = metrics or sorted(
+            {m for run in runs for m in run["metrics"]}
+        )
+        rows: list[dict] = []
+        previous: dict[str, float] = {}
+        for run in runs:
+            row_metrics: dict[str, dict] = {}
+            for metric in names:
+                value = run["metrics"].get(metric)
+                delta = None
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    last = previous.get(metric)
+                    if last is not None:
+                        delta = value - last
+                    previous[metric] = value
+                row_metrics[metric] = {"value": value, "delta": delta}
+            rows.append(
+                {
+                    "timestamp": run["timestamp"],
+                    "git_rev": run["git_rev"],
+                    "metrics": row_metrics,
+                }
+            )
+        out[key] = rows
+    return out
+
+
+def _cell(entry: dict) -> str:
+    value, delta = entry["value"], entry["delta"]
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    if delta is not None:
+        text += f" ({delta:+.3g})"
+    return text
+
+
+def render(trajectory: dict[str, list[dict]]) -> str:
+    """Human-readable trajectory tables, one per benchmark/variant."""
+    blocks: list[str] = []
+    for key, rows in trajectory.items():
+        if not rows:
+            continue
+        metric_names = list(rows[0]["metrics"])
+        header = ["timestamp", "commit", *metric_names]
+        table = [header]
+        for row in rows:
+            table.append(
+                [
+                    row["timestamp"],
+                    row["git_rev"],
+                    *(_cell(row["metrics"][m]) for m in metric_names),
+                ]
+            )
+        widths = [
+            max(len(line[col]) for line in table)
+            for col in range(len(header))
+        ]
+        lines = [f"== {key} ({len(rows)} run(s)) =="]
+        for index, line in enumerate(table):
+            lines.append(
+                "  ".join(
+                    cell.ljust(width) for cell, width in zip(line, widths)
+                ).rstrip()
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifact_dir", help="directory of accumulated BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--name", default=None,
+        help="only this benchmark (default: every name found)",
+    )
+    parser.add_argument(
+        "--metric", action="append", default=None, metavar="NAME",
+        help="only these metric columns (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the trajectory as JSON"
+    )
+    args = parser.parse_args(argv)
+    artifacts = collect(args.artifact_dir)
+    if not artifacts:
+        print(f"trend: no BENCH_*.json artifacts in {args.artifact_dir}",
+              file=sys.stderr)
+        return 1
+    trajectory = trajectories(artifacts, name=args.name, metrics=args.metric)
+    if not trajectory:
+        print(f"trend: no artifacts named {args.name!r}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(trajectory, indent=2))
+        return 0
+    print(render(trajectory))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -372,6 +372,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=512,
         help="exact observations retained as interpolation support",
     )
+    serve.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate SLO objectives with multi-window burn-rate "
+        "alerting (surfaced on /slo, as alerts in /healthz and as "
+        "slo rows in /metrics)",
+    )
+    serve.add_argument(
+        "--slo-config",
+        default=None,
+        metavar="JSON|PATH",
+        help="objectives: a JSON file path or inline JSON object "
+        "(implies --slo; default: the shipped objectives)",
+    )
+    serve.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=256,
+        metavar="N",
+        help="per-request flight-recorder ring capacity dumped by "
+        "/debug/requests (0 disables recording)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability of a running server or fabric"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    tail = obs_sub.add_parser(
+        "tail",
+        help="print the newest flight-recorder entries "
+        "(attribute a p99 spike or burn alert to actual requests)",
+    )
+    tail.add_argument("--host", default="127.0.0.1")
+    tail.add_argument("--port", type=int, default=8753)
+    tail.add_argument(
+        "--n", type=int, default=20, help="entries to show (newest first)"
+    )
+    tail.add_argument(
+        "--endpoint", default=None, help="only this endpoint (e.g. /tune)"
+    )
+    tail.add_argument(
+        "--outcome", default=None,
+        help="only this outcome (e.g. failed, shed)",
+    )
+    tail.add_argument(
+        "--min-ms", type=float, default=None,
+        help="only requests at least this slow",
+    )
+    tail.add_argument("--json", action="store_true", help="emit JSON")
+    slo_status = obs_sub.add_parser(
+        "slo", help="print a server's SLO objectives and burn rates"
+    )
+    slo_status.add_argument("--host", default="127.0.0.1")
+    slo_status.add_argument("--port", type=int, default=8753)
+    slo_status.add_argument("--json", action="store_true", help="emit JSON")
 
     store = sub.add_parser(
         "store", help="inspect the unified store tier stack"
@@ -648,6 +703,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             approx_enabled=args.approx,
             approx_confidence=args.approx_confidence,
             approx_capacity=args.approx_capacity,
+            slo_enabled=args.slo or args.slo_config is not None,
+            slo_config=args.slo_config,
+            flight_recorder=args.flight_recorder,
         )
         asyncio.run(serve_fabric(fabric_config))
         return 0
@@ -675,8 +733,90 @@ def cmd_serve(args: argparse.Namespace) -> int:
         approx_enabled=args.approx,
         approx_confidence=args.approx_confidence,
         approx_capacity=args.approx_capacity,
+        slo_enabled=args.slo or args.slo_config is not None,
+        slo_config=args.slo_config,
+        flight_recorder=args.flight_recorder,
     )
     asyncio.run(serve(config))
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs tail`` / ``repro obs slo``: triage a live server."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(host=args.host, port=args.port)
+    if args.obs_command == "slo":
+        document = client.slo()
+        if args.json:
+            print(json.dumps(document, indent=2))
+            return 0
+        if not document.get("enabled"):
+            print("SLO engine not enabled (start with --slo)")
+            return 1
+        objectives = document.get("objectives") or []
+        # A router /slo carries per-shard documents instead.
+        shard_docs = document.get("shards")
+        if not objectives and isinstance(shard_docs, dict):
+            for member, doc in sorted(shard_docs.items()):
+                for obj in doc.get("objectives") or ():
+                    objectives.append({**obj, "name": f"{obj['name']}@{member}"})
+        rows = []
+        for obj in objectives:
+            burns = {
+                label: row.get("burn_rate")
+                for label, row in (obj.get("windows") or {}).items()
+            }
+            rows.append({
+                "objective": obj.get("name"),
+                "type": obj.get("type"),
+                "state": obj.get("state"),
+                "budget": obj.get("budget"),
+                "burn": " ".join(
+                    f"{label}={value}" for label, value in burns.items()
+                ),
+            })
+        print(format_table(rows, title="SLO objectives"))
+        alerts = document.get("alerts") or []
+        for alert in alerts:
+            shard = alert.get("shard")
+            where = f" shard={shard}" if shard is not None else ""
+            print(
+                f"ALERT[{alert.get('severity')}] "
+                f"{alert.get('objective')}{where} "
+                f"burn={alert.get('burn_rates')}"
+            )
+        return 0 if not alerts else 1
+
+    document = client.debug_requests(
+        n=args.n,
+        endpoint=args.endpoint,
+        outcome=args.outcome,
+        min_ms=args.min_ms,
+    )
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    print(
+        f"flight recorder: held={document.get('held')} "
+        f"recorded={document.get('recorded')} "
+        f"dropped={document.get('dropped', '-')}"
+    )
+    for entry in document.get("requests") or ():
+        shard = entry.get("shard")
+        where = f" shard={shard}" if shard is not None else ""
+        stages = entry.get("stages_ms") or {}
+        stage_text = " ".join(
+            f"{name}={value}" for name, value in sorted(stages.items())
+        )
+        print(
+            f"#{entry.get('seq')} ts={entry.get('ts'):.3f} "
+            f"{entry.get('endpoint')} {entry.get('outcome')} "
+            f"http={entry.get('status')} "
+            f"{entry.get('latency_ms')}ms served={entry.get('served')}"
+            f" class={entry.get('queue_class', '-')}{where}"
+            + (f"  [{stage_text}]" if stage_text else "")
+        )
     return 0
 
 
@@ -774,6 +914,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_rank(args)
         if args.command == "serve":
             return cmd_serve(args)
+        if args.command == "obs":
+            return cmd_obs(args)
         if args.command == "store":
             return cmd_store(args)
         if args.command == "fabric":

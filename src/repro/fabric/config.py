@@ -66,6 +66,11 @@ class FabricConfig:
         support sets are per-shard; consistent-hash routing keeps a
         request family on one shard, so its observations concentrate
         where its lookups land.
+    slo_enabled, slo_config, flight_recorder:
+        SLO-engine and flight-recorder knobs, copied to every shard.
+        Each shard evaluates its own objectives over its own traffic;
+        the router's ``/slo`` and ``/debug/requests`` fan the per-shard
+        documents in.
     shard_faults:
         Optional per-shard fault plans for chaos drills:
         ``((index, "<REPRO_FAULTS grammar>"), ...)``.  Only the named
@@ -103,6 +108,9 @@ class FabricConfig:
     approx_enabled: bool = False
     approx_confidence: float = 0.75
     approx_capacity: int = 512
+    slo_enabled: bool = False
+    slo_config: str | None = None
+    flight_recorder: int = 256
     shard_faults: tuple[tuple[int, str], ...] | None = None
 
     def __post_init__(self) -> None:

@@ -65,6 +65,9 @@ def shard_service_config(config: FabricConfig, index: int) -> ServiceConfig:
         approx_enabled=config.approx_enabled,
         approx_confidence=config.approx_confidence,
         approx_capacity=config.approx_capacity,
+        slo_enabled=config.slo_enabled,
+        slo_config=config.slo_config,
+        flight_recorder=config.flight_recorder,
     )
 
 

@@ -50,6 +50,7 @@ __all__ = [
     "tracing_active",
     "render_trace",
     "coverage",
+    "fold_stage_seconds",
     "last_trace",
 ]
 
@@ -128,6 +129,22 @@ def _span_dict(group: list[Span], aggregate: bool) -> dict:
         "attrs": attrs,
         "children": child_dicts,
     }
+
+
+def fold_stage_seconds(entry: dict, stages: dict[str, float]) -> None:
+    """Accumulate a serialized span tree's per-name durations into
+    ``stages``.
+
+    The root entry itself is skipped — callers already account its wall
+    time under their own stage (the service's ``execute``); descendants
+    land under their span names, so consumers aggregate e.g.
+    ``ecm.predict`` seconds across traced requests.
+    """
+    for child in entry.get("children", ()):
+        stages[child["name"]] = (
+            stages.get(child["name"], 0.0) + child["duration_s"]
+        )
+        fold_stage_seconds(child, stages)
 
 
 def coverage(root: Span) -> float:

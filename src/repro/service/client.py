@@ -13,6 +13,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
+from urllib.parse import quote
 
 __all__ = ["ServiceError", "ServiceClient"]
 
@@ -137,9 +138,31 @@ class ServiceClient:
             return {"http_status": status, **body}
         return {"http_status": status, "raw": body}
 
-    def metrics(self) -> dict:
-        """``GET /metrics``."""
-        return self.request("GET", "/metrics")
+    def metrics(self, histograms: bool = False) -> dict:
+        """``GET /metrics`` (``histograms`` adds mergeable bucket rows)."""
+        path = "/metrics?histograms=1" if histograms else "/metrics"
+        return self.request("GET", path)
+
+    def slo(self) -> dict:
+        """``GET /slo`` (``{"enabled": false}`` without an SLO engine)."""
+        return self.request("GET", "/slo")
+
+    def debug_requests(
+        self,
+        n: int = 50,
+        endpoint: str | None = None,
+        outcome: str | None = None,
+        min_ms: float | None = None,
+    ) -> dict:
+        """``GET /debug/requests`` — the flight-recorder tail."""
+        params = [f"n={n}"]
+        if endpoint is not None:
+            params.append(f"endpoint={quote(endpoint, safe='')}")
+        if outcome is not None:
+            params.append(f"outcome={quote(outcome, safe='')}")
+        if min_ms is not None:
+            params.append(f"min_ms={min_ms}")
+        return self.request("GET", "/debug/requests?" + "&".join(params))
 
     def predict(self, **payload: object) -> dict:
         """``POST /predict``; returns the response envelope."""

@@ -107,6 +107,20 @@ class ServiceConfig:
         request falls through to exact computation.
     approx_capacity:
         Exact observations retained as interpolation support.
+    slo_enabled:
+        Construct the SLO engine: declarative objectives evaluated by
+        multi-window burn-rate alerting, surfaced on ``/slo``, as
+        ``alerts`` in ``/healthz`` and as ``slo`` rows in ``/metrics``.
+        Off by default — without it those surfaces are byte-identical
+        to the pre-SLO server.
+    slo_config:
+        Objectives source when ``slo_enabled``: ``None`` → shipped
+        defaults, a path → JSON file, inline JSON text → parsed
+        directly (see :func:`repro.telemetry.load_slo_config`).
+    flight_recorder:
+        Capacity of the per-request flight-recorder ring dumped by
+        ``/debug/requests`` (0 disables recording; the endpoint then
+        reports an empty ring).
     """
 
     host: str = "127.0.0.1"
@@ -138,6 +152,9 @@ class ServiceConfig:
     approx_enabled: bool = False
     approx_confidence: float = 0.75
     approx_capacity: int = 512
+    slo_enabled: bool = False
+    slo_config: str | None = None
+    flight_recorder: int = 256
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -180,6 +197,10 @@ class ServiceConfig:
             raise ValueError("approx_confidence must be in (0, 1]")
         if self.approx_capacity < 0:
             raise ValueError("approx_capacity must be >= 0")
+        if self.slo_config is not None and not self.slo_enabled:
+            raise ValueError("slo_config requires slo_enabled")
+        if self.flight_recorder < 0:
+            raise ValueError("flight_recorder must be >= 0")
 
     # -- per-class views (cost-aware admission) -------------------------
     def class_queue_limit(self, job_class: str) -> int:

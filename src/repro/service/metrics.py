@@ -28,6 +28,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.telemetry.histogram import LatencyHistogram
+
 __all__ = [
     "OUTCOMES",
     "TIER_NAMES",
@@ -89,12 +91,20 @@ class LatencyReservoir:
 
 
 class EndpointStats:
-    """Outcome counters + latency reservoir of one endpoint."""
+    """Outcome counters + latency reservoir + histogram of one endpoint.
+
+    The reservoir keeps raw samples (exact in-process percentiles);
+    the histogram keeps the same stream in the fixed mergeable bucket
+    layout so shard snapshots can be summed by the fabric router.  Both
+    record on every request (a few ns each); the histogram appears in
+    snapshots only when asked for, keeping the default JSON unchanged.
+    """
 
     def __init__(self, reservoir: int = 2048) -> None:
         self.total = 0
         self.outcomes = {name: 0 for name in OUTCOMES}
         self.latency = LatencyReservoir(reservoir)
+        self.histogram = LatencyHistogram()
 
     def record(self, outcome: str, seconds: float) -> None:
         if outcome not in self.outcomes:
@@ -102,13 +112,17 @@ class EndpointStats:
         self.total += 1
         self.outcomes[outcome] += 1
         self.latency.record(seconds)
+        self.histogram.record(seconds)
 
-    def snapshot(self) -> dict:
-        return {
+    def snapshot(self, histograms: bool = False) -> dict:
+        data = {
             "requests": self.total,
             "outcomes": dict(self.outcomes),
             "latency": self.latency.percentiles(),
         }
+        if histograms:
+            data["latency_histogram"] = self.histogram.to_dict()
+        return data
 
 
 class ServiceMetrics:
@@ -232,13 +246,25 @@ class ServiceMetrics:
             rows[name] = row
         return rows
 
-    def snapshot(self, **extra: object) -> dict:
+    def tier_totals(self) -> dict[str, dict[str, int]]:
+        """Cumulative ``{tier: {"hits", "misses"}}`` (recorded +
+        attached, locked) — the SLO engine's hit-rate feed."""
+        with self._lock:
+            return {
+                name: {"hits": row["hits"], "misses": row["misses"]}
+                for name, row in self._tier_rows().items()
+            }
+
+    def snapshot(self, histograms: bool = False, **extra: object) -> dict:
         """JSON-ready state; ``extra`` merges server-owned gauges in
-        (queue depth, pool utilization, uptime, ...)."""
+        (queue depth, pool utilization, uptime, ...).  ``histograms``
+        adds each endpoint's mergeable bucket rows — requested by the
+        fabric fan-in and ``?histograms=1``, off by default so the
+        plain ``/metrics`` document is unchanged."""
         with self._lock:
             data = {
                 "endpoints": {
-                    path: stats.snapshot()
+                    path: stats.snapshot(histograms=histograms)
                     for path, stats in sorted(self.endpoints.items())
                 },
                 "tiers": self._tier_rows(),

@@ -22,8 +22,9 @@ import functools
 import json
 import signal
 import time
+from urllib.parse import parse_qs
 
-from repro import faults
+from repro import faults, obs
 from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
 from repro.service.batching import CoalescingDispatcher, Overloaded
 from repro.service.breaker import CircuitBreaker
@@ -40,6 +41,13 @@ from repro.service.jobs import (
 from repro.service.metrics import ServiceMetrics
 from repro.service.serializers import tuning_record_to_dict
 from repro.store import DatabaseTier, LruTier, NearMatchTier
+from repro.telemetry import (
+    FlightRecorder,
+    SloEngine,
+    load_slo_config,
+    render_prometheus,
+)
+from repro.telemetry.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
 
 __all__ = ["ReproService", "serve"]
 
@@ -60,18 +68,16 @@ _STATUS_TEXT = {
 }
 
 
-def _fold_trace_stages(entry: dict, stages: dict[str, float]) -> None:
-    """Accumulate a span tree's per-name durations into ``stages``.
+def _first(params: dict, name: str) -> str | None:
+    """First value of one query parameter (``None`` when absent)."""
+    values = params.get(name)
+    return values[0] if values else None
 
-    The root (``request:<endpoint>``) is skipped — its wall time is the
-    ``execute`` stage; descendants land under their span names, so
-    ``/metrics`` aggregates e.g. ``ecm.predict`` across traced requests.
-    """
-    for child in entry.get("children", ()):
-        stages[child["name"]] = (
-            stages.get(child["name"], 0.0) + child["duration_s"]
-        )
-        _fold_trace_stages(child, stages)
+
+def _flag(params: dict, name: str) -> bool:
+    """Boolean query parameter: present and not ``0``/``false``."""
+    value = _first(params, name)
+    return value is not None and value.lower() not in ("0", "false")
 
 
 class _HttpError(Exception):
@@ -123,6 +129,15 @@ class ReproService:
                 "approx", capacity=self.config.approx_capacity
             )
             self.metrics.attach_tier("approx", self.approx_tier)
+        # Flight recorder: always constructed (recording one dict per
+        # request is O(1)); only the /debug/requests surface reads it.
+        self.flight = FlightRecorder(self.config.flight_recorder)
+        # SLO engine: exists only when objectives were configured, so
+        # the default /metrics and /healthz documents are unchanged.
+        self.slo: SloEngine | None = None
+        if self.config.slo_enabled:
+            self.slo = SloEngine(load_slo_config(self.config.slo_config))
+            self.slo.set_tier_source(self.metrics.tier_totals)
         self.breakers = {
             path: CircuitBreaker(
                 path,
@@ -260,26 +275,53 @@ class ReproService:
             return
         if request is None:
             return
-        method, path, body = request
+        method, target, body = request
+        path, _, query = target.partition("?")
+        params = parse_qs(query) if query else {}
 
         if method == "GET" and path == "/healthz":
             status = 503 if self.draining else 200
-            await self._send(
-                writer,
-                status,
-                {
-                    "status": "draining" if self.draining else "ok",
-                    "uptime_s": self.uptime_s(),
-                    "shard": self.config.shard_id,
-                    "breakers": {
-                        path_: breaker.state
-                        for path_, breaker in sorted(self.breakers.items())
-                    },
+            health = {
+                "status": "draining" if self.draining else "ok",
+                "uptime_s": self.uptime_s(),
+                "shard": self.config.shard_id,
+                "breakers": {
+                    path_: breaker.state
+                    for path_, breaker in sorted(self.breakers.items())
                 },
-            )
+            }
+            # The alerts key appears only with an SLO engine, keeping
+            # the default health document byte-identical.
+            if self.slo is not None:
+                health["alerts"] = self.slo.alerts()
+            await self._send(writer, status, health)
             return
         if method == "GET" and path == "/metrics":
-            await self._send(writer, 200, self.metrics_snapshot())
+            histograms = _flag(params, "histograms")
+            if _first(params, "format") == "prometheus":
+                snapshot = self.metrics_snapshot(histograms=True)
+                await self._send_text(
+                    writer, 200, render_prometheus(snapshot),
+                    _PROM_CONTENT_TYPE,
+                )
+                return
+            await self._send(
+                writer, 200, self.metrics_snapshot(histograms=histograms)
+            )
+            return
+        if method == "GET" and path == "/slo":
+            if self.slo is None:
+                await self._send(writer, 200, {"enabled": False})
+                return
+            await self._send(writer, 200, self.slo.snapshot())
+            return
+        if method == "GET" and path == "/debug/requests":
+            try:
+                document = self._flight_document(params)
+            except ValueError as exc:
+                await self._send(writer, 400, {"error": str(exc)})
+                return
+            await self._send(writer, 200, document)
             return
         if path in JOBS:
             if method != "POST":
@@ -290,6 +332,29 @@ class ReproService:
             await self._handle_job(writer, path, body)
             return
         await self._send(writer, 404, {"error": f"no route {path}"})
+
+    def _flight_document(self, params: dict) -> dict:
+        """The ``/debug/requests`` document (filters from the query)."""
+        try:
+            n = int(_first(params, "n") or 50)
+        except ValueError:
+            raise ValueError('"n" must be an integer') from None
+        min_ms = _first(params, "min_ms")
+        if min_ms is not None:
+            try:
+                min_ms = float(min_ms)
+            except ValueError:
+                raise ValueError('"min_ms" must be a number') from None
+        return {
+            **self.flight.snapshot(),
+            "shard": self.config.shard_id,
+            "requests": self.flight.tail(
+                n=max(0, n),
+                endpoint=_first(params, "endpoint"),
+                outcome=_first(params, "outcome"),
+                min_latency_ms=min_ms,
+            ),
+        }
 
     async def _send(
         self,
@@ -311,39 +376,86 @@ class ReproService:
         writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
         await writer.drain()
 
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str,
+    ) -> None:
+        """Non-JSON response (the Prometheus exposition)."""
+        body = text.encode()
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Server: {_SERVER_NAME}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
+        await writer.drain()
+
     # -- the tiered job path --------------------------------------------
     async def _handle_job(
         self, writer: asyncio.StreamWriter, endpoint: str, body: bytes
     ) -> None:
         t0 = time.perf_counter()
+        stages: dict[str, float] = {}
+        note: dict = {}
         outcome, status, response, headers = await self._process_job(
-            endpoint, body
+            endpoint, body, stages, note
         )
+        elapsed = time.perf_counter() - t0
         # Count the request *before* the response leaves, so a client
         # that reads /metrics right after a reply sees it included.
-        self.metrics.record_request(
-            endpoint, outcome, time.perf_counter() - t0
+        self.metrics.record_request(endpoint, outcome, elapsed)
+        if self.slo is not None:
+            self.slo.observe(endpoint, outcome, elapsed)
+        self.flight.record(
+            endpoint=endpoint,
+            outcome=outcome,
+            status=status,
+            shard=self.config.shard_id,
+            latency_ms=round(elapsed * 1e3, 3),
+            served=response.get("served"),
+            **note,
+            stages_ms={
+                name: round(seconds * 1e3, 3)
+                for name, seconds in stages.items()
+            },
         )
         await self._send(writer, status, response, extra_headers=headers)
 
     async def _process_job(
-        self, endpoint: str, body: bytes
+        self,
+        endpoint: str,
+        body: bytes,
+        stages: dict[str, float] | None = None,
+        note: dict | None = None,
     ) -> tuple[str, int, dict, dict[str, str] | None]:
         """Resolve one POST through the cache tiers and the pool.
 
         Returns ``(outcome, http_status, response, extra_headers)``.
         Stage wall times (normalize/cache/execute, plus span aggregates
         for traced requests) are folded into ``/metrics`` on every exit
-        path with one batched call.
+        path with one batched call; ``note`` collects flight-recorder
+        attribution (queue class) along the way.
         """
-        stages: dict[str, float] = {}
+        if stages is None:
+            stages = {}
         try:
-            return await self._process_job_stages(endpoint, body, stages)
+            return await self._process_job_stages(
+                endpoint, body, stages, note if note is not None else {}
+            )
         finally:
             self.metrics.record_stages(stages)
 
     async def _process_job_stages(
-        self, endpoint: str, body: bytes, stages: dict[str, float]
+        self,
+        endpoint: str,
+        body: bytes,
+        stages: dict[str, float],
+        note: dict,
     ) -> tuple[str, int, dict, dict[str, str] | None]:
         normalizer, job = JOBS[endpoint]
         t_stage = time.perf_counter()
@@ -476,6 +588,7 @@ class ReproService:
             job_class, _est = classify(
                 endpoint, normalized, self.config.cost_threshold_s
             )
+        note["queue_class"] = job_class
         timeout_s = self.config.class_timeout_s(job_class)
 
         # The job payload may carry execution-only hints the request
@@ -629,7 +742,7 @@ class ReproService:
             breaker.record_success()
         if want_trace:
             trace = result["trace"]
-            _fold_trace_stages(trace, stages)
+            obs.fold_stage_seconds(trace, stages)
             return mode, 200, envelope(mode, result["result"], trace), None
         return mode, 200, envelope(mode, result), None
 
@@ -767,9 +880,15 @@ class ReproService:
                 except Exception:
                     pass  # adoption failure: job stays pending for peers
 
-    def metrics_snapshot(self) -> dict:
-        """The ``/metrics`` document."""
+    def metrics_snapshot(self, histograms: bool = False) -> dict:
+        """The ``/metrics`` document (``histograms`` adds the mergeable
+        per-endpoint bucket rows; ``slo`` rows appear only when the
+        engine is configured)."""
+        extra: dict = {}
+        if self.slo is not None:
+            extra["slo"] = self.slo.metrics_rows()
         return self.metrics.snapshot(
+            histograms=histograms,
             uptime_s=self.uptime_s(),
             shard=self.config.shard_id,
             draining=self.draining,
@@ -800,6 +919,7 @@ class ReproService:
             },
             steal=dict(self.steal_counters),
             faults={"fired": faults.counters()},
+            **extra,
         )
 
 

@@ -1,0 +1,46 @@
+"""SLO telemetry: mergeable histograms, burn-rate alerting, exposition.
+
+The package applies the paper's discipline — declared analytic
+expectations continuously checked against measured reality — to the
+service itself:
+
+:mod:`repro.telemetry.histogram`
+    :class:`LatencyHistogram` — fixed-log-bucket latency histograms
+    that **merge exactly** across shards by plain bucket addition, with
+    quantile readout inside a documented relative error bound.
+:mod:`repro.telemetry.slo`
+    :class:`SloEngine` — declarative objectives (availability, latency
+    threshold+quantile, cache-tier hit-rate floor, shed-rate ceiling)
+    evaluated by multi-window burn-rate alerting (fast 1m/5m page
+    windows, slow 30m/6h warn windows).
+:mod:`repro.telemetry.recorder`
+    :class:`FlightRecorder` — a bounded ring of structured per-request
+    records so a p99 regression or burn alert can be attributed to the
+    actual requests without re-running load.
+:mod:`repro.telemetry.prom`
+    Prometheus text exposition (``render_prometheus``) and a tiny
+    dependency-free checker (``parse_prometheus``) used by CI.
+
+Everything here is off-or-inert by default: histograms and the flight
+recorder record cheaply but are only *exposed* on request, and the SLO
+engine exists only when objectives were configured.
+"""
+
+from repro.telemetry.histogram import LatencyHistogram
+from repro.telemetry.prom import parse_prometheus, render_prometheus
+from repro.telemetry.recorder import FlightRecorder
+from repro.telemetry.slo import (
+    DEFAULT_SLO_CONFIG,
+    SloEngine,
+    load_slo_config,
+)
+
+__all__ = [
+    "LatencyHistogram",
+    "FlightRecorder",
+    "SloEngine",
+    "DEFAULT_SLO_CONFIG",
+    "load_slo_config",
+    "render_prometheus",
+    "parse_prometheus",
+]

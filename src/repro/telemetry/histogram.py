@@ -1,0 +1,220 @@
+"""Mergeable fixed-log-bucket latency histograms.
+
+The :class:`~repro.service.metrics.LatencyReservoir` keeps raw samples,
+which makes its percentiles exact for one process but **unsummable**
+across shards — you cannot pool two reservoirs without the raw streams.
+:class:`LatencyHistogram` trades a bounded relative error for exact
+mergeability: every histogram in the system shares one fixed bucket
+layout, so merging is plain element-wise addition and the merge of N
+shard histograms is *identical* to the histogram of the pooled sample
+stream (the property test asserts this bit-for-bit).
+
+Layout
+------
+Buckets are geometric with :data:`BUCKETS_PER_OCTAVE` buckets per
+factor of two, spanning (:data:`MIN_BOUND_S`, :data:`MAX_BOUND_S`]:
+bucket ``i`` covers ``(MIN_BOUND_S * 2**(i/BPO), MIN_BOUND_S *
+2**((i+1)/BPO)]``.  Samples at or below ``MIN_BOUND_S`` land in an
+underflow bucket, samples above the top bound in an overflow bucket, so
+``count`` is always exact.
+
+Quantile error bound
+--------------------
+A quantile is reported as the geometric midpoint of its bucket, so for
+any in-range sample distribution the reported value is within a factor
+``2**(1 / (2 * BUCKETS_PER_OCTAVE))`` of the true sample quantile —
+:data:`QUANTILE_REL_ERROR` (≈ 4.4% with 8 buckets per octave).
+Underflow/overflow quantiles clamp to the range edge.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "BUCKETS_PER_OCTAVE",
+    "MIN_BOUND_S",
+    "MAX_BOUND_S",
+    "N_BUCKETS",
+    "QUANTILE_REL_ERROR",
+    "LatencyHistogram",
+]
+
+#: Geometric resolution: buckets per factor-of-two of latency.
+BUCKETS_PER_OCTAVE = 8
+
+#: Lower edge of the finite bucket range (10 µs).  Faster requests are
+#: counted in the underflow bucket — they are far below any latency SLO.
+MIN_BOUND_S = 1e-5
+
+#: Upper edge of the finite bucket range.  Slower requests are counted
+#: in the overflow bucket (the service's own deadlines sit well below).
+MAX_BOUND_S = 1e3
+
+#: Finite buckets between the two bounds.
+N_BUCKETS = math.ceil(
+    math.log2(MAX_BOUND_S / MIN_BOUND_S) * BUCKETS_PER_OCTAVE
+)
+
+#: Worst-case relative error of a quantile readout (in-range samples):
+#: half a bucket in log space.
+QUANTILE_REL_ERROR = 2.0 ** (1.0 / (2 * BUCKETS_PER_OCTAVE)) - 1.0
+
+#: Identifies the layout in serialized form; merging rejects mismatches
+#: so a rolling-upgrade fleet can never silently sum unlike layouts.
+_LAYOUT = f"log2x{BUCKETS_PER_OCTAVE}@{MIN_BOUND_S:g}:{MAX_BOUND_S:g}"
+
+_UNDERFLOW = -1  # serialized index of the underflow bucket
+_OVERFLOW = N_BUCKETS  # serialized index of the overflow bucket
+
+_LOG2_MIN = math.log2(MIN_BOUND_S)
+_INV_LOG2 = BUCKETS_PER_OCTAVE  # buckets per log2 unit
+
+
+class LatencyHistogram:
+    """Latency distribution in the fixed shared bucket layout.
+
+    ``record`` is O(1) (one ``log2`` + one list increment); ``merge``
+    is element-wise addition; ``quantile`` walks the cumulative counts.
+    Not locked — callers (``ServiceMetrics``) hold their own lock.
+    """
+
+    __slots__ = ("_counts", "count", "sum_s")
+
+    def __init__(self) -> None:
+        # index 0 = underflow, 1..N_BUCKETS = finite, N_BUCKETS+1 = overflow
+        self._counts = [0] * (N_BUCKETS + 2)
+        self.count = 0
+        self.sum_s = 0.0
+
+    # -- recording ------------------------------------------------------
+    @staticmethod
+    def bucket_index(seconds: float) -> int:
+        """Serialized bucket index of one sample (deterministic, shared
+        by every histogram, so merge == pooled holds exactly)."""
+        if seconds <= MIN_BOUND_S:
+            return _UNDERFLOW
+        idx = math.ceil(
+            (math.log2(seconds) - _LOG2_MIN) * _INV_LOG2
+        ) - 1
+        if idx < 0:  # float fuzz just above MIN_BOUND_S
+            return 0
+        if idx >= N_BUCKETS:
+            return _OVERFLOW
+        return idx
+
+    def record(self, seconds: float) -> None:
+        """Count one latency sample (in seconds)."""
+        self._counts[self.bucket_index(seconds) + 1] += 1
+        self.count += 1
+        self.sum_s += seconds
+
+    # -- bucket geometry ------------------------------------------------
+    @staticmethod
+    def bucket_upper_s(index: int) -> float:
+        """Upper bound (seconds) of serialized bucket ``index``."""
+        if index <= _UNDERFLOW:
+            return MIN_BOUND_S
+        if index >= _OVERFLOW:
+            return math.inf
+        return 2.0 ** (_LOG2_MIN + (index + 1) / BUCKETS_PER_OCTAVE)
+
+    @staticmethod
+    def bucket_mid_s(index: int) -> float:
+        """Representative value (seconds) of serialized bucket
+        ``index``: the geometric midpoint, clamped at the range edges."""
+        if index <= _UNDERFLOW:
+            return MIN_BOUND_S
+        if index >= _OVERFLOW:
+            return MAX_BOUND_S
+        return 2.0 ** (_LOG2_MIN + (index + 0.5) / BUCKETS_PER_OCTAVE)
+
+    # -- readout --------------------------------------------------------
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile in seconds (``None`` when empty).
+
+        Within :data:`QUANTILE_REL_ERROR` of the true sample quantile
+        for in-range samples; clamped at the range edges outside it.
+        """
+        if self.count == 0:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        # Same rank convention as LatencyReservoir.percentiles:
+        # round(q * (n - 1)) into the ordered samples, zero-based.
+        rank = min(self.count - 1, max(0, round(q * (self.count - 1))))
+        cumulative = 0
+        for slot, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative > rank:
+                return self.bucket_mid_s(slot - 1)
+        return self.bucket_mid_s(_OVERFLOW)  # unreachable
+
+    def percentiles(self) -> dict[str, float | None]:
+        """p50/p95/p99 in milliseconds (same shape as the reservoir)."""
+        out: dict[str, float | None] = {}
+        for name, q in (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99)):
+            value = self.quantile(q)
+            out[name] = None if value is None else value * 1e3
+        return out
+
+    # -- merge + serialization ------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Add ``other``'s buckets into this histogram (in place)."""
+        counts = other._counts
+        mine = self._counts
+        for slot in range(len(mine)):
+            mine[slot] += counts[slot]
+        self.count += other.count
+        self.sum_s += other.sum_s
+        return self
+
+    def nonzero(self) -> list[tuple[int, int]]:
+        """``(serialized_index, count)`` of every populated bucket."""
+        return [
+            (slot - 1, n) for slot, n in enumerate(self._counts) if n
+        ]
+
+    def to_dict(self) -> dict:
+        """JSON-ready sparse form (bucket rows keyed by serialized
+        index; ``-1`` underflow, ``N_BUCKETS`` overflow)."""
+        return {
+            "layout": _LAYOUT,
+            "count": self.count,
+            "sum_s": self.sum_s,
+            "buckets": {str(i): n for i, n in self.nonzero()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        """Rebuild from :meth:`to_dict` output (layout is verified)."""
+        layout = data.get("layout")
+        if layout != _LAYOUT:
+            raise ValueError(
+                f"histogram layout mismatch: {layout!r} != {_LAYOUT!r}"
+            )
+        hist = cls()
+        total = 0
+        for key, n in data.get("buckets", {}).items():
+            index = int(key)
+            if not _UNDERFLOW <= index <= _OVERFLOW:
+                raise ValueError(f"bucket index {index} out of range")
+            hist._counts[index + 1] = int(n)
+            total += int(n)
+        declared = int(data.get("count", total))
+        if declared != total:
+            raise ValueError(
+                f"histogram count {declared} != bucket sum {total}"
+            )
+        hist.count = total
+        hist.sum_s = float(data.get("sum_s", 0.0))
+        return hist
+
+    @classmethod
+    def merged(cls, dicts) -> "LatencyHistogram":
+        """Merge an iterable of :meth:`to_dict` forms into one
+        histogram (the fabric fan-in path)."""
+        out = cls()
+        for data in dicts:
+            out.merge(cls.from_dict(data))
+        return out

@@ -1,0 +1,496 @@
+"""Declarative SLOs evaluated by multi-window burn-rate alerting.
+
+An *objective* declares an expectation about the service the same way
+the ECM model declares one about a kernel: a target, checked
+continuously against measurement, with loud attributable divergence.
+Four objective types cover the service's failure surface:
+
+``availability``
+    At most ``1 - target`` of requests may fail (outcome ``failed``).
+``latency``
+    At least ``quantile`` of served requests must finish within
+    ``threshold_ms`` (sheds are excluded — a refused request has no
+    service latency).
+``hit_rate``
+    A cache tier's windowed hit rate must stay at or above ``floor``
+    (the budget is ``1 - floor`` of lookups missing).
+``shed_rate``
+    At most ``ceiling`` of requests may be shed (429/503 refusals).
+
+Each objective burns an *error budget*: ``burn_rate = bad_fraction /
+budget`` over a sliding window, so ``burn_rate == 1.0`` means "exactly
+on target" and 14.4 means "spending a 30-day budget in ~2 days".
+Following the Google SRE multi-window multi-burn-rate shape, an
+objective **pages** when both fast windows (default 1m and 5m) burn at
+or above ``burn.page`` (default 14.4) and **warns** when both slow
+windows (default 30m and 6h) burn at or above ``burn.warn`` (default
+6.0) — the short window makes alerts recover quickly, the long window
+keeps blips from paging.
+
+The engine is fed inline (``observe`` per finished request, one lock,
+a handful of integer bumps per window) and evaluated lazily on read —
+there is no background task, so an idle server pays nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "DEFAULT_SLO_CONFIG",
+    "OBJECTIVE_TYPES",
+    "WindowCounter",
+    "SloEngine",
+    "load_slo_config",
+]
+
+OBJECTIVE_TYPES = ("availability", "latency", "hit_rate", "shed_rate")
+
+#: Shipped objectives: inert-but-honest defaults for ``--slo`` without
+#: a config file.  The latency threshold is deliberately generous (the
+#: service's own deadlines are the hard bound); the hit-rate floor is
+#: low because cold caches are a normal state, not an incident.
+DEFAULT_SLO_CONFIG: dict = {
+    "windows": {"page": [60.0, 300.0], "warn": [1800.0, 21600.0]},
+    "burn": {"page": 14.4, "warn": 6.0},
+    "objectives": [
+        {"name": "availability", "type": "availability", "target": 0.999},
+        {
+            "name": "latency-p95",
+            "type": "latency",
+            "quantile": 0.95,
+            "threshold_ms": 500.0,
+        },
+        {
+            "name": "response-hit-rate",
+            "type": "hit_rate",
+            "tier": "response",
+            "floor": 0.10,
+        },
+        {"name": "shed-rate", "type": "shed_rate", "ceiling": 0.05},
+    ],
+}
+
+#: Outcomes that count as refusals for the shed objective (and are
+#: excluded from latency observations).
+_SHED_OUTCOMES = ("shed",)
+
+#: Outcomes that count as failures for availability.
+_FAILED_OUTCOMES = ("failed",)
+
+
+def _window_label(seconds: float) -> str:
+    """Human window name: 60 -> "1m", 21600 -> "6h", 2.5 -> "2.5s"."""
+    for unit, div in (("h", 3600.0), ("m", 60.0)):
+        if seconds >= div and seconds % div == 0:
+            return f"{int(seconds // div)}{unit}"
+    text = f"{seconds:g}"
+    return f"{text}s"
+
+
+class WindowCounter:
+    """Good/bad counts over one sliding window.
+
+    A ring of ``slots`` sub-buckets (plus one being retired) at
+    ``window_s / slots`` resolution: ``add`` bumps the current slot,
+    ``totals`` sums the ring.  The window is accurate to one slot
+    (≤ window/60 by default) — plenty for alerting, and O(slots)
+    memory regardless of traffic.  Not locked; the engine locks.
+    """
+
+    __slots__ = ("window_s", "resolution_s", "_good", "_bad", "_last_idx")
+
+    def __init__(self, window_s: float, slots: int = 60) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = float(window_s)
+        self.resolution_s = self.window_s / slots
+        self._good = [0] * (slots + 1)
+        self._bad = [0] * (slots + 1)
+        self._last_idx: int | None = None
+
+    def _advance(self, now: float) -> int:
+        """Retire slots that slid out of the window; return the live slot."""
+        idx = int(now // self.resolution_s)
+        n = len(self._good)
+        if self._last_idx is None:
+            self._last_idx = idx
+        step = min(idx - self._last_idx, n)
+        for k in range(1, step + 1):
+            slot = (self._last_idx + k) % n
+            self._good[slot] = 0
+            self._bad[slot] = 0
+        if idx > self._last_idx:
+            self._last_idx = idx
+        return self._last_idx % n
+
+    def add(self, now: float, good: int = 0, bad: int = 0) -> None:
+        slot = self._advance(now)
+        self._good[slot] += good
+        self._bad[slot] += bad
+
+    def totals(self, now: float) -> tuple[int, int]:
+        """``(good, bad)`` inside the window ending at ``now``."""
+        self._advance(now)
+        return sum(self._good), sum(self._bad)
+
+
+class _Objective:
+    """One configured objective + its per-window counters."""
+
+    def __init__(self, spec: dict, windows: dict[str, list[float]]) -> None:
+        self.spec = spec
+        self.name = spec["name"]
+        self.type = spec["type"]
+        self.endpoint = spec.get("endpoint", "*")
+        self.tier = spec.get("tier")
+        self.threshold_s = float(spec.get("threshold_ms", 0.0)) / 1e3
+        # The error budget: what fraction of events may be bad.
+        if self.type == "availability":
+            self.budget = 1.0 - float(spec["target"])
+        elif self.type == "latency":
+            self.budget = 1.0 - float(spec["quantile"])
+        elif self.type == "hit_rate":
+            self.budget = 1.0 - float(spec["floor"])
+        else:  # shed_rate
+            self.budget = float(spec["ceiling"])
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: error budget must be in (0, 1],"
+                f" got {self.budget}"
+            )
+        # A hit-rate floor leaves a large budget (1 - floor), so the
+        # global multi-burn thresholds (14.4/6.0) are unreachable —
+        # burn >= 1.0 already means "at or below the floor".  Such
+        # objectives default to threshold 1.0; any objective may
+        # override via a per-objective "burn" mapping.
+        default_burn = (
+            {"page": 1.0, "warn": 1.0} if self.type == "hit_rate" else {}
+        )
+        override = spec.get("burn") or {}
+        if not isinstance(override, dict):
+            raise ValueError(
+                f"objective {self.name!r}: burn must be an object"
+            )
+        self.burn_override = {**default_burn, **override}
+        for severity, threshold in self.burn_override.items():
+            if severity not in ("page", "warn") or float(threshold) <= 0:
+                raise ValueError(
+                    f"objective {self.name!r}: bad burn override"
+                    f" {severity!r}: {threshold!r}"
+                )
+        self.counters: dict[str, WindowCounter] = {}
+        for severity in ("page", "warn"):
+            for window_s in windows[severity]:
+                label = _window_label(window_s)
+                self.counters.setdefault(label, WindowCounter(window_s))
+
+    # -- feeding --------------------------------------------------------
+    def _matches(self, endpoint: str) -> bool:
+        return self.endpoint in ("*", endpoint)
+
+    def observe(
+        self, now: float, endpoint: str, outcome: str, seconds: float
+    ) -> None:
+        if self.type == "hit_rate" or not self._matches(endpoint):
+            return
+        if self.type == "availability":
+            bad = outcome in _FAILED_OUTCOMES
+        elif self.type == "shed_rate":
+            bad = outcome in _SHED_OUTCOMES
+        else:  # latency: refusals carry no service latency
+            if outcome in _SHED_OUTCOMES:
+                return
+            bad = seconds > self.threshold_s
+        for counter in self.counters.values():
+            counter.add(now, good=0 if bad else 1, bad=1 if bad else 0)
+
+    def observe_tier_delta(self, now: float, hits: int, misses: int) -> None:
+        for counter in self.counters.values():
+            counter.add(now, good=hits, bad=misses)
+
+    # -- evaluation -----------------------------------------------------
+    def window_rows(self, now: float) -> dict[str, dict]:
+        rows: dict[str, dict] = {}
+        for label, counter in self.counters.items():
+            good, bad = counter.totals(now)
+            total = good + bad
+            burn = (bad / total) / self.budget if total else 0.0
+            rows[label] = {
+                "bad": bad,
+                "total": total,
+                "bad_fraction": bad / total if total else None,
+                "burn_rate": round(burn, 4),
+            }
+        return rows
+
+    @staticmethod
+    def _firing(
+        rows: dict[str, dict], windows: list[float], threshold: float
+    ) -> bool:
+        labels = [_window_label(w) for w in windows]
+        return all(
+            rows[label]["total"] > 0 and rows[label]["burn_rate"] >= threshold
+            for label in labels
+        )
+
+
+class SloEngine:
+    """All objectives of one server, fed inline, evaluated on read."""
+
+    def __init__(
+        self,
+        config: dict | None = None,
+        now_fn=time.monotonic,
+    ) -> None:
+        self.config = _validate_config(config or DEFAULT_SLO_CONFIG)
+        self._now = now_fn
+        self._lock = threading.Lock()
+        self.windows: dict[str, list[float]] = self.config["windows"]
+        self.burn_thresholds: dict[str, float] = self.config["burn"]
+        self.objectives = [
+            _Objective(spec, self.windows)
+            for spec in self.config["objectives"]
+        ]
+        self._tier_objectives = [
+            obj for obj in self.objectives if obj.type == "hit_rate"
+        ]
+        self._tier_source = None
+        self._tier_last: dict[str, tuple[int, int]] = {}
+        self._tier_sampled_at: float | None = None
+        # Sample tier ledgers at ~10x the fastest window's slot width,
+        # bounded to [50ms, 1s] — cheap, and fresh enough for any
+        # configured window.
+        fastest = min(w for ws in self.windows.values() for w in ws)
+        self._tier_sample_interval = min(1.0, max(0.05, fastest / 600.0))
+
+    # -- feeding --------------------------------------------------------
+    def set_tier_source(self, source) -> None:
+        """Install a callable returning ``{tier: {"hits", "misses"}}``
+        cumulative ledgers (sampled rate-limited; deltas feed the
+        hit-rate objectives)."""
+        self._tier_source = source
+
+    def observe(self, endpoint: str, outcome: str, seconds: float) -> None:
+        """Feed one finished request."""
+        now = self._now()
+        with self._lock:
+            for obj in self.objectives:
+                obj.observe(now, endpoint, outcome, seconds)
+            self._sample_tiers_locked(now)
+
+    def _sample_tiers_locked(self, now: float) -> None:
+        if self._tier_source is None or not self._tier_objectives:
+            return
+        if (
+            self._tier_sampled_at is not None
+            and now - self._tier_sampled_at < self._tier_sample_interval
+        ):
+            return
+        self._tier_sampled_at = now
+        try:
+            ledgers = self._tier_source()
+        except Exception:
+            return  # advisory sampling must never fail a request
+        for obj in self._tier_objectives:
+            row = ledgers.get(obj.tier)
+            if row is None:
+                continue
+            hits, misses = int(row.get("hits", 0)), int(row.get("misses", 0))
+            last_hits, last_misses = self._tier_last.get(obj.tier, (0, 0))
+            self._tier_last[obj.tier] = (hits, misses)
+            delta_h = max(0, hits - last_hits)
+            delta_m = max(0, misses - last_misses)
+            if delta_h or delta_m:
+                obj.observe_tier_delta(now, delta_h, delta_m)
+
+    # -- evaluation -----------------------------------------------------
+    def _evaluate_locked(self, now: float) -> list[dict]:
+        self._sample_tiers_locked(now)
+        out = []
+        for obj in self.objectives:
+            rows = obj.window_rows(now)
+            state = "ok"
+            if obj._firing(
+                rows,
+                self.windows["warn"],
+                obj.burn_override.get("warn", self.burn_thresholds["warn"]),
+            ):
+                state = "warn"
+            if obj._firing(
+                rows,
+                self.windows["page"],
+                obj.burn_override.get("page", self.burn_thresholds["page"]),
+            ):
+                state = "page"
+            out.append(
+                {
+                    "name": obj.name,
+                    "type": obj.type,
+                    **{
+                        key: obj.spec[key]
+                        for key in (
+                            "target", "quantile", "threshold_ms",
+                            "tier", "floor", "ceiling", "endpoint",
+                        )
+                        if key in obj.spec
+                    },
+                    "budget": round(obj.budget, 6),
+                    "windows": rows,
+                    "state": state,
+                }
+            )
+        return out
+
+    def snapshot(self) -> dict:
+        """The ``/slo`` document."""
+        with self._lock:
+            objectives = self._evaluate_locked(self._now())
+        alerts = _alerts_of(objectives)
+        return {
+            "enabled": True,
+            "burn_thresholds": dict(self.burn_thresholds),
+            "windows": {
+                severity: [_window_label(w) for w in windows]
+                for severity, windows in self.windows.items()
+            },
+            "objectives": objectives,
+            "alerts": alerts,
+        }
+
+    def alerts(self) -> list[dict]:
+        """Currently firing alerts (the ``/healthz`` shape)."""
+        with self._lock:
+            objectives = self._evaluate_locked(self._now())
+        return _alerts_of(objectives)
+
+    def metrics_rows(self) -> dict:
+        """Compact per-objective burn gauges for ``/metrics``."""
+        with self._lock:
+            objectives = self._evaluate_locked(self._now())
+        return {
+            obj["name"]: {
+                "state": obj["state"],
+                "budget": obj["budget"],
+                "burn": {
+                    label: row["burn_rate"]
+                    for label, row in obj["windows"].items()
+                },
+            }
+            for obj in objectives
+        }
+
+
+def _alerts_of(objectives: list[dict]) -> list[dict]:
+    alerts = []
+    for obj in objectives:
+        if obj["state"] == "ok":
+            continue
+        severity = obj["state"]
+        alerts.append(
+            {
+                "objective": obj["name"],
+                "type": obj["type"],
+                "severity": severity,
+                "burn_rates": {
+                    label: row["burn_rate"]
+                    for label, row in obj["windows"].items()
+                },
+            }
+        )
+    return alerts
+
+
+# ----------------------------------------------------------------------
+# Configuration loading
+# ----------------------------------------------------------------------
+_REQUIRED_BY_TYPE = {
+    "availability": ("target",),
+    "latency": ("quantile", "threshold_ms"),
+    "hit_rate": ("tier", "floor"),
+    "shed_rate": ("ceiling",),
+}
+
+
+def _validate_config(config: dict) -> dict:
+    if not isinstance(config, dict):
+        raise ValueError("SLO config must be a JSON object")
+    merged = {
+        "windows": {
+            key: [float(w) for w in value]
+            for key, value in {
+                **DEFAULT_SLO_CONFIG["windows"],
+                **config.get("windows", {}),
+            }.items()
+        },
+        "burn": {
+            key: float(value)
+            for key, value in {
+                **DEFAULT_SLO_CONFIG["burn"],
+                **config.get("burn", {}),
+            }.items()
+        },
+        "objectives": config.get(
+            "objectives", DEFAULT_SLO_CONFIG["objectives"]
+        ),
+    }
+    for severity in ("page", "warn"):
+        windows = merged["windows"].get(severity)
+        if (
+            not isinstance(windows, list)
+            or len(windows) != 2
+            or any(w <= 0 for w in windows)
+        ):
+            raise ValueError(
+                f"windows.{severity} must be two positive window lengths"
+            )
+        if merged["burn"].get(severity, 0) <= 0:
+            raise ValueError(f"burn.{severity} must be positive")
+    if not isinstance(merged["objectives"], list) or not merged["objectives"]:
+        raise ValueError("objectives must be a non-empty list")
+    seen = set()
+    for spec in merged["objectives"]:
+        if not isinstance(spec, dict):
+            raise ValueError("each objective must be a JSON object")
+        name, otype = spec.get("name"), spec.get("type")
+        if not name or not isinstance(name, str):
+            raise ValueError("every objective needs a string name")
+        if name in seen:
+            raise ValueError(f"duplicate objective name {name!r}")
+        seen.add(name)
+        if otype not in OBJECTIVE_TYPES:
+            raise ValueError(
+                f"objective {name!r}: type must be one of"
+                f" {OBJECTIVE_TYPES}, got {otype!r}"
+            )
+        missing = [
+            key for key in _REQUIRED_BY_TYPE[otype] if key not in spec
+        ]
+        if missing:
+            raise ValueError(
+                f"objective {name!r} ({otype}) missing {missing}"
+            )
+    return merged
+
+
+def load_slo_config(source: str | None) -> dict:
+    """Resolve ``--slo-config``: ``None`` → shipped defaults, a path →
+    parsed file, inline JSON (starts with ``{``) → parsed directly.
+    Raises ``ValueError`` with a loud message on anything malformed —
+    a typo'd objective must fail startup, not alert on nothing."""
+    if source is None:
+        return _validate_config(DEFAULT_SLO_CONFIG)
+    text = source.strip()
+    if not text.startswith("{"):
+        if not os.path.exists(source):
+            raise ValueError(f"SLO config file not found: {source!r}")
+        with open(source) as fh:
+            text = fh.read()
+    try:
+        parsed = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"SLO config is not valid JSON: {exc}") from None
+    return _validate_config(parsed)
