@@ -18,6 +18,14 @@ expensive queue while cheap analytic predicts are latency-probed — the
 cheap p95 must not collapse (``cheap_isolation_ratio``), and the cheap
 lane must never shed.
 
+A fifth phase (``bench_overload``) replays the same tune storm against
+a plain one-worker server and one with the overload stack armed (SLO
+burn alerts -> brownout ladder + adaptive limits): the plain server's
+predicts starve behind the sweeps while the armed one pages, browns
+out, and keeps answering predicts from the analytic model.  The
+headline is ``overload_goodput_ratio`` (armed / plain predict goodput,
+>= 1 required) plus the guard that the ladder actually engaged.
+
 After the fabric run the job ledger must be fully drained (no pending
 tune job without a published result) and every shard still healthy —
 those are the gate's exact guards.  The RPS comparisons are gated
@@ -39,6 +47,7 @@ import json
 import random
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -48,6 +57,7 @@ from repro.fabric import BackgroundFabric, FabricConfig
 from repro.service.background import BackgroundServer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.config import ServiceConfig
+from repro.service.overload import BROWNOUT_STAGES
 
 SCALE = 1 / 32  # shrink caches so the exact simulation stays fast
 ZIPF_EXPONENT = 1.1
@@ -283,6 +293,213 @@ def bench_cost_isolation(quick: bool) -> dict:
     }
 
 
+#: SLO for the overload phase: tight windows and a low page threshold
+#: so a saturated one-worker pool pages within a second or two, letting
+#: the brownout ladder engage inside a benchmark-sized run.
+OVERLOAD_SLO = {
+    "windows": {"page": [0.5, 1.0], "warn": [1.5, 3.0]},
+    "burn": {"page": 1.0, "warn": 0.75},
+    "objectives": [
+        {"name": "availability", "type": "availability", "target": 0.999},
+        {"name": "latency-p95", "type": "latency", "quantile": 0.95,
+         "threshold_ms": 50.0},
+    ],
+}
+
+
+def _overload_target(resilient: bool) -> ServiceConfig:
+    base = dict(
+        port=0,
+        executor="thread",
+        workers=1,
+        queue_limit=64,
+        request_timeout_s=15.0,
+        drain_timeout_s=10.0,
+    )
+    if resilient:
+        base.update(
+            slo_enabled=True,
+            slo_config=json.dumps(OVERLOAD_SLO),
+            adaptive_limits=True,
+            adaptive_target_ms=1000.0,
+            brownout=True,
+            brownout_escalate_s=2.0,
+            brownout_recover_s=0.7,
+        )
+    return ServiceConfig(**base)
+
+
+def _overload_drive(resilient: bool, quick: bool) -> dict:
+    """Predict goodput while greedy tunes saturate a one-worker pool.
+
+    The same storm hits a plain server and one with the overload stack
+    armed (SLO burn -> brownout ladder + adaptive limits): the plain
+    server's predicts starve behind multi-second tune sweeps, the
+    resilient one pages, browns out, and keeps serving predicts from
+    the analytic model.  Returns goodput/latency plus what the ladder
+    did; ``run()`` reports the ratio.
+    """
+    window_s = 1.5 if quick else 2.5
+    with BackgroundServer(_overload_target(resilient)) as bg:
+        stop_load = threading.Event()
+        tune_outcomes: dict[str, int] = {}
+        tune_lock = threading.Lock()
+
+        def tune_storm(thread_id: int) -> None:
+            client = ServiceClient(port=bg.port, retries=0, timeout_s=20.0)
+            k = 0
+            while not stop_load.is_set():
+                k += 1
+                # Cycle a 128-combo cross product at near-constant grid
+                # volume: distinct payloads (a cached tune costs nothing
+                # and would defuse the storm) whose ~100ms sweeps land
+                # often enough inside the SLO's page window to keep the
+                # burn alert alive.
+                idx = (thread_id * 43 + k) % 128
+                payload = {
+                    "stencil": "3d7pt",
+                    "grid": [
+                        14 + 2 * (idx % 4),
+                        14 + 2 * ((idx // 4) % 4),
+                        14 + 2 * ((idx // 16) % 4),
+                    ],
+                    "machine": "clx" if idx < 64 else "rome",
+                    "tuner": "greedy",
+                    "cache_scale": SCALE,
+                }
+                try:
+                    client.request("POST", "/tune", payload)
+                    tag = "ok"
+                except ServiceError as err:
+                    tag = f"http_{err.status}"
+                    time.sleep(0.05)  # don't hot-spin on sheds
+                except Exception:
+                    tag = "transport_error"
+                with tune_lock:
+                    tune_outcomes[tag] = tune_outcomes.get(tag, 0) + 1
+
+        storm = [
+            threading.Thread(target=tune_storm, args=(i,)) for i in range(3)
+        ]
+        for t in storm:
+            t.start()
+
+        # Wait for the stack to reach its steady overload state: the
+        # plain server just needs queued work; the resilient one must
+        # have walked the ladder to the analytic stage.
+        engaged = False
+        deadline = time.time() + 20.0
+        while time.time() < deadline:
+            if resilient:
+                health = bg.client.healthz()
+                if health.get("brownout", {}).get("stage", 0) >= 2:
+                    engaged = True
+                    break
+            else:
+                if bg.service.dispatcher.pending >= 2:
+                    engaged = True
+                    break
+            time.sleep(0.05)
+
+        # -- the measured window: predict goodput under the storm -----
+        ok_latencies: list[float] = []
+        probe_outcomes: dict[str, int] = {}
+        probe_lock = threading.Lock()
+        stop_at = time.perf_counter() + window_s
+
+        def probe(thread_id: int) -> None:
+            client = ServiceClient(port=bg.port, retries=0, timeout_s=3.0)
+            k = 0
+            while time.perf_counter() < stop_at:
+                k += 1
+                payload = {
+                    "stencil": "heat3d",
+                    "grid": [16, 16 + 2 * thread_id, 64 + k],
+                    "cache_scale": SCALE,
+                }
+                t0 = time.perf_counter()
+                try:
+                    client.request("POST", "/predict", payload)
+                except ServiceError as err:
+                    tag = f"http_{err.status}"
+                except Exception:
+                    tag = "starved"  # socket timeout: the pool is busy
+                else:
+                    tag = "ok"
+                    with probe_lock:
+                        ok_latencies.append(time.perf_counter() - t0)
+                with probe_lock:
+                    probe_outcomes[tag] = probe_outcomes.get(tag, 0) + 1
+
+        t0 = time.perf_counter()
+        probes = [
+            threading.Thread(target=probe, args=(i,)) for i in range(2)
+        ]
+        for t in probes:
+            t.start()
+        for t in probes:
+            t.join(timeout=window_s + 30.0)
+        measured_s = time.perf_counter() - t0
+
+        stop_load.set()
+        for t in storm:
+            t.join(timeout=60.0)
+        healthy = bg.client.healthz()["http_status"] == 200
+        max_stage = 0
+        if resilient:
+            snapshot = bg.client.metrics().get("overload", {})
+            max_stage = snapshot.get("brownout", {}).get("stage", 0)
+            for entry in snapshot.get("brownout", {}).get(
+                "transitions", []
+            ):
+                if entry["direction"] == "escalate":
+                    max_stage = max(
+                        max_stage,
+                        BROWNOUT_STAGES.index(entry["to"]),
+                    )
+    errors = sum(
+        count for tag, count in {**tune_outcomes, **probe_outcomes}.items()
+        if tag in ("http_500", "transport_error")
+    )
+    goodput = probe_outcomes.get("ok", 0)
+    return {
+        "resilient": resilient,
+        "window_s": round(measured_s, 4),
+        "goodput": goodput,
+        "goodput_rps": round(goodput / measured_s, 2),
+        "predict_latency": (
+            _percentiles_ms(ok_latencies) if ok_latencies else None
+        ),
+        "probe_outcomes": probe_outcomes,
+        "tune_outcomes": tune_outcomes,
+        "engaged": engaged,
+        "max_brownout_stage": max_stage,
+        "errors": errors,
+        "healthy_after": healthy,
+    }
+
+
+def bench_overload(quick: bool) -> dict:
+    """Goodput under sustained overload, with/without the resilience
+    stack; the headline is ``goodput_ratio`` (armed / plain)."""
+    plain = _overload_drive(resilient=False, quick=quick)
+    armed = _overload_drive(resilient=True, quick=quick)
+    ratio = (
+        round(armed["goodput_rps"] / plain["goodput_rps"], 3)
+        if plain["goodput_rps"]
+        else None  # the plain server fully starved: strictly better
+    )
+    return {
+        "plain": plain,
+        "armed": armed,
+        "goodput_ratio": ratio,
+        "brownout_engaged": armed["engaged"]
+        and armed["max_brownout_stage"] >= 2,
+        "errors": plain["errors"] + armed["errors"],
+        "healthy_after": plain["healthy_after"] and armed["healthy_after"],
+    }
+
+
 def run(quick: bool = True) -> dict:
     # Single process first (its numbers are the comparison base).
     with BackgroundServer(
@@ -317,11 +534,13 @@ def run(quick: bool = True) -> dict:
             and all(info["up"] for info in health["shards"].values())
         )
     cost = bench_cost_isolation(quick)
+    overload = bench_overload(quick)
     return {
         "quick": quick,
         "single": single_report,
         "fabric": fabric_report,
         "cost": cost,
+        "overload": overload,
         "single_healthy_after": single_healthy,
         "fabric_healthy_after": fabric_healthy,
         "lost_jobs": len(pending),
@@ -359,10 +578,17 @@ def to_artifact(result: dict, timestamp: str) -> dict:
                               and result["single_healthy_after"]),
             "cheap_isolation_ratio": result["cost"]["cheap_isolation_ratio"],
             "approx_serve_rate": result["fabric"]["approx_serve_rate"],
+            "overload_goodput_ratio": result["overload"]["goodput_ratio"],
+            "overload_brownout_engaged": (
+                result["overload"]["brownout_engaged"]
+            ),
+            "overload_errors": result["overload"]["errors"],
+            "overload_healthy_after": result["overload"]["healthy_after"],
             "detail": {
                 "single": result["single"],
                 "fabric": result["fabric"],
                 "cost": result["cost"],
+                "overload": result["overload"],
             },
         },
         timestamp=timestamp,
@@ -408,6 +634,7 @@ def main(argv=None) -> int:
         f"({result['fabric_over_single']}x), "
         f"shed_rate={result['fabric']['shed_rate']}, "
         f"cheap_isolation={result['cost']['cheap_isolation_ratio']}, "
+        f"overload_goodput_ratio={result['overload']['goodput_ratio']}, "
         f"lost_jobs={result['lost_jobs']}, "
         f"healthy_after={result['fabric_healthy_after']}",
         file=sys.stderr,
@@ -425,6 +652,14 @@ def main(argv=None) -> int:
         return 1
     if result["fabric"]["errors"] or result["single"]["errors"]:
         print("FAIL: hard errors during the load", file=sys.stderr)
+        return 1
+    if not result["overload"]["brownout_engaged"]:
+        print("FAIL: brownout ladder never engaged under the overload "
+              "storm", file=sys.stderr)
+        return 1
+    if result["overload"]["errors"]:
+        print("FAIL: hard errors during the overload phase",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -74,6 +74,18 @@ GUARDS = {
         # lenient (timing-noise-proof): isolation has failed outright
         # when cheap latency blows up by more than ~20x.
         "cheap_isolation_ratio": lambda v: v is not None and v > 0.05,
+        # bench_overload: armed predict goodput over plain goodput
+        # under the same tune storm.  ``None`` means the plain server
+        # starved completely (strictly better); otherwise the armed
+        # server must at least match it — in practice the margin is
+        # orders of magnitude, so >= 1 is timing-noise-proof.
+        "overload_goodput_ratio": lambda v: v is None or v >= 1.0,
+        # The ratio only means something if the ladder actually walked
+        # to the analytic stage — otherwise the resilience stack was
+        # never exercised.
+        "overload_brownout_engaged": lambda v: v is True,
+        "overload_errors": lambda v: v == 0,
+        "overload_healthy_after": lambda v: v is True,
     },
 }
 

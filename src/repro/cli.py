@@ -34,6 +34,7 @@ import argparse
 import importlib
 import json
 import sys
+import time
 
 from repro import obs
 from repro.engine import (
@@ -373,6 +374,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact observations retained as interpolation support",
     )
     serve.add_argument(
+        "--adaptive-limits",
+        action="store_true",
+        help="AIMD adaptive per-class admission limits: grow on "
+        "healthy latency, halve when a class's windowed p95 breaches "
+        "its target (static limit stays the hard ceiling, floor 1)",
+    )
+    serve.add_argument(
+        "--adaptive-target-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="latency target of the cheap class's adaptive limiter "
+        "(the expensive class targets half its own deadline)",
+    )
+    serve.add_argument(
+        "--brownout",
+        action="store_true",
+        help="SLO-burn-driven brownout ladder: sustained page alerts "
+        "degrade in stages (widen approx acceptance, serve /predict "
+        "analytically, shed tune/rank, full shed) with staged "
+        "recovery; requires --slo",
+    )
+    serve.add_argument(
+        "--brownout-approx-confidence",
+        type=float,
+        default=0.5,
+        metavar="C",
+        help="near-match acceptance bar while browned out (never "
+        "raises the configured --approx-confidence)",
+    )
+    serve.add_argument(
+        "--brownout-escalate",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds a page alert must burn before each brownout step",
+    )
+    serve.add_argument(
+        "--brownout-recover",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="calm seconds before each brownout recovery step",
+    )
+    serve.add_argument(
         "--slo",
         action="store_true",
         help="evaluate SLO objectives with multi-window burn-rate "
@@ -427,6 +473,22 @@ def build_parser() -> argparse.ArgumentParser:
     slo_status.add_argument("--host", default="127.0.0.1")
     slo_status.add_argument("--port", type=int, default=8753)
     slo_status.add_argument("--json", action="store_true", help="emit JSON")
+    slo_status.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="N",
+        help="poll every N seconds instead of printing once "
+        "(watch burn rates and brownout transitions live; ctrl-C "
+        "to stop)",
+    )
+    slo_status.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --watch: stop after K polls (default: forever)",
+    )
 
     store = sub.add_parser(
         "store", help="inspect the unified store tier stack"
@@ -703,7 +765,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             approx_enabled=args.approx,
             approx_confidence=args.approx_confidence,
             approx_capacity=args.approx_capacity,
-            slo_enabled=args.slo or args.slo_config is not None,
+            adaptive_limits=args.adaptive_limits,
+            adaptive_target_ms=args.adaptive_target_ms,
+            brownout=args.brownout,
+            brownout_approx_confidence=args.brownout_approx_confidence,
+            brownout_escalate_s=args.brownout_escalate,
+            brownout_recover_s=args.brownout_recover,
+            slo_enabled=(
+                args.slo or args.brownout or args.slo_config is not None
+            ),
             slo_config=args.slo_config,
             flight_recorder=args.flight_recorder,
         )
@@ -733,12 +803,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
         approx_enabled=args.approx,
         approx_confidence=args.approx_confidence,
         approx_capacity=args.approx_capacity,
-        slo_enabled=args.slo or args.slo_config is not None,
+        adaptive_limits=args.adaptive_limits,
+        adaptive_target_ms=args.adaptive_target_ms,
+        brownout=args.brownout,
+        brownout_approx_confidence=args.brownout_approx_confidence,
+        brownout_escalate_s=args.brownout_escalate,
+        brownout_recover_s=args.brownout_recover,
+        slo_enabled=(
+            args.slo or args.brownout or args.slo_config is not None
+        ),
         slo_config=args.slo_config,
         flight_recorder=args.flight_recorder,
     )
     asyncio.run(serve(config))
     return 0
+
+
+def _obs_slo_once(client, args: argparse.Namespace) -> int:
+    """One ``repro obs slo`` status report; exit 1 while alerts fire."""
+    document = client.slo()
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    if not document.get("enabled"):
+        print("SLO engine not enabled (start with --slo)")
+        return 1
+    objectives = document.get("objectives") or []
+    # A router /slo carries per-shard documents instead.
+    shard_docs = document.get("shards")
+    if not objectives and isinstance(shard_docs, dict):
+        for member, doc in sorted(shard_docs.items()):
+            for obj in doc.get("objectives") or ():
+                objectives.append({**obj, "name": f"{obj['name']}@{member}"})
+    rows = []
+    for obj in objectives:
+        burns = {
+            label: row.get("burn_rate")
+            for label, row in (obj.get("windows") or {}).items()
+        }
+        rows.append({
+            "objective": obj.get("name"),
+            "type": obj.get("type"),
+            "state": obj.get("state"),
+            "budget": obj.get("budget"),
+            "burn": " ".join(
+                f"{label}={value}" for label, value in burns.items()
+            ),
+        })
+    print(format_table(rows, title="SLO objectives"))
+    # Brownout: present only when the server runs with --brownout
+    # (per-shard when the document came from a router fan-in).
+    brownouts = []
+    if isinstance(document.get("brownout"), dict):
+        brownouts.append((None, document["brownout"]))
+    elif isinstance(shard_docs, dict):
+        for member, doc in sorted(shard_docs.items()):
+            if isinstance(doc.get("brownout"), dict):
+                brownouts.append((member, doc["brownout"]))
+    for member, brownout in brownouts:
+        where = f" shard={member}" if member is not None else ""
+        print(
+            f"brownout{where}: stage={brownout.get('stage')} "
+            f"({brownout.get('state')}) "
+            f"escalations={brownout.get('escalations')} "
+            f"recoveries={brownout.get('recoveries')}"
+        )
+    alerts = document.get("alerts") or []
+    for alert in alerts:
+        shard = alert.get("shard")
+        where = f" shard={shard}" if shard is not None else ""
+        print(
+            f"ALERT[{alert.get('severity')}] "
+            f"{alert.get('objective')}{where} "
+            f"burn={alert.get('burn_rates')}"
+        )
+    return 0 if not alerts else 1
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -747,46 +886,32 @@ def cmd_obs(args: argparse.Namespace) -> int:
 
     client = ServiceClient(host=args.host, port=args.port)
     if args.obs_command == "slo":
-        document = client.slo()
-        if args.json:
-            print(json.dumps(document, indent=2))
-            return 0
-        if not document.get("enabled"):
-            print("SLO engine not enabled (start with --slo)")
-            return 1
-        objectives = document.get("objectives") or []
-        # A router /slo carries per-shard documents instead.
-        shard_docs = document.get("shards")
-        if not objectives and isinstance(shard_docs, dict):
-            for member, doc in sorted(shard_docs.items()):
-                for obj in doc.get("objectives") or ():
-                    objectives.append({**obj, "name": f"{obj['name']}@{member}"})
-        rows = []
-        for obj in objectives:
-            burns = {
-                label: row.get("burn_rate")
-                for label, row in (obj.get("windows") or {}).items()
-            }
-            rows.append({
-                "objective": obj.get("name"),
-                "type": obj.get("type"),
-                "state": obj.get("state"),
-                "budget": obj.get("budget"),
-                "burn": " ".join(
-                    f"{label}={value}" for label, value in burns.items()
-                ),
-            })
-        print(format_table(rows, title="SLO objectives"))
-        alerts = document.get("alerts") or []
-        for alert in alerts:
-            shard = alert.get("shard")
-            where = f" shard={shard}" if shard is not None else ""
-            print(
-                f"ALERT[{alert.get('severity')}] "
-                f"{alert.get('objective')}{where} "
-                f"burn={alert.get('burn_rates')}"
-            )
-        return 0 if not alerts else 1
+        watch = getattr(args, "watch", None)
+        if watch is None:
+            return _obs_slo_once(client, args)
+        if watch <= 0:
+            print("error: --watch period must be positive", file=sys.stderr)
+            return 2
+        # Polling mode: one status block per period so the overload
+        # drill (and an operator mid-incident) can watch burn rates
+        # and brownout transitions without a shell loop.
+        iterations = getattr(args, "iterations", None)
+        polls = 0
+        status = 0
+        try:
+            while iterations is None or polls < iterations:
+                if polls:
+                    time.sleep(watch)
+                print(f"--- poll {polls + 1} ---", flush=True)
+                try:
+                    status = _obs_slo_once(client, args)
+                except (ConnectionError, OSError) as exc:
+                    print(f"(unreachable: {exc})", flush=True)
+                    status = 1
+                polls += 1
+        except KeyboardInterrupt:
+            pass
+        return status
 
     document = client.debug_requests(
         n=args.n,

@@ -66,6 +66,14 @@ class FabricConfig:
         support sets are per-shard; consistent-hash routing keeps a
         request family on one shard, so its observations concentrate
         where its lookups land.
+    adaptive_limits, adaptive_target_ms, brownout,
+    brownout_approx_confidence, brownout_escalate_s,
+    brownout_recover_s:
+        Overload-control knobs (AIMD admission limits and the
+        SLO-driven brownout ladder), copied to every shard.  Each shard
+        runs its own limiter and ladder over its own traffic; the
+        router's fan-in surfaces the per-shard stages and sums the
+        adaptive limits.
     slo_enabled, slo_config, flight_recorder:
         SLO-engine and flight-recorder knobs, copied to every shard.
         Each shard evaluates its own objectives over its own traffic;
@@ -108,6 +116,12 @@ class FabricConfig:
     approx_enabled: bool = False
     approx_confidence: float = 0.75
     approx_capacity: int = 512
+    adaptive_limits: bool = False
+    adaptive_target_ms: float = 500.0
+    brownout: bool = False
+    brownout_approx_confidence: float = 0.5
+    brownout_escalate_s: float = 2.0
+    brownout_recover_s: float = 5.0
     slo_enabled: bool = False
     slo_config: str | None = None
     flight_recorder: int = 256

@@ -65,6 +65,12 @@ def shard_service_config(config: FabricConfig, index: int) -> ServiceConfig:
         approx_enabled=config.approx_enabled,
         approx_confidence=config.approx_confidence,
         approx_capacity=config.approx_capacity,
+        adaptive_limits=config.adaptive_limits,
+        adaptive_target_ms=config.adaptive_target_ms,
+        brownout=config.brownout,
+        brownout_approx_confidence=config.brownout_approx_confidence,
+        brownout_escalate_s=config.brownout_escalate_s,
+        brownout_recover_s=config.brownout_recover_s,
         slo_enabled=config.slo_enabled,
         slo_config=config.slo_config,
         flight_recorder=config.flight_recorder,

@@ -16,22 +16,55 @@ routing off everything rides the ``cheap`` queue under the legacy
 ``queue_limit`` — behavior is byte-identical to the single-queue
 dispatcher.  Beyond a class's limit the dispatcher sheds (the server
 turns that into HTTP 429).
+
+Two overload-control layers ride on top (see
+:mod:`repro.service.overload`):
+
+* A fresh job carrying a propagated deadline is wrapped in a *sweep
+  guard*: if the deadline expired while the job sat in the pool queue,
+  the worker raises :class:`DeadlineSwept` at dequeue instead of
+  executing for a caller that already gave up.  Per-class
+  ``admitted``/``executed``/``swept`` counters keep the invariant
+  ``admitted == executed + swept`` once the queue drains.
+* With ``config.adaptive_limits`` each class's admission bound becomes
+  ``min(static limit, AIMD limit)``; finished fresh jobs feed their
+  total latency back into the limiter and the per-class latency
+  tracker (which deadline admission consults for the observed p95).
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Awaitable, Callable
 
 from repro.service.config import ServiceConfig
 from repro.service.cost import JOB_CLASSES
+from repro.service.overload import AdaptiveLimiter, ClassLatencyTracker
 
-__all__ = ["Overloaded", "CoalescingDispatcher"]
+__all__ = ["Overloaded", "DeadlineSwept", "CoalescingDispatcher"]
 
 
 class Overloaded(RuntimeError):
     """Admission control tripped: too many in-flight jobs."""
+
+
+class DeadlineSwept(RuntimeError):
+    """The job's deadline expired while it waited in the queue."""
+
+
+def _deadline_guarded(deadline_epoch: float, fn, payload: dict) -> dict:
+    """Top-level (picklable) sweep guard run inside the pool worker:
+    a job whose caller's deadline already passed is dropped at dequeue
+    instead of executed."""
+    now = time.time()
+    if now >= deadline_epoch:
+        raise DeadlineSwept(
+            f"deadline expired {now - deadline_epoch:.3f}s before dequeue"
+        )
+    return fn(payload)
 
 
 class CoalescingDispatcher:
@@ -50,6 +83,23 @@ class CoalescingDispatcher:
         # Fresh jobs admitted and not yet finished, per queue class.
         self._class_pending = {cls: 0 for cls in JOB_CLASSES}
         self._class_shed = {cls: 0 for cls in JOB_CLASSES}
+        # Deadline bookkeeping: admitted == executed + swept once the
+        # queue drains (the property test drills this invariant).
+        self._class_admitted = {cls: 0 for cls in JOB_CLASSES}
+        self._class_executed = {cls: 0 for cls in JOB_CLASSES}
+        self._class_swept = {cls: 0 for cls in JOB_CLASSES}
+        # Observed total latency per class (deadline admission's p95
+        # source) — always on, a deque append per finished fresh job.
+        self._trackers = {cls: ClassLatencyTracker() for cls in JOB_CLASSES}
+        self._limiters: dict[str, AdaptiveLimiter] | None = None
+        if config.adaptive_limits:
+            self._limiters = {
+                cls: AdaptiveLimiter(
+                    ceiling=config.class_queue_limit(cls),
+                    target_s=config.class_adaptive_target_s(cls),
+                )
+                for cls in JOB_CLASSES
+            }
 
     # -- gauges ---------------------------------------------------------
     @property
@@ -97,7 +147,44 @@ class CoalescingDispatcher:
                 "deadline_s": self.config.class_timeout_s(cls),
                 "workers": workers,
             }
+            # The adaptive gauge appears only when the limiter is on,
+            # keeping the default /metrics document byte-identical.
+            if self._limiters is not None:
+                snapshot[cls]["adaptive_limit"] = self._limiters[cls].limit
         return snapshot
+
+    def overload_snapshot(self) -> dict:
+        """Per-class overload-control gauges (deadline sweep counters,
+        observed p95, adaptive limiter state) for the ``/metrics``
+        ``overload`` section."""
+        classes: dict[str, dict] = {}
+        for cls in JOB_CLASSES:
+            p95 = self._trackers[cls].p95()
+            row = {
+                "admitted": self._class_admitted[cls],
+                "executed": self._class_executed[cls],
+                "swept": self._class_swept[cls],
+                "observed_p95_ms": (
+                    round(p95 * 1e3, 3) if p95 is not None else None
+                ),
+            }
+            if self._limiters is not None:
+                row["adaptive"] = self._limiters[cls].snapshot()
+            classes[cls] = row
+        return {"classes": classes}
+
+    def class_limit(self, job_class: str) -> int:
+        """The admission bound in force: the static class limit, further
+        tightened by the AIMD limiter when adaptive limits are on."""
+        limit = self.config.class_queue_limit(job_class)
+        if self._limiters is not None:
+            limit = min(limit, self._limiters[job_class].limit)
+        return limit
+
+    def observed_p95_s(self, job_class: str) -> float | None:
+        """Windowed p95 total latency of one class (``None`` while the
+        sample is too small to judge a deadline by)."""
+        return self._trackers[job_class].p95()
 
     def _class_workers(self, job_class: str) -> int:
         if (
@@ -153,6 +240,7 @@ class CoalescingDispatcher:
         payload: dict,
         on_result: Callable[[dict], None] | None = None,
         job_class: str = "cheap",
+        deadline_epoch: float | None = None,
     ) -> tuple[str, Awaitable[dict]]:
         """Route one request; returns ``("coalesced"|"fresh", awaitable)``.
 
@@ -164,13 +252,20 @@ class CoalescingDispatcher:
         must wrap the returned task in ``asyncio.shield`` so a
         per-request timeout does not cancel the shared job other
         waiters ride on.
+
+        A ``deadline_epoch`` (absolute ``time.time()`` seconds) arms
+        the sweep guard: if it passes while the job waits for a pool
+        slot, the job raises :class:`DeadlineSwept` at dequeue instead
+        of executing.  Coalesced waiters share the fresh dispatcher's
+        deadline fate — a later arrival with more budget re-requests
+        after the swept key is released.
         """
         if job_class not in self._class_pending:
             raise ValueError(f"unknown job class {job_class!r}")
         task = self._inflight.get(key)
         if task is not None:
             return "coalesced", task
-        limit = self.config.class_queue_limit(job_class)
+        limit = self.class_limit(job_class)
         if self._class_pending[job_class] >= limit:
             self._class_shed[job_class] += 1
             raise Overloaded(
@@ -178,6 +273,9 @@ class CoalescingDispatcher:
                 f"(limit {limit})"
             )
         self._class_pending[job_class] += 1
+        self._class_admitted[job_class] += 1
+        if deadline_epoch is not None:
+            fn = functools.partial(_deadline_guarded, deadline_epoch, fn)
         task = asyncio.get_running_loop().create_task(
             self._run(key, fn, payload, on_result, job_class)
         )
@@ -194,14 +292,30 @@ class CoalescingDispatcher:
         on_result: Callable[[dict], None] | None,
         job_class: str,
     ) -> dict:
+        swept = False
+        t0 = time.perf_counter()
         try:
             loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(
-                self._ensure_executor(job_class), fn, payload
-            )
+            try:
+                result = await loop.run_in_executor(
+                    self._ensure_executor(job_class), fn, payload
+                )
+            except DeadlineSwept:
+                swept = True
+                raise
             if on_result is not None:
                 on_result(result)
             return result
         finally:
             self._class_pending[job_class] -= 1
             self._inflight.pop(key, None)
+            if swept:
+                self._class_swept[job_class] += 1
+            else:
+                # Executed = the worker actually ran it (success or
+                # job failure alike — both consumed a pool slot).
+                self._class_executed[job_class] += 1
+                elapsed = time.perf_counter() - t0
+                self._trackers[job_class].record(elapsed)
+                if self._limiters is not None:
+                    self._limiters[job_class].record(elapsed)

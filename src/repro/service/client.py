@@ -6,16 +6,45 @@ back off exponentially and try again; anything else raises
 ``http.client`` connection per request (the server closes connections
 after each response anyway), so the client is thread-safe and the
 soak test can hammer one instance from many threads.
+
+Three overload-control behaviors ride on the retry loop (see
+:mod:`repro.service.overload` for the server side):
+
+* **Full jitter**: the exponential backoff sleeps a uniform random
+  fraction of the scheduled delay, so a fleet of synchronized clients
+  shed at the same instant cannot re-arrive as one retry storm.  A
+  server-provided ``Retry-After`` is honored exactly (the server
+  already knows when capacity returns).  ``jitter=False`` restores the
+  deterministic schedule; ``jitter_seed`` makes the jitter
+  reproducible for tests.
+* **Retry budget**: a token bucket deposits ``retry_budget`` tokens
+  per request and charges one per retry, so retries are bounded to
+  roughly ``retry_budget`` of recent traffic (default 10%) — when the
+  bucket is dry the client fails fast instead of amplifying an
+  overload.
+* **Deadline propagation**: with ``deadline_s`` set, every attempt
+  carries the remaining budget in the ``X-Repro-Deadline-Ms`` header
+  so the server (and the fabric router in between) can refuse or
+  sweep work the caller will have abandoned; the client itself stops
+  retrying once the budget is gone.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import threading
 import time
 from urllib.parse import quote
 
+from repro.service.overload import DEADLINE_HEADER, format_deadline_ms
+
 __all__ = ["ServiceError", "ServiceClient"]
+
+#: Token-bucket capacity of the retry budget: a short lull never banks
+#: more than ten "free" retries.
+_RETRY_BUDGET_CAP = 10.0
 
 
 class ServiceError(RuntimeError):
@@ -42,6 +71,24 @@ class ServiceClient:
         Sleep before retry ``k`` is ``backoff_s * backoff_factor**k``.
     retry_statuses:
         HTTP statuses treated as transient.
+    jitter:
+        Full jitter on the exponential schedule (uniform in
+        ``[0, scheduled delay]``).  ``Retry-After`` sleeps are never
+        jittered.  ``False`` restores the deterministic schedule.
+    jitter_seed:
+        Seed of the jitter RNG (``None`` → nondeterministic), so tests
+        can assert exact sleep sequences with jitter on.
+    retry_budget:
+        Tokens deposited per request into the retry token bucket; each
+        retry costs one token and a dry bucket fails fast.  The default
+        0.1 bounds retries to ~10% of recent attempts.  ``None``
+        disables budgeting entirely.
+    deadline_s:
+        Per-request total budget.  Each attempt stamps the *remaining*
+        budget (milliseconds) into the ``X-Repro-Deadline-Ms`` header;
+        when it runs out the client raises :class:`ServiceError` with
+        status 504 instead of attempting/retrying further.  ``None``
+        (default) sends no header — byte-identical requests.
     """
 
     def __init__(
@@ -53,6 +100,10 @@ class ServiceClient:
         backoff_s: float = 0.1,
         backoff_factor: float = 2.0,
         retry_statuses: tuple[int, ...] = (429, 503),
+        jitter: bool = True,
+        jitter_seed: int | None = None,
+        retry_budget: float | None = 0.1,
+        deadline_s: float | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -61,10 +112,26 @@ class ServiceClient:
         self.backoff_s = backoff_s
         self.backoff_factor = backoff_factor
         self.retry_statuses = retry_statuses
+        self.jitter = jitter
+        self.deadline_s = deadline_s
+        self.retry_budget = retry_budget
+        self._rng = random.Random(jitter_seed)
+        # One lock guards both the RNG (not thread-safe under seeding
+        # guarantees) and the token bucket; the critical sections are a
+        # few arithmetic ops, far below the cost of one HTTP attempt.
+        self._lock = threading.Lock()
+        # The bucket starts full so a fresh client's first transient
+        # failures retry normally; sustained retry storms drain it.
+        self._retry_tokens = _RETRY_BUDGET_CAP
+        self.retries_denied = 0
 
     # -- transport ------------------------------------------------------
     def _attempt(
-        self, method: str, path: str, payload: dict | None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict | str, dict[str, str]]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
@@ -72,6 +139,8 @@ class ServiceClient:
         try:
             body = json.dumps(payload).encode() if payload is not None else None
             headers = {"Content-Type": "application/json"} if body else {}
+            if extra_headers:
+                headers.update(extra_headers)
             conn.request(method, path, body=body, headers=headers)
             resp = conn.getresponse()
             raw = resp.read().decode()
@@ -91,9 +160,11 @@ class ServiceClient:
 
         A parseable Retry-After (seconds form) from a 429/503 overrides
         the exponential schedule — the server knows when capacity (or a
-        half-open breaker probe) comes back.  It is capped at
-        ``timeout_s`` so a confused server can't park the client, and a
-        malformed value falls back to the exponential schedule.
+        half-open breaker probe) comes back — and is never jittered.
+        It is capped at ``timeout_s`` so a confused server can't park
+        the client, and a malformed value falls back to the exponential
+        schedule.  The exponential path gets full jitter (uniform in
+        ``[0, scheduled]``) unless ``jitter=False``.
         """
         if headers:
             retry_after = headers.get("retry-after")
@@ -102,7 +173,30 @@ class ServiceClient:
                     return min(max(float(retry_after), 0.0), self.timeout_s)
                 except ValueError:
                     pass  # HTTP-date or garbage: use the backoff schedule
-        return self.backoff_s * self.backoff_factor**attempt
+        scheduled = self.backoff_s * self.backoff_factor**attempt
+        if not self.jitter:
+            return scheduled
+        with self._lock:
+            return self._rng.uniform(0.0, scheduled)
+
+    def _deposit_retry_tokens(self) -> None:
+        if self.retry_budget is None:
+            return
+        with self._lock:
+            self._retry_tokens = min(
+                _RETRY_BUDGET_CAP, self._retry_tokens + self.retry_budget
+            )
+
+    def _withdraw_retry_token(self) -> bool:
+        """Charge the bucket for one retry; ``False`` = budget dry."""
+        if self.retry_budget is None:
+            return True
+        with self._lock:
+            if self._retry_tokens >= 1.0:
+                self._retry_tokens -= 1.0
+                return True
+            self.retries_denied += 1
+            return False
 
     def request(
         self,
@@ -113,12 +207,30 @@ class ServiceClient:
     ) -> dict:
         """Issue one request; retry transient failures with backoff."""
         budget = self.retries if retries is None else retries
+        deadline_epoch = (
+            time.time() + self.deadline_s
+            if self.deadline_s is not None
+            else None
+        )
+        self._deposit_retry_tokens()
         attempt = 0
         while True:
+            extra_headers = None
+            if deadline_epoch is not None:
+                remaining_s = deadline_epoch - time.time()
+                if remaining_s <= 0:
+                    raise ServiceError(
+                        504, {"error": "client deadline exceeded"}
+                    )
+                extra_headers = {
+                    DEADLINE_HEADER: format_deadline_ms(remaining_s)
+                }
             try:
-                status, body, headers = self._attempt(method, path, payload)
+                status, body, headers = self._attempt(
+                    method, path, payload, extra_headers
+                )
             except (ConnectionError, OSError, http.client.HTTPException):
-                if attempt >= budget:
+                if attempt >= budget or not self._withdraw_retry_token():
                     raise
                 # transient transport failure
                 status, body, headers = None, None, None
@@ -127,7 +239,14 @@ class ServiceClient:
                     return body if isinstance(body, dict) else {"raw": body}
                 if status not in self.retry_statuses or attempt >= budget:
                     raise ServiceError(status, body)
-            time.sleep(self._retry_delay_s(attempt, headers))
+                if not self._withdraw_retry_token():
+                    raise ServiceError(status, body)
+            delay = self._retry_delay_s(attempt, headers)
+            if deadline_epoch is not None:
+                # Never sleep past the caller's budget: wake with just
+                # enough time for the expiry check to fail fast.
+                delay = min(delay, max(0.0, deadline_epoch - time.time()))
+            time.sleep(delay)
             attempt += 1
 
     # -- endpoint wrappers ----------------------------------------------

@@ -107,6 +107,35 @@ class ServiceConfig:
         request falls through to exact computation.
     approx_capacity:
         Exact observations retained as interpolation support.
+    adaptive_limits:
+        Replace the static per-class admission bounds with AIMD
+        limiters (:class:`~repro.service.overload.AdaptiveLimiter`):
+        grow on healthy latency, shrink multiplicatively when a class's
+        windowed p95 breaches its target.  The static class limit stays
+        as the hard ceiling (floor of 1), so the limiter only ever
+        tightens admission.  Off by default — with it off admission is
+        byte-identical to the static-limit server.
+    adaptive_target_ms:
+        Latency target of the *cheap* class's limiter (default aligned
+        with the shipped 500 ms latency SLO).  The expensive class
+        targets half its own request deadline — multi-second tune
+        sweeps must not be judged by a prediction-latency bar.
+    brownout:
+        Arm the SLO-driven brownout ladder
+        (:class:`~repro.service.overload.BrownoutLadder`): sustained
+        page-severity burn alerts degrade service in stages (widen
+        near-match acceptance → serve /predict analytically → shed
+        tune/rank → full shed) with staged recovery.  Requires
+        ``slo_enabled`` (the ladder is fed by the engine's alerts).
+        Off by default with byte-identical responses.
+    brownout_approx_confidence:
+        The near-match tier's loosened acceptance bar while the ladder
+        is at ``approx-wide`` or deeper (clamped to never *raise* the
+        configured ``approx_confidence``).
+    brownout_escalate_s:
+        Seconds a page alert must burn before each downward step.
+    brownout_recover_s:
+        Calm seconds before each upward (recovery) step.
     slo_enabled:
         Construct the SLO engine: declarative objectives evaluated by
         multi-window burn-rate alerting, surfaced on ``/slo``, as
@@ -152,6 +181,12 @@ class ServiceConfig:
     approx_enabled: bool = False
     approx_confidence: float = 0.75
     approx_capacity: int = 512
+    adaptive_limits: bool = False
+    adaptive_target_ms: float = 500.0
+    brownout: bool = False
+    brownout_approx_confidence: float = 0.5
+    brownout_escalate_s: float = 2.0
+    brownout_recover_s: float = 5.0
     slo_enabled: bool = False
     slo_config: str | None = None
     flight_recorder: int = 256
@@ -197,6 +232,19 @@ class ServiceConfig:
             raise ValueError("approx_confidence must be in (0, 1]")
         if self.approx_capacity < 0:
             raise ValueError("approx_capacity must be >= 0")
+        if self.adaptive_target_ms <= 0:
+            raise ValueError("adaptive_target_ms must be positive")
+        if not 0.0 < self.brownout_approx_confidence <= 1.0:
+            raise ValueError(
+                "brownout_approx_confidence must be in (0, 1]"
+            )
+        if self.brownout_escalate_s <= 0 or self.brownout_recover_s <= 0:
+            raise ValueError("brownout hold times must be positive")
+        if self.brownout and not self.slo_enabled:
+            raise ValueError(
+                "brownout requires slo_enabled (the ladder is fed by"
+                " the SLO engine's burn alerts)"
+            )
         if self.slo_config is not None and not self.slo_enabled:
             raise ValueError("slo_config requires slo_enabled")
         if self.flight_recorder < 0:
@@ -218,3 +266,16 @@ class ServiceConfig:
         if self.cost_routing and job_class == "cheap":
             return self.cheap_timeout_s or self.request_timeout_s
         return self.request_timeout_s
+
+    def class_adaptive_target_s(self, job_class: str) -> float:
+        """Latency target of one class's adaptive limiter.
+
+        Cheap work answers to the interactive target
+        (``adaptive_target_ms``); expensive work is healthy as long as
+        it clears well inside its own deadline, so it targets half the
+        class timeout (never tighter than the cheap target).
+        """
+        cheap_target = self.adaptive_target_ms / 1e3
+        if job_class == "expensive":
+            return max(cheap_target, self.class_timeout_s("expensive") / 2.0)
+        return cheap_target

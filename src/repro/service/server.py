@@ -26,10 +26,15 @@ from urllib.parse import parse_qs
 
 from repro import faults, obs
 from repro.offsite.database import TuningDatabase, TuningKey, TuningRecord
-from repro.service.batching import CoalescingDispatcher, Overloaded
+from repro.service.batching import (
+    CoalescingDispatcher,
+    DeadlineSwept,
+    Overloaded,
+)
 from repro.service.breaker import CircuitBreaker
 from repro.service.config import ServiceConfig
 from repro.service.cost import classify
+from repro.service.overload import BrownoutLadder, deadline_from_headers
 from repro.service.jobs import (
     DEGRADED_JOBS,
     JOBS,
@@ -138,6 +143,17 @@ class ReproService:
         if self.config.slo_enabled:
             self.slo = SloEngine(load_slo_config(self.config.slo_config))
             self.slo.set_tier_source(self.metrics.tier_totals)
+        # Brownout ladder: staged SLO-burn-driven degradation.  Only
+        # constructed when armed (config validation guarantees the SLO
+        # engine exists), so default responses are byte-identical.
+        self.ladder: BrownoutLadder | None = None
+        if self.config.brownout:
+            self.ladder = BrownoutLadder(
+                self.slo.alerts,
+                escalate_hold_s=self.config.brownout_escalate_s,
+                recover_hold_s=self.config.brownout_recover_s,
+                on_transition=self._record_brownout_transition,
+            )
         self.breakers = {
             path: CircuitBreaker(
                 path,
@@ -231,11 +247,13 @@ class ReproService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes] | None:
+    ) -> tuple[str, str, bytes, dict[str, str]] | None:
         """Read one request; ``None`` if the line is unparseable.
 
         Raises :class:`_HttpError` for a malformed or oversized body
         declaration.  Callers bound the *whole* read with one deadline.
+        Headers are returned lower-cased (deadline propagation reads
+        the remaining-budget header from them).
         """
         request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
@@ -256,7 +274,7 @@ class ReproService:
         if length > self.config.max_body_bytes:
             raise _HttpError(413, "payload too large")
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, body, headers
 
     async def _handle_request(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -275,7 +293,7 @@ class ReproService:
             return
         if request is None:
             return
-        method, target, body = request
+        method, target, body, req_headers = request
         path, _, query = target.partition("?")
         params = parse_qs(query) if query else {}
 
@@ -294,6 +312,17 @@ class ReproService:
             # the default health document byte-identical.
             if self.slo is not None:
                 health["alerts"] = self.slo.alerts()
+            # Health probes also advance the ladder: recovery must not
+            # need request traffic to walk back up after load drops.
+            if self.ladder is not None:
+                self.ladder.evaluate()
+                health["brownout"] = {
+                    "stage": self.ladder.stage,
+                    "state": self.ladder.state,
+                    "transitions": [
+                        dict(entry) for entry in self.ladder.transitions
+                    ],
+                }
             await self._send(writer, status, health)
             return
         if method == "GET" and path == "/metrics":
@@ -313,7 +342,11 @@ class ReproService:
             if self.slo is None:
                 await self._send(writer, 200, {"enabled": False})
                 return
-            await self._send(writer, 200, self.slo.snapshot())
+            document = self.slo.snapshot()
+            if self.ladder is not None:
+                self.ladder.evaluate()
+                document["brownout"] = self.ladder.snapshot()
+            await self._send(writer, 200, document)
             return
         if method == "GET" and path == "/debug/requests":
             try:
@@ -329,7 +362,7 @@ class ReproService:
                     writer, 405, {"error": f"{path} requires POST"}
                 )
                 return
-            await self._handle_job(writer, path, body)
+            await self._handle_job(writer, path, body, req_headers)
             return
         await self._send(writer, 404, {"error": f"no route {path}"})
 
@@ -395,15 +428,37 @@ class ReproService:
         writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
         await writer.drain()
 
+    def _record_brownout_transition(self, entry: dict) -> None:
+        """Ledger a ladder transition into the flight recorder, so
+        ``repro obs tail --endpoint @brownout`` attributes a degraded
+        spell to the exact alerts that drove it."""
+        self.flight.record(
+            endpoint="@brownout",
+            outcome=entry["direction"],
+            status=None,
+            shard=self.config.shard_id,
+            latency_ms=0.0,
+            stage_from=entry["from"],
+            stage_to=entry["to"],
+            alerts=list(entry.get("alerts") or ()),
+        )
+
     # -- the tiered job path --------------------------------------------
     async def _handle_job(
-        self, writer: asyncio.StreamWriter, endpoint: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        endpoint: str,
+        body: bytes,
+        req_headers: dict[str, str] | None = None,
     ) -> None:
         t0 = time.perf_counter()
         stages: dict[str, float] = {}
         note: dict = {}
+        deadline_epoch = deadline_from_headers(req_headers)
+        if self.ladder is not None:
+            self.ladder.evaluate()
         outcome, status, response, headers = await self._process_job(
-            endpoint, body, stages, note
+            endpoint, body, stages, note, deadline_epoch
         )
         elapsed = time.perf_counter() - t0
         # Count the request *before* the response leaves, so a client
@@ -432,6 +487,7 @@ class ReproService:
         body: bytes,
         stages: dict[str, float] | None = None,
         note: dict | None = None,
+        deadline_epoch: float | None = None,
     ) -> tuple[str, int, dict, dict[str, str] | None]:
         """Resolve one POST through the cache tiers and the pool.
 
@@ -445,7 +501,8 @@ class ReproService:
             stages = {}
         try:
             return await self._process_job_stages(
-                endpoint, body, stages, note if note is not None else {}
+                endpoint, body, stages,
+                note if note is not None else {}, deadline_epoch,
             )
         finally:
             self.metrics.record_stages(stages)
@@ -456,6 +513,7 @@ class ReproService:
         body: bytes,
         stages: dict[str, float],
         note: dict,
+        deadline_epoch: float | None = None,
     ) -> tuple[str, int, dict, dict[str, str] | None]:
         normalizer, job = JOBS[endpoint]
         t_stage = time.perf_counter()
@@ -527,9 +585,19 @@ class ReproService:
         # ``"exact": true``; declines (falls through to exact work)
         # below the configured confidence.  The answer is served but
         # NEVER written into any exact tier.
+        brownout_stage = 0 if self.ladder is None else self.ladder.stage
         if self.approx_tier is not None and not want_exact:
+            # Brownout stage 1+ widens acceptance: a lower-confidence
+            # interpolation beats queueing on a saturated pool.  The
+            # bar only ever *loosens* — a brownout confidence above the
+            # configured one is clamped.
+            min_confidence = self.config.approx_confidence
+            if brownout_stage >= 1:
+                min_confidence = min(
+                    min_confidence, self.config.brownout_approx_confidence
+                )
             served = self.approx_tier.lookup(
-                endpoint, normalized, self.config.approx_confidence
+                endpoint, normalized, min_confidence
             )
             if served is not None:
                 result, confidence = served
@@ -539,6 +607,47 @@ class ReproService:
                 env["confidence"] = confidence
                 return "approximate", 200, env, None
         stages["cache"] = time.perf_counter() - t_stage
+
+        # Brownout shedding and analytic serving: the ladder degrades
+        # *after* the cache tiers (a warm hit costs microseconds and
+        # stays exact) but before any pool work.  Heavy endpoints shed
+        # first (stage 3); /predict switches to the analytic fallback
+        # at stage 2 and is only refused at full shed (stage 4).
+        if brownout_stage >= (3 if endpoint in ("/tune", "/rank") else 4):
+            retry_after = max(
+                1, int(self.config.brownout_recover_s + 0.999)
+            )
+            note["brownout"] = self.ladder.state
+            return (
+                "shed",
+                503,
+                {
+                    "error": "brownout",
+                    "stage": self.ladder.state,
+                    "endpoint": endpoint,
+                },
+                {"Retry-After": str(retry_after)},
+            )
+        if brownout_stage >= 2 and endpoint == "/predict":
+            t_stage = time.perf_counter()
+            try:
+                result = await asyncio.get_running_loop().run_in_executor(
+                    None, DEGRADED_JOBS[endpoint], normalized
+                )
+            except Exception as exc:
+                return (
+                    "failed",
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                    None,
+                )
+            finally:
+                stages["execute"] = time.perf_counter() - t_stage
+            note["brownout"] = self.ladder.state
+            env = envelope("degraded", result)
+            env["degraded"] = True
+            env["brownout"] = self.ladder.state
+            return "degraded", 200, env, None
 
         # Circuit breaker: a backend that keeps failing fresh jobs is
         # taken out of rotation.  With degraded_mode the request is
@@ -591,6 +700,40 @@ class ReproService:
         note["queue_class"] = job_class
         timeout_s = self.config.class_timeout_s(job_class)
 
+        # Deadline admission: a request whose remaining budget cannot
+        # plausibly cover this class's observed p95 is refused *now*
+        # with a fast 429 instead of queueing work its caller will
+        # have abandoned by completion.  Needs the class (for the p95),
+        # so it runs after classify; the breaker probe this request may
+        # hold is handed back — no fresh work ran.
+        if deadline_epoch is not None:
+            remaining_s = deadline_epoch - time.time()
+            observed_p95 = self.dispatcher.observed_p95_s(job_class)
+            if remaining_s <= 0 or (
+                observed_p95 is not None and remaining_s < observed_p95
+            ):
+                breaker.release_probe()
+                note["deadline_remaining_ms"] = round(remaining_s * 1e3, 3)
+                retry_after = max(
+                    1,
+                    int((observed_p95 or 0.0) - max(0.0, remaining_s) + 0.999),
+                )
+                return (
+                    "shed",
+                    429,
+                    {
+                        "error": "deadline too tight",
+                        "remaining_ms": round(remaining_s * 1e3, 3),
+                        "observed_p95_ms": (
+                            round(observed_p95 * 1e3, 3)
+                            if observed_p95 is not None
+                            else None
+                        ),
+                        "queue_class": job_class,
+                    },
+                    {"Retry-After": str(retry_after)},
+                )
+
         # The job payload may carry execution-only hints the request
         # identity must exclude: /tune gets the per-request deadline so
         # the tuner inside the worker stops starting variants the
@@ -600,6 +743,13 @@ class ReproService:
         if endpoint == "/tune":
             job_payload = dict(normalized)
             job_payload["deadline"] = time.time() + timeout_s
+            if deadline_epoch is not None:
+                # The caller's propagated budget tightens the tuner's
+                # own deadline: sweeps checkpoint-and-yield instead of
+                # burning a dead caller's budget.
+                job_payload["deadline"] = min(
+                    job_payload["deadline"], deadline_epoch
+                )
             if requested_predictor is not None:
                 job_payload["predictor"] = requested_predictor
             if self.config.job_dir:
@@ -695,6 +845,7 @@ class ReproService:
             mode, task = self.dispatcher.dispatch(
                 dispatch_key, dispatch_job, job_payload,
                 on_result=dispatch_hook, job_class=job_class,
+                deadline_epoch=deadline_epoch,
             )
         except Overloaded as exc:
             breaker.release_probe()
@@ -711,11 +862,42 @@ class ReproService:
         # that didn't run fresh work is handed back instead.
         if mode != "fresh":
             breaker.release_probe()
+        # The propagated deadline tightens (never widens) the wait: a
+        # caller that gives up sooner than the class timeout gets its
+        # 504 at the moment its budget dies.
+        effective_timeout = timeout_s
+        if deadline_epoch is not None:
+            effective_timeout = min(
+                timeout_s, max(0.0, deadline_epoch - time.time())
+            )
         try:
             result = await asyncio.wait_for(
-                asyncio.shield(task), timeout_s
+                asyncio.shield(task), effective_timeout
+            )
+        except DeadlineSwept:
+            # The queue sweeper dropped the job before execution: the
+            # caller's deadline died while waiting.  The backend never
+            # ran, so this is not a breaker strike; a granted half-open
+            # probe is handed back.
+            breaker.release_probe()
+            return (
+                "shed",
+                504,
+                {"error": "deadline expired in queue"},
+                None,
             )
         except asyncio.TimeoutError:
+            if effective_timeout < timeout_s:
+                # Deadline-driven, not a slow backend: the job may well
+                # finish for its coalesced waiters — no breaker strike,
+                # and any held probe is handed back.
+                breaker.release_probe()
+                return (
+                    "failed",
+                    504,
+                    {"error": "deadline exceeded"},
+                    None,
+                )
             if mode == "fresh":
                 breaker.record_failure()
             return (
@@ -887,6 +1069,13 @@ class ReproService:
         extra: dict = {}
         if self.slo is not None:
             extra["slo"] = self.slo.metrics_rows()
+        # The overload section appears only when one of the overload
+        # features is armed, keeping the default document byte-identical
+        # (deadline headers alone never change /metrics).
+        if self.config.adaptive_limits or self.ladder is not None:
+            extra["overload"] = self.dispatcher.overload_snapshot()
+            if self.ladder is not None:
+                extra["overload"]["brownout"] = self.ladder.snapshot()
         return self.metrics.snapshot(
             histograms=histograms,
             uptime_s=self.uptime_s(),

@@ -252,6 +252,53 @@ def render_prometheus(snapshot: dict) -> str:
         )
         for name, value in depth_rows.items():
             out.sample("repro_class_queue_depth", {"class": name}, value)
+    # Adaptive limits appear only under --adaptive-limits (the rows
+    # carry the key only then) — absent, not faked to the static limit.
+    adaptive_rows = {
+        name: row.get("adaptive_limit")
+        for name, row in sorted(classes.items())
+        if isinstance(row, dict)
+        and isinstance(row.get("adaptive_limit"), (int, float))
+    }
+    if adaptive_rows:
+        out.family(
+            "repro_class_adaptive_limit", "gauge",
+            "AIMD admission limit in force per cost class.",
+        )
+        for name, value in adaptive_rows.items():
+            out.sample("repro_class_adaptive_limit", {"class": name}, value)
+
+    # -- overload control ----------------------------------------------
+    overload = snapshot.get("overload") or {}
+    overload_classes = overload.get("classes") or {}
+    for field, help_text in (
+        ("admitted", "Fresh jobs admitted per cost class."),
+        ("executed", "Admitted jobs that reached a worker."),
+        ("swept", "Admitted jobs dropped at dequeue: deadline expired"
+         " while queued."),
+    ):
+        rows = {
+            name: row.get(field)
+            for name, row in sorted(overload_classes.items())
+            if isinstance(row, dict)
+            and isinstance(row.get(field), (int, float))
+        }
+        if not rows:
+            continue
+        out.family(
+            f"repro_class_{field}_total", "counter", help_text
+        )
+        for name, value in rows.items():
+            out.sample(
+                f"repro_class_{field}_total", {"class": name}, value
+            )
+    brownout = overload.get("brownout") or {}
+    if isinstance(brownout.get("stage"), (int, float)):
+        out.family(
+            "repro_brownout_stage", "gauge",
+            "Brownout ladder stage (0 normal .. 4 full shed).",
+        )
+        out.sample("repro_brownout_stage", None, brownout["stage"])
 
     # -- SLO burn gauges ------------------------------------------------
     slo = snapshot.get("slo") or {}

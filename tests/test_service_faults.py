@@ -295,14 +295,14 @@ class TestClientRetryAfter:
         assert client._retry_delay_s(0, {"retry-after": "9999"}) == 0.5
 
     def test_malformed_retry_after_falls_back_to_backoff(self):
-        client = ServiceClient(backoff_s=0.1, backoff_factor=2.0)
+        client = ServiceClient(backoff_s=0.1, backoff_factor=2.0, jitter=False)
         delay = client._retry_delay_s(
             2, {"retry-after": "Wed, 21 Oct 2026 07:28:00 GMT"}
         )
         assert delay == pytest.approx(0.1 * 2.0**2)
 
     def test_missing_header_uses_backoff(self):
-        client = ServiceClient(backoff_s=0.2, backoff_factor=2.0)
+        client = ServiceClient(backoff_s=0.2, backoff_factor=2.0, jitter=False)
         assert client._retry_delay_s(1, {}) == pytest.approx(0.4)
         assert client._retry_delay_s(1, None) == pytest.approx(0.4)
 
